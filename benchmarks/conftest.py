@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration.
+
+Every module in this directory regenerates one table, figure, or ablation
+of the paper (see DESIGN.md's experiment index).  The regenerated artefact
+is printed to stdout; run with ``pytest benchmarks/ --benchmark-only -s``
+to see the rendered tables alongside the timings.
+"""

@@ -1,0 +1,81 @@
+"""Ablation A1: the k-bounded termination safeguard of Section 4.
+
+On non-monotone systems the plain combined operator may diverge; the
+paper sketches counting narrow-to-widen switches per unknown and
+degrading the narrowing past a threshold ``k``.  We measure, over a batch
+of seeded non-monotone systems: the divergence rate of the plain
+operator, and the cost/precision of the k-bounded operator as ``k``
+grows.
+"""
+
+from __future__ import annotations
+
+from repro.bench.randsys import RandomSystemConfig, random_nonmonotone_system
+from repro.lattices import INF, NatInf
+from repro.solvers import (
+    BoundedWarrowCombine,
+    DivergenceError,
+    WarrowCombine,
+    solve_sw,
+)
+
+nat = NatInf()
+SEEDS = range(40)
+BUDGET = 30_000
+
+
+def run_plain():
+    diverged = 0
+    for seed in SEEDS:
+        system = random_nonmonotone_system(
+            RandomSystemConfig(size=6, max_deps=3, seed=seed)
+        )
+        try:
+            solve_sw(system, WarrowCombine(nat), max_evals=BUDGET)
+        except DivergenceError:
+            diverged += 1
+    return diverged
+
+
+def run_bounded(k: int):
+    total_evals = 0
+    finite_values = 0
+    total_values = 0
+    for seed in SEEDS:
+        system = random_nonmonotone_system(
+            RandomSystemConfig(size=6, max_deps=3, seed=seed)
+        )
+        result = solve_sw(
+            system, BoundedWarrowCombine(nat, k=k), max_evals=10 * BUDGET
+        )
+        total_evals += result.stats.evaluations
+        for value in result.sigma.values():
+            total_values += 1
+            if value != INF:
+                finite_values += 1
+    return total_evals, finite_values, total_values
+
+
+def test_plain_warrow_divergence_rate(benchmark):
+    diverged = benchmark.pedantic(run_plain, rounds=1, iterations=1)
+    print(f"\nplain warrow: {diverged}/{len(list(SEEDS))} systems diverge")
+    assert diverged > 0  # non-monotone systems do defeat the plain operator
+
+
+def test_kbound_terminates_and_trades_precision(benchmark):
+    def run_all():
+        return {k: run_bounded(k) for k in (0, 1, 2, 4)}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print("\nk-bounded combined operator (all runs terminate):")
+    previous_evals = 0
+    for k, (evals, finite, total) in sorted(results.items()):
+        print(
+            f"  k={k}: {evals:7d} evaluations, "
+            f"{finite}/{total} finite values"
+        )
+    # Larger k never decreases precision (more narrowing allowed).
+    finites = [results[k][1] for k in sorted(results)]
+    assert finites == sorted(finites)
+    # And every configuration terminated within the enlarged budget.
+    assert all(evals < 10 * BUDGET * len(list(SEEDS)) for evals, _, _ in results.values())

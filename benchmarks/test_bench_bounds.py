@@ -1,0 +1,71 @@
+"""Theorem 1/2 evaluation-count bounds, measured.
+
+Theorem 1: SRR with join on a height-``h`` lattice needs at most
+``n + (h/2) n (n+1)`` evaluations.  Theorem 2: SW needs at most ``h * N``
+with ``N = sum (2 + |deps|)``.  We measure actual counts on seeded random
+monotone systems over powerset lattices and report the utilisation of the
+bounds (actual / bound), which the paper's complexity discussion predicts
+to be far below 1 for typical systems.
+"""
+
+from __future__ import annotations
+
+from repro.bench.randsys import random_powerset_system
+from repro.solvers import JoinCombine, WarrowCombine, solve_srr, solve_sw
+
+SIZES = [(8, 4), (16, 5), (32, 6)]
+
+
+def measure(size: int, universe: int, seeds=range(10)):
+    ratios_srr = []
+    ratios_sw = []
+    for seed in seeds:
+        system = random_powerset_system(size, universe, seed=seed)
+        h = system.lattice.height_bound()
+        bound_srr = size + h / 2 * size * (size + 1)
+        n_total = sum(2 + len(system.deps(x)) for x in system.unknowns)
+        bound_sw = h * n_total
+        r1 = solve_srr(system, JoinCombine(system.lattice))
+        r2 = solve_sw(system, JoinCombine(system.lattice))
+        ratios_srr.append(r1.stats.evaluations / bound_srr)
+        ratios_sw.append(r2.stats.evaluations / bound_sw)
+    return ratios_srr, ratios_sw
+
+
+def test_theorem_bounds_hold(benchmark):
+    def run():
+        out = {}
+        for size, universe in SIZES:
+            out[(size, universe)] = measure(size, universe)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nTheorem 1/2 bound utilisation (actual evaluations / bound):")
+    for (size, universe), (srr, sw) in results.items():
+        print(
+            f"  n={size:3d} h={universe + 1}: "
+            f"SRR max {max(srr):.3f}  SW max {max(sw):.3f}"
+        )
+        assert max(srr) <= 1.0, "Theorem 1 bound violated"
+        assert max(sw) <= 1.0, "Theorem 2 bound violated"
+
+
+def test_warrow_vs_join_overhead(benchmark):
+    """The combined operator's cost relative to join on the same systems
+    (it may narrow after reaching the post solution)."""
+
+    def run():
+        total_join = total_warrow = 0
+        for seed in range(10):
+            system = random_powerset_system(24, 5, seed=seed)
+            total_join += solve_sw(
+                system, JoinCombine(system.lattice)
+            ).stats.evaluations
+            total_warrow += solve_sw(
+                system, WarrowCombine(system.lattice)
+            ).stats.evaluations
+        return total_join, total_warrow
+
+    join_evals, warrow_evals = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\njoin: {join_evals} evaluations, warrow: {warrow_evals}")
+    assert warrow_evals <= 3 * join_evals

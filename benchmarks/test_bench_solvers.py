@@ -1,0 +1,104 @@
+"""Cross-solver cost comparison on real analysis systems.
+
+Complements the paper's Section 4/5 discussion: on the intraprocedural
+interval systems of the WCET suite, compare the evaluation counts and
+wall time of SRR, SW, and SLR (all with the combined operator).  SLR's
+local exploration should track SW closely while visiting only the
+unknowns reachable from the query.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import IntervalDomain
+from repro.analysis.intra import build_intra_system
+from repro.bench.wcet import PROGRAMS
+from repro.lang import compile_program
+from repro.solvers import WarrowCombine, solve_slr, solve_srr, solve_sw
+from repro.solvers.ordering import weak_topological_order
+
+#: A call-free, loop-heavy function usable intraprocedurally.
+CANDIDATE = "janne_complex"
+FN = "complex_loops"
+
+
+def _system():
+    dom = IntervalDomain()
+    cfg = compile_program(PROGRAMS[CANDIDATE].source)
+    return build_intra_system(cfg, FN, dom)
+
+
+def test_sw_on_wcet_system(benchmark):
+    system, env_lat, fn = _system()
+    wto = weak_topological_order(list(system.unknowns), system.deps)
+    result = benchmark(
+        lambda: solve_sw(system, WarrowCombine(env_lat), order=wto)
+    )
+    assert result.stats.evaluations > 0
+
+
+def test_srr_on_wcet_system(benchmark):
+    system, env_lat, fn = _system()
+    wto = weak_topological_order(list(system.unknowns), system.deps)
+    result = benchmark(
+        lambda: solve_srr(system, WarrowCombine(env_lat), order=wto)
+    )
+    assert result.stats.evaluations > 0
+
+
+def test_slr_on_wcet_system(benchmark):
+    system, env_lat, fn = _system()
+    result = benchmark(
+        lambda: solve_slr(system, WarrowCombine(env_lat), fn.exit)
+    )
+    assert result.stats.evaluations > 0
+
+
+def test_solver_agreement_and_cost_summary(benchmark):
+    """All three compute post solutions; print their evaluation counts."""
+
+    def run():
+        system, env_lat, fn = _system()
+        wto = weak_topological_order(list(system.unknowns), system.deps)
+        r_sw = solve_sw(system, WarrowCombine(env_lat), order=wto)
+        r_srr = solve_srr(system, WarrowCombine(env_lat), order=wto)
+        r_slr = solve_slr(system, WarrowCombine(env_lat), fn.exit)
+        return r_sw, r_srr, r_slr
+
+    r_sw, r_srr, r_slr = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\n{CANDIDATE}: SW {r_sw.stats.evaluations} evals, "
+        f"SRR {r_srr.stats.evaluations}, SLR {r_slr.stats.evaluations} "
+        f"(dom {r_slr.stats.unknowns})"
+    )
+    # SLR visits no more unknowns than the full system has.
+    assert r_slr.stats.unknowns <= len(list(r_sw.sigma))
+
+
+def test_td_on_wcet_system(benchmark):
+    from repro.solvers import solve_td
+
+    system, env_lat, fn = _system()
+    result = benchmark(
+        lambda: solve_td(system, WarrowCombine(env_lat), fn.exit)
+    )
+    assert result.stats.evaluations > 0
+
+
+def test_local_solver_family_summary(benchmark):
+    """RLD vs TD vs SLR on the same query: evaluations and domain size."""
+    from repro.solvers import solve_rld, solve_td
+
+    def run():
+        system, env_lat, fn = _system()
+        return (
+            solve_rld(system, WarrowCombine(env_lat), fn.exit, max_evals=500_000),
+            solve_td(system, WarrowCombine(env_lat), fn.exit, max_evals=500_000),
+            solve_slr(system, WarrowCombine(env_lat), fn.exit, max_evals=500_000),
+        )
+
+    r_rld, r_td, r_slr = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\n{FN}: RLD {r_rld.stats.evaluations} evals, "
+        f"TD {r_td.stats.evaluations}, SLR {r_slr.stats.evaluations}"
+    )
+    assert r_slr.stats.unknowns <= r_td.stats.unknowns + 1

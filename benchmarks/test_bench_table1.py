@@ -1,0 +1,52 @@
+"""Table 1: run-time and unknown counts on the SpecCPU-like suite.
+
+Regenerates the paper's table: interval analysis in four configurations --
+{context-insensitive, context-sensitive} x {widening-only, combined
+operator} -- reporting solver time and the number of encountered unknowns.
+
+Paper's qualitative findings reproduced here:
+
+* context-insensitive analysis is faster than context-sensitive;
+* without contexts, the combined-operator solver is only marginally
+  slower than the widening-only solver;
+* with contexts, the *number of unknowns* may differ between the two
+  operators (values feed into contexts), and run-time follows the number
+  of unknowns.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import run_table1
+from repro.bench.reporting import render_table1
+
+
+def test_table1_full(benchmark):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    print()
+    print(render_table1(rows))
+
+    # Rows are graded by size; sanity-check scaling and the paper's
+    # qualitative relations.
+    assert len(rows) == 7
+    for row in rows:
+        # Context-sensitive analysis tracks at least as many unknowns.
+        assert row.context_widen.unknowns >= row.nocontext_widen.unknowns
+        # Operators do not change the unknowns without contexts (the
+        # unknown set is the reachable program points plus globals).
+        assert row.nocontext_widen.unknowns == row.nocontext_warrow.unknowns
+    # Unknown counts grow with program size across the suite.
+    assert rows[-1].nocontext_widen.unknowns > rows[0].nocontext_widen.unknowns * 5
+
+    # The combined operator's extra evaluations stay within a small factor
+    # (the paper: "only marginally slower" without contexts).
+    for row in rows:
+        assert (
+            row.nocontext_warrow.evaluations
+            <= 3 * row.nocontext_widen.evaluations
+        )
+
+
+def test_table1_smallest_row_cost(benchmark):
+    """Timing granularity on the smallest configuration (470.lbm)."""
+    rows = benchmark(lambda: run_table1(names=["470.lbm"]))
+    assert rows[0].nocontext_widen.unknowns > 50

@@ -1,0 +1,125 @@
+"""Plugging a custom value domain into the analysis stack.
+
+Everything above the solvers is parameterised by a
+:class:`repro.analysis.values.NumericDomain`: implement one class and the
+whole pipeline -- transfer functions, guard refinement, interprocedural
+solving with SLR+ and the combined operator, assertion checking -- works
+unchanged.  This example implements a last-decimal-digit domain (the
+lattice of "ends in d" facts) in ~60 lines and analyses a program with it.
+
+Run:  python examples/custom_domain.py
+"""
+
+from repro.analysis import analyze_program, check_assertions
+from repro.analysis.values import NumericDomain
+from repro.lang import compile_program
+from repro.lattices.flat import Flat, FlatBot, FlatTop
+
+
+class LastDigitDomain(NumericDomain):
+    """Track the last decimal digit of every value (flat lattice over 0-9).
+
+    Addition and multiplication are exact on digits; everything else
+    degrades to top.  A toy domain -- but a *sound* one, which the
+    analysis verifies against concrete runs just like any other.
+    """
+
+    name = "last-digit"
+
+    def __init__(self) -> None:
+        self.flat = Flat()
+
+    @property
+    def bottom(self):
+        return FlatBot
+
+    @property
+    def top(self):
+        return FlatTop
+
+    def leq(self, a, b):
+        return self.flat.leq(a, b)
+
+    def join(self, a, b):
+        return self.flat.join(a, b)
+
+    def meet(self, a, b):
+        return self.flat.meet(a, b)
+
+    def from_const(self, n: int):
+        return n % 10
+
+    def binop(self, op: str, a, b):
+        if a is FlatBot or b is FlatBot:
+            return FlatBot
+        if op == "*" and (a == 0 or b == 0):
+            return 0  # anything times a multiple of 10 ends in 0
+        if a is FlatTop or b is FlatTop:
+            return FlatTop
+        if op == "+":
+            return (a + b) % 10
+        if op == "*":
+            return (a * b) % 10
+        if op in ("==", "!="):
+            if a != b:
+                # Different last digits: the values certainly differ.
+                return 1 if op == "!=" else 0
+            return FlatTop
+        return FlatTop
+
+    def unop(self, op: str, a):
+        return FlatTop if a is not FlatBot else FlatBot
+
+    def truthiness(self, a):
+        if a is FlatBot:
+            return (False, False)
+        if a is FlatTop:
+            return (True, True)
+        # A non-zero last digit proves the value non-zero.
+        return (True, a == 0)
+
+    def contains(self, a, n: int) -> bool:
+        if a is FlatBot:
+            return False
+        return a is FlatTop or n % 10 == a
+
+
+SOURCE = """
+int total = 0;
+
+int scaled(int x) {
+    return x * 10;
+}
+
+int main() {
+    int acc = 5;
+    int i = 0;
+    while (i < 7) {
+        int t = scaled(i + 3);
+        acc = acc + t;          // adding multiples of 10 keeps digit 5
+        i = i + 1;
+    }
+    total = acc;
+    assert(acc != 0);           // provable: the last digit is always 5
+    return acc;
+}
+"""
+
+
+def main() -> None:
+    dom = LastDigitDomain()
+    cfg = compile_program(SOURCE)
+    result = analyze_program(cfg, dom)
+
+    print(f"global total ends in: {result.globals['total']} "
+          f"(top: joins the 0 initialiser with 5)")
+    for report in check_assertions(cfg, result):
+        print(report)
+
+    env = result.env_at("main", cfg.functions["main"].exit)
+    assert env["acc"] == 5
+    print("\nThe custom domain proves acc always ends in 5.")
+
+
+if __name__ == "__main__":
+    main()

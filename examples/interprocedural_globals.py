@@ -1,0 +1,68 @@
+"""The paper's Examples 7--9: side effects, globals, and narrowing.
+
+The program below is Example 7 from the paper, verbatim (modulo syntax):
+a global ``g`` is assigned in two different calling contexts of ``f``.
+The analysis must combine three contributions -- the initialisation ``0``
+and the context-dependent values ``2`` and ``3`` -- into the tight
+interval ``[0, 3]``.
+
+The example shows why Section 6's per-origin side-effect machinery
+matters: with classical accumulation, widening pushes ``g`` to
+``[0, +oo]`` and no narrowing phase can ever recover it; SLR+ with the
+combined operator lands on ``[0, 3]``.
+
+Run:  python examples/interprocedural_globals.py
+"""
+
+from repro.analysis import FullValueContext, IntervalDomain, analyze_program
+from repro.analysis.inter import analyze_program_twophase
+from repro.lang import compile_program, run_program
+
+SOURCE = """
+int g = 0;
+
+void f(int b) {
+    if (b) {
+        g = b + 1;
+    } else {
+        g = -b - 1;
+    }
+}
+
+int main() {
+    f(1);
+    f(2);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    dom = IntervalDomain()
+    cfg = compile_program(SOURCE)
+
+    combined = analyze_program(cfg, dom, policy=FullValueContext())
+    classical = analyze_program_twophase(cfg, dom, policy=FullValueContext())
+
+    print("Example 7 of the paper: a flow-insensitive global, written")
+    print("from two calling contexts of f.\n")
+    print(f"combined operator (SLR+):      g = {dom.format(combined.globals['g'])}")
+    print(f"classical two-phase baseline:  g = {dom.format(classical.globals['g'])}")
+
+    print("\nContexts in which f was analysed:")
+    for (origin, target), value in sorted(
+        combined.solver_result.contribs.items(), key=lambda kv: str(kv[0])
+    ):
+        if getattr(target, "name", None) == "g":
+            print(f"  contribution from {origin}: {dom.format(value)}")
+
+    run = run_program(SOURCE)
+    print(f"\nConcrete final value of g: {run.globals['g']} "
+          f"(inside both abstract results)")
+    assert dom.contains(combined.globals["g"], run.globals["g"])
+    assert dom.contains(classical.globals["g"], run.globals["g"])
+    assert dom.format(combined.globals["g"]) == "[0,3]"
+
+
+if __name__ == "__main__":
+    main()

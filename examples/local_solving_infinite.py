@@ -1,0 +1,54 @@
+"""The paper's Examples 5--6: local solving of an *infinite* system.
+
+The system
+
+    y_{2n}   = max( y_{y_{2n}}, n )      -- note the value-dependent index!
+    y_{2n+1} = y_{6n+4}
+
+has infinitely many unknowns, and even the dependency of an equation
+depends on the current values.  No global solver applies; the local
+solver SLR explores only the unknowns actually needed to answer a query.
+Solving for y1 touches exactly four unknowns and yields the partial
+solution the paper states: {y0 -> 0, y1 -> 2, y2 -> 2, y4 -> 2}.
+
+Run:  python examples/local_solving_infinite.py
+"""
+
+from repro.eqs import FunSystem
+from repro.lattices import NatInf
+from repro.solvers import JoinCombine, solve_slr
+
+nat = NatInf()
+
+
+def rhs_of(m: int):
+    """Right-hand side of unknown y_m."""
+    if m % 2 == 0:
+        # y_{2n} = max(y_{y_{2n}}, n)  with  n = m / 2.
+        return lambda get, m=m: max(get(get(m)), m // 2)
+    # y_{2n+1} = y_{6n+4}  with  n = (m - 1) / 2.
+    return lambda get, m=m: get(3 * (m - 1) + 4)
+
+
+def main() -> None:
+    system = FunSystem(nat, rhs_of)
+    result = solve_slr(system, JoinCombine(nat), 1)
+
+    print("Solving the infinite system for y1 with SLR:\n")
+    for m in sorted(result.sigma):
+        print(f"  y{m} -> {nat.format(result.sigma[m])}"
+              f"   (priority key {result.keys[m]})")
+    print(
+        f"\n{result.stats.evaluations} right-hand-side evaluations, "
+        f"{len(result.sigma)} of infinitely many unknowns touched."
+    )
+    assert result.sigma == {0: 0, 1: 2, 2: 2, 4: 2}
+
+    print("\nDependencies discovered on the fly (infl sets):")
+    for m in sorted(result.infl):
+        readers = ", ".join(f"y{r}" for r in sorted(result.infl[m]))
+        print(f"  y{m} influences {{{readers}}}")
+
+
+if __name__ == "__main__":
+    main()

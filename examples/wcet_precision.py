@@ -1,0 +1,24 @@
+"""Run the Figure 7 experiment from the command line.
+
+Analyses every benchmark of the WCET-style suite twice -- once with the
+combined operator, once with the classical two-phase baseline -- and
+prints the per-benchmark precision improvement plus the weighted
+average, in the layout of the paper's Figure 7.
+
+Run:  python examples/wcet_precision.py [benchmark ...]
+"""
+
+import sys
+
+from repro.bench.harness import run_fig7
+from repro.bench.reporting import render_fig7
+
+
+def main() -> None:
+    names = sys.argv[1:] or None
+    result = run_fig7(names=names)
+    print(render_fig7(result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so PEP-660 editable
+installs fail; ``python setup.py develop`` (or ``pip install -e .`` on
+newer toolchains) both work through this shim.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

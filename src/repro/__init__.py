@@ -1,0 +1,38 @@
+"""repro -- a reproduction of Apinis, Seidl & Vojdani (PLDI 2013).
+
+*How to Combine Widening and Narrowing for Non-monotonic Systems of
+Equations.*
+
+The package is organised in layers:
+
+* :mod:`repro.lattices` -- complete lattices with widening/narrowing;
+* :mod:`repro.eqs` -- (side-effecting) systems of pure equations;
+* :mod:`repro.solvers` -- the generic solvers RR, W, SRR, SW, RLD, SLR and
+  SLR+, parameterised by a binary update operator, including the paper's
+  combined widening/narrowing operator ``warrow``;
+* :mod:`repro.lang` -- a mini-C front-end (lexer, parser, CFG, concrete
+  interpreter), the stand-in for CIL;
+* :mod:`repro.analysis` -- abstract interpretation of mini-C compiled to
+  equation systems: intraprocedural, context-sensitive interprocedural,
+  and flow-insensitive globals via side effects;
+* :mod:`repro.bench` -- the workloads and harnesses regenerating the
+  paper's Figure 7 and Table 1.
+
+Quick start::
+
+    from repro.lattices import NatInf
+    from repro.eqs import DictSystem
+    from repro.solvers import WarrowCombine, solve_sw
+
+    nat = NatInf()
+    system = DictSystem(nat, {
+        "x1": (lambda get: min(get("x1") + 1, get("x2") + 1), ["x1", "x2"]),
+        "x2": (lambda get: min(get("x2") + 1, get("x1") + 1), ["x1", "x2"]),
+    })
+    result = solve_sw(system, WarrowCombine(nat))
+    assert result["x1"] == float("inf")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["lattices", "eqs", "solvers", "lang", "analysis", "bench"]

@@ -1,0 +1,81 @@
+"""Abstract interpretation of mini-C, compiled to equation systems.
+
+This package reproduces the analysis setting of the paper's evaluation:
+
+* :mod:`~repro.analysis.values` -- numeric value domains pluggable into
+  the analyses (intervals as in the paper, plus constants and signs);
+* :mod:`~repro.analysis.transfer` -- abstract transformers for CFG edge
+  instructions, including branch-guard refinement;
+* :mod:`~repro.analysis.intra` -- intraprocedural flow-sensitive analysis
+  of a single function as a finite equation system (unknowns = program
+  points);
+* :mod:`~repro.analysis.inter` -- interprocedural analysis as a
+  side-effecting equation system: context-sensitive (or -insensitive)
+  locals, flow-insensitive globals, solved locally by SLR+ exactly as in
+  Goblint;
+* :mod:`~repro.analysis.compare` -- per-program-point precision
+  comparison between two analysis results (the measurement behind
+  Figure 7).
+"""
+
+from repro.analysis.thresholds import collect_thresholds
+from repro.analysis.values import (
+    CongruenceDomain,
+    ConstDomain,
+    IntervalCongruenceDomain,
+    IntervalDomain,
+    NumericDomain,
+    ProductNumericDomain,
+    SignDomain,
+)
+from repro.analysis.intra import analyze_function
+from repro.analysis.inter import (
+    AnalysisResult,
+    ContextPolicy,
+    FiniteProjectionContext,
+    FullValueContext,
+    InsensitiveContext,
+    InterAnalysis,
+    analyze_program,
+)
+from repro.analysis.compare import (
+    PrecisionComparison,
+    compare_results,
+    join_contexts,
+)
+from repro.analysis.verify import (
+    AssertionReport,
+    UnreachableReport,
+    Verdict,
+    check_assertions,
+    find_unreachable,
+    summarize,
+)
+
+__all__ = [
+    "CongruenceDomain",
+    "ConstDomain",
+    "IntervalCongruenceDomain",
+    "IntervalDomain",
+    "NumericDomain",
+    "ProductNumericDomain",
+    "SignDomain",
+    "collect_thresholds",
+    "analyze_function",
+    "AnalysisResult",
+    "ContextPolicy",
+    "FiniteProjectionContext",
+    "FullValueContext",
+    "InsensitiveContext",
+    "InterAnalysis",
+    "analyze_program",
+    "PrecisionComparison",
+    "compare_results",
+    "join_contexts",
+    "AssertionReport",
+    "UnreachableReport",
+    "Verdict",
+    "check_assertions",
+    "find_unreachable",
+    "summarize",
+]

@@ -1,0 +1,108 @@
+"""Per-program-point precision comparison between two analysis results.
+
+This is the measurement behind the paper's Figure 7: for each program
+point, compare the abstract states computed by two solving strategies and
+count where one is *strictly* more precise than the other.  Contexts are
+joined away first, so the comparison is per (function, node) -- the same
+granularity the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.inter import AnalysisResult
+from repro.lattices.lifted import LiftedBottom
+
+
+def join_contexts(result: AnalysisResult) -> Dict[Tuple[str, object], object]:
+    """Project the analysis result to per-(function, node) states."""
+    merged: Dict[Tuple[str, object], object] = {}
+    for pp, env in result.point_envs.items():
+        key = (pp.fn, pp.node)
+        env_lat = result.lattice.branch(("env", pp.fn))
+        if key in merged:
+            merged[key] = env_lat.join(merged[key], env)
+        else:
+            merged[key] = env
+    return merged
+
+
+@dataclass
+class PrecisionComparison:
+    """Point-wise comparison of analysis ``a`` against analysis ``b``."""
+
+    total: int = 0
+    #: Points where a is strictly more precise (a < b).
+    better: int = 0
+    #: Points where b is strictly more precise (b < a).
+    worse: int = 0
+    equal: int = 0
+    incomparable: int = 0
+    #: Points where exactly one analysis proves unreachability.
+    better_points: List[Tuple[str, object]] = field(default_factory=list)
+
+    @property
+    def improved_fraction(self) -> float:
+        """Fraction of program points where ``a`` is strictly better."""
+        if self.total == 0:
+            return 0.0
+        return self.better / self.total
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        pct = 100.0 * self.improved_fraction
+        return (
+            f"{self.better}/{self.total} points improved ({pct:.1f}%), "
+            f"{self.worse} worse, {self.equal} equal, "
+            f"{self.incomparable} incomparable"
+        )
+
+
+def compare_results(
+    a: AnalysisResult, b: AnalysisResult, count_globals: bool = True
+) -> PrecisionComparison:
+    """Compare analysis ``a`` against ``b`` point by point.
+
+    Points that are unreachable (bottom) in *both* results are skipped --
+    the paper counts program points carrying information.  Global
+    variables are compared as additional points when ``count_globals``.
+    """
+    merged_a = join_contexts(a)
+    merged_b = join_contexts(b)
+    comparison = PrecisionComparison()
+    for key in sorted(
+        set(merged_a) | set(merged_b),
+        key=lambda k: (k[0], getattr(k[1], "index", 0)),
+    ):
+        fn = key[0]
+        env_lat = a.lattice.branch(("env", fn))
+        ea = merged_a.get(key, LiftedBottom)
+        eb = merged_b.get(key, LiftedBottom)
+        if ea is LiftedBottom and eb is LiftedBottom:
+            continue
+        _classify(comparison, env_lat, ea, eb, key)
+    if count_globals:
+        names = set(a.globals) | set(b.globals)
+        for name in sorted(names):
+            va = a.globals.get(name, a.domain.bottom)
+            vb = b.globals.get(name, b.domain.bottom)
+            if a.domain.is_bottom(va) and b.domain.is_bottom(vb):
+                continue
+            _classify(comparison, a.domain, va, vb, (f"<global {name}>", None))
+    return comparison
+
+
+def _classify(comparison, lattice, ea, eb, key) -> None:
+    comparison.total += 1
+    a_le_b = lattice.leq(ea, eb)
+    b_le_a = lattice.leq(eb, ea)
+    if a_le_b and b_le_a:
+        comparison.equal += 1
+    elif a_le_b:
+        comparison.better += 1
+        comparison.better_points.append(key)
+    elif b_le_a:
+        comparison.worse += 1
+    else:
+        comparison.incomparable += 1

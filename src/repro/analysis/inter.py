@@ -1,0 +1,510 @@
+"""Interprocedural analysis as a side-effecting equation system.
+
+This reproduces the analysis architecture of the paper's evaluation
+(Goblint's): *context-sensitive* propagation of local states along
+control-flow edges, combined with *flow-insensitive* global variables that
+receive their values through side effects (Section 6, Example 7).
+
+Unknowns
+--------
+
+* ``PP(fn, ctx, node)`` -- the abstract local state of function ``fn`` at
+  program point ``node``, analysed in calling context ``ctx``.  The value
+  is either ``LiftedBottom`` (unreachable) or a map binding the function's
+  locals and smashed arrays.
+* ``GV(name)`` -- the flow-insensitive value of global ``name``.
+
+The two kinds of unknowns carry different lattices, glued together by a
+:class:`~repro.lattices.union.TaggedUnionLattice` so that a single generic
+solver (SLR+) drives the whole analysis.
+
+Right-hand sides
+----------------
+
+The right-hand side of ``PP(fn, ctx, v)`` joins, over all incoming edges
+``(u, instr, v)``, the abstract effect of ``instr`` applied to
+``get(PP(fn, ctx, u))``.  Three situations create the interactions the
+paper studies:
+
+* reading a global evaluates ``get(GV(g))`` -- a dynamic dependency;
+* writing a global emits ``side(GV(g), value)`` -- a side effect whose
+  contributions the solver combines per-origin (Example 8);
+* a call edge computes the callee's entry state, derives the context
+  ``ctx'`` via the :class:`ContextPolicy`, *side-effects* the callee's
+  entry unknown ``PP(callee, ctx', entry)``, and reads the exit unknown
+  ``PP(callee, ctx', exit)`` for the return value.
+
+Because the context is computed from solved *values*, the system is
+non-monotonic and its unknown space is discovered dynamically -- exactly
+the regime for which the paper designed SLR+ with the combined operator.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional
+
+from repro.analysis.transfer import (
+    GlobalsAccess,
+    TransferContext,
+    apply_instr,
+    eval_expr,
+)
+from repro.analysis.values import NumericDomain
+from repro.eqs.side import FunSideSystem
+from repro.lang.cfg import (
+    CallInstr,
+    ControlFlowGraph,
+    FunctionCFG,
+    Node,
+    RETURN_SLOT,
+)
+from repro.lattices.lifted import Lifted, LiftedBottom
+from repro.lattices.maplat import FrozenMap, MapLattice
+from repro.lattices.union import TaggedUnionLattice, UNION_BOT
+from repro.solvers import Combine, NarrowCombine, WarrowCombine, WidenCombine
+from repro.solvers.slr_side import SideResult, solve_slr_side
+
+
+# --------------------------------------------------------------------- #
+# Unknowns.                                                             #
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True, slots=True)
+class PP:
+    """A program point in a calling context."""
+
+    fn: str
+    ctx: Hashable
+    node: Node
+
+    def __repr__(self) -> str:
+        return f"PP({self.fn}@{self.node.index}, ctx={self.ctx!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class GV:
+    """A flow-insensitive global variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"GV({self.name})"
+
+
+#: Union tags.
+_VAL = "val"
+
+
+def _env_tag(fn: str) -> tuple:
+    return ("env", fn)
+
+
+# --------------------------------------------------------------------- #
+# Context policies.                                                     #
+# --------------------------------------------------------------------- #
+
+class ContextPolicy(ABC):
+    """Maps a callee and its abstract entry state to a context value.
+
+    Contexts must be hashable; they become part of the unknowns.
+    """
+
+    name = "policy"
+
+    @abstractmethod
+    def context(self, fn: FunctionCFG, entry_env: FrozenMap) -> Hashable:
+        """The context under which to analyse ``fn`` for this entry state."""
+
+
+class InsensitiveContext(ContextPolicy):
+    """One context per function: classic context-insensitive analysis."""
+
+    name = "insensitive"
+
+    def context(self, fn: FunctionCFG, entry_env: FrozenMap) -> Hashable:
+        return None
+
+
+class FullValueContext(ContextPolicy):
+    """Full value contexts: the tuple of abstract parameter values.
+
+    The number of contexts is *a priori* unbounded -- termination rests on
+    the solver and the operator (Theorem 4 for monotone systems; the
+    paper's experiments explore exactly this regime).
+    """
+
+    name = "full-value"
+
+    def context(self, fn: FunctionCFG, entry_env: FrozenMap) -> Hashable:
+        return tuple((p, entry_env[p]) for p in fn.params)
+
+
+class FiniteProjectionContext(ContextPolicy):
+    """Contexts drawn from a finite abstraction of the parameter values.
+
+    This mirrors the paper's "context which includes all non-interval
+    values of locals": the context distinguishes calls by a coarse,
+    finite projection (e.g. signs or parities) while the interval part
+    stays context-local.
+    """
+
+    def __init__(self, project: Callable[[object], Hashable], name: str = "projected") -> None:
+        self.project = project
+        self.name = name
+
+    def context(self, fn: FunctionCFG, entry_env: FrozenMap) -> Hashable:
+        return tuple((p, self.project(entry_env[p])) for p in fn.params)
+
+
+def sign_context(domain: NumericDomain) -> FiniteProjectionContext:
+    """The sign-projection policy over an interval domain."""
+    from repro.lattices.sign import Sign
+
+    sign = Sign()
+    return FiniteProjectionContext(sign.from_interval, name="sign")
+
+
+# --------------------------------------------------------------------- #
+# The analysis.                                                         #
+# --------------------------------------------------------------------- #
+
+@dataclass
+class AnalysisResult:
+    """The outcome of an interprocedural analysis run."""
+
+    #: Abstract local state per (function, context, node).
+    point_envs: Dict[PP, object]
+    #: Final flow-insensitive global values.
+    globals: Dict[str, object]
+    #: The raw solver result (stats, contribs, keys, ...).
+    solver_result: SideResult
+    #: The union lattice the system was solved over.
+    lattice: TaggedUnionLattice
+    #: The analysed CFGs.
+    cfg: ControlFlowGraph
+    domain: NumericDomain
+
+    @property
+    def contexts_per_function(self) -> Dict[str, int]:
+        """Number of distinct contexts discovered per function."""
+        seen: Dict[str, set] = {}
+        for pp in self.point_envs:
+            seen.setdefault(pp.fn, set()).add(pp.ctx)
+        return {fn: len(ctxs) for fn, ctxs in seen.items()}
+
+    @property
+    def unknown_count(self) -> int:
+        """Total unknowns encountered by the solver (paper's 'Unknowns')."""
+        return self.solver_result.stats.unknowns
+
+    def env_at(self, fn: str, node: Node):
+        """Join of the abstract state at ``node`` over all contexts."""
+        env_lat = self.lattice.branch(_env_tag(fn))
+        total = LiftedBottom
+        for pp, env in self.point_envs.items():
+            if pp.fn == fn and pp.node == node:
+                total = env_lat.join(total, env)
+        return total
+
+
+class InterAnalysis:
+    """Builder/driver for the interprocedural side-effecting system."""
+
+    def __init__(
+        self,
+        cfg: ControlFlowGraph,
+        domain: NumericDomain,
+        policy: Optional[ContextPolicy] = None,
+        entry_fn: str = "main",
+    ) -> None:
+        """Prepare the analysis of ``cfg`` over ``domain``.
+
+        :param policy: the context policy (default: context-insensitive).
+        :param entry_fn: the program entry point.
+        """
+        self.cfg = cfg
+        self.domain = domain
+        self.policy = policy if policy is not None else InsensitiveContext()
+        self.entry_fn = entry_fn
+        if entry_fn not in cfg.functions:
+            raise ValueError(f"no entry function {entry_fn!r}")
+        branches: Dict[Hashable, object] = {_VAL: domain}
+        self._env_lats: Dict[str, Lifted] = {}
+        for name, fn in cfg.functions.items():
+            keys = sorted(fn.locals) + sorted(fn.arrays)
+            env_lat = Lifted(MapLattice(keys, domain))
+            self._env_lats[name] = env_lat
+            branches[_env_tag(name)] = env_lat
+        self.lattice = TaggedUnionLattice(branches)
+        self._global_arrays = frozenset(cfg.global_arrays)
+
+    # ------------------------------------------------------------- #
+    # System construction.                                          #
+    # ------------------------------------------------------------- #
+
+    def root(self) -> PP:
+        """The unknown to query: the entry function's exit point."""
+        fn = self.cfg.functions[self.entry_fn]
+        ctx = self.policy.context(fn, self._initial_env(fn, None))
+        return PP(self.entry_fn, ctx, fn.exit)
+
+    def system(self) -> FunSideSystem:
+        """The side-effecting equation system of the whole program."""
+        return FunSideSystem(self.lattice, self._rhs_of)
+
+    def _initial_env(self, fn: FunctionCFG, args: Optional[List[object]]) -> FrozenMap:
+        dom = self.domain
+        bindings = {k: dom.from_const(0) for k in fn.locals}
+        for k in fn.arrays:
+            bindings[k] = dom.from_const(0)
+        if args is None:
+            # Entry function: parameters unconstrained.
+            for p in fn.params:
+                bindings[p] = dom.top
+        else:
+            for p, v in zip(fn.params, args):
+                bindings[p] = v
+        return FrozenMap(bindings)
+
+    def _rhs_of(self, unknown):
+        if isinstance(unknown, GV):
+            # Globals receive their value purely through side effects.
+            return lambda get, side: UNION_BOT
+        if isinstance(unknown, PP):
+            return self._pp_rhs(unknown)
+        raise KeyError(unknown)
+
+    def _pp_rhs(self, pp: PP):
+        fn = self.cfg.functions[pp.fn]
+        env_lat = self._env_lats[pp.fn]
+        tag = _env_tag(pp.fn)
+        dom = self.domain
+        is_program_entry = pp.fn == self.entry_fn and pp.node == fn.entry
+
+        def rhs(get, side):
+            # Side effects are buffered and joined per target: one rhs
+            # evaluation may write the same global on several in-edges,
+            # but SLR+ accepts at most one side effect per target.
+            buffer: Dict[object, object] = {}
+
+            def write_global(name: str, value) -> None:
+                key = GV(name)
+                old = buffer.get(key, dom.bottom)
+                if name in self._global_arrays:
+                    # Weak update: global arrays keep their zero init.
+                    value = dom.join(value, dom.from_const(0))
+                buffer[key] = dom.join(old, value)
+
+            def read_global(name: str):
+                wrapped = get(GV(name))
+                if wrapped == UNION_BOT:
+                    return dom.bottom
+                return self.lattice.payload(wrapped)
+
+            tc = TransferContext(
+                domain=dom,
+                scalars=frozenset(fn.locals),
+                arrays=frozenset(fn.arrays),
+                globals=GlobalsAccess(read=read_global, write=write_global),
+            )
+
+            def get_env(node: Node):
+                wrapped = get(PP(pp.fn, pp.ctx, node))
+                if wrapped == UNION_BOT:
+                    return LiftedBottom
+                return self.lattice.payload(wrapped)
+
+            if is_program_entry:
+                # The program entry seeds the globals with their static
+                # initialisers (the paper's Example 9: "the initialization
+                # g = 0 is detected first").
+                for g, init in self.cfg.global_scalars.items():
+                    write_global(g, dom.from_const(init))
+                for g in self.cfg.global_arrays:
+                    buffer[GV(g)] = dom.join(
+                        buffer.get(GV(g), dom.bottom), dom.from_const(0)
+                    )
+                total = self._initial_env(fn, None)
+            else:
+                total = LiftedBottom
+                for edge in fn.in_edges(pp.node):
+                    env = get_env(edge.src)
+                    if env is LiftedBottom:
+                        continue
+                    if isinstance(edge.instr, CallInstr):
+                        out = self._transfer_call(
+                            tc, env, edge.instr, get, buffer
+                        )
+                    else:
+                        out = apply_instr(tc, env, edge.instr)
+                    total = env_lat.join(total, out)
+
+            # Entry nodes of non-entry functions receive their states via
+            # side effects from call edges; their own rhs contributes
+            # nothing beyond those (handled by the solver's contribution
+            # joining).
+            for key, value in buffer.items():
+                if isinstance(key, GV):
+                    side(key, self.lattice.inject(_VAL, value))
+                else:
+                    # A callee entry state from a call edge.
+                    side(key, self.lattice.inject(_env_tag(key.fn), value))
+            if total is LiftedBottom:
+                return UNION_BOT
+            return self.lattice.inject(tag, total)
+
+        return rhs
+
+    def _transfer_call(
+        self,
+        tc: TransferContext,
+        env: FrozenMap,
+        instr: CallInstr,
+        get,
+        buffer: Dict[object, object],
+    ):
+        dom = self.domain
+        callee = self.cfg.functions[instr.func]
+        args = [eval_expr(tc, env, a) for a in instr.args]
+        if any(dom.is_bottom(a) for a in args):
+            return LiftedBottom
+        entry_env = self._initial_env(callee, args)
+        ctx = self.policy.context(callee, entry_env)
+        entry_pp = PP(instr.func, ctx, callee.entry)
+        # The callee's entry unknown is an env-typed side-effect target;
+        # multiple call edges in one rhs evaluation buffer-join just like
+        # globals do.
+        callee_env_lat = self._env_lats[instr.func]
+        old = buffer.get(entry_pp)
+        if old is None:
+            buffer[entry_pp] = entry_env
+        else:
+            buffer[entry_pp] = callee_env_lat.join(old, entry_env)
+        wrapped_exit = get(PP(instr.func, ctx, callee.exit))
+        if wrapped_exit == UNION_BOT:
+            return LiftedBottom
+        exit_env = self.lattice.payload(wrapped_exit)
+        if exit_env is LiftedBottom:
+            return LiftedBottom
+        if instr.target is None:
+            return env
+        ret = exit_env[RETURN_SLOT]
+        if dom.is_bottom(ret):
+            return LiftedBottom
+        if instr.target in tc.scalars:
+            return env.set(instr.target, ret)
+        tc.globals.write(instr.target, ret)
+        return env
+
+
+# --------------------------------------------------------------------- #
+# Driver functions.                                                     #
+# --------------------------------------------------------------------- #
+
+def _collect(analysis: InterAnalysis, result: SideResult) -> AnalysisResult:
+    point_envs: Dict[PP, object] = {}
+    global_values: Dict[str, object] = {}
+    lat = analysis.lattice
+    for unknown, wrapped in result.sigma.items():
+        if isinstance(unknown, PP):
+            point_envs[unknown] = (
+                LiftedBottom if wrapped == UNION_BOT else lat.payload(wrapped)
+            )
+        elif isinstance(unknown, GV):
+            global_values[unknown.name] = (
+                analysis.domain.bottom
+                if wrapped == UNION_BOT
+                else lat.payload(wrapped)
+            )
+    return AnalysisResult(
+        point_envs=point_envs,
+        globals=global_values,
+        solver_result=result,
+        lattice=lat,
+        cfg=analysis.cfg,
+        domain=analysis.domain,
+    )
+
+
+def analyze_program(
+    cfg: ControlFlowGraph,
+    domain: NumericDomain,
+    policy: Optional[ContextPolicy] = None,
+    op: Optional[Combine] = None,
+    entry_fn: str = "main",
+    max_evals: Optional[int] = None,
+    widen_delay: int = 1,
+) -> AnalysisResult:
+    """Run the interprocedural analysis with a single solver pass.
+
+    :param op: the update operator (default: the combined operator over
+        the analysis' union lattice -- the paper's recommended setup).
+    :param widen_delay: how many growing updates per unknown use plain
+        join before widening kicks in (applies to the default operator
+        only; matched by :func:`analyze_program_twophase` so that
+        precision comparisons isolate the *operator*, not the widening
+        schedule).
+    """
+    analysis = InterAnalysis(cfg, domain, policy, entry_fn)
+    if op is None:
+        op = WarrowCombine(analysis.lattice, delay=widen_delay)
+    result = solve_slr_side(
+        analysis.system(), op, analysis.root(), max_evals=max_evals
+    )
+    return _collect(analysis, result)
+
+
+def analyze_program_twophase(
+    cfg: ControlFlowGraph,
+    domain: NumericDomain,
+    policy: Optional[ContextPolicy] = None,
+    entry_fn: str = "main",
+    max_evals: Optional[int] = None,
+    track_contributions: bool = False,
+    widen_delay: int = 1,
+) -> AnalysisResult:
+    """The classic baseline: a complete widening pass, then a narrowing pass.
+
+    Phase 1 solves the side-effecting system with ``op = widen``.  Phase 2
+    re-solves it with ``op = narrow``, *starting from the phase-1
+    solution* (every unknown is initialised to its phase-1 value).
+
+    By default the baseline also uses the *classical* side-effect
+    treatment (``track_contributions=False``): contributions to globals
+    are accumulated irreversibly, so the narrowing phase cannot improve
+    them -- this is exactly the situation the paper's Example 8 fixes with
+    per-origin contribution sets.  Pass ``track_contributions=True`` for a
+    stronger baseline that separates phases but keeps the new side-effect
+    machinery.
+    """
+    analysis = InterAnalysis(cfg, domain, policy, entry_fn)
+    system = analysis.system()
+    root = analysis.root()
+    phase1 = solve_slr_side(
+        system,
+        WidenCombine(analysis.lattice, delay=widen_delay),
+        root,
+        max_evals=max_evals,
+        track_contributions=track_contributions,
+    )
+
+    frozen = dict(phase1.sigma)
+
+    def init_of(x):
+        return frozen.get(x, analysis.lattice.bottom)
+
+    system2 = FunSideSystem(analysis.lattice, system.rhs, init_of=init_of)
+    phase2 = solve_slr_side(
+        system2,
+        NarrowCombine(analysis.lattice),
+        root,
+        max_evals=max_evals,
+        track_contributions=track_contributions,
+        protect=phase1.accumulated,
+    )
+    # Merge statistics so reported evaluation counts cover both phases.
+    phase2.stats.evaluations += phase1.stats.evaluations
+    phase2.stats.updates += phase1.stats.updates
+    return _collect(analysis, phase2)

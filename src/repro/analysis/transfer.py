@@ -1,0 +1,205 @@
+"""Abstract transformers for CFG edge instructions.
+
+The abstract state of a function is either ``LiftedBottom`` (program point
+unreachable) or a :class:`~repro.lattices.maplat.FrozenMap` binding every
+scalar local and every (smashed) array to a value of the chosen numeric
+domain.  Arrays are *smashed*: one abstract value covers all cells, updated
+weakly; this matches the paper's setting where the interesting precision
+questions live in the scalar loop counters.
+
+Globals are not part of the local state: reads and writes go through the
+:class:`GlobalsAccess` callbacks, which the interprocedural analysis wires
+to flow-insensitive unknowns (side effects), and the intraprocedural
+analysis wires back into the local state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet
+
+from repro.analysis.values import NumericDomain
+from repro.lang import astnodes as ast
+from repro.lang.cfg import (
+    AssertInstr,
+    CallInstr,
+    Guard,
+    Nop,
+    SetLocal,
+    StoreArray,
+)
+from repro.lattices.lifted import LiftedBottom
+from repro.lattices.maplat import FrozenMap
+
+
+class TransferError(Exception):
+    """Raised when an instruction cannot be handled (e.g. a call edge in a
+    purely intraprocedural transfer)."""
+
+
+@dataclass
+class GlobalsAccess:
+    """How the transfer reaches global variables."""
+
+    read: Callable[[str], object]
+    write: Callable[[str, object], None]
+    #: Names of global arrays (reads/writes are weak for these too).
+    array_names: FrozenSet[str] = frozenset()
+
+
+@dataclass
+class TransferContext:
+    """Everything an edge transformer needs besides the state itself."""
+
+    domain: NumericDomain
+    #: Scalar keys of the local state.
+    scalars: FrozenSet[str]
+    #: Array keys of the local state.
+    arrays: FrozenSet[str]
+    globals: GlobalsAccess
+
+
+# --------------------------------------------------------------------- #
+# Expression evaluation.                                                #
+# --------------------------------------------------------------------- #
+
+def eval_expr(tc: TransferContext, env: FrozenMap, expr: ast.Expr):
+    """Evaluate a call-free expression to an abstract value."""
+    dom = tc.domain
+    if isinstance(expr, ast.IntLit):
+        return dom.from_const(expr.value)
+    if isinstance(expr, ast.Var):
+        if expr.name in tc.scalars:
+            return env[expr.name]
+        return tc.globals.read(expr.name)
+    if isinstance(expr, ast.ArrayRef):
+        index = eval_expr(tc, env, expr.index)
+        if dom.is_bottom(index):
+            return dom.bottom
+        if expr.name in tc.arrays:
+            return env[expr.name]
+        return tc.globals.read(expr.name)
+    if isinstance(expr, ast.Unary):
+        return dom.unop(expr.op, eval_expr(tc, env, expr.operand))
+    if isinstance(expr, ast.Binary):
+        left = eval_expr(tc, env, expr.left)
+        right = eval_expr(tc, env, expr.right)
+        return dom.binop(expr.op, left, right)
+    if isinstance(expr, ast.Call):
+        raise TransferError("call in expression position")
+    raise TransferError(f"unexpected expression {expr!r}")
+
+
+# --------------------------------------------------------------------- #
+# Guard refinement.                                                     #
+# --------------------------------------------------------------------- #
+
+def refine(tc: TransferContext, env, cond: ast.Expr, assume: bool):
+    """Restrict ``env`` to states where ``cond`` is ``assume``.
+
+    Returns the refined environment, or ``LiftedBottom`` when the guard is
+    definitely not satisfiable.  Refinement only ever *shrinks* local
+    scalar values (globals are flow-insensitive and cannot be refined).
+    """
+    if env is LiftedBottom:
+        return LiftedBottom
+    dom = tc.domain
+    value = eval_expr(tc, env, cond)
+    may_true, may_false = dom.truthiness(value)
+    if assume and not may_true:
+        return LiftedBottom
+    if not assume and not may_false:
+        return LiftedBottom
+    return _refine_structural(tc, env, cond, assume)
+
+
+def _refine_structural(tc: TransferContext, env: FrozenMap, cond: ast.Expr, assume: bool):
+    dom = tc.domain
+    if isinstance(cond, ast.Unary) and cond.op == "!":
+        return _refine_structural(tc, env, cond.operand, not assume)
+    if isinstance(cond, ast.Binary) and cond.op in ("&&", "||"):
+        both = (cond.op == "&&") is assume
+        if both:
+            # (a && b) true, or (a || b) false: both constraints apply.
+            env = refine(tc, env, cond.left, assume)
+            if env is LiftedBottom:
+                return LiftedBottom
+            return refine(tc, env, cond.right, assume)
+        # Disjunctive information: no refinement (sound).
+        return env
+    if isinstance(cond, ast.Binary) and cond.op in ("<", "<=", ">", ">=", "==", "!="):
+        left_v = eval_expr(tc, env, cond.left)
+        right_v = eval_expr(tc, env, cond.right)
+        new_left, new_right = dom.refine_cmp(cond.op, left_v, right_v, assume)
+        env = _bind_refined(tc, env, cond.left, new_left)
+        if env is LiftedBottom:
+            return LiftedBottom
+        return _bind_refined(tc, env, cond.right, new_right)
+    if isinstance(cond, (ast.Var, ast.ArrayRef)):
+        value = eval_expr(tc, env, cond)
+        zero = dom.from_const(0)
+        op = "!=" if assume else "=="
+        refined, _ = dom.refine_cmp(op, value, zero, True)
+        return _bind_refined(tc, env, cond, refined)
+    # Literals and arithmetic conditions: the truthiness pre-check above
+    # already handled definite outcomes.
+    return env
+
+
+def _bind_refined(tc: TransferContext, env, target: ast.Expr, value):
+    """Write a refined value back to the expression it came from, when the
+    expression is a local scalar (the only refinable storage)."""
+    if env is LiftedBottom:
+        return LiftedBottom
+    if tc.domain.is_bottom(value):
+        return LiftedBottom
+    if isinstance(target, ast.Var) and target.name in tc.scalars:
+        return env.set(target.name, value)
+    return env
+
+
+# --------------------------------------------------------------------- #
+# Instruction transfer.                                                 #
+# --------------------------------------------------------------------- #
+
+def apply_instr(tc: TransferContext, env, instr):
+    """The abstract effect of one edge instruction.
+
+    ``env`` may be ``LiftedBottom``; transformers are strict in it.
+    :class:`CallInstr` is *not* handled here -- the interprocedural
+    analysis treats call edges itself.
+    """
+    if env is LiftedBottom:
+        return LiftedBottom
+    if isinstance(instr, Nop):
+        return env
+    if isinstance(instr, Guard):
+        return refine(tc, env, instr.cond, instr.assume)
+    if isinstance(instr, AssertInstr):
+        # Executions only continue past a passing assertion; the
+        # verification client separately reports whether the condition is
+        # provably true.
+        return refine(tc, env, instr.cond, True)
+    if isinstance(instr, SetLocal):
+        value = eval_expr(tc, env, instr.expr)
+        if tc.domain.is_bottom(value):
+            return LiftedBottom
+        if instr.target in tc.scalars:
+            return env.set(instr.target, value)
+        tc.globals.write(instr.target, value)
+        return env
+    if isinstance(instr, StoreArray):
+        index = eval_expr(tc, env, instr.index)
+        value = eval_expr(tc, env, instr.value)
+        if tc.domain.is_bottom(index) or tc.domain.is_bottom(value):
+            return LiftedBottom
+        if instr.name in tc.arrays:
+            # Smashed weak update: the array may retain old contents.
+            return env.set(instr.name, tc.domain.join(env[instr.name], value))
+        tc.globals.write(instr.name, value)
+        return env
+    if isinstance(instr, CallInstr):
+        raise TransferError(
+            "call edges must be handled by the interprocedural analysis"
+        )
+    raise TransferError(f"unexpected instruction {instr!r}")

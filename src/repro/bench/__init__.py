@@ -1,0 +1,26 @@
+"""Workloads and harnesses for the paper's experimental evaluation.
+
+* :mod:`repro.bench.randsys` -- deterministic random equation systems over
+  the shipped lattices (monotone by construction, with optional
+  non-monotonicity injection) used for property tests and the
+  Theorem 1/2 bound experiments;
+* :mod:`repro.bench.wcet` -- the Malardalen-WCET-like mini-C suite behind
+  the Figure 7 precision experiment;
+* :mod:`repro.bench.spec` -- the synthetic SpecCPU-like program generator
+  behind the Table 1 scalability experiment;
+* :mod:`repro.bench.harness` -- functions that run one experiment and
+  return the rows the paper reports;
+* :mod:`repro.bench.reporting` -- plain-text table/series rendering.
+"""
+
+from repro.bench.randsys import (
+    RandomSystemConfig,
+    random_monotone_system,
+    random_nonmonotone_system,
+)
+
+__all__ = [
+    "RandomSystemConfig",
+    "random_monotone_system",
+    "random_nonmonotone_system",
+]

@@ -1,0 +1,184 @@
+"""Experiment drivers: one function per paper table/figure.
+
+Each driver returns plain dataclasses with the same rows/series the paper
+reports, so that tests can assert on the *shape* of the results and the
+benchmark modules can print them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis import IntervalDomain, analyze_program
+from repro.analysis.compare import compare_results
+from repro.analysis.inter import (
+    ContextPolicy,
+    InsensitiveContext,
+    InterAnalysis,
+    analyze_program_twophase,
+    sign_context,
+)
+from repro.bench.spec import PROGRAMS as SPEC_PROGRAMS
+from repro.bench.wcet import PROGRAMS as WCET_PROGRAMS
+from repro.lang import compile_program
+from repro.solvers import WarrowCombine, WidenCombine
+from repro.solvers.slr_side import solve_slr_side
+
+
+# --------------------------------------------------------------------- #
+# Figure 7: precision of the combined operator vs two-phase solving.    #
+# --------------------------------------------------------------------- #
+
+@dataclass
+class Fig7Row:
+    """One bar of Figure 7."""
+
+    name: str
+    loc: int
+    improved: int
+    total: int
+    worse: int
+    #: Wall time for both analyses of this benchmark, seconds.
+    seconds: float = 0.0
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.improved / self.total if self.total else 0.0
+
+
+@dataclass
+class Fig7Result:
+    """The whole figure: per-benchmark bars plus the weighted average."""
+
+    rows: List[Fig7Row]
+
+    @property
+    def weighted_average(self) -> float:
+        improved = sum(r.improved for r in self.rows)
+        total = sum(r.total for r in self.rows)
+        return 100.0 * improved / total if total else 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total analysis wall time (the paper: "about 14 seconds for all
+        programs together" on their machine)."""
+        return sum(r.seconds for r in self.rows)
+
+
+def run_fig7(
+    names: Optional[List[str]] = None, max_evals: int = 5_000_000
+) -> Fig7Result:
+    """Reproduce Figure 7 on the WCET suite.
+
+    For every benchmark, run the combined-operator solver and the
+    two-phase baseline, then count the program points where the combined
+    operator is strictly more precise.
+    """
+    dom = IntervalDomain()
+    programs = [
+        p
+        for p in sorted(WCET_PROGRAMS.values(), key=lambda p: (p.loc, p.name))
+        if names is None or p.name in names
+    ]
+    rows = []
+    for prog in programs:
+        cfg = compile_program(prog.source)
+        start = time.perf_counter()
+        combined = analyze_program(cfg, dom, max_evals=max_evals)
+        classical = analyze_program_twophase(cfg, dom, max_evals=max_evals)
+        elapsed = time.perf_counter() - start
+        cmp_ = compare_results(combined, classical)
+        rows.append(
+            Fig7Row(
+                name=prog.name,
+                loc=prog.loc,
+                improved=cmp_.better,
+                total=cmp_.total,
+                worse=cmp_.worse,
+                seconds=elapsed,
+            )
+        )
+    return Fig7Result(rows)
+
+
+# --------------------------------------------------------------------- #
+# Table 1: run-time/unknown scaling on the SpecCPU-like suite.          #
+# --------------------------------------------------------------------- #
+
+@dataclass
+class Table1Cell:
+    """One (program, configuration) measurement."""
+
+    seconds: float
+    unknowns: int
+    evaluations: int
+
+
+@dataclass
+class Table1Row:
+    """One program row: four configurations, as in the paper."""
+
+    name: str
+    loc: int
+    nocontext_widen: Table1Cell
+    nocontext_warrow: Table1Cell
+    context_widen: Table1Cell
+    context_warrow: Table1Cell
+
+
+def _solve_config(
+    cfg, policy: ContextPolicy, use_warrow: bool, max_evals: int
+) -> Table1Cell:
+    dom = IntervalDomain()
+    analysis = InterAnalysis(cfg, dom, policy)
+    if use_warrow:
+        op = WarrowCombine(analysis.lattice, delay=1)
+    else:
+        op = WidenCombine(analysis.lattice, delay=1)
+    start = time.perf_counter()
+    result = solve_slr_side(
+        analysis.system(), op, analysis.root(), max_evals=max_evals
+    )
+    elapsed = time.perf_counter() - start
+    return Table1Cell(
+        seconds=elapsed,
+        unknowns=result.stats.unknowns,
+        evaluations=result.stats.evaluations,
+    )
+
+
+def run_table1(
+    names: Optional[List[str]] = None, max_evals: int = 10_000_000
+) -> List[Table1Row]:
+    """Reproduce Table 1 on the SpecCPU-like suite.
+
+    Context-insensitive and context-sensitive interval analysis, each
+    solved with plain widening and with the combined operator; the row
+    reports solver time and the number of encountered unknowns, exactly
+    the columns of the paper's table.  The context-sensitive variant uses
+    the sign projection of the parameters (the analogue of the paper's
+    "all non-interval values of locals").
+    """
+    dom = IntervalDomain()
+    rows = []
+    for prog in SPEC_PROGRAMS:
+        if names is not None and prog.name not in names:
+            continue
+        source = prog.source
+        cfg = compile_program(source)
+        loc = sum(1 for line in source.splitlines() if line.strip())
+        insensitive = InsensitiveContext()
+        sensitive = sign_context(dom)
+        rows.append(
+            Table1Row(
+                name=prog.name,
+                loc=loc,
+                nocontext_widen=_solve_config(cfg, insensitive, False, max_evals),
+                nocontext_warrow=_solve_config(cfg, insensitive, True, max_evals),
+                context_widen=_solve_config(cfg, sensitive, False, max_evals),
+                context_warrow=_solve_config(cfg, sensitive, True, max_evals),
+            )
+        )
+    return rows

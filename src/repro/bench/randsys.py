@@ -1,0 +1,205 @@
+"""Deterministic random equation systems for tests and bound experiments.
+
+Systems are built from a small expression language of *monotone* operators
+over a lattice, so that the monotonicity pre-conditions of Theorems 1--3 are
+satisfied by construction.  A separate constructor injects controlled
+non-monotonicity (the situation created by widening inside right-hand sides
+and by context-sensitive interprocedural analysis).
+
+All generation is seeded: the same configuration always produces the same
+system, which keeps benchmark results reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.eqs.system import DictSystem
+from repro.lattices import INF, NatInf, PowersetLattice
+
+
+@dataclass(frozen=True)
+class RandomSystemConfig:
+    """Shape parameters for a random system."""
+
+    #: Number of unknowns.
+    size: int = 8
+    #: Maximum number of unknowns an equation reads.
+    max_deps: int = 3
+    #: RNG seed.
+    seed: int = 0
+
+
+# --------------------------------------------------------------------- #
+# Monotone expression terms over N | {oo}.                              #
+# --------------------------------------------------------------------- #
+
+def _nat_term(rng: random.Random, unknowns: Sequence[str]) -> Tuple[Callable, List[str]]:
+    """One random monotone term: returns (rhs, deps)."""
+    kind = rng.choice(["const", "var", "inc", "max", "min"])
+    if kind == "const":
+        c = rng.randrange(0, 8)
+        return (lambda get, c=c: c), []
+    if kind == "var":
+        v = rng.choice(unknowns)
+        return (lambda get, v=v: get(v)), [v]
+    if kind == "inc":
+        v = rng.choice(unknowns)
+        k = rng.randrange(1, 4)
+        return (lambda get, v=v, k=k: get(v) + k), [v]
+    if kind == "max":
+        v, w = rng.choice(unknowns), rng.choice(unknowns)
+        return (lambda get, v=v, w=w: max(get(v), get(w))), [v, w]
+    v, w = rng.choice(unknowns), rng.choice(unknowns)
+    k = rng.randrange(0, 3)
+    return (lambda get, v=v, w=w, k=k: min(get(v) + k, get(w) + k)), [v, w]
+
+
+def random_monotone_system(config: RandomSystemConfig) -> DictSystem:
+    """A random *monotone* system over ``N | {oo}``.
+
+    Every right-hand side is composed of constants, variables, increments,
+    binary max and binary min -- all monotone, so the termination theorems
+    apply.
+    """
+    rng = random.Random(config.seed)
+    unknowns = [f"x{i}" for i in range(config.size)]
+    equations = {}
+    for x in unknowns:
+        terms = []
+        deps: List[str] = []
+        for _ in range(rng.randrange(1, config.max_deps + 1)):
+            term, term_deps = _nat_term(rng, unknowns)
+            terms.append(term)
+            deps.extend(term_deps)
+
+        def rhs(get, terms=tuple(terms)):
+            return max(t(get) for t in terms)
+
+        equations[x] = (rhs, sorted(set(deps)))
+    return DictSystem(NatInf(), equations)
+
+
+def random_nonmonotone_system(config: RandomSystemConfig) -> DictSystem:
+    """A random system with injected *non-monotone* right-hand sides.
+
+    Roughly every third equation passes one sub-term through a step
+    function that maps oo back to a finite constant -- exactly the kind of
+    "bigger input, smaller output" behaviour that widening inside
+    right-hand sides produces.  Solvers instantiated with the plain
+    combined operator may legitimately diverge on these; the k-bounded
+    operator must not.
+    """
+    rng = random.Random(config.seed)
+    base = random_monotone_system(config)
+    equations = {}
+    for i, x in enumerate(base.unknowns):
+        rhs, deps = base._equations[x]  # noqa: SLF001 - test/bench helper
+        if i % 3 == 1 and deps:
+            v = deps[0]
+            cap = rng.randrange(1, 6)
+
+            def twisted(get, rhs=rhs, v=v, cap=cap):
+                if get(v) == INF:
+                    return cap
+                return rhs(get)
+
+            equations[x] = (twisted, deps)
+        else:
+            equations[x] = (rhs, deps)
+    return DictSystem(NatInf(), equations)
+
+
+def random_powerset_system(
+    size: int, universe_size: int, seed: int = 0, max_deps: int = 3
+) -> DictSystem:
+    """A random monotone system over a finite powerset lattice.
+
+    Used by the Theorem 1/2 bound experiments, which need a lattice of
+    known height (``universe_size + 1``).
+    """
+    rng = random.Random(seed)
+    universe = [f"u{i}" for i in range(universe_size)]
+    lat = PowersetLattice(universe)
+    unknowns = [f"x{i}" for i in range(size)]
+    equations = {}
+    for x in unknowns:
+        deps = sorted(
+            set(rng.choice(unknowns) for _ in range(rng.randrange(1, max_deps + 1)))
+        )
+        seeds = frozenset(
+            rng.choice(universe) for _ in range(rng.randrange(0, 3))
+        )
+
+        def rhs(get, deps=tuple(deps), seeds=seeds):
+            acc = seeds
+            for d in deps:
+                acc = acc | get(d)
+            return acc
+
+        equations[x] = (rhs, deps)
+    return DictSystem(lat, equations)
+
+
+def random_interval_system(config: RandomSystemConfig) -> DictSystem:
+    """A random *monotone* system over the interval lattice.
+
+    Right-hand sides are built from monotone interval combinators:
+    constants, variables, shifted variables, joins, meets with constant
+    caps (modelling loop guards), and additions.  These are the equation
+    shapes intraprocedural interval analysis produces, so the systems
+    exercise the widening/narrowing interplay realistically.
+    """
+    from repro.lattices.interval import Interval, IntervalLattice
+
+    rng = random.Random(config.seed)
+    iv = IntervalLattice()
+    unknowns = [f"x{i}" for i in range(config.size)]
+
+    def term(depth: int = 0):
+        kind = rng.choice(["const", "var", "shift", "cap", "add"])
+        if kind == "const" or depth >= 2:
+            lo = rng.randrange(-8, 9)
+            hi = lo + rng.randrange(0, 5)
+            return (lambda get: Interval(lo, hi)), []
+        if kind == "var":
+            v = rng.choice(unknowns)
+            return (lambda get: get(v)), [v]
+        if kind == "shift":
+            v = rng.choice(unknowns)
+            k = rng.randrange(1, 4)
+            return (
+                lambda get: iv.add(get(v), Interval(k, k)),
+                [v],
+            )
+        if kind == "cap":
+            inner, deps = term(depth + 1)
+            hi = rng.randrange(0, 30)
+            cap = Interval(float("-inf"), hi)
+            return (lambda get: iv.meet(inner(get), cap)), deps
+        inner1, deps1 = term(depth + 1)
+        inner2, deps2 = term(depth + 1)
+        return (
+            lambda get: iv.add(inner1(get), inner2(get)),
+            deps1 + deps2,
+        )
+
+    equations = {}
+    for x in unknowns:
+        terms = []
+        deps: List[str] = []
+        for _ in range(rng.randrange(1, config.max_deps + 1)):
+            t, t_deps = term()
+            terms.append(t)
+            deps.extend(t_deps)
+
+        def rhs(get, terms=tuple(terms)):
+            acc = None
+            for t in terms:
+                acc = iv.join(acc, t(get))
+            return acc
+
+        equations[x] = (rhs, sorted(set(deps)))
+    return DictSystem(iv, equations)

@@ -1,0 +1,388 @@
+"""WCET-suite programs, part A (smaller benchmarks).
+
+Hand-written mini-C renditions of the classic Malardalen WCET benchmark
+flavours (binary search, recursion, sorting, counting).  Each program is
+self-contained, terminating, and exercises the loop/branch/global patterns
+the paper's Figure 7 experiment measures.
+"""
+
+FIBCALL = """
+// fibcall: iterative Fibonacci (Malardalen fibcall.c flavour).
+int fib_last = 0;
+
+int fib(int n) {
+    int a = 0;
+    int b = 1;
+    int i = 0;
+    while (i < n) {
+        int t = a + b;
+        a = b;
+        b = t;
+        i = i + 1;
+    }
+    fib_last = a;
+    return a;
+}
+
+int main() {
+    int r = fib(30);
+    return r;
+}
+"""
+
+FAC = """
+// fac: recursive factorial accumulated into a global.
+int total = 0;
+
+int fac(int n) {
+    if (n == 0) {
+        return 1;
+    }
+    int rest = fac(n - 1);
+    return n * rest;
+}
+
+int main() {
+    int s = 0;
+    int i = 0;
+    while (i <= 5) {
+        int f = fac(i);
+        s = s + f;
+        i = i + 1;
+    }
+    total = s;
+    return s;
+}
+"""
+
+BS = """
+// bs: binary search over a sorted table (Malardalen bs.c flavour).
+int data[16];
+int hits = 0;
+int last_mid = 0;
+
+void fill() {
+    int i = 0;
+    while (i < 16) {
+        data[i] = i * 3;
+        i = i + 1;
+    }
+}
+
+int binary_search(int key) {
+    int low = 0;
+    int up = 15;
+    int found = -1;
+    while (low <= up) {
+        int mid = (low + up) / 2;
+        last_mid = mid;
+        if (data[mid] == key) {
+            found = mid;
+            up = low - 1;
+        } else {
+            if (data[mid] > key) {
+                up = mid - 1;
+            } else {
+                low = mid + 1;
+            }
+        }
+    }
+    return found;
+}
+
+int main() {
+    fill();
+    int q = 0;
+    while (q < 8) {
+        int r = binary_search(q * 5);
+        if (r >= 0) {
+            hits = hits + 1;
+        }
+        q = q + 1;
+    }
+    return hits;
+}
+"""
+
+CNT = """
+// cnt: count and sum non-negative values in a matrix
+// (Malardalen cnt.c flavour: global counters).
+int mat[100];
+int postotal = 0;
+int poscnt = 0;
+
+void init() {
+    int i = 0;
+    int seed = 7;
+    while (i < 100) {
+        seed = (seed * 13 + 5) % 31;
+        mat[i] = seed - 15;
+        i = i + 1;
+    }
+}
+
+void count() {
+    int i = 0;
+    while (i < 100) {
+        int v = mat[i];
+        if (v >= 0) {
+            postotal = postotal + v;
+            poscnt = poscnt + 1;
+        }
+        i = i + 1;
+    }
+}
+
+int main() {
+    init();
+    count();
+    return poscnt;
+}
+"""
+
+INSERTSORT = """
+// insertsort: insertion sort on a small array (Malardalen flavour).
+int a[11];
+int swaps = 0;
+
+void setup() {
+    int i = 0;
+    while (i < 11) {
+        a[i] = (37 - i * 3) % 17;
+        i = i + 1;
+    }
+}
+
+void sort() {
+    int i = 1;
+    while (i < 11) {
+        int key = a[i];
+        int j = i - 1;
+        // mini-C evaluates both operands of &&, so the classic
+        // `j >= 0 && a[j] > key` condition is split with a flag.
+        int moving = 1;
+        while (moving) {
+            if (j < 0) {
+                moving = 0;
+            } else {
+                if (a[j] > key) {
+                    a[j + 1] = a[j];
+                    j = j - 1;
+                    swaps = swaps + 1;
+                } else {
+                    moving = 0;
+                }
+            }
+        }
+        a[j + 1] = key;
+        i = i + 1;
+    }
+}
+
+int main() {
+    setup();
+    sort();
+    return a[0];
+}
+"""
+
+BSORT = """
+// bsort: bubble sort with early exit (Malardalen bsort100 flavour).
+int arr[25];
+int passes = 0;
+
+void setup() {
+    int i = 0;
+    while (i < 25) {
+        arr[i] = (25 - i) * 2;
+        i = i + 1;
+    }
+}
+
+int main() {
+    setup();
+    int sorted = 0;
+    int limit = 24;
+    while (!sorted && limit > 0) {
+        sorted = 1;
+        int i = 0;
+        while (i < limit) {
+            if (arr[i] > arr[i + 1]) {
+                int t = arr[i];
+                arr[i] = arr[i + 1];
+                arr[i + 1] = t;
+                sorted = 0;
+            }
+            i = i + 1;
+        }
+        passes = passes + 1;
+        limit = limit - 1;
+    }
+    return passes;
+}
+"""
+
+PRIME = """
+// prime: trial-division primality counting (Malardalen prime.c flavour).
+int found = 0;
+int largest = 0;
+
+int is_prime(int n) {
+    if (n < 2) {
+        return 0;
+    }
+    int d = 2;
+    while (d * d <= n) {
+        if (n % d == 0) {
+            return 0;
+        }
+        d = d + 1;
+    }
+    return 1;
+}
+
+int main() {
+    int n = 2;
+    while (n < 80) {
+        int p = is_prime(n);
+        if (p) {
+            found = found + 1;
+            largest = n;
+        }
+        n = n + 1;
+    }
+    return found;
+}
+"""
+
+EXPINT = """
+// expint: exponential-integral style nested computation
+// (Malardalen expint.c flavour: triangular nested loops).
+int terms = 0;
+
+int expint(int n, int x) {
+    int acc = 1;
+    int i = 1;
+    while (i <= n) {
+        int inner = 0;
+        int j = 1;
+        while (j <= i) {
+            inner = inner + x * j;
+            j = j + 1;
+        }
+        acc = acc + inner / (i * 2);
+        terms = terms + 1;
+        i = i + 1;
+    }
+    return acc;
+}
+
+int main() {
+    int r = expint(12, 3);
+    return r % 100;
+}
+"""
+
+LCDNUM = """
+// lcdnum: table-driven digit decoding (Malardalen lcdnum.c flavour:
+// a big switch-like cascade).
+int out = 0;
+
+int seven_seg(int d) {
+    if (d == 0) { return 63; }
+    if (d == 1) { return 6; }
+    if (d == 2) { return 91; }
+    if (d == 3) { return 79; }
+    if (d == 4) { return 102; }
+    if (d == 5) { return 109; }
+    if (d == 6) { return 125; }
+    if (d == 7) { return 7; }
+    if (d == 8) { return 127; }
+    if (d == 9) { return 111; }
+    return 0;
+}
+
+int main() {
+    int n = 0;
+    while (n < 10) {
+        int seg = seven_seg(n);
+        out = out + seg;
+        n = n + 1;
+    }
+    return out % 256;
+}
+"""
+
+JANNE_COMPLEX = """
+// janne_complex: the classic irregular double loop whose inner bound
+// depends on the outer variable in a non-obvious way.
+int inner_total = 0;
+
+int complex_loops(int a, int b) {
+    while (a < 30) {
+        while (b < a) {
+            if (b > 5) {
+                b = b * 3;
+            } else {
+                b = b + 2;
+            }
+            if (b >= 10 && b <= 12) {
+                a = a + 10;
+            } else {
+                a = a + 1;
+            }
+            inner_total = inner_total + 1;
+        }
+        a = a + 2;
+        b = b - 10;
+    }
+    return a;
+}
+
+int main() {
+    int r = complex_loops(1, 1);
+    return r;
+}
+"""
+
+NS = """
+// ns: search in a multi-dimensional array, flattened
+// (Malardalen ns.c flavour: deep loop nest with early exit).
+int keys[64];
+int foundpos = -1;
+
+void setup() {
+    int i = 0;
+    while (i < 64) {
+        keys[i] = (i * 7) % 64;
+        i = i + 1;
+    }
+}
+
+int search(int target) {
+    int i = 0;
+    while (i < 4) {
+        int j = 0;
+        while (j < 4) {
+            int k = 0;
+            while (k < 4) {
+                int pos = i * 16 + j * 4 + k;
+                if (keys[pos] == target) {
+                    foundpos = pos;
+                    return pos;
+                }
+                k = k + 1;
+            }
+            j = j + 1;
+        }
+        i = i + 1;
+    }
+    return -1;
+}
+
+int main() {
+    setup();
+    int r = search(21);
+    return r;
+}
+"""

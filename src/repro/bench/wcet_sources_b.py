@@ -1,0 +1,480 @@
+"""WCET-suite programs, part B (larger benchmarks).
+
+The bigger Malardalen flavours: CRC, matrix multiplication, filters,
+DCT-style straight-line arithmetic, LU-decomposition-style elimination,
+state-machine code, and the qsort-exam analogue whose loop bounds are
+data-dependent (the benchmark the paper singles out as showing *no*
+improvement).
+"""
+
+CRC = """
+// crc: cyclic-redundancy-check over a message (Malardalen crc.c
+// flavour: table setup + per-byte loop with bit twiddling via / and %).
+int table[16];
+int checksum = 0;
+
+void make_table() {
+    int i = 0;
+    while (i < 16) {
+        int r = i;
+        int b = 0;
+        while (b < 4) {
+            if (r % 2 == 1) {
+                r = (r / 2) - 4129 % 997;
+                if (r < 0) { r = -r; }
+            } else {
+                r = r / 2;
+            }
+            b = b + 1;
+        }
+        table[i] = r % 4096;
+        i = i + 1;
+    }
+}
+
+int crc_byte(int acc, int byte) {
+    int hi = (byte / 16) % 16;
+    int lo = byte % 16;
+    acc = (acc * 16 + table[hi]) % 4096;
+    acc = (acc * 16 + table[lo]) % 4096;
+    return acc;
+}
+
+int main() {
+    make_table();
+    int acc = 0;
+    int i = 0;
+    while (i < 40) {
+        int byte = (i * 37 + 11) % 256;
+        acc = crc_byte(acc, byte);
+        i = i + 1;
+    }
+    checksum = acc;
+    return acc;
+}
+"""
+
+MATMULT = """
+// matmult: 5x5 integer matrix multiplication (Malardalen flavour).
+int a[25];
+int b[25];
+int c[25];
+int trace = 0;
+
+void init() {
+    int i = 0;
+    while (i < 25) {
+        a[i] = i % 7;
+        b[i] = (i * 3) % 5;
+        i = i + 1;
+    }
+}
+
+void multiply() {
+    int i = 0;
+    while (i < 5) {
+        int j = 0;
+        while (j < 5) {
+            int sum = 0;
+            int k = 0;
+            while (k < 5) {
+                sum = sum + a[i * 5 + k] * b[k * 5 + j];
+                k = k + 1;
+            }
+            c[i * 5 + j] = sum;
+            j = j + 1;
+        }
+        i = i + 1;
+    }
+}
+
+int main() {
+    init();
+    multiply();
+    int i = 0;
+    while (i < 5) {
+        trace = trace + c[i * 5 + i];
+        i = i + 1;
+    }
+    return trace;
+}
+"""
+
+FIR = """
+// fir: finite-impulse-response filter (Malardalen fir.c flavour).
+int coeff[8];
+int input[40];
+int output[40];
+int peak = 0;
+
+void setup() {
+    int i = 0;
+    while (i < 8) {
+        coeff[i] = 8 - i;
+        i = i + 1;
+    }
+    i = 0;
+    while (i < 40) {
+        input[i] = (i * 5 + 3) % 21 - 10;
+        i = i + 1;
+    }
+}
+
+void filter() {
+    int n = 7;
+    while (n < 40) {
+        int acc = 0;
+        int k = 0;
+        while (k < 8) {
+            acc = acc + coeff[k] * input[n - k];
+            k = k + 1;
+        }
+        output[n] = acc / 8;
+        if (acc / 8 > peak) {
+            peak = acc / 8;
+        }
+        n = n + 1;
+    }
+}
+
+int main() {
+    setup();
+    filter();
+    return peak;
+}
+"""
+
+FDCT = """
+// fdct: straight-line block transform (Malardalen fdct.c flavour:
+// long sequences of arithmetic, loop over 8 rows).
+int block[64];
+int dc = 0;
+
+void setup() {
+    int i = 0;
+    while (i < 64) {
+        block[i] = (i * 29 + 7) % 128 - 64;
+        i = i + 1;
+    }
+}
+
+void transform_row(int r) {
+    int base = r * 8;
+    int s07 = block[base + 0] + block[base + 7];
+    int d07 = block[base + 0] - block[base + 7];
+    int s16 = block[base + 1] + block[base + 6];
+    int d16 = block[base + 1] - block[base + 6];
+    int s25 = block[base + 2] + block[base + 5];
+    int d25 = block[base + 2] - block[base + 5];
+    int s34 = block[base + 3] + block[base + 4];
+    int d34 = block[base + 3] - block[base + 4];
+    int t0 = s07 + s34;
+    int t1 = s16 + s25;
+    int t2 = s07 - s34;
+    int t3 = s16 - s25;
+    block[base + 0] = (t0 + t1) / 2;
+    block[base + 4] = (t0 - t1) / 2;
+    block[base + 2] = (t2 * 17 + t3 * 7) / 32;
+    block[base + 6] = (t2 * 7 - t3 * 17) / 32;
+    block[base + 1] = (d07 * 21 + d16 * 19 + d25 * 13 + d34 * 5) / 64;
+    block[base + 3] = (d07 * 19 - d16 * 5 - d25 * 21 - d34 * 13) / 64;
+    block[base + 5] = (d07 * 13 - d16 * 21 + d25 * 5 + d34 * 19) / 64;
+    block[base + 7] = (d07 * 5 - d16 * 13 + d25 * 19 - d34 * 21) / 64;
+}
+
+int main() {
+    setup();
+    int r = 0;
+    while (r < 8) {
+        transform_row(r);
+        r = r + 1;
+    }
+    dc = block[0];
+    return dc;
+}
+"""
+
+UD = """
+// ud: LU-decomposition style elimination (Malardalen ud.c flavour:
+// triangular nested loops with divisions).
+int m[36];
+int det_sign = 1;
+
+void setup() {
+    int i = 0;
+    while (i < 36) {
+        m[i] = (i * 13 + 17) % 23 + 1;
+        i = i + 1;
+    }
+    // Strengthen the diagonal so pivots stay non-zero.
+    int d = 0;
+    while (d < 6) {
+        m[d * 6 + d] = m[d * 6 + d] + 100;
+        d = d + 1;
+    }
+}
+
+void eliminate() {
+    int k = 0;
+    while (k < 5) {
+        int i = k + 1;
+        while (i < 6) {
+            int f = (m[i * 6 + k] * 100) / m[k * 6 + k];
+            int j = k;
+            while (j < 6) {
+                m[i * 6 + j] = m[i * 6 + j] - (f * m[k * 6 + j]) / 100;
+                j = j + 1;
+            }
+            i = i + 1;
+        }
+        k = k + 1;
+    }
+}
+
+int main() {
+    setup();
+    eliminate();
+    int acc = 0;
+    int d = 0;
+    while (d < 6) {
+        acc = acc + m[d * 6 + d];
+        d = d + 1;
+    }
+    return acc % 997;
+}
+"""
+
+QSORT_EXAM = """
+// qsort-exam: in-place quicksort with an explicit stack over *input*
+// data (the original sorts a float array read from input, which an
+// integer interval analysis cannot bound).  Every loop bound in main is
+// data-dependent, so there is nothing for interleaved narrowing to
+// recover -- the benchmark for which the paper reports *no* improvement.
+int v[20];
+int stack[40];
+
+void setup(int seed) {
+    int i = 0;
+    while (i < 20) {
+        v[i] = seed + ((i * 11 + 3) % 20) - seed / 2;
+        i = i + 1;
+    }
+}
+
+int main(int seed) {
+    setup(seed);
+    int sp = 0;
+    stack[0] = 0;
+    stack[1] = 19;
+    sp = 2;
+    while (sp > 0) {
+        int hi = stack[sp - 1];
+        int lo = stack[sp - 2];
+        sp = sp - 2;
+        if (lo < hi) {
+            int pivot = v[hi];
+            int i = lo - 1;
+            int j = lo;
+            while (j < hi) {
+                if (v[j] <= pivot) {
+                    i = i + 1;
+                    int t = v[i];
+                    v[i] = v[j];
+                    v[j] = t;
+                }
+                j = j + 1;
+            }
+            int t2 = v[i + 1];
+            v[i + 1] = v[hi];
+            v[hi] = t2;
+            int p = i + 1;
+            stack[sp] = lo;
+            stack[sp + 1] = p - 1;
+            sp = sp + 2;
+            stack[sp] = p + 1;
+            stack[sp + 1] = hi;
+            sp = sp + 2;
+        }
+    }
+    return v[10];
+}
+"""
+
+STATEMATE = """
+// statemate: generated-state-machine style code (Malardalen flavour:
+// flag-driven branching inside a driver loop, many global flags).
+int mode = 0;
+int alarm = 0;
+int steps = 0;
+
+int step(int input) {
+    if (mode == 0) {
+        if (input > 5) {
+            mode = 1;
+        }
+        return 0;
+    }
+    if (mode == 1) {
+        if (input > 8) {
+            mode = 2;
+            alarm = alarm + 1;
+        } else {
+            if (input < 2) {
+                mode = 0;
+            }
+        }
+        return 1;
+    }
+    if (mode == 2) {
+        if (input < 4) {
+            mode = 1;
+        }
+        return 2;
+    }
+    mode = 0;
+    return -1;
+}
+
+int main() {
+    int t = 0;
+    while (t < 50) {
+        int input = (t * 7 + 3) % 11;
+        int r = step(input);
+        steps = steps + r;
+        t = t + 1;
+    }
+    return steps;
+}
+"""
+
+EDN = """
+// edn: signal-processing kernel collection (Malardalen edn.c flavour:
+// several independent vector loops feeding global results).
+int vec1[32];
+int vec2[32];
+int dotp = 0;
+int maxval = 0;
+int zeros = 0;
+
+void setup() {
+    int i = 0;
+    while (i < 32) {
+        vec1[i] = (i * 9 + 4) % 15 - 7;
+        vec2[i] = (i * 5 + 2) % 13 - 6;
+        i = i + 1;
+    }
+}
+
+void kernels() {
+    int i = 0;
+    while (i < 32) {
+        dotp = dotp + vec1[i] * vec2[i];
+        i = i + 1;
+    }
+    i = 0;
+    while (i < 32) {
+        if (vec1[i] > maxval) {
+            maxval = vec1[i];
+        }
+        i = i + 1;
+    }
+    i = 0;
+    while (i < 32) {
+        if (vec2[i] == 0) {
+            zeros = zeros + 1;
+        }
+        i = i + 1;
+    }
+}
+
+int main() {
+    setup();
+    kernels();
+    return dotp % 100 + maxval + zeros;
+}
+"""
+
+DUFF = """
+// duff: unrolled copy loop with remainder handling (Malardalen duff.c
+// flavour, without the fall-through switch).
+int src[48];
+int dst[48];
+int copied = 0;
+
+void setup() {
+    int i = 0;
+    while (i < 48) {
+        src[i] = i * 2 + 1;
+        i = i + 1;
+    }
+}
+
+void copy(int n) {
+    int i = 0;
+    int whole = n / 4;
+    int rest = n % 4;
+    int w = 0;
+    while (w < whole) {
+        int base = w * 4;
+        dst[base] = src[base];
+        dst[base + 1] = src[base + 1];
+        dst[base + 2] = src[base + 2];
+        dst[base + 3] = src[base + 3];
+        copied = copied + 4;
+        w = w + 1;
+    }
+    int r = 0;
+    while (r < rest) {
+        dst[whole * 4 + r] = src[whole * 4 + r];
+        copied = copied + 1;
+        r = r + 1;
+    }
+}
+
+int main() {
+    setup();
+    copy(43);
+    return copied;
+}
+"""
+
+NDES = """
+// ndes: bit-mangling rounds over data blocks (Malardalen ndes.c
+// flavour: rounds of arithmetic with table lookups and accumulation).
+int sbox[16];
+int keys[8];
+int digest = 0;
+
+void setup() {
+    int i = 0;
+    while (i < 16) {
+        sbox[i] = (i * 7 + 5) % 16;
+        i = i + 1;
+    }
+    i = 0;
+    while (i < 8) {
+        keys[i] = (i * 11 + 3) % 64;
+        i = i + 1;
+    }
+}
+
+int round_fn(int block, int key) {
+    int mixed = (block + key) % 256;
+    int hi = (mixed / 16) % 16;
+    int lo = mixed % 16;
+    return (sbox[hi] * 16 + sbox[lo]) % 256;
+}
+
+int main() {
+    setup();
+    int block = 90;
+    int r = 0;
+    while (r < 16) {
+        int key = keys[r % 8];
+        block = round_fn(block, key);
+        digest = (digest + block) % 9973;
+        r = r + 1;
+    }
+    return digest;
+}
+"""

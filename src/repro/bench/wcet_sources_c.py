@@ -1,0 +1,351 @@
+"""WCET-suite programs, part C (additional Malardalen flavours).
+
+Rounds the suite out towards the breadth of the original collection:
+signal compression, Fibonacci search, integer square roots, selection,
+matrix inversion loops, recursive descent, and branch-dense decision
+cascades.
+"""
+
+ADPCM = """
+// adpcm: adaptive quantiser step loops (Malardalen adpcm.c flavour).
+int step_table[16];
+int encoded = 0;
+
+void build_table() {
+    int i = 0;
+    int step = 7;
+    while (i < 16) {
+        step_table[i] = step;
+        step = step + step / 2 + 1;
+        i = i + 1;
+    }
+}
+
+int quantize(int sample) {
+    int index = 0;
+    int best = 0;
+    int i = 0;
+    while (i < 16) {
+        int delta = sample - step_table[i];
+        if (delta < 0) { delta = -delta; }
+        if (i == 0) {
+            best = delta;
+        } else {
+            if (delta < best) {
+                best = delta;
+                index = i;
+            }
+        }
+        i = i + 1;
+    }
+    return index;
+}
+
+int main() {
+    build_table();
+    int t = 0;
+    while (t < 32) {
+        int sample = (t * 97 + 13) % 512;
+        int q = quantize(sample);
+        encoded = encoded + q;
+        t = t + 1;
+    }
+    return encoded;
+}
+"""
+
+COMPRESS = """
+// compress: run-length encoding of a buffer (Malardalen compress.c
+// flavour: scanning loop with inner run detection).
+int input[64];
+int out_len = 0;
+
+void setup() {
+    int i = 0;
+    while (i < 64) {
+        input[i] = (i / 5) % 4;
+        i = i + 1;
+    }
+}
+
+int main() {
+    setup();
+    int i = 0;
+    while (i < 64) {
+        int value = input[i];
+        int run = 1;
+        int moving = 1;
+        while (moving) {
+            if (i + run < 64) {
+                if (input[i + run] == value) {
+                    run = run + 1;
+                } else {
+                    moving = 0;
+                }
+            } else {
+                moving = 0;
+            }
+        }
+        out_len = out_len + 2;
+        i = i + run;
+    }
+    return out_len;
+}
+"""
+
+FIBSEARCH = """
+// fibsearch: Fibonacci search in a sorted table.
+int table[34];
+int probes = 0;
+
+void setup() {
+    int i = 0;
+    while (i < 34) {
+        table[i] = i * 4 + 1;
+        i = i + 1;
+    }
+}
+
+int fib_search(int key) {
+    int fib2 = 0;
+    int fib1 = 1;
+    int fib = 1;
+    while (fib < 34) {
+        fib2 = fib1;
+        fib1 = fib;
+        fib = fib1 + fib2;
+    }
+    int offset = -1;
+    while (fib > 1) {
+        int i = offset + fib2;
+        if (i > 33) { i = 33; }
+        probes = probes + 1;
+        if (table[i] < key) {
+            fib = fib1;
+            fib1 = fib2;
+            fib2 = fib - fib1;
+            offset = i;
+        } else {
+            if (table[i] > key) {
+                fib = fib2;
+                fib1 = fib1 - fib2;
+                fib2 = fib - fib1;
+            } else {
+                return i;
+            }
+        }
+    }
+    if (offset + 1 <= 33) {
+        if (table[offset + 1] == key) {
+            return offset + 1;
+        }
+    }
+    return -1;
+}
+
+int main() {
+    setup();
+    int hits = 0;
+    int q = 0;
+    while (q < 10) {
+        int r = fib_search(q * 13 + 1);
+        if (r >= 0) { hits = hits + 1; }
+        q = q + 1;
+    }
+    return hits;
+}
+"""
+
+ISQRT = """
+// isqrt: integer square root by bisection (Malardalen sqrt flavour).
+int iterations = 0;
+
+int isqrt(int n) {
+    if (n < 2) { return n; }
+    int lo = 1;
+    int hi = n;
+    while (lo + 1 < hi) {
+        int mid = (lo + hi) / 2;
+        iterations = iterations + 1;
+        if (mid * mid <= n) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return lo;
+}
+
+int main() {
+    int total = 0;
+    int n = 0;
+    while (n < 30) {
+        int r = isqrt(n * n + n);
+        total = total + r;
+        n = n + 1;
+    }
+    return total;
+}
+"""
+
+SELECT = """
+// select: k-th smallest by repeated partitioning over *input* data
+// (Malardalen select.c flavour: data-dependent bounds, like qsort-exam).
+int a[16];
+
+void setup(int seed) {
+    int i = 0;
+    while (i < 16) {
+        a[i] = seed + ((i * 7 + 5) % 16) - seed / 3;
+        i = i + 1;
+    }
+}
+
+int select_kth(int k) {
+    int lo = 0;
+    int hi = 15;
+    while (lo < hi) {
+        int pivot = a[k];
+        int i = lo;
+        int j = hi;
+        while (i <= j) {
+            while (a[i] < pivot) { i = i + 1; }
+            while (pivot < a[j]) { j = j - 1; }
+            if (i <= j) {
+                int t = a[i];
+                a[i] = a[j];
+                a[j] = t;
+                i = i + 1;
+                j = j - 1;
+            }
+        }
+        if (j < k) { lo = i; }
+        if (k < i) { hi = j; }
+    }
+    return a[k];
+}
+
+int main(int seed) {
+    setup(seed);
+    int r = select_kth(8);
+    return r;
+}
+"""
+
+MINVER = """
+// minver: Gauss-Jordan style inversion loops over a 3x3 matrix
+// (Malardalen minver.c flavour, fixed-point arithmetic via scaling).
+int m[9];
+int inv[9];
+int pivots = 0;
+
+void setup() {
+    m[0] = 4; m[1] = 1; m[2] = 0;
+    m[3] = 1; m[4] = 5; m[5] = 1;
+    m[6] = 0; m[7] = 1; m[8] = 6;
+    int i = 0;
+    while (i < 9) {
+        inv[i] = 0;
+        i = i + 1;
+    }
+    inv[0] = 100; inv[4] = 100; inv[8] = 100;
+}
+
+int main() {
+    setup();
+    int col = 0;
+    while (col < 3) {
+        int p = m[col * 3 + col];
+        if (p == 0) { p = 1; }
+        pivots = pivots + 1;
+        int j = 0;
+        while (j < 3) {
+            m[col * 3 + j] = (m[col * 3 + j] * 100) / p;
+            inv[col * 3 + j] = (inv[col * 3 + j] * 100) / p;
+            j = j + 1;
+        }
+        int row = 0;
+        while (row < 3) {
+            if (row != col) {
+                int f = m[row * 3 + col];
+                int jj = 0;
+                while (jj < 3) {
+                    m[row * 3 + jj] = m[row * 3 + jj] * 100
+                        - (f * m[col * 3 + jj]);
+                    inv[row * 3 + jj] = inv[row * 3 + jj] * 100
+                        - (f * inv[col * 3 + jj]);
+                    jj = jj + 1;
+                }
+            }
+            row = row + 1;
+        }
+        col = col + 1;
+    }
+    return pivots;
+}
+"""
+
+RECURSION = """
+// recursion: binary recursion depth testing (Malardalen recursion.c
+// flavour: the classic naive Fibonacci).
+int calls = 0;
+
+int fib(int n) {
+    calls = calls + 1;
+    if (n < 2) {
+        return n;
+    }
+    int a = fib(n - 1);
+    int b = fib(n - 2);
+    return a + b;
+}
+
+int main() {
+    int r = fib(12);
+    return r;
+}
+"""
+
+COVER = """
+// cover: branch-dense decision cascades inside a driver loop
+// (Malardalen cover.c flavour: many small switch-like functions).
+int c0 = 0;
+int c1 = 0;
+int c2 = 0;
+
+int swi10(int x) {
+    if (x == 0) { return 1; }
+    if (x == 1) { return 3; }
+    if (x == 2) { return 5; }
+    if (x == 3) { return 7; }
+    if (x == 4) { return 9; }
+    if (x == 5) { return 11; }
+    if (x == 6) { return 13; }
+    if (x == 7) { return 15; }
+    if (x == 8) { return 17; }
+    return 19;
+}
+
+int swi4(int x) {
+    if (x == 0) { return 2; }
+    if (x == 1) { return 4; }
+    if (x == 2) { return 6; }
+    return 8;
+}
+
+int main() {
+    int i = 0;
+    while (i < 60) {
+        int v = swi10(i % 10);
+        c0 = c0 + v;
+        if (i % 2 == 0) {
+            int w = swi4(i % 4);
+            c1 = c1 + w;
+        } else {
+            c2 = c2 + 1;
+        }
+        i = i + 1;
+    }
+    return c0 + c1 + c2;
+}
+"""

@@ -1,0 +1,270 @@
+"""WCET-suite programs, part D (the large benchmarks).
+
+The Malardalen collection tops out with generated, branch-dense code
+(nsichneu: a simulated Petri net of ~4000 lines).  These renditions keep
+the *structure* -- hundreds of guarded transition blocks over shared state,
+triangular factorisation with pivoting, and fixed-point statistics -- at a
+scale that keeps the Python test-suite fast.
+"""
+
+LUDCMP = """
+// ludcmp: LU decomposition with forward/back substitution
+// (Malardalen ludcmp.c flavour, scaled integer arithmetic).
+int a[25];
+int b[5];
+int x[5];
+int pivot_ops = 0;
+
+void setup() {
+    int i = 0;
+    while (i < 5) {
+        int j = 0;
+        while (j < 5) {
+            if (i == j) {
+                a[i * 5 + j] = 1000 + (i * 37) % 50;
+            } else {
+                a[i * 5 + j] = (i * 13 + j * 7) % 90;
+            }
+            j = j + 1;
+        }
+        b[i] = (i * 29 + 11) % 100;
+        i = i + 1;
+    }
+}
+
+void decompose() {
+    int k = 0;
+    while (k < 4) {
+        int i = k + 1;
+        while (i < 5) {
+            int factor = (a[i * 5 + k] * 1000) / a[k * 5 + k];
+            a[i * 5 + k] = factor;
+            int j = k + 1;
+            while (j < 5) {
+                a[i * 5 + j] = a[i * 5 + j]
+                    - (factor * a[k * 5 + j]) / 1000;
+                j = j + 1;
+            }
+            pivot_ops = pivot_ops + 1;
+            i = i + 1;
+        }
+        k = k + 1;
+    }
+}
+
+void substitute() {
+    int i = 0;
+    while (i < 5) {
+        int sum = b[i];
+        int j = 0;
+        while (j < i) {
+            sum = sum - (a[i * 5 + j] * x[j]) / 1000;
+            j = j + 1;
+        }
+        x[i] = sum;
+        i = i + 1;
+    }
+    i = 4;
+    while (i >= 0) {
+        int sum = x[i];
+        int j = i + 1;
+        while (j < 5) {
+            sum = sum - (a[i * 5 + j] * x[j]) / 1000;
+            j = j + 1;
+        }
+        x[i] = (sum * 1000) / a[i * 5 + i];
+        i = i - 1;
+    }
+}
+
+int main() {
+    setup();
+    decompose();
+    substitute();
+    int checksum = 0;
+    int i = 0;
+    while (i < 5) {
+        checksum = checksum + x[i];
+        i = i + 1;
+    }
+    return checksum % 9973;
+}
+"""
+
+ST = """
+// st: statistics kernel -- means, variances, covariance and correlation
+// over two series, in scaled integer arithmetic (Malardalen st.c flavour).
+int series_a[50];
+int series_b[50];
+int mean_a = 0;
+int mean_b = 0;
+int var_a = 0;
+int var_b = 0;
+int cov_ab = 0;
+
+void fill() {
+    int i = 0;
+    int seed = 3;
+    while (i < 50) {
+        seed = (seed * 17 + 7) % 101;
+        series_a[i] = seed - 50;
+        series_b[i] = (seed * 3) % 61 - 30;
+        i = i + 1;
+    }
+}
+
+int mean(int which) {
+    int sum = 0;
+    int i = 0;
+    while (i < 50) {
+        if (which == 0) {
+            sum = sum + series_a[i];
+        } else {
+            sum = sum + series_b[i];
+        }
+        i = i + 1;
+    }
+    return sum / 50;
+}
+
+int variance(int which, int mu) {
+    int sum = 0;
+    int i = 0;
+    while (i < 50) {
+        int v = 0;
+        if (which == 0) {
+            v = series_a[i] - mu;
+        } else {
+            v = series_b[i] - mu;
+        }
+        sum = sum + v * v;
+        i = i + 1;
+    }
+    return sum / 50;
+}
+
+int covariance(int mu_a, int mu_b) {
+    int sum = 0;
+    int i = 0;
+    while (i < 50) {
+        sum = sum + (series_a[i] - mu_a) * (series_b[i] - mu_b);
+        i = i + 1;
+    }
+    return sum / 50;
+}
+
+int main() {
+    fill();
+    mean_a = mean(0);
+    mean_b = mean(1);
+    var_a = variance(0, mean_a);
+    var_b = variance(1, mean_b);
+    cov_ab = covariance(mean_a, mean_b);
+    // Scaled correlation estimate (avoid square roots).
+    int denom = var_a + var_b + 1;
+    int corr1000 = (cov_ab * 1000) / denom;
+    return corr1000;
+}
+"""
+
+NSICHNEU = """
+// nsichneu: simulated Petri-net transitions (Malardalen nsichneu.c
+// flavour).  The original is ~4000 lines of generated if-blocks over
+// shared place markings; this rendition keeps the structure -- rounds of
+// guarded transitions reading and writing global places -- at 1/10 scale.
+int p1 = 1;
+int p2 = 0;
+int p3 = 0;
+int p4 = 1;
+int p5 = 0;
+int p6 = 0;
+int p7 = 0;
+int p8 = 1;
+int fired = 0;
+
+void round_a() {
+    if (p1 > 0 && p4 > 0) {
+        p1 = p1 - 1;
+        p4 = p4 - 1;
+        p2 = p2 + 1;
+        fired = fired + 1;
+    }
+    if (p2 > 0) {
+        p2 = p2 - 1;
+        p3 = p3 + 1;
+        fired = fired + 1;
+    }
+    if (p3 > 0 && p8 > 0) {
+        p3 = p3 - 1;
+        p8 = p8 - 1;
+        p5 = p5 + 1;
+        fired = fired + 1;
+    }
+    if (p5 > 0) {
+        p5 = p5 - 1;
+        p6 = p6 + 1;
+        p8 = p8 + 1;
+        fired = fired + 1;
+    }
+}
+
+void round_b() {
+    if (p6 > 0) {
+        p6 = p6 - 1;
+        p7 = p7 + 1;
+        fired = fired + 1;
+    }
+    if (p7 > 0 && p8 > 0) {
+        p7 = p7 - 1;
+        p1 = p1 + 1;
+        p4 = p4 + 1;
+        fired = fired + 1;
+    }
+    if (p2 > 1) {
+        p2 = p2 - 2;
+        p3 = p3 + 1;
+        fired = fired + 1;
+    }
+    if (p3 > 2) {
+        p3 = p3 - 3;
+        p5 = p5 + 1;
+        fired = fired + 1;
+    }
+}
+
+void round_c() {
+    if (p4 > 0 && p5 > 0) {
+        p4 = p4 - 1;
+        p5 = p5 - 1;
+        p6 = p6 + 1;
+        fired = fired + 1;
+    }
+    if (p1 > 1) {
+        p1 = p1 - 1;
+        p2 = p2 + 1;
+        fired = fired + 1;
+    }
+    if (p8 > 1) {
+        p8 = p8 - 1;
+        p7 = p7 + 1;
+        fired = fired + 1;
+    }
+    if (p6 > 0 && p7 > 0) {
+        p6 = p6 - 1;
+        p7 = p7 - 1;
+        p8 = p8 + 1;
+        fired = fired + 1;
+    }
+}
+
+int main() {
+    int cycle = 0;
+    while (cycle < 25) {
+        round_a();
+        round_b();
+        round_c();
+        cycle = cycle + 1;
+    }
+    return fired + p1 + p2 + p3 + p4 + p5 + p6 + p7 + p8;
+}
+"""

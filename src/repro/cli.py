@@ -1,0 +1,304 @@
+"""Command-line interface: run, analyze, and verify mini-C programs, and
+regenerate the paper's experiments.
+
+Usage (also via ``python -m repro``)::
+
+    repro run program.mc [-- ARGS...]       execute a program concretely
+    repro analyze program.mc [options]      interval analysis report
+    repro verify program.mc [options]       check assert() statements
+    repro dump-cfg program.mc               print the control-flow graphs
+    repro fig7 [BENCH ...]                  regenerate Figure 7
+    repro table1 [PROGRAM ...]              regenerate Table 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    CongruenceDomain,
+    FullValueContext,
+    InsensitiveContext,
+    IntervalCongruenceDomain,
+    IntervalDomain,
+    SignDomain,
+    analyze_program,
+    check_assertions,
+    collect_thresholds,
+    summarize,
+)
+from repro.analysis.inter import analyze_program_twophase, sign_context
+from repro.analysis.verify import Verdict
+from repro.lang import Interpreter, compile_program
+from repro.lattices.lifted import LiftedBottom
+
+
+def _read_source(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _policy(name: str, domain):
+    if name == "insensitive":
+        return InsensitiveContext()
+    if name == "sign":
+        return sign_context(domain)
+    if name == "full":
+        return FullValueContext()
+    raise SystemExit(f"unknown context policy {name!r}")
+
+
+def _domain(args, cfg):
+    thresholds = ()
+    if getattr(args, "thresholds", False):
+        thresholds = collect_thresholds(cfg)
+    name = getattr(args, "domain", "interval")
+    if name == "interval":
+        return IntervalDomain(thresholds=thresholds)
+    if name == "interval-congruence":
+        return IntervalCongruenceDomain(thresholds=thresholds)
+    if name == "sign":
+        return SignDomain()
+    if name == "congruence":
+        return CongruenceDomain()
+    raise SystemExit(f"unknown domain {name!r}")
+
+
+def _analyze(args):
+    cfg = compile_program(_read_source(args.file))
+    domain = _domain(args, cfg)
+    policy = _policy(args.context, domain)
+    if args.solver == "twophase":
+        result = analyze_program_twophase(
+            cfg, domain, policy=policy, max_evals=args.max_evals
+        )
+    else:
+        result = analyze_program(
+            cfg, domain, policy=policy, max_evals=args.max_evals
+        )
+    return cfg, result, domain
+
+
+# --------------------------------------------------------------------- #
+# Subcommands.                                                          #
+# --------------------------------------------------------------------- #
+
+def cmd_run(args) -> int:
+    cfg = compile_program(_read_source(args.file))
+    interp = Interpreter(cfg, fuel=args.fuel)
+    result = interp.run("main", [int(a) for a in args.args])
+    print(f"return value: {result.ret}")
+    if result.globals:
+        print("globals:")
+        for name, value in sorted(result.globals.items()):
+            print(f"  {name} = {value}")
+    for name, cells in sorted(result.global_arrays.items()):
+        print(f"  {name} = {cells}")
+    print(f"({result.steps} edges executed)")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    cfg, result, domain = _analyze(args)
+    print(
+        f"analysis: {args.domain} domain, {args.solver} solver, "
+        f"{args.context} contexts -- "
+        f"{result.unknown_count} unknowns, "
+        f"{result.solver_result.stats.evaluations} evaluations"
+    )
+    if result.globals:
+        print("\nflow-insensitive globals:")
+        for name, value in sorted(result.globals.items()):
+            print(f"  {name} = {domain.format(value)}")
+    print("\ncontexts per function:")
+    for fn, count in sorted(result.contexts_per_function.items()):
+        print(f"  {fn}: {count}")
+    from repro.analysis import find_unreachable
+
+    dead = find_unreachable(cfg, result)
+    if dead:
+        print("\nunreachable program points:")
+        for report in dead:
+            print(f"  {report}")
+    if args.points:
+        print("\nabstract states (joined over contexts):")
+        for fn_name, fn in sorted(cfg.functions.items()):
+            for node in sorted(fn.nodes, key=lambda n: n.index):
+                env = result.env_at(fn_name, node)
+                if env is LiftedBottom:
+                    print(f"  {node!r}: unreachable")
+                else:
+                    shown = ", ".join(
+                        f"{var}={domain.format(env[var])}"
+                        for var in sorted(env)
+                        if not var.startswith("__")
+                    )
+                    print(f"  {node!r}: {shown}")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    cfg, result, _ = _analyze(args)
+    reports = check_assertions(cfg, result)
+    if not reports:
+        print("no assertions found")
+        return 0
+    for report in reports:
+        print(report)
+    counts = summarize(reports)
+    print(
+        f"\n{counts[Verdict.PROVED]} proved, "
+        f"{counts[Verdict.UNKNOWN]} unknown, "
+        f"{counts[Verdict.VIOLATED]} violated, "
+        f"{counts[Verdict.UNREACHABLE]} unreachable"
+    )
+    if counts[Verdict.VIOLATED]:
+        return 2
+    if counts[Verdict.UNKNOWN]:
+        return 1
+    return 0
+
+
+def cmd_dump_cfg(args) -> int:
+    cfg = compile_program(_read_source(args.file))
+    for fn_name, fn in cfg.functions.items():
+        print(f"function {fn_name}({', '.join(fn.params)}):")
+        print(f"  locals: {', '.join(fn.locals)}")
+        if fn.arrays:
+            arrays = ", ".join(f"{a}[{n}]" for a, n in fn.arrays.items())
+            print(f"  arrays: {arrays}")
+        for edge in fn.edges:
+            print(f"  {edge.src!r} --{type(edge.instr).__name__}--> {edge.dst!r}")
+        print()
+    return 0
+
+
+def cmd_fig7(args) -> int:
+    from repro.bench.harness import run_fig7
+    from repro.bench.reporting import render_fig7
+
+    result = run_fig7(names=args.names or None)
+    print(render_fig7(result))
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from repro.bench.harness import run_table1
+    from repro.bench.reporting import render_table1
+
+    rows = run_table1(names=args.names or None)
+    print(render_table1(rows))
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# Argument parsing.                                                     #
+# --------------------------------------------------------------------- #
+
+def _add_analysis_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("file", help="mini-C source file")
+    parser.add_argument(
+        "--context",
+        choices=["insensitive", "sign", "full"],
+        default="insensitive",
+        help="context policy for the interprocedural analysis",
+    )
+    parser.add_argument(
+        "--solver",
+        choices=["combined", "twophase"],
+        default="combined",
+        help="combined operator (paper) or classical two-phase baseline",
+    )
+    parser.add_argument(
+        "--max-evals",
+        type=int,
+        default=10_000_000,
+        help="evaluation budget (divergence guard)",
+    )
+    parser.add_argument(
+        "--domain",
+        choices=["interval", "interval-congruence", "sign", "congruence"],
+        default="interval",
+        help="numeric value domain",
+    )
+    parser.add_argument(
+        "--thresholds",
+        action="store_true",
+        help="collect widening thresholds from the program's constants",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'How to Combine Widening and Narrowing for "
+            "Non-monotonic Systems of Equations' (PLDI 2013)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="execute a mini-C program")
+    p_run.add_argument("file")
+    p_run.add_argument("args", nargs="*", help="integer arguments for main")
+    p_run.add_argument("--fuel", type=int, default=10_000_000)
+    p_run.set_defaults(func=cmd_run)
+
+    p_analyze = sub.add_parser("analyze", help="interval analysis report")
+    _add_analysis_options(p_analyze)
+    p_analyze.add_argument(
+        "--points", action="store_true", help="print all program points"
+    )
+    p_analyze.set_defaults(func=cmd_analyze)
+
+    p_verify = sub.add_parser("verify", help="check assert() statements")
+    _add_analysis_options(p_verify)
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_dump = sub.add_parser("dump-cfg", help="print the control-flow graphs")
+    p_dump.add_argument("file")
+    p_dump.set_defaults(func=cmd_dump_cfg)
+
+    p_fig7 = sub.add_parser("fig7", help="regenerate Figure 7")
+    p_fig7.add_argument("names", nargs="*", help="benchmark subset")
+    p_fig7.set_defaults(func=cmd_fig7)
+
+    p_table1 = sub.add_parser("table1", help="regenerate Table 1")
+    p_table1.add_argument("names", nargs="*", help="program subset")
+    p_table1.set_defaults(func=cmd_table1)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    User-level failures (missing files, malformed programs, divergence
+    budgets) are reported as one-line errors with exit code 2.
+    """
+    from repro.lang import LexError, ParseError, SemanticError
+    from repro.lang.interp import ExecutionError
+    from repro.solvers import DivergenceError
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as err:
+        print(f"error: {err.filename}: no such file", file=sys.stderr)
+        return 2
+    except (LexError, ParseError, SemanticError) as err:
+        print(f"error: {args.file}: {err}", file=sys.stderr)
+        return 2
+    except ExecutionError as err:
+        print(f"runtime error: {err}", file=sys.stderr)
+        return 2
+    except DivergenceError as err:
+        print(f"error: solver budget exhausted: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

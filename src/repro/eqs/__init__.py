@@ -1,0 +1,42 @@
+"""Systems of equations over lattices, in the three flavours of the paper.
+
+* :class:`~repro.eqs.system.FiniteSystem` -- finitely many unknowns with a
+  *static* (super-)set of dependencies per right-hand side (what the
+  classic worklist solver of Fig. 2 requires);
+* :class:`~repro.eqs.system.PureSystem` -- possibly infinitely many
+  unknowns; right-hand sides are *pure* functions interacting with the
+  current assignment only through a ``get`` callback, so dependencies can be
+  discovered on the fly (what local solvers require, Section 5);
+* :class:`~repro.eqs.side.SideEffectingSystem` -- pure right-hand sides
+  that may additionally contribute values to other unknowns through a
+  ``side`` callback (Section 6).
+"""
+
+from repro.eqs.system import (
+    FiniteSystem,
+    DictSystem,
+    PureSystem,
+    FunSystem,
+    finite_from_pure,
+)
+from repro.eqs.tracked import TracingGet, trace_rhs
+from repro.eqs.side import (
+    SideEffectingSystem,
+    FunSideSystem,
+    DictSideSystem,
+    plain_as_side,
+)
+
+__all__ = [
+    "FiniteSystem",
+    "DictSystem",
+    "PureSystem",
+    "FunSystem",
+    "finite_from_pure",
+    "TracingGet",
+    "trace_rhs",
+    "SideEffectingSystem",
+    "FunSideSystem",
+    "DictSideSystem",
+    "plain_as_side",
+]

@@ -1,0 +1,113 @@
+"""Side-effecting systems of equations (Section 6 of the paper).
+
+A side-effecting right-hand side receives *two* callbacks::
+
+    f_x(get, side) -> D
+
+``get(y)`` looks up the current value of unknown ``y``; ``side(z, d)``
+contributes the value ``d`` to the unknown ``z``.  The paper uses this to
+express analyses that combine context-sensitive propagation of local state
+with flow-insensitive accumulation into globals: the assignments to a global
+``g`` performed inside some calling context side-effect the single unknown
+for ``g``.
+
+Following the paper's technical assumptions, a right-hand side must not
+side-effect its own left-hand side and must side-effect any other unknown at
+most once per evaluation (the solver checks the latter).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Generic, Hashable, Mapping, TypeVar
+
+from repro.lattices.base import Lattice
+
+X = TypeVar("X", bound=Hashable)
+D = TypeVar("D")
+
+#: A side-effecting right-hand side: ``f_x(get, side) -> D``.
+SideRhs = Callable[[Callable[[X], D], Callable[[X, D], None]], D]
+
+
+class SideEffectingSystem(ABC, Generic[X, D]):
+    """A (possibly infinite) system of pure side-effecting equations."""
+
+    def __init__(self, lattice: Lattice) -> None:
+        self._lattice = lattice
+
+    @property
+    def lattice(self) -> Lattice:
+        """The value lattice ``D``."""
+        return self._lattice
+
+    @abstractmethod
+    def rhs(self, x: X) -> SideRhs:
+        """Return the side-effecting right-hand side of unknown ``x``."""
+
+    def init(self, x: X) -> D:
+        """Initial value of unknown ``x`` (default: bottom)."""
+        return self._lattice.bottom
+
+
+class FunSideSystem(SideEffectingSystem[X, D]):
+    """A side-effecting system given by a function from unknowns to RHS."""
+
+    def __init__(
+        self,
+        lattice: Lattice,
+        rhs_of: Callable[[X], SideRhs],
+        init_of: Callable[[X], D] | None = None,
+    ) -> None:
+        """Create the system from ``rhs_of`` (and optionally ``init_of``)."""
+        super().__init__(lattice)
+        self._rhs_of = rhs_of
+        self._init_of = init_of
+
+    def rhs(self, x: X) -> SideRhs:
+        return self._rhs_of(x)
+
+    def init(self, x: X) -> D:
+        if self._init_of is not None:
+            return self._init_of(x)
+        return self._lattice.bottom
+
+
+def plain_as_side(pure_rhs: Callable) -> SideRhs:
+    """Adapt an ordinary pure right-hand side to the side-effecting API."""
+
+    def rhs(get, side):  # noqa: ARG001 - side deliberately unused
+        return pure_rhs(get)
+
+    return rhs
+
+
+class DictSideSystem(SideEffectingSystem[X, D]):
+    """A finite side-effecting system given literally as a dictionary."""
+
+    def __init__(
+        self,
+        lattice: Lattice,
+        equations: Mapping[X, SideRhs],
+        init: Mapping[X, D] | None = None,
+    ) -> None:
+        super().__init__(lattice)
+        self._equations = dict(equations)
+        self._init = dict(init) if init else {}
+
+    @property
+    def unknowns(self):
+        """The explicitly listed unknowns (side-effect targets may add more)."""
+        return list(self._equations)
+
+    def rhs(self, x: X) -> SideRhs:
+        if x in self._equations:
+            return self._equations[x]
+        # Unknowns that only ever receive side effects have a constant
+        # bottom right-hand side of their own.
+        return lambda get, side: self._lattice.bottom
+
+    def init(self, x: X) -> D:
+        if x in self._init:
+            return self._init[x]
+        return self._lattice.bottom

@@ -1,0 +1,200 @@
+"""Core equation-system abstractions.
+
+An equation system consists of equations ``x = f_x`` where the right-hand
+side ``f_x`` maps a variable assignment to a value.  Following the paper we
+represent an assignment by a *function* ``get: X -> D`` so that right-hand
+sides are pure in the sense of Hofmann, Karbyshev and Seidl: evaluating
+``f_x(get)`` performs a finite sequence of lookups through ``get`` and then
+returns a value.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Collection, Dict, Generic, Hashable, Mapping, Sequence, TypeVar
+
+from repro.lattices.base import Lattice
+
+X = TypeVar("X", bound=Hashable)
+D = TypeVar("D")
+
+#: A right-hand side: evaluates against a ``get`` callback.
+Rhs = Callable[[Callable[[X], D]], D]
+
+
+class PureSystem(ABC, Generic[X, D]):
+    """A (possibly infinite) system of pure equations ``x = f_x``.
+
+    Only two capabilities are required: producing the right-hand side of any
+    unknown, and providing the lattice of values.  Dependencies are not
+    declared statically -- local solvers discover them by instrumenting the
+    ``get`` argument (see :mod:`repro.eqs.tracked`).
+    """
+
+    def __init__(self, lattice: Lattice) -> None:
+        self._lattice = lattice
+
+    @property
+    def lattice(self) -> Lattice:
+        """The value lattice ``D``."""
+        return self._lattice
+
+    @abstractmethod
+    def rhs(self, x: X) -> Rhs:
+        """Return the right-hand side ``f_x`` of unknown ``x``."""
+
+    def init(self, x: X) -> D:
+        """Initial value of unknown ``x`` (default: bottom)."""
+        return self._lattice.bottom
+
+
+class FiniteSystem(PureSystem[X, D]):
+    """A finite system that additionally declares static dependency sets.
+
+    ``deps(x)`` must be a superset of the unknowns actually read by
+    ``rhs(x)`` under every assignment -- this is exactly the pre-condition of
+    the classic worklist solver (Fig. 2 of the paper) and of the structured
+    worklist solver SW (Fig. 4).
+    """
+
+    @property
+    @abstractmethod
+    def unknowns(self) -> Sequence[X]:
+        """All unknowns of the system, in a stable order."""
+
+    @abstractmethod
+    def deps(self, x: X) -> Collection[X]:
+        """A static superset of the unknowns that ``rhs(x)`` may read."""
+
+    def infl(self) -> Dict[X, list]:
+        """Compute the influence map ``infl[y] = {x | y in deps(x)} | {y}``.
+
+        Following the paper, each unknown influences itself: this is the
+        precaution needed for update operators that are not (right)
+        idempotent, such as the combined operator.  The influenced sets are
+        returned as insertion-ordered lists so that solver runs are
+        deterministic.
+        """
+        influence: Dict[X, list] = {x: [x] for x in self.unknowns}
+        for x in self.unknowns:
+            for y in self.deps(x):
+                bucket = influence.setdefault(y, [y])
+                if x not in bucket:
+                    bucket.append(x)
+        return influence
+
+
+class DictSystem(FiniteSystem[X, D]):
+    """A finite system given literally as a dictionary of equations.
+
+    The most convenient way to write down small systems (as in the paper's
+    examples)::
+
+        sys = DictSystem(natinf, {
+            "x1": (lambda get: get("x2"),       ["x2"]),
+            "x2": (lambda get: get("x3") + 1,   ["x3"]),
+            "x3": (lambda get: get("x1"),       ["x1"]),
+        })
+    """
+
+    def __init__(
+        self,
+        lattice: Lattice,
+        equations: Mapping[X, tuple],
+        init: Mapping[X, D] | None = None,
+    ) -> None:
+        """Create the system.
+
+        :param equations: maps each unknown to a pair ``(rhs, deps)``.
+        :param init: optional per-unknown initial values (default bottom).
+        """
+        super().__init__(lattice)
+        self._equations = dict(equations)
+        self._init = dict(init) if init else {}
+
+    @property
+    def unknowns(self) -> Sequence[X]:
+        return list(self._equations)
+
+    def rhs(self, x: X) -> Rhs:
+        return self._equations[x][0]
+
+    def deps(self, x: X) -> Collection[X]:
+        return self._equations[x][1]
+
+    def init(self, x: X) -> D:
+        if x in self._init:
+            return self._init[x]
+        return self._lattice.bottom
+
+
+class FunSystem(PureSystem[X, D]):
+    """A pure system given by a function from unknowns to right-hand sides.
+
+    This is the natural representation of *infinite* systems, e.g. the
+    paper's Example 5, or interprocedural analyses whose unknowns are
+    ``(procedure, context)`` pairs.
+    """
+
+    def __init__(
+        self,
+        lattice: Lattice,
+        rhs_of: Callable[[X], Rhs],
+        init_of: Callable[[X], D] | None = None,
+    ) -> None:
+        """Create the system from ``rhs_of`` (and optionally ``init_of``)."""
+        super().__init__(lattice)
+        self._rhs_of = rhs_of
+        self._init_of = init_of
+
+    def rhs(self, x: X) -> Rhs:
+        return self._rhs_of(x)
+
+    def init(self, x: X) -> D:
+        if self._init_of is not None:
+            return self._init_of(x)
+        return self._lattice.bottom
+
+
+def finite_from_pure(
+    pure: PureSystem,
+    unknowns: Sequence,
+    deps: Mapping[Hashable, Collection] | None = None,
+) -> FiniteSystem:
+    """Restrict a pure system to finitely many ``unknowns``.
+
+    If ``deps`` is not given, the dependency sets are discovered by tracing
+    one evaluation of each right-hand side against the initial assignment.
+    For right-hand sides whose lookups depend on looked-up *values* the
+    traced sets may be too small for a sound static-worklist run; pass
+    explicit ``deps`` in that case.
+    """
+    from repro.eqs.tracked import trace_rhs
+
+    if deps is None:
+        discovered = {}
+        sigma = {x: pure.init(x) for x in unknowns}
+
+        def lookup(y):
+            return sigma.get(y, pure.lattice.bottom)
+
+        for x in unknowns:
+            _, accessed = trace_rhs(pure.rhs(x), lookup)
+            discovered[x] = [y for y in accessed if y in sigma]
+        deps = discovered
+
+    class _Restricted(FiniteSystem):
+        @property
+        def unknowns(self) -> Sequence:
+            return list(unknowns)
+
+        def rhs(self, x):
+            return pure.rhs(x)
+
+        def deps(self, x):
+            return deps[x]
+
+        def init(self, x):
+            return pure.init(x)
+
+    return _Restricted(pure.lattice)

@@ -1,0 +1,43 @@
+"""Dynamic dependency tracking for pure right-hand sides.
+
+A right-hand side is *pure* when its only interaction with the current
+variable assignment is a finite sequence of lookups through its ``get``
+argument.  For pure functions, wrapping ``get`` is enough to observe the
+exact set of dynamic dependencies of one evaluation -- the mechanism on
+which all local solvers rest.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, List, Tuple
+
+
+class TracingGet:
+    """A ``get`` wrapper recording every unknown that is looked up.
+
+    The recorded sequence preserves lookup order and multiplicity, which the
+    test-suite uses to check purity-related properties (e.g. that the next
+    lookup may only depend on previously seen values).
+    """
+
+    def __init__(self, get: Callable[[Hashable], object]) -> None:
+        self._get = get
+        self.accessed: List[Hashable] = []
+
+    def __call__(self, y: Hashable):
+        self.accessed.append(y)
+        return self._get(y)
+
+    @property
+    def accessed_set(self) -> set:
+        """The set of distinct unknowns looked up so far."""
+        return set(self.accessed)
+
+
+def trace_rhs(
+    rhs: Callable[[Callable], object], get: Callable[[Hashable], object]
+) -> Tuple[object, List[Hashable]]:
+    """Evaluate ``rhs`` against ``get``, returning (value, lookup sequence)."""
+    tracer = TracingGet(get)
+    value = rhs(tracer)
+    return value, tracer.accessed

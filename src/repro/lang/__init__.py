@@ -1,0 +1,58 @@
+"""A mini-C front-end: the reproduction's stand-in for CIL.
+
+The paper's experiments analyse C programs parsed by CIL inside Goblint.
+This package provides everything needed to run the same *kind* of analyses
+on a C-like language:
+
+* :mod:`~repro.lang.lexer` / :mod:`~repro.lang.parser` -- hand-written
+  lexer and recursive-descent parser producing a typed AST
+  (:mod:`~repro.lang.astnodes`);
+* :mod:`~repro.lang.sema` -- name/arity/lvalue checking;
+* :mod:`~repro.lang.cfg` -- control-flow graphs with instruction-labelled
+  edges, one per function (the program points become the unknowns of the
+  analysis equation systems);
+* :mod:`~repro.lang.interp` -- a concrete interpreter over the CFGs, used
+  by the test-suite to check analysis *soundness* against real runs;
+* :mod:`~repro.lang.pretty` -- an AST pretty-printer.
+
+Language summary: ``int`` scalars and fixed-size ``int`` arrays, global
+and local variables, functions with parameters and return values,
+``if``/``while``/``for``/``break``/``continue``/``return``, the usual
+arithmetic/comparison operators.  Deviation from C: ``&&`` and ``||`` do
+not short-circuit (both operands are always evaluated); expressions are
+side-effect-free except for calls, which only occur as statements or
+initialisers of the form ``x = f(...)``.
+"""
+
+from repro.lang.astnodes import Program
+from repro.lang.cfg import ControlFlowGraph, FunctionCFG, build_cfg
+from repro.lang.interp import ExecutionError, Interpreter, run_program
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.parser import ParseError, parse_program
+from repro.lang.sema import SemanticError, check_program
+from repro.lang.pretty import pretty_program
+
+__all__ = [
+    "Program",
+    "ControlFlowGraph",
+    "FunctionCFG",
+    "build_cfg",
+    "ExecutionError",
+    "Interpreter",
+    "run_program",
+    "LexError",
+    "tokenize",
+    "ParseError",
+    "parse_program",
+    "SemanticError",
+    "check_program",
+    "pretty_program",
+    "compile_program",
+]
+
+
+def compile_program(source: str) -> "ControlFlowGraph":
+    """Parse, check and lower ``source`` to control-flow graphs."""
+    program = parse_program(source)
+    check_program(program)
+    return build_cfg(program)

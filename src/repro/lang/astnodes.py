@@ -1,0 +1,247 @@
+"""The abstract syntax tree of mini-C.
+
+All nodes are frozen dataclasses carrying the 1-based source line for
+diagnostics.  Expressions are side-effect free except :class:`Call`, which
+the parser only accepts in statement position or as the right-hand side of
+an assignment/initialiser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+
+# --------------------------------------------------------------------- #
+# Expressions.                                                          #
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True, slots=True)
+class IntLit:
+    """An integer literal."""
+
+    value: int
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A scalar variable reference."""
+
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayRef:
+    """An array element read ``name[index]``."""
+
+    name: str
+    index: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Unary:
+    """A unary operator application: ``-e`` or ``!e``."""
+
+    op: str
+    operand: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Binary:
+    """A binary operator application.
+
+    Operators: ``+ - * / % < <= > >= == != && ||``.  The logical
+    operators do *not* short-circuit in mini-C.
+    """
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Call:
+    """A function call ``name(args)``."""
+
+    name: str
+    args: Tuple["Expr", ...]
+    line: int = 0
+
+
+Expr = Union[IntLit, Var, ArrayRef, Unary, Binary, Call]
+
+
+# --------------------------------------------------------------------- #
+# Statements.                                                           #
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True, slots=True)
+class VarDecl:
+    """``int x;`` or ``int x = e;`` or ``int a[10];``"""
+
+    name: str
+    array_size: Optional[int]
+    init: Optional[Expr]
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Assign:
+    """``x = e;``"""
+
+    name: str
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayAssign:
+    """``a[i] = e;``"""
+
+    name: str
+    index: Expr
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class If:
+    """``if (cond) then_body else else_body``"""
+
+    cond: Expr
+    then_body: "Block"
+    else_body: Optional["Block"]
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class While:
+    """``while (cond) body``"""
+
+    cond: Expr
+    body: "Block"
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class For:
+    """``for (init; cond; step) body``; any header part may be missing."""
+
+    init: Optional["Stmt"]
+    cond: Optional[Expr]
+    step: Optional["Stmt"]
+    body: "Block"
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Return:
+    """``return;`` or ``return e;``"""
+
+    value: Optional[Expr]
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Assert:
+    """``assert(cond);`` -- aborts execution when ``cond`` is false.
+
+    The verification client (:mod:`repro.analysis.verify`) classifies each
+    assertion as proved, violated, or unknown from the analysis results.
+    """
+
+    cond: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Break:
+    """``break;``"""
+
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Continue:
+    """``continue;``"""
+
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ExprStmt:
+    """An expression evaluated for its effect (a call): ``f(x);``"""
+
+    expr: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Block:
+    """``{ stmt* }``"""
+
+    stmts: Tuple["Stmt", ...]
+    line: int = 0
+
+
+Stmt = Union[
+    VarDecl, Assign, ArrayAssign, If, While, For, Return, Assert, Break,
+    Continue, ExprStmt, Block,
+]
+
+
+# --------------------------------------------------------------------- #
+# Top level.                                                            #
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True, slots=True)
+class Param:
+    """A function parameter (always ``int``)."""
+
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class FuncDecl:
+    """A function definition."""
+
+    name: str
+    params: Tuple[Param, ...]
+    returns_value: bool
+    body: Block
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalDecl:
+    """A global variable definition (scalar or array)."""
+
+    name: str
+    array_size: Optional[int]
+    init: Optional[int]
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Program:
+    """A complete mini-C translation unit."""
+
+    globals: Tuple[GlobalDecl, ...]
+    functions: Tuple[FuncDecl, ...]
+
+    def function(self, name: str) -> FuncDecl:
+        """Look up a function by name."""
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)
+
+    @property
+    def global_names(self) -> Tuple[str, ...]:
+        return tuple(g.name for g in self.globals)

@@ -1,0 +1,435 @@
+"""Control-flow-graph construction for mini-C.
+
+Each function is lowered to a graph whose *nodes* are program points and
+whose *edges* carry primitive instructions:
+
+* :class:`SetLocal` -- assignment of a pure expression to a scalar;
+* :class:`StoreArray` -- assignment into an array cell;
+* :class:`Guard` -- a branch condition assumed true or false;
+* :class:`CallInstr` -- a function call, optionally binding the return
+  value to a scalar;
+* :class:`Nop` -- a skip edge (joins, loop back-edges).
+
+Scoped local declarations are resolved by *renaming*: every distinct local
+gets a unique name (``x``, ``x$1``, ...), so the per-function environment
+of the analyses is a flat map.  The special local ``__ret__`` holds the
+return value; it is initialised to ``0`` together with all other locals
+(mini-C defines uninitialised storage to be zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang import astnodes as ast
+
+#: The distinguished local holding a function's return value.
+RETURN_SLOT = "__ret__"
+
+
+@dataclass(frozen=True, slots=True)
+class Node:
+    """A program point: function name plus index (entry is index 0)."""
+
+    fn: str
+    index: int
+    line: int = field(default=0, compare=False)
+
+    def __repr__(self) -> str:
+        return f"{self.fn}:{self.index}"
+
+
+# --------------------------------------------------------------------- #
+# Edge instructions.                                                    #
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True, slots=True)
+class SetLocal:
+    """``target = expr`` where ``expr`` is call-free."""
+
+    target: str
+    expr: ast.Expr
+
+
+@dataclass(frozen=True, slots=True)
+class StoreArray:
+    """``name[index] = value`` with call-free operands."""
+
+    name: str
+    index: ast.Expr
+    value: ast.Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Guard:
+    """A branch: control passes only if ``cond`` evaluates to
+    truthy (``assume=True``) or falsy (``assume=False``)."""
+
+    cond: ast.Expr
+    assume: bool
+
+
+@dataclass(frozen=True, slots=True)
+class AssertInstr:
+    """``assert(cond)``: execution continues only when ``cond`` holds;
+    failing runs abort.  Analyses treat it like a true-guard and the
+    verification client checks whether ``cond`` is provably true."""
+
+    cond: ast.Expr
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class CallInstr:
+    """``target = func(args)`` (or plain ``func(args)`` when target is
+    ``None``); arguments are call-free."""
+
+    target: Optional[str]
+    func: str
+    args: Tuple[ast.Expr, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Nop:
+    """A skip edge."""
+
+
+Instr = object  # SetLocal | StoreArray | Guard | CallInstr | Nop
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """A CFG edge ``src --instr--> dst``."""
+
+    src: Node
+    instr: Instr
+    dst: Node
+
+
+@dataclass
+class FunctionCFG:
+    """The control-flow graph of one function."""
+
+    name: str
+    params: Tuple[str, ...]
+    returns_value: bool
+    entry: Node
+    exit: Node
+    nodes: List[Node]
+    edges: List[Edge]
+    #: All scalar locals (renamed), including params and ``__ret__``.
+    locals: Tuple[str, ...]
+    #: Local arrays: renamed name -> declared size.
+    arrays: Dict[str, int]
+
+    def out_edges(self, node: Node) -> List[Edge]:
+        """Edges leaving ``node`` (in construction order)."""
+        return self._out.get(node, [])
+
+    def in_edges(self, node: Node) -> List[Edge]:
+        """Edges entering ``node`` (in construction order)."""
+        return self._in.get(node, [])
+
+    def finalize(self) -> None:
+        """Build the adjacency indexes (called by the builder)."""
+        self._out: Dict[Node, List[Edge]] = {}
+        self._in: Dict[Node, List[Edge]] = {}
+        for edge in self.edges:
+            self._out.setdefault(edge.src, []).append(edge)
+            self._in.setdefault(edge.dst, []).append(edge)
+
+
+@dataclass
+class ControlFlowGraph:
+    """All functions of a program plus the global-variable table."""
+
+    program: ast.Program
+    functions: Dict[str, FunctionCFG]
+    #: Global scalars: name -> initial value.
+    global_scalars: Dict[str, int]
+    #: Global arrays: name -> size.
+    global_arrays: Dict[str, int]
+
+    def total_nodes(self) -> int:
+        """Number of program points across all functions."""
+        return sum(len(f.nodes) for f in self.functions.values())
+
+
+# --------------------------------------------------------------------- #
+# Lowering.                                                             #
+# --------------------------------------------------------------------- #
+
+class _FnBuilder:
+    def __init__(self, fn: ast.FuncDecl, global_names: set) -> None:
+        self.fn = fn
+        self.global_names = global_names
+        self.counter = 0
+        self.nodes: List[Node] = []
+        self.edges: List[Edge] = []
+        self.locals: List[str] = []
+        self.arrays: Dict[str, int] = {}
+        self.rename_counts: Dict[str, int] = {}
+        # (break target, continue target) stack.
+        self.loop_stack: List[Tuple[Node, Node]] = []
+
+    # -- graph primitives ------------------------------------------- #
+
+    def new_node(self, line: int = 0) -> Node:
+        node = Node(self.fn.name, self.counter, line)
+        self.counter += 1
+        self.nodes.append(node)
+        return node
+
+    def edge(self, src: Node, instr: Instr, dst: Node) -> None:
+        self.edges.append(Edge(src, instr, dst))
+
+    # -- renaming ----------------------------------------------------- #
+
+    def fresh_local(self, name: str) -> str:
+        count = self.rename_counts.get(name, 0)
+        self.rename_counts[name] = count + 1
+        unique = name if count == 0 else f"{name}${count}"
+        return unique
+
+    def rename_expr(self, expr: ast.Expr, env: Dict[str, str]) -> ast.Expr:
+        if isinstance(expr, ast.IntLit):
+            return expr
+        if isinstance(expr, ast.Var):
+            return replace(expr, name=env.get(expr.name, expr.name))
+        if isinstance(expr, ast.ArrayRef):
+            return replace(
+                expr,
+                name=env.get(expr.name, expr.name),
+                index=self.rename_expr(expr.index, env),
+            )
+        if isinstance(expr, ast.Unary):
+            return replace(expr, operand=self.rename_expr(expr.operand, env))
+        if isinstance(expr, ast.Binary):
+            return replace(
+                expr,
+                left=self.rename_expr(expr.left, env),
+                right=self.rename_expr(expr.right, env),
+            )
+        if isinstance(expr, ast.Call):
+            return replace(
+                expr,
+                args=tuple(self.rename_expr(a, env) for a in expr.args),
+            )
+        raise AssertionError(f"unexpected expression {expr!r}")
+
+    # -- lowering ------------------------------------------------------ #
+
+    def build(self) -> FunctionCFG:
+        entry = self.new_node(self.fn.line)
+        exit_node = Node(self.fn.name, -1, self.fn.line)
+        self.nodes.append(exit_node)
+        env: Dict[str, str] = {}
+        for p in self.fn.params:
+            env[p.name] = p.name
+            self.locals.append(p.name)
+        self.locals.append(RETURN_SLOT)
+        end = self.lower_block(self.fn.body, entry, exit_node, dict(env))
+        # Falling off the end: return (with __ret__ still 0).
+        self.edge(end, Nop(), exit_node)
+        cfg = FunctionCFG(
+            name=self.fn.name,
+            params=tuple(p.name for p in self.fn.params),
+            returns_value=self.fn.returns_value,
+            entry=entry,
+            exit=exit_node,
+            nodes=self.nodes,
+            edges=self.edges,
+            locals=tuple(self.locals),
+            arrays=dict(self.arrays),
+        )
+        cfg.finalize()
+        return cfg
+
+    def lower_block(
+        self, block: ast.Block, cur: Node, exit_node: Node, env: Dict[str, str]
+    ) -> Node:
+        inner = dict(env)
+        for stmt in block.stmts:
+            cur = self.lower_stmt(stmt, cur, exit_node, inner)
+        return cur
+
+    def lower_stmt(
+        self, stmt: ast.Stmt, cur: Node, exit_node: Node, env: Dict[str, str]
+    ) -> Node:
+        if isinstance(stmt, ast.VarDecl):
+            unique = self.fresh_local(stmt.name)
+            if stmt.array_size is not None:
+                self.arrays[unique] = stmt.array_size
+                env[stmt.name] = unique
+                return cur
+            self.locals.append(unique)
+            # Bind the initialiser *before* entering the name into scope:
+            # ``int x = x + 1;`` refers to the outer/global x, as in C
+            # up to the point of declaration.
+            init = stmt.init if stmt.init is not None else ast.IntLit(0, stmt.line)
+            nxt = self.new_node(stmt.line)
+            if isinstance(init, ast.Call):
+                renamed_args = tuple(self.rename_expr(a, env) for a in init.args)
+                self.edge(cur, CallInstr(unique, init.name, renamed_args), nxt)
+            else:
+                self.edge(cur, SetLocal(unique, self.rename_expr(init, env)), nxt)
+            env[stmt.name] = unique
+            return nxt
+        if isinstance(stmt, ast.Assign):
+            target = env.get(stmt.name, stmt.name)
+            nxt = self.new_node(stmt.line)
+            if isinstance(stmt.value, ast.Call):
+                renamed_args = tuple(
+                    self.rename_expr(a, env) for a in stmt.value.args
+                )
+                self.edge(
+                    cur, CallInstr(target, stmt.value.name, renamed_args), nxt
+                )
+            else:
+                self.edge(
+                    cur, SetLocal(target, self.rename_expr(stmt.value, env)), nxt
+                )
+            return nxt
+        if isinstance(stmt, ast.ArrayAssign):
+            name = env.get(stmt.name, stmt.name)
+            nxt = self.new_node(stmt.line)
+            self.edge(
+                cur,
+                StoreArray(
+                    name,
+                    self.rename_expr(stmt.index, env),
+                    self.rename_expr(stmt.value, env),
+                ),
+                nxt,
+            )
+            return nxt
+        if isinstance(stmt, ast.If):
+            cond = self.rename_expr(stmt.cond, env)
+            then_start = self.new_node(stmt.line)
+            self.edge(cur, Guard(cond, True), then_start)
+            then_end = self.lower_block(stmt.then_body, then_start, exit_node, env)
+            join = self.new_node(stmt.line)
+            if stmt.else_body is not None:
+                else_start = self.new_node(stmt.else_body.line)
+                self.edge(cur, Guard(cond, False), else_start)
+                else_end = self.lower_block(
+                    stmt.else_body, else_start, exit_node, env
+                )
+                self.edge(else_end, Nop(), join)
+            else:
+                self.edge(cur, Guard(cond, False), join)
+            self.edge(then_end, Nop(), join)
+            return join
+        if isinstance(stmt, ast.While):
+            head = self.new_node(stmt.line)
+            self.edge(cur, Nop(), head)
+            cond = self.rename_expr(stmt.cond, env)
+            body_start = self.new_node(stmt.line)
+            after = self.new_node(stmt.line)
+            self.edge(head, Guard(cond, True), body_start)
+            self.edge(head, Guard(cond, False), after)
+            self.loop_stack.append((after, head))
+            body_end = self.lower_block(stmt.body, body_start, exit_node, env)
+            self.loop_stack.pop()
+            self.edge(body_end, Nop(), head)
+            return after
+        if isinstance(stmt, ast.For):
+            header_env = dict(env)
+            if stmt.init is not None:
+                cur = self.lower_stmt(stmt.init, cur, exit_node, header_env)
+            head = self.new_node(stmt.line)
+            self.edge(cur, Nop(), head)
+            body_start = self.new_node(stmt.line)
+            after = self.new_node(stmt.line)
+            if stmt.cond is not None:
+                cond = self.rename_expr(stmt.cond, header_env)
+                self.edge(head, Guard(cond, True), body_start)
+                self.edge(head, Guard(cond, False), after)
+            else:
+                self.edge(head, Nop(), body_start)
+            step_node = self.new_node(stmt.line)
+            self.loop_stack.append((after, step_node))
+            body_end = self.lower_block(stmt.body, body_start, exit_node, header_env)
+            self.loop_stack.pop()
+            self.edge(body_end, Nop(), step_node)
+            if stmt.step is not None:
+                step_end = self.lower_stmt(
+                    stmt.step, step_node, exit_node, header_env
+                )
+            else:
+                step_end = step_node
+            self.edge(step_end, Nop(), head)
+            return after
+        if isinstance(stmt, ast.Assert):
+            nxt = self.new_node(stmt.line)
+            self.edge(
+                cur,
+                AssertInstr(self.rename_expr(stmt.cond, env), stmt.line),
+                nxt,
+            )
+            return nxt
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                mid = self.new_node(stmt.line)
+                if isinstance(stmt.value, ast.Call):
+                    renamed_args = tuple(
+                        self.rename_expr(a, env) for a in stmt.value.args
+                    )
+                    self.edge(
+                        cur,
+                        CallInstr(RETURN_SLOT, stmt.value.name, renamed_args),
+                        mid,
+                    )
+                else:
+                    self.edge(
+                        cur,
+                        SetLocal(
+                            RETURN_SLOT, self.rename_expr(stmt.value, env)
+                        ),
+                        mid,
+                    )
+                self.edge(mid, Nop(), exit_node)
+            else:
+                self.edge(cur, Nop(), exit_node)
+            # Dangling node for any (unreachable) code after the return.
+            return self.new_node(stmt.line)
+        if isinstance(stmt, ast.Break):
+            break_target, _ = self.loop_stack[-1]
+            self.edge(cur, Nop(), break_target)
+            return self.new_node(stmt.line)
+        if isinstance(stmt, ast.Continue):
+            _, continue_target = self.loop_stack[-1]
+            self.edge(cur, Nop(), continue_target)
+            return self.new_node(stmt.line)
+        if isinstance(stmt, ast.ExprStmt):
+            call = stmt.expr
+            assert isinstance(call, ast.Call)
+            nxt = self.new_node(stmt.line)
+            renamed_args = tuple(self.rename_expr(a, env) for a in call.args)
+            self.edge(cur, CallInstr(None, call.name, renamed_args), nxt)
+            return nxt
+        if isinstance(stmt, ast.Block):
+            return self.lower_block(stmt, cur, exit_node, env)
+        raise AssertionError(f"unexpected statement {stmt!r}")
+
+
+def build_cfg(program: ast.Program) -> ControlFlowGraph:
+    """Lower a checked program to control-flow graphs."""
+    global_names = set(program.global_names)
+    functions: Dict[str, FunctionCFG] = {}
+    for fn in program.functions:
+        functions[fn.name] = _FnBuilder(fn, global_names).build()
+    global_scalars: Dict[str, int] = {}
+    global_arrays: Dict[str, int] = {}
+    for g in program.globals:
+        if g.array_size is not None:
+            global_arrays[g.name] = g.array_size
+        else:
+            global_scalars[g.name] = g.init if g.init is not None else 0
+    return ControlFlowGraph(
+        program=program,
+        functions=functions,
+        global_scalars=global_scalars,
+        global_arrays=global_arrays,
+    )

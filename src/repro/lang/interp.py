@@ -1,0 +1,306 @@
+"""A concrete interpreter for mini-C, executing the control-flow graphs.
+
+Running the *same* CFGs the analyses consume gives the test-suite an
+oracle: every concrete run must be covered by the abstract results
+(soundness).  The interpreter can record, for every program point it
+passes, a snapshot of the local and global stores; the property tests
+check these snapshots against the interval analysis.
+
+Arithmetic follows C for ``int`` expressions: division truncates toward
+zero, the remainder takes the dividend's sign, division by zero raises
+:class:`ExecutionError`.  Deviations from C shared with the analyses:
+``&&``/``||`` evaluate both operands; uninitialised storage reads as 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.lang import astnodes as ast
+from repro.lang.cfg import (
+    AssertInstr,
+    CallInstr,
+    ControlFlowGraph,
+    Edge,
+    Guard,
+    Node,
+    Nop,
+    RETURN_SLOT,
+    SetLocal,
+    StoreArray,
+)
+
+
+class ExecutionError(Exception):
+    """Raised on runtime errors (division by zero, bad index, fuel...)."""
+
+
+@dataclass
+class Observation:
+    """A program point passed during execution, with store snapshots."""
+
+    node: Node
+    locals: Dict[str, int]
+    globals: Dict[str, int]
+
+
+@dataclass
+class RunResult:
+    """Outcome of a program run."""
+
+    ret: int
+    globals: Dict[str, int]
+    global_arrays: Dict[str, List[int]]
+    steps: int
+    observations: List[Observation] = field(default_factory=list)
+
+
+def trunc_div(a: int, b: int) -> int:
+    """C-style integer division (truncation toward zero)."""
+    if b == 0:
+        raise ExecutionError("division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b > 0) else -q
+
+
+def c_rem(a: int, b: int) -> int:
+    """C-style remainder (sign follows the dividend)."""
+    return a - trunc_div(a, b) * b
+
+
+class Interpreter:
+    """Executes a :class:`ControlFlowGraph` starting from a function."""
+
+    def __init__(
+        self,
+        cfg: ControlFlowGraph,
+        fuel: int = 1_000_000,
+        record: bool = False,
+        max_observations: int = 50_000,
+    ) -> None:
+        """Create an interpreter.
+
+        :param cfg: the program's control-flow graphs.
+        :param fuel: maximum number of edges to traverse before aborting
+            (guards against non-terminating inputs).
+        :param record: whether to snapshot the stores at every program
+            point (for soundness testing).
+        :param max_observations: cap on recorded snapshots.
+        """
+        self.cfg = cfg
+        self.fuel = fuel
+        self.record = record
+        self.max_observations = max_observations
+
+    def run(self, entry: str = "main", args: Sequence[int] = ()) -> RunResult:
+        """Execute ``entry(*args)`` and return the result."""
+        self._steps = 0
+        self._observations: List[Observation] = []
+        self._globals: Dict[str, int] = dict(self.cfg.global_scalars)
+        self._global_arrays: Dict[str, List[int]] = {
+            name: [0] * size for name, size in self.cfg.global_arrays.items()
+        }
+        ret = self._call(entry, list(args))
+        return RunResult(
+            ret=ret,
+            globals=self._globals,
+            global_arrays=self._global_arrays,
+            steps=self._steps,
+            observations=self._observations,
+        )
+
+    # ----------------------------------------------------------------- #
+    # Execution.                                                        #
+    # ----------------------------------------------------------------- #
+
+    def _call(self, name: str, args: List[int]) -> int:
+        try:
+            fn = self.cfg.functions[name]
+        except KeyError:
+            raise ExecutionError(f"undefined function {name!r}") from None
+        if len(args) != len(fn.params):
+            raise ExecutionError(
+                f"{name!r} expects {len(fn.params)} argument(s)"
+            )
+        local_scalars: Dict[str, int] = {v: 0 for v in fn.locals}
+        local_arrays: Dict[str, List[int]] = {
+            arr: [0] * size for arr, size in fn.arrays.items()
+        }
+        for param, value in zip(fn.params, args):
+            local_scalars[param] = value
+        node = fn.entry
+        self._observe(node, local_scalars)
+        while node != fn.exit:
+            edge = self._pick_edge(fn.out_edges(node), local_scalars, local_arrays)
+            self._execute(edge.instr, local_scalars, local_arrays)
+            node = edge.dst
+            self._steps += 1
+            if self._steps > self.fuel:
+                raise ExecutionError("out of fuel (non-terminating input?)")
+            self._observe(node, local_scalars)
+        return local_scalars[RETURN_SLOT]
+
+    def _observe(self, node: Node, local_scalars: Dict[str, int]) -> None:
+        if self.record and len(self._observations) < self.max_observations:
+            self._observations.append(
+                Observation(node, dict(local_scalars), dict(self._globals))
+            )
+
+    def _pick_edge(
+        self,
+        edges: List[Edge],
+        scalars: Dict[str, int],
+        arrays: Dict[str, List[int]],
+    ) -> Edge:
+        if not edges:
+            raise ExecutionError("stuck: no outgoing edge")
+        for edge in edges:
+            if isinstance(edge.instr, Guard):
+                value = self._eval(edge.instr.cond, scalars, arrays)
+                if bool(value) == edge.instr.assume:
+                    return edge
+            else:
+                return edge
+        raise ExecutionError("stuck: no guard matched")
+
+    def _execute(
+        self,
+        instr,
+        scalars: Dict[str, int],
+        arrays: Dict[str, List[int]],
+    ) -> None:
+        if isinstance(instr, Nop) or isinstance(instr, Guard):
+            return
+        if isinstance(instr, AssertInstr):
+            if not self._eval(instr.cond, scalars, arrays):
+                raise ExecutionError(
+                    f"assertion failed at line {instr.line}"
+                )
+            return
+        if isinstance(instr, SetLocal):
+            value = self._eval(instr.expr, scalars, arrays)
+            self._store_scalar(instr.target, value, scalars)
+            return
+        if isinstance(instr, StoreArray):
+            index = self._eval(instr.index, scalars, arrays)
+            value = self._eval(instr.value, scalars, arrays)
+            self._store_array(instr.name, index, value, arrays)
+            return
+        if isinstance(instr, CallInstr):
+            args = [self._eval(a, scalars, arrays) for a in instr.args]
+            result = self._call(instr.func, args)
+            if instr.target is not None:
+                self._store_scalar(instr.target, result, scalars)
+            return
+        raise AssertionError(f"unexpected instruction {instr!r}")
+
+    def _store_scalar(
+        self, name: str, value: int, scalars: Dict[str, int]
+    ) -> None:
+        if name in scalars:
+            scalars[name] = value
+        elif name in self._globals:
+            self._globals[name] = value
+        else:
+            raise ExecutionError(f"store to undeclared {name!r}")
+
+    def _store_array(
+        self, name: str, index: int, value: int, arrays: Dict[str, List[int]]
+    ) -> None:
+        table = arrays.get(name)
+        if table is None:
+            table = self._global_arrays.get(name)
+        if table is None:
+            raise ExecutionError(f"store to undeclared array {name!r}")
+        if not 0 <= index < len(table):
+            raise ExecutionError(
+                f"index {index} out of bounds for {name!r}[{len(table)}]"
+            )
+        table[index] = value
+
+    # ----------------------------------------------------------------- #
+    # Expression evaluation.                                            #
+    # ----------------------------------------------------------------- #
+
+    def _eval(
+        self, expr: ast.Expr, scalars: Dict[str, int], arrays: Dict[str, List[int]]
+    ) -> int:
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.Var):
+            if expr.name in scalars:
+                return scalars[expr.name]
+            if expr.name in self._globals:
+                return self._globals[expr.name]
+            raise ExecutionError(f"read of undeclared {expr.name!r}")
+        if isinstance(expr, ast.ArrayRef):
+            index = self._eval(expr.index, scalars, arrays)
+            table = arrays.get(expr.name)
+            if table is None:
+                table = self._global_arrays.get(expr.name)
+            if table is None:
+                raise ExecutionError(f"read of undeclared array {expr.name!r}")
+            if not 0 <= index < len(table):
+                raise ExecutionError(
+                    f"index {index} out of bounds for {expr.name!r}[{len(table)}]"
+                )
+            return table[index]
+        if isinstance(expr, ast.Unary):
+            value = self._eval(expr.operand, scalars, arrays)
+            if expr.op == "-":
+                return -value
+            if expr.op == "!":
+                return 0 if value else 1
+            raise AssertionError(f"unexpected unary {expr.op!r}")
+        if isinstance(expr, ast.Binary):
+            left = self._eval(expr.left, scalars, arrays)
+            right = self._eval(expr.right, scalars, arrays)
+            return _binop(expr.op, left, right)
+        if isinstance(expr, ast.Call):
+            raise ExecutionError("nested calls are not part of mini-C")
+        raise AssertionError(f"unexpected expression {expr!r}")
+
+
+def _binop(op: str, a: int, b: int) -> int:
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        return trunc_div(a, b)
+    if op == "%":
+        return c_rem(a, b)
+    if op == "<":
+        return int(a < b)
+    if op == "<=":
+        return int(a <= b)
+    if op == ">":
+        return int(a > b)
+    if op == ">=":
+        return int(a >= b)
+    if op == "==":
+        return int(a == b)
+    if op == "!=":
+        return int(a != b)
+    if op == "&&":
+        return int(bool(a) and bool(b))
+    if op == "||":
+        return int(bool(a) or bool(b))
+    raise AssertionError(f"unexpected operator {op!r}")
+
+
+def run_program(
+    source: str,
+    entry: str = "main",
+    args: Sequence[int] = (),
+    fuel: int = 1_000_000,
+    record: bool = False,
+) -> RunResult:
+    """Compile and execute ``source`` in one call."""
+    from repro.lang import compile_program
+
+    cfg = compile_program(source)
+    return Interpreter(cfg, fuel=fuel, record=record).run(entry, args)

@@ -1,0 +1,130 @@
+"""An AST pretty-printer producing valid mini-C source.
+
+``parse(pretty(parse(s)))`` is the identity on ASTs (modulo line numbers),
+a round-trip property the test-suite exercises.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang import astnodes as ast
+
+_INDENT = "    "
+
+
+def pretty_expr(expr: ast.Expr) -> str:
+    """Render an expression with full parenthesisation of sub-terms."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.ArrayRef):
+        return f"{expr.name}[{pretty_expr(expr.index)}]"
+    if isinstance(expr, ast.Unary):
+        return f"{expr.op}({pretty_expr(expr.operand)})"
+    if isinstance(expr, ast.Binary):
+        return f"({pretty_expr(expr.left)} {expr.op} {pretty_expr(expr.right)})"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(pretty_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    raise AssertionError(f"unexpected expression {expr!r}")
+
+
+def _stmt_lines(stmt: ast.Stmt, depth: int) -> List[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, ast.VarDecl):
+        if stmt.array_size is not None:
+            return [f"{pad}int {stmt.name}[{stmt.array_size}];"]
+        if stmt.init is not None:
+            return [f"{pad}int {stmt.name} = {pretty_expr(stmt.init)};"]
+        return [f"{pad}int {stmt.name};"]
+    if isinstance(stmt, ast.Assign):
+        return [f"{pad}{stmt.name} = {pretty_expr(stmt.value)};"]
+    if isinstance(stmt, ast.ArrayAssign):
+        return [
+            f"{pad}{stmt.name}[{pretty_expr(stmt.index)}] = "
+            f"{pretty_expr(stmt.value)};"
+        ]
+    if isinstance(stmt, ast.If):
+        lines = [f"{pad}if ({pretty_expr(stmt.cond)}) {{"]
+        lines += _block_lines(stmt.then_body, depth + 1)
+        if stmt.else_body is not None:
+            lines.append(f"{pad}}} else {{")
+            lines += _block_lines(stmt.else_body, depth + 1)
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.While):
+        lines = [f"{pad}while ({pretty_expr(stmt.cond)}) {{"]
+        lines += _block_lines(stmt.body, depth + 1)
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.For):
+        init = _inline_stmt(stmt.init) if stmt.init is not None else ""
+        cond = pretty_expr(stmt.cond) if stmt.cond is not None else ""
+        step = _inline_stmt(stmt.step) if stmt.step is not None else ""
+        lines = [f"{pad}for ({init}; {cond}; {step}) {{"]
+        lines += _block_lines(stmt.body, depth + 1)
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.Return):
+        if stmt.value is not None:
+            return [f"{pad}return {pretty_expr(stmt.value)};"]
+        return [f"{pad}return;"]
+    if isinstance(stmt, ast.Assert):
+        return [f"{pad}assert({pretty_expr(stmt.cond)});"]
+    if isinstance(stmt, ast.Break):
+        return [f"{pad}break;"]
+    if isinstance(stmt, ast.Continue):
+        return [f"{pad}continue;"]
+    if isinstance(stmt, ast.ExprStmt):
+        return [f"{pad}{pretty_expr(stmt.expr)};"]
+    if isinstance(stmt, ast.Block):
+        return [f"{pad}{{"] + _block_lines(stmt, depth + 1) + [f"{pad}}}"]
+    raise AssertionError(f"unexpected statement {stmt!r}")
+
+
+def _inline_stmt(stmt: ast.Stmt) -> str:
+    """Render a for-header statement without indentation or semicolon."""
+    if isinstance(stmt, ast.VarDecl) and stmt.array_size is None:
+        if stmt.init is not None:
+            return f"int {stmt.name} = {pretty_expr(stmt.init)}"
+        return f"int {stmt.name}"
+    if isinstance(stmt, ast.Assign):
+        return f"{stmt.name} = {pretty_expr(stmt.value)}"
+    if isinstance(stmt, ast.ArrayAssign):
+        return (
+            f"{stmt.name}[{pretty_expr(stmt.index)}] = {pretty_expr(stmt.value)}"
+        )
+    if isinstance(stmt, ast.ExprStmt):
+        return pretty_expr(stmt.expr)
+    raise AssertionError(f"cannot inline {stmt!r}")
+
+
+def _block_lines(block: ast.Block, depth: int) -> List[str]:
+    lines: List[str] = []
+    for stmt in block.stmts:
+        lines += _stmt_lines(stmt, depth)
+    return lines
+
+
+def pretty_program(program: ast.Program) -> str:
+    """Render a full translation unit."""
+    lines: List[str] = []
+    for g in program.globals:
+        if g.array_size is not None:
+            lines.append(f"int {g.name}[{g.array_size}];")
+        elif g.init is not None:
+            lines.append(f"int {g.name} = {g.init};")
+        else:
+            lines.append(f"int {g.name};")
+    if program.globals:
+        lines.append("")
+    for fn in program.functions:
+        ret = "int" if fn.returns_value else "void"
+        params = ", ".join(f"int {p.name}" for p in fn.params)
+        lines.append(f"{ret} {fn.name}({params}) {{")
+        lines += _block_lines(fn.body, 1)
+        lines.append("}")
+        lines.append("")
+    return "\n".join(lines)

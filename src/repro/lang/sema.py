@@ -1,0 +1,253 @@
+"""Semantic checks for mini-C.
+
+Beyond name resolution, the checker enforces the structural restrictions
+the CFG construction and the analyses rely on:
+
+* calls appear only in statement position (``f(x);``) or as the entire
+  right-hand side of an assignment or initialiser (``y = f(x);``);
+* scalars and arrays are used consistently;
+* ``void`` functions are not used for their value, and functions are
+  called with the right arity;
+* ``break``/``continue`` occur only inside loops;
+* identifiers starting with ``__`` are reserved for the implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.lang import astnodes as ast
+
+
+class SemanticError(Exception):
+    """Raised on any semantic violation, with the offending source line."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class _Scope:
+    """A lexical scope mapping names to 'scalar' or 'array'."""
+
+    def __init__(self, parent: Optional["_Scope"] = None) -> None:
+        self.parent = parent
+        self.names: Dict[str, str] = {}
+
+    def declare(self, name: str, kind: str, line: int) -> None:
+        if name in self.names:
+            raise SemanticError(f"duplicate declaration of {name!r}", line)
+        self.names[name] = kind
+
+    def lookup(self, name: str) -> Optional[str]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class _Checker:
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.functions: Dict[str, ast.FuncDecl] = {}
+
+    def run(self) -> None:
+        top = _Scope()
+        for g in self.program.globals:
+            self._check_name(g.name, g.line)
+            kind = "array" if g.array_size is not None else "scalar"
+            if g.array_size is not None and g.array_size <= 0:
+                raise SemanticError(
+                    f"array {g.name!r} must have positive size", g.line
+                )
+            top.declare(g.name, kind, g.line)
+        for fn in self.program.functions:
+            self._check_name(fn.name, fn.line)
+            if fn.name in self.functions:
+                raise SemanticError(
+                    f"duplicate function {fn.name!r}", fn.line
+                )
+            if top.lookup(fn.name) is not None:
+                raise SemanticError(
+                    f"function {fn.name!r} shadows a global", fn.line
+                )
+            self.functions[fn.name] = fn
+        for fn in self.program.functions:
+            self._check_function(fn, top)
+
+    def _check_name(self, name: str, line: int) -> None:
+        if name.startswith("__"):
+            raise SemanticError(
+                f"identifier {name!r} is reserved (double underscore)", line
+            )
+
+    def _check_function(self, fn: ast.FuncDecl, top: _Scope) -> None:
+        scope = _Scope(top)
+        for p in fn.params:
+            self._check_name(p.name, p.line)
+            scope.declare(p.name, "scalar", p.line)
+        self._check_block(fn.body, scope, fn, loop_depth=0)
+
+    def _check_block(
+        self, block: ast.Block, scope: _Scope, fn: ast.FuncDecl, loop_depth: int
+    ) -> None:
+        inner = _Scope(scope)
+        for stmt in block.stmts:
+            self._check_stmt(stmt, inner, fn, loop_depth)
+
+    def _check_stmt(
+        self, stmt: ast.Stmt, scope: _Scope, fn: ast.FuncDecl, loop_depth: int
+    ) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            self._check_name(stmt.name, stmt.line)
+            if stmt.array_size is not None:
+                if stmt.array_size <= 0:
+                    raise SemanticError(
+                        f"array {stmt.name!r} must have positive size",
+                        stmt.line,
+                    )
+                scope.declare(stmt.name, "array", stmt.line)
+            else:
+                if stmt.init is not None:
+                    self._check_rhs(stmt.init, scope, stmt.line)
+                scope.declare(stmt.name, "scalar", stmt.line)
+        elif isinstance(stmt, ast.Assign):
+            kind = scope.lookup(stmt.name)
+            if kind is None:
+                raise SemanticError(
+                    f"assignment to undeclared {stmt.name!r}", stmt.line
+                )
+            if kind != "scalar":
+                raise SemanticError(
+                    f"cannot assign to array {stmt.name!r} without index",
+                    stmt.line,
+                )
+            self._check_rhs(stmt.value, scope, stmt.line)
+        elif isinstance(stmt, ast.ArrayAssign):
+            kind = scope.lookup(stmt.name)
+            if kind is None:
+                raise SemanticError(
+                    f"assignment to undeclared {stmt.name!r}", stmt.line
+                )
+            if kind != "array":
+                raise SemanticError(
+                    f"{stmt.name!r} is not an array", stmt.line
+                )
+            self._check_expr(stmt.index, scope, stmt.line)
+            self._check_rhs(stmt.value, scope, stmt.line)
+        elif isinstance(stmt, ast.If):
+            self._check_expr(stmt.cond, scope, stmt.line)
+            self._check_block(stmt.then_body, scope, fn, loop_depth)
+            if stmt.else_body is not None:
+                self._check_block(stmt.else_body, scope, fn, loop_depth)
+        elif isinstance(stmt, ast.While):
+            self._check_expr(stmt.cond, scope, stmt.line)
+            self._check_block(stmt.body, scope, fn, loop_depth + 1)
+        elif isinstance(stmt, ast.For):
+            header = _Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, header, fn, loop_depth)
+            if stmt.cond is not None:
+                self._check_expr(stmt.cond, header, stmt.line)
+            if stmt.step is not None:
+                self._check_stmt(stmt.step, header, fn, loop_depth + 1)
+            self._check_block(stmt.body, header, fn, loop_depth + 1)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                if not fn.returns_value:
+                    raise SemanticError(
+                        f"void function {fn.name!r} returns a value",
+                        stmt.line,
+                    )
+                # A call may be the entire returned expression.
+                self._check_rhs(stmt.value, scope, stmt.line)
+            elif fn.returns_value:
+                raise SemanticError(
+                    f"function {fn.name!r} must return a value", stmt.line
+                )
+        elif isinstance(stmt, ast.Assert):
+            self._check_expr(stmt.cond, scope, stmt.line)
+        elif isinstance(stmt, ast.Break):
+            if loop_depth == 0:
+                raise SemanticError("break outside loop", stmt.line)
+        elif isinstance(stmt, ast.Continue):
+            if loop_depth == 0:
+                raise SemanticError("continue outside loop", stmt.line)
+        elif isinstance(stmt, ast.ExprStmt):
+            if not isinstance(stmt.expr, ast.Call):
+                raise SemanticError(
+                    "only calls may be used as expression statements",
+                    stmt.line,
+                )
+            self._check_call(stmt.expr, scope, need_value=False)
+        elif isinstance(stmt, ast.Block):
+            self._check_block(stmt, scope, fn, loop_depth)
+        else:  # pragma: no cover - exhaustiveness guard
+            raise SemanticError(f"unknown statement {stmt!r}", 0)
+
+    def _check_rhs(self, expr: ast.Expr, scope: _Scope, line: int) -> None:
+        """The right-hand side of an assignment: a call or a pure expression."""
+        if isinstance(expr, ast.Call):
+            self._check_call(expr, scope, need_value=True)
+        else:
+            self._check_expr(expr, scope, line)
+
+    def _check_call(self, call: ast.Call, scope: _Scope, need_value: bool) -> None:
+        fn = self.functions.get(call.name)
+        if fn is None:
+            raise SemanticError(f"call to undefined {call.name!r}", call.line)
+        if len(call.args) != len(fn.params):
+            raise SemanticError(
+                f"{call.name!r} expects {len(fn.params)} argument(s), "
+                f"got {len(call.args)}",
+                call.line,
+            )
+        if need_value and not fn.returns_value:
+            raise SemanticError(
+                f"void function {call.name!r} used for its value", call.line
+            )
+        for arg in call.args:
+            self._check_expr(arg, scope, call.line)
+
+    def _check_expr(self, expr: ast.Expr, scope: _Scope, line: int) -> None:
+        """A pure expression: no calls allowed anywhere inside."""
+        if isinstance(expr, ast.IntLit):
+            return
+        if isinstance(expr, ast.Var):
+            kind = scope.lookup(expr.name)
+            if kind is None:
+                raise SemanticError(f"undeclared variable {expr.name!r}", expr.line)
+            if kind != "scalar":
+                raise SemanticError(
+                    f"array {expr.name!r} used without index", expr.line
+                )
+            return
+        if isinstance(expr, ast.ArrayRef):
+            kind = scope.lookup(expr.name)
+            if kind is None:
+                raise SemanticError(f"undeclared array {expr.name!r}", expr.line)
+            if kind != "array":
+                raise SemanticError(f"{expr.name!r} is not an array", expr.line)
+            self._check_expr(expr.index, scope, expr.line)
+            return
+        if isinstance(expr, ast.Unary):
+            self._check_expr(expr.operand, scope, expr.line)
+            return
+        if isinstance(expr, ast.Binary):
+            self._check_expr(expr.left, scope, expr.line)
+            self._check_expr(expr.right, scope, expr.line)
+            return
+        if isinstance(expr, ast.Call):
+            raise SemanticError(
+                "calls may only appear as statements or as the entire "
+                "right-hand side of an assignment",
+                expr.line,
+            )
+        raise SemanticError(f"unknown expression {expr!r}", line)  # pragma: no cover
+
+
+def check_program(program: ast.Program) -> None:
+    """Run all semantic checks; raise :class:`SemanticError` on violation."""
+    _Checker(program).run()

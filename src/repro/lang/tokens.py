@@ -1,0 +1,56 @@
+"""Token definitions for the mini-C lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenKind(Enum):
+    """All token categories of mini-C."""
+
+    INT_LIT = auto()
+    IDENT = auto()
+    KEYWORD = auto()
+    PUNCT = auto()
+    EOF = auto()
+
+
+#: Reserved words.
+KEYWORDS = frozenset(
+    {
+        "int",
+        "void",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "assert",
+        "break",
+        "continue",
+    }
+)
+
+#: Multi-character punctuation, longest-match first.
+PUNCT2 = ("<=", ">=", "==", "!=", "&&", "||")
+PUNCT1 = "+-*/%<>=!(){}[];,"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    col: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind.name}({self.text!r})@{self.line}:{self.col}"

@@ -1,0 +1,187 @@
+"""The abstract interface of complete lattices with widening and narrowing.
+
+A *lattice* here is a description object: it knows how to compare, join and
+meet its elements, and it carries an (optional) widening operator ``widen``
+and narrowing operator ``narrow``.  Elements themselves are ordinary
+immutable Python values so that they can be stored in solver mappings, used
+as dictionary keys (e.g. as calling contexts), and compared with ``==``.
+
+Contracts (checked by the test-suite, including property-based tests):
+
+* ``leq`` is a partial order with least element ``bottom`` and greatest
+  element ``top``;
+* ``join`` is the least upper bound, ``meet`` the greatest lower bound;
+* widening: ``join(a, b) <= widen(a, b)`` for all ``a, b`` and for every
+  sequence ``d0, d1, ...`` the widened sequence ``w0 = d0``,
+  ``w_{i+1} = widen(w_i, d_{i+1})`` is eventually stable;
+* narrowing: ``b <= a`` implies ``b <= narrow(a, b) <= a`` and for every
+  descending sequence the narrowed sequence is eventually stable.
+
+By default ``widen`` falls back to ``join`` and ``narrow`` to ``b`` (the most
+precise narrowing).  These defaults are correct *and terminating* exactly for
+lattices without infinite ascending (resp. descending) chains; domains with
+infinite chains override them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Generic, Iterable, TypeVar
+
+V = TypeVar("V")
+
+
+class LatticeError(Exception):
+    """Raised when a lattice operation is applied to invalid elements."""
+
+
+class Lattice(ABC, Generic[V]):
+    """A complete lattice together with widening/narrowing operators.
+
+    Subclasses must implement :meth:`leq`, :meth:`join`, :meth:`meet` and the
+    properties :attr:`bottom` and :attr:`top`.  The remaining operations have
+    sensible defaults expressed in terms of those.
+    """
+
+    #: Human-readable domain name, used in reports and error messages.
+    name: str = "lattice"
+
+    # ------------------------------------------------------------------ #
+    # Core order-theoretic structure.                                    #
+    # ------------------------------------------------------------------ #
+
+    @property
+    @abstractmethod
+    def bottom(self) -> V:
+        """The least element of the lattice."""
+
+    @property
+    @abstractmethod
+    def top(self) -> V:
+        """The greatest element of the lattice."""
+
+    @abstractmethod
+    def leq(self, a: V, b: V) -> bool:
+        """Return whether ``a`` is less than or equal to ``b``."""
+
+    @abstractmethod
+    def join(self, a: V, b: V) -> V:
+        """Return the least upper bound of ``a`` and ``b``."""
+
+    @abstractmethod
+    def meet(self, a: V, b: V) -> V:
+        """Return the greatest lower bound of ``a`` and ``b``."""
+
+    # ------------------------------------------------------------------ #
+    # Derived operations.                                                #
+    # ------------------------------------------------------------------ #
+
+    def equal(self, a: V, b: V) -> bool:
+        """Return whether ``a`` and ``b`` denote the same lattice element.
+
+        The default compares with ``==`` which is adequate for canonical
+        element representations.  Domains with non-canonical representations
+        must override this.
+        """
+        return a == b
+
+    def is_bottom(self, a: V) -> bool:
+        """Return whether ``a`` is the least element."""
+        return self.equal(a, self.bottom)
+
+    def is_top(self, a: V) -> bool:
+        """Return whether ``a`` is the greatest element."""
+        return self.equal(a, self.top)
+
+    def join_all(self, values: Iterable[V]) -> V:
+        """Return the least upper bound of all ``values`` (bottom if empty)."""
+        acc = self.bottom
+        for v in values:
+            acc = self.join(acc, v)
+        return acc
+
+    def meet_all(self, values: Iterable[V]) -> V:
+        """Return the greatest lower bound of all ``values`` (top if empty)."""
+        acc = self.top
+        for v in values:
+            acc = self.meet(acc, v)
+        return acc
+
+    # ------------------------------------------------------------------ #
+    # Widening and narrowing.                                            #
+    # ------------------------------------------------------------------ #
+
+    def widen(self, a: V, b: V) -> V:
+        """Widening operator.
+
+        Must satisfy ``join(a, b) <= widen(a, b)`` and stabilise every
+        ascending chain.  The default is ``join`` which is only a widening
+        for lattices of bounded height.
+        """
+        return self.join(a, b)
+
+    def narrow(self, a: V, b: V) -> V:
+        """Narrowing operator, assuming ``b <= a``.
+
+        Must satisfy ``b <= narrow(a, b) <= a`` and stabilise every
+        descending chain.  The default returns ``b`` (the most precise
+        choice), which is only a narrowing for lattices without infinite
+        descending chains.
+        """
+        return b
+
+    # ------------------------------------------------------------------ #
+    # Validation and display hooks (used heavily by the test-suite).     #
+    # ------------------------------------------------------------------ #
+
+    def validate(self, a: V) -> None:
+        """Raise :class:`LatticeError` if ``a`` is not a valid element.
+
+        The default accepts everything; finite domains override this to
+        reject foreign values early.
+        """
+
+    def format(self, a: V) -> str:
+        """Render element ``a`` for human consumption."""
+        return repr(a)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class FiniteLattice(Lattice[V]):
+    """Convenience base class for lattices with finitely many elements.
+
+    Subclasses provide :meth:`elements`; the default :meth:`validate`
+    checks membership.  ``widen``/``narrow`` defaults are already correct
+    for finite lattices.
+    """
+
+    @abstractmethod
+    def elements(self) -> frozenset[Any]:
+        """Return the (finite) carrier set of the lattice."""
+
+    def validate(self, a: V) -> None:
+        if a not in self.elements():
+            raise LatticeError(f"{a!r} is not an element of {self.name}")
+
+    def height(self) -> int:
+        """Length of the longest strictly ascending chain, computed by search.
+
+        Only intended for small lattices (tests, complexity-bound checks).
+        """
+        elems = list(self.elements())
+        best: dict[Any, int] = {}
+
+        def chain_from(x: Any) -> int:
+            if x in best:
+                return best[x]
+            # Longest chain strictly above x.
+            longest = 0
+            for y in elems:
+                if x != y and self.leq(x, y):
+                    longest = max(longest, chain_from(y))
+            best[x] = 1 + longest
+            return best[x]
+
+        return max(chain_from(x) for x in elems)

@@ -1,0 +1,35 @@
+"""The two-point lattice ``false <= true``.
+
+Useful as a reachability domain and as the simplest possible instance for
+solver tests (height 2, trivially terminating).
+"""
+
+from __future__ import annotations
+
+from repro.lattices.base import FiniteLattice
+
+
+class BoolLattice(FiniteLattice[bool]):
+    """Booleans ordered by implication: ``False <= True``."""
+
+    name = "bool"
+
+    @property
+    def bottom(self) -> bool:
+        return False
+
+    @property
+    def top(self) -> bool:
+        return True
+
+    def leq(self, a: bool, b: bool) -> bool:
+        return (not a) or b
+
+    def join(self, a: bool, b: bool) -> bool:
+        return a or b
+
+    def meet(self, a: bool, b: bool) -> bool:
+        return a and b
+
+    def elements(self):
+        return frozenset({False, True})

@@ -1,0 +1,190 @@
+"""The congruence (linear residue) domain: ``x = r (mod m)``.
+
+Elements are ``None`` (bottom) or pairs ``(m, r)``:
+
+* ``m == 0``: the constant ``r``;
+* ``m >= 1``: all integers congruent to ``r`` modulo ``m`` (canonically
+  ``0 <= r < m``); in particular top is ``(1, 0)``.
+
+Ascending chains are finite (moduli shrink along divisibility), so plain
+join is a widening.  Descending chains are infinite (meets grow moduli
+without bound), so -- like the interval domain -- the narrowing only
+improves the top element.
+
+The domain is most useful in (reduced) product with intervals: stride
+information sharpens bounds and vice versa (see
+:class:`repro.analysis.values.ProductNumericDomain`).
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Optional, Tuple
+
+from repro.lattices.base import Lattice, LatticeError
+
+#: Lattice elements: ``None`` (bottom) or ``(modulus, residue)``.
+CongruenceValue = Optional[Tuple[int, int]]
+
+#: The top element: everything is congruent to 0 modulo 1.
+TOP: Tuple[int, int] = (1, 0)
+
+
+def congruence(m: int, r: int) -> Tuple[int, int]:
+    """Construct the canonical element for ``x = r (mod m)``."""
+    if m < 0:
+        raise LatticeError(f"negative modulus {m}")
+    if m == 0:
+        return (0, r)
+    return (m, r % m)
+
+
+def const(n: int) -> Tuple[int, int]:
+    """The constant ``n``."""
+    return (0, n)
+
+
+class CongruenceLattice(Lattice[CongruenceValue]):
+    """The lattice of congruences ``x = r (mod m)`` (plus constants)."""
+
+    name = "congruence"
+
+    @property
+    def bottom(self) -> CongruenceValue:
+        return None
+
+    @property
+    def top(self) -> CongruenceValue:
+        return TOP
+
+    def leq(self, a: CongruenceValue, b: CongruenceValue) -> bool:
+        if a is None:
+            return True
+        if b is None:
+            return False
+        ma, ra = a
+        mb, rb = b
+        if mb == 0:
+            return ma == 0 and ra == rb
+        return ma % mb == 0 and (ra - rb) % mb == 0
+
+    def join(self, a: CongruenceValue, b: CongruenceValue) -> CongruenceValue:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        ma, ra = a
+        mb, rb = b
+        m = gcd(gcd(ma, mb), abs(ra - rb))
+        if m == 0:
+            return a  # equal constants
+        return congruence(m, ra)
+
+    def meet(self, a: CongruenceValue, b: CongruenceValue) -> CongruenceValue:
+        if a is None or b is None:
+            return None
+        ma, ra = a
+        mb, rb = b
+        if ma == 0 and mb == 0:
+            return a if ra == rb else None
+        if ma == 0:
+            return a if self.leq(a, b) else None
+        if mb == 0:
+            return b if self.leq(b, a) else None
+        g = gcd(ma, mb)
+        if (ra - rb) % g != 0:
+            return None
+        # Chinese remaindering: combine the two congruences.
+        lcm = ma // g * mb
+        _, x, _ = _egcd(ma, mb)
+        diff = (rb - ra) // g
+        r = (ra + ma * (x * diff % (mb // g))) % lcm
+        return congruence(lcm, r)
+
+    # Ascending chains are finite, so join doubles as the widening.
+
+    def narrow(self, a: CongruenceValue, b: CongruenceValue) -> CongruenceValue:
+        """Refine only the top element (descending chains are infinite)."""
+        if a == TOP or a is None:
+            return b
+        return a
+
+    def validate(self, a: CongruenceValue) -> None:
+        if a is None:
+            return
+        if not (isinstance(a, tuple) and len(a) == 2):
+            raise LatticeError(f"{a!r} is not a congruence")
+        m, r = a
+        if not isinstance(m, int) or not isinstance(r, int):
+            raise LatticeError(f"{a!r} has non-integer components")
+        if m < 0:
+            raise LatticeError(f"negative modulus in {a!r}")
+        if m > 0 and not 0 <= r < m:
+            raise LatticeError(f"non-canonical residue in {a!r}")
+
+    def format(self, a: CongruenceValue) -> str:
+        if a is None:
+            return "_|_"
+        m, r = a
+        if m == 0:
+            return str(r)
+        if m == 1:
+            return "Z"
+        return f"{r}(mod {m})"
+
+    # ----------------------------------------------------------------- #
+    # Abstract arithmetic.                                              #
+    # ----------------------------------------------------------------- #
+
+    def from_const(self, n: int) -> CongruenceValue:
+        return const(n)
+
+    def contains(self, a: CongruenceValue, n: int) -> bool:
+        """Whether the concrete integer ``n`` is represented by ``a``."""
+        if a is None:
+            return False
+        m, r = a
+        if m == 0:
+            return n == r
+        return n % m == r
+
+    def add(self, a: CongruenceValue, b: CongruenceValue) -> CongruenceValue:
+        if a is None or b is None:
+            return None
+        ma, ra = a
+        mb, rb = b
+        return congruence(gcd(ma, mb), ra + rb)
+
+    def sub(self, a: CongruenceValue, b: CongruenceValue) -> CongruenceValue:
+        if a is None or b is None:
+            return None
+        ma, ra = a
+        mb, rb = b
+        return congruence(gcd(ma, mb), ra - rb)
+
+    def neg(self, a: CongruenceValue) -> CongruenceValue:
+        if a is None:
+            return None
+        m, r = a
+        return congruence(m, -r)
+
+    def mul(self, a: CongruenceValue, b: CongruenceValue) -> CongruenceValue:
+        if a is None or b is None:
+            return None
+        ma, ra = a
+        mb, rb = b
+        # (ma*k + ra)(mb*l + rb) = ma*mb*kl + ma*rb*k + mb*ra*l + ra*rb.
+        return congruence(gcd(gcd(ma * mb, ma * rb), mb * ra), ra * rb)
+
+
+def _egcd(a: int, b: int) -> Tuple[int, int, int]:
+    """Extended gcd: returns ``(g, x, y)`` with ``a*x + b*y = g``."""
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    return old_r, old_x, old_y

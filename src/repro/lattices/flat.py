@@ -1,0 +1,95 @@
+"""The flat (constant-propagation) lattice over an arbitrary value universe.
+
+Elements are :data:`FlatBot`, :data:`FlatTop`, or any other hashable value,
+with ``bot <= v <= top`` and distinct proper values incomparable.  This is
+the classic constant-propagation domain; its height is 3 regardless of the
+universe, so the default widening/narrowing are already correct.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.lattices.base import Lattice
+
+
+class _FlatBot:
+    """Unique bottom sentinel of the flat lattice."""
+
+    _instance: "_FlatBot | None" = None
+
+    def __new__(cls) -> "_FlatBot":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "FlatBot"
+
+
+class _FlatTop:
+    """Unique top sentinel of the flat lattice."""
+
+    _instance: "_FlatTop | None" = None
+
+    def __new__(cls) -> "_FlatTop":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "FlatTop"
+
+
+FlatBot = _FlatBot()
+FlatTop = _FlatTop()
+
+
+class Flat(Lattice[Any]):
+    """Flat lifting of an arbitrary set of hashable values."""
+
+    name = "flat"
+
+    @property
+    def bottom(self) -> Any:
+        return FlatBot
+
+    @property
+    def top(self) -> Any:
+        return FlatTop
+
+    def leq(self, a: Any, b: Any) -> bool:
+        if a is FlatBot or b is FlatTop:
+            return True
+        if a is FlatTop or b is FlatBot:
+            return False
+        return a == b
+
+    def join(self, a: Any, b: Any) -> Any:
+        if a is FlatBot:
+            return b
+        if b is FlatBot:
+            return a
+        if a == b:
+            return a
+        return FlatTop
+
+    def meet(self, a: Any, b: Any) -> Any:
+        if a is FlatTop:
+            return b
+        if b is FlatTop:
+            return a
+        if a == b:
+            return a
+        return FlatBot
+
+    def from_const(self, v: Any) -> Any:
+        """Embed a concrete value as a proper lattice element."""
+        return v
+
+    def format(self, a: Any) -> str:
+        if a is FlatBot:
+            return "_|_"
+        if a is FlatTop:
+            return "T"
+        return repr(a)

@@ -1,0 +1,105 @@
+"""Bottom-lifting of a lattice: add a new least element below everything.
+
+``Lifted(L)`` has elements :data:`LiftedBottom` plus all elements of ``L``.
+This is the standard way to distinguish *unreachable* (the fresh bottom)
+from the least ordinary value of ``L`` — e.g. an abstract environment that
+maps every variable to the empty interval is still different from "this
+program point cannot be reached".
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.lattices.base import Lattice
+
+
+class _LiftedBottom:
+    """Unique sentinel for the fresh bottom element."""
+
+    _instance: "_LiftedBottom | None" = None
+
+    def __new__(cls) -> "_LiftedBottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "Unreachable"
+
+
+LiftedBottom = _LiftedBottom()
+
+
+class Lifted(Lattice[Any]):
+    """The lattice ``L`` with a fresh bottom element glued underneath."""
+
+    name = "lifted"
+
+    def __init__(self, inner: Lattice) -> None:
+        """Lift ``inner`` by a new least element."""
+        self._inner = inner
+        self.name = f"lift({inner.name})"
+
+    @property
+    def inner(self) -> Lattice:
+        """The lifted lattice."""
+        return self._inner
+
+    @property
+    def bottom(self) -> Any:
+        return LiftedBottom
+
+    @property
+    def top(self) -> Any:
+        return self._inner.top
+
+    def lift(self, a: Any) -> Any:
+        """Embed an element of the inner lattice (identity embedding)."""
+        return a
+
+    def leq(self, a: Any, b: Any) -> bool:
+        if a is LiftedBottom:
+            return True
+        if b is LiftedBottom:
+            return False
+        return self._inner.leq(a, b)
+
+    def join(self, a: Any, b: Any) -> Any:
+        if a is LiftedBottom:
+            return b
+        if b is LiftedBottom:
+            return a
+        return self._inner.join(a, b)
+
+    def meet(self, a: Any, b: Any) -> Any:
+        if a is LiftedBottom or b is LiftedBottom:
+            return LiftedBottom
+        return self._inner.meet(a, b)
+
+    def widen(self, a: Any, b: Any) -> Any:
+        if a is LiftedBottom:
+            return b
+        if b is LiftedBottom:
+            return a
+        return self._inner.widen(a, b)
+
+    def narrow(self, a: Any, b: Any) -> Any:
+        if a is LiftedBottom or b is LiftedBottom:
+            return b
+        return self._inner.narrow(a, b)
+
+    def equal(self, a: Any, b: Any) -> bool:
+        if a is LiftedBottom or b is LiftedBottom:
+            return a is b
+        return self._inner.equal(a, b)
+
+    def validate(self, a: Any) -> None:
+        if a is LiftedBottom:
+            return
+        self._inner.validate(a)
+
+    def format(self, a: Any) -> str:
+        if a is LiftedBottom:
+            return "unreachable"
+        return self._inner.format(a)

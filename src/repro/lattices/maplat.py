@@ -1,0 +1,131 @@
+"""Total map lattices ``K -> D`` over a fixed finite key set.
+
+Elements are :class:`FrozenMap` values: immutable, hashable mappings.  The
+ordering, join, meet, widening and narrowing are all point-wise.  Map
+lattices are the backbone of abstract environments (variable -> value) and
+of calling contexts, which must be hashable because they become unknowns of
+the equation system.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from repro.lattices.base import Lattice, LatticeError
+
+
+class FrozenMap(Mapping):
+    """An immutable, hashable mapping with value-based equality."""
+
+    __slots__ = ("_data", "_hash")
+
+    def __init__(self, data: Mapping | Iterable[tuple] = ()) -> None:
+        object.__setattr__(self, "_data", dict(data))
+        object.__setattr__(self, "_hash", None)
+
+    def __getitem__(self, key):
+        return self._data[key]
+
+    def __iter__(self) -> Iterator:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            object.__setattr__(
+                self, "_hash", hash(frozenset(self._data.items()))
+            )
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, FrozenMap):
+            return self._data == other._data
+        if isinstance(other, Mapping):
+            return dict(self._data) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        items = ", ".join(f"{k!r}: {v!r}" for k, v in sorted(
+            self._data.items(), key=lambda kv: str(kv[0])
+        ))
+        return "{" + items + "}"
+
+    def set(self, key, value) -> "FrozenMap":
+        """Return a copy with ``key`` bound to ``value``."""
+        data = dict(self._data)
+        data[key] = value
+        return FrozenMap(data)
+
+    def set_many(self, updates: Mapping) -> "FrozenMap":
+        """Return a copy with all bindings in ``updates`` applied."""
+        data = dict(self._data)
+        data.update(updates)
+        return FrozenMap(data)
+
+
+class MapLattice(Lattice[FrozenMap]):
+    """Point-wise lattice of total maps from a finite key set into ``value``."""
+
+    name = "map"
+
+    def __init__(self, keys: Iterable[Hashable], value: Lattice) -> None:
+        """Create the map lattice with the given fixed ``keys``.
+
+        :param keys: the finite key set; every element binds all of them.
+        :param value: the co-domain lattice.
+        """
+        self._keys = tuple(dict.fromkeys(keys))
+        self._value = value
+        self.name = f"map->{value.name}"
+
+    @property
+    def keys(self) -> tuple:
+        """The fixed key set, in declaration order."""
+        return self._keys
+
+    @property
+    def value_lattice(self) -> Lattice:
+        """The co-domain lattice."""
+        return self._value
+
+    @property
+    def bottom(self) -> FrozenMap:
+        return FrozenMap({k: self._value.bottom for k in self._keys})
+
+    @property
+    def top(self) -> FrozenMap:
+        return FrozenMap({k: self._value.top for k in self._keys})
+
+    def leq(self, a: FrozenMap, b: FrozenMap) -> bool:
+        return all(self._value.leq(a[k], b[k]) for k in self._keys)
+
+    def join(self, a: FrozenMap, b: FrozenMap) -> FrozenMap:
+        return FrozenMap({k: self._value.join(a[k], b[k]) for k in self._keys})
+
+    def meet(self, a: FrozenMap, b: FrozenMap) -> FrozenMap:
+        return FrozenMap({k: self._value.meet(a[k], b[k]) for k in self._keys})
+
+    def widen(self, a: FrozenMap, b: FrozenMap) -> FrozenMap:
+        return FrozenMap({k: self._value.widen(a[k], b[k]) for k in self._keys})
+
+    def narrow(self, a: FrozenMap, b: FrozenMap) -> FrozenMap:
+        return FrozenMap({k: self._value.narrow(a[k], b[k]) for k in self._keys})
+
+    def equal(self, a: FrozenMap, b: FrozenMap) -> bool:
+        return all(self._value.equal(a[k], b[k]) for k in self._keys)
+
+    def validate(self, a: FrozenMap) -> None:
+        if not isinstance(a, Mapping):
+            raise LatticeError(f"{a!r} is not a mapping")
+        if set(a) != set(self._keys):
+            raise LatticeError(
+                f"keys {sorted(map(str, a))} do not match lattice keys"
+            )
+        for k in self._keys:
+            self._value.validate(a[k])
+
+    def format(self, a: FrozenMap) -> str:
+        parts = (f"{k}: {self._value.format(a[k])}" for k in self._keys)
+        return "{" + ", ".join(parts) + "}"

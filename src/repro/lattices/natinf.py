@@ -1,0 +1,64 @@
+"""The chain lattice ``N | {oo}`` from the paper's running examples.
+
+Examples 1--4 of the paper use the lattice of non-negative integers extended
+with infinity, ordered naturally, with
+
+* widening ``a widen b = a if b <= a else oo`` and
+* narrowing ``a narrow b = b if a = oo else a``.
+
+Elements are Python ``int`` values or the distinguished :data:`INF`.
+"""
+
+from __future__ import annotations
+
+from repro.lattices.base import Lattice, LatticeError
+
+#: The top element (infinity).  ``float('inf')`` compares correctly with
+#: every ``int``, which keeps element handling trivial.
+INF = float("inf")
+
+
+class NatInf(Lattice):
+    """Non-negative integers extended with infinity, ordered by ``<=``.
+
+    This lattice has infinite strictly ascending chains (``0 < 1 < ...``)
+    so naive Kleene iteration need not terminate on it; the paper uses it to
+    exhibit divergence of round-robin and worklist iteration under the
+    combined operator.
+    """
+
+    name = "nat-inf"
+
+    @property
+    def bottom(self):
+        return 0
+
+    @property
+    def top(self):
+        return INF
+
+    def leq(self, a, b) -> bool:
+        return a <= b
+
+    def join(self, a, b):
+        return a if a >= b else b
+
+    def meet(self, a, b):
+        return a if a <= b else b
+
+    def widen(self, a, b):
+        """Paper's widening: keep ``a`` if nothing grew, else jump to oo."""
+        return a if b <= a else INF
+
+    def narrow(self, a, b):
+        """Paper's narrowing: only improve the infinite value."""
+        return b if a == INF else a
+
+    def validate(self, a) -> None:
+        if a == INF:
+            return
+        if not isinstance(a, int) or isinstance(a, bool) or a < 0:
+            raise LatticeError(f"{a!r} is not a natural number or infinity")
+
+    def format(self, a) -> str:
+        return "oo" if a == INF else str(a)

@@ -1,0 +1,59 @@
+"""The parity domain: bottom < {even, odd} < top.
+
+A tiny finite lattice used in tests and as an alternative context projection
+for the interprocedural analysis.
+"""
+
+from __future__ import annotations
+
+from repro.lattices.base import FiniteLattice
+
+
+class Parity(FiniteLattice):
+    """Four-element parity lattice represented by frozensets of atoms."""
+
+    name = "parity"
+
+    BOT = frozenset()
+    EVEN = frozenset({"even"})
+    ODD = frozenset({"odd"})
+    TOP = frozenset({"even", "odd"})
+
+    @property
+    def bottom(self):
+        return self.BOT
+
+    @property
+    def top(self):
+        return self.TOP
+
+    def leq(self, a, b) -> bool:
+        return a <= b
+
+    def join(self, a, b):
+        return a | b
+
+    def meet(self, a, b):
+        return a & b
+
+    def elements(self):
+        return frozenset({self.BOT, self.EVEN, self.ODD, self.TOP})
+
+    def from_const(self, n: int):
+        """Abstract a concrete integer to its parity."""
+        return self.EVEN if n % 2 == 0 else self.ODD
+
+    def from_interval(self, iv):
+        """Abstract an interval element to a parity."""
+        if iv is None:
+            return self.BOT
+        if iv.is_singleton():
+            return self.from_const(int(iv.lo))
+        return self.TOP
+
+    def format(self, a) -> str:
+        if not a:
+            return "_|_"
+        if a == self.TOP:
+            return "T"
+        return next(iter(a))

@@ -1,0 +1,63 @@
+"""Finite powerset lattices ordered by inclusion.
+
+Elements are ``frozenset`` values over a fixed finite universe.  Used for
+may-analyses (e.g. reaching definitions in tests) and as a finite-height
+stress domain for solver complexity experiments.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterable
+
+from repro.lattices.base import Lattice, LatticeError
+
+
+class PowersetLattice(Lattice[FrozenSet[Hashable]]):
+    """The lattice ``(2^U, subset-of)`` for a finite universe ``U``."""
+
+    name = "powerset"
+
+    def __init__(self, universe: Iterable[Hashable]) -> None:
+        """Create the powerset lattice over ``universe``."""
+        self._universe = frozenset(universe)
+
+    @property
+    def universe(self) -> frozenset:
+        """The underlying finite universe."""
+        return self._universe
+
+    @property
+    def bottom(self) -> frozenset:
+        return frozenset()
+
+    @property
+    def top(self) -> frozenset:
+        return self._universe
+
+    def leq(self, a: frozenset, b: frozenset) -> bool:
+        return a <= b
+
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def meet(self, a: frozenset, b: frozenset) -> frozenset:
+        return a & b
+
+    def singleton(self, x: Hashable) -> frozenset:
+        """The one-element set ``{x}``; raises if ``x`` is foreign."""
+        if x not in self._universe:
+            raise LatticeError(f"{x!r} is not in the universe")
+        return frozenset({x})
+
+    def validate(self, a: frozenset) -> None:
+        if not isinstance(a, frozenset):
+            raise LatticeError(f"{a!r} is not a frozenset")
+        if not a <= self._universe:
+            raise LatticeError(f"{a!r} contains foreign elements")
+
+    def height_bound(self) -> int:
+        """The lattice height: ``|U| + 1``."""
+        return len(self._universe) + 1
+
+    def format(self, a: frozenset) -> str:
+        return "{" + ",".join(sorted(map(str, a))) + "}"

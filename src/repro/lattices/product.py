@@ -1,0 +1,66 @@
+"""Cartesian products of lattices, ordered component-wise.
+
+Elements are tuples whose ``i``-th component is an element of the ``i``-th
+factor.  Widening and narrowing are applied component-wise, which preserves
+the respective operator contracts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.lattices.base import Lattice, LatticeError
+
+
+class ProductLattice(Lattice[Tuple]):
+    """The component-wise product of a fixed sequence of lattices."""
+
+    name = "product"
+
+    def __init__(self, factors: Sequence[Lattice]) -> None:
+        """Create the product of the given ``factors`` (at least one)."""
+        if not factors:
+            raise LatticeError("product of zero lattices is not supported")
+        self._factors = tuple(factors)
+        self.name = "x".join(f.name for f in self._factors)
+
+    @property
+    def factors(self) -> tuple[Lattice, ...]:
+        """The component lattices."""
+        return self._factors
+
+    @property
+    def bottom(self) -> tuple:
+        return tuple(f.bottom for f in self._factors)
+
+    @property
+    def top(self) -> tuple:
+        return tuple(f.top for f in self._factors)
+
+    def leq(self, a: tuple, b: tuple) -> bool:
+        return all(f.leq(x, y) for f, x, y in zip(self._factors, a, b))
+
+    def join(self, a: tuple, b: tuple) -> tuple:
+        return tuple(f.join(x, y) for f, x, y in zip(self._factors, a, b))
+
+    def meet(self, a: tuple, b: tuple) -> tuple:
+        return tuple(f.meet(x, y) for f, x, y in zip(self._factors, a, b))
+
+    def widen(self, a: tuple, b: tuple) -> tuple:
+        return tuple(f.widen(x, y) for f, x, y in zip(self._factors, a, b))
+
+    def narrow(self, a: tuple, b: tuple) -> tuple:
+        return tuple(f.narrow(x, y) for f, x, y in zip(self._factors, a, b))
+
+    def equal(self, a: tuple, b: tuple) -> bool:
+        return all(f.equal(x, y) for f, x, y in zip(self._factors, a, b))
+
+    def validate(self, a: tuple) -> None:
+        if not isinstance(a, tuple) or len(a) != len(self._factors):
+            raise LatticeError(f"{a!r} is not a {len(self._factors)}-tuple")
+        for f, x in zip(self._factors, a):
+            f.validate(x)
+
+    def format(self, a: tuple) -> str:
+        parts = (f.format(x) for f, x in zip(self._factors, a))
+        return "(" + ", ".join(parts) + ")"

@@ -1,0 +1,94 @@
+"""The sign domain: a small finite lattice used for context projections.
+
+The elements form the usual diamond-with-combinations Hasse diagram over the
+atoms ``NEG`` (< 0), ``ZERO`` (= 0), ``POS`` (> 0); compound elements are
+sets of atoms.  We represent every element as a frozenset of atom names with
+``frozenset()`` as bottom and the full set as top.
+
+The paper's context-sensitive analysis keys procedure contexts on the
+*non-interval* parts of local states; our reproduction projects interval
+entry states to signs to obtain a finite yet value-dependent context (see
+:mod:`repro.analysis.inter`).
+"""
+
+from __future__ import annotations
+
+from repro.lattices.base import FiniteLattice
+
+_NEG = "-"
+_ZERO = "0"
+_POS = "+"
+_ATOMS = frozenset({_NEG, _ZERO, _POS})
+
+
+class Sign(FiniteLattice):
+    """Powerset-of-atoms sign lattice ``{ {}, {-}, {0}, {+}, ..., {-,0,+} }``."""
+
+    name = "sign"
+
+    BOT = frozenset()
+    NEG = frozenset({_NEG})
+    ZERO = frozenset({_ZERO})
+    POS = frozenset({_POS})
+    NON_POS = frozenset({_NEG, _ZERO})
+    NON_NEG = frozenset({_ZERO, _POS})
+    NON_ZERO = frozenset({_NEG, _POS})
+    TOP = _ATOMS
+
+    @property
+    def bottom(self):
+        return self.BOT
+
+    @property
+    def top(self):
+        return self.TOP
+
+    def leq(self, a, b) -> bool:
+        return a <= b
+
+    def join(self, a, b):
+        return a | b
+
+    def meet(self, a, b):
+        return a & b
+
+    def elements(self):
+        out = set()
+        for mask in range(8):
+            e = frozenset(
+                atom
+                for bit, atom in enumerate((_NEG, _ZERO, _POS))
+                if mask >> bit & 1
+            )
+            out.add(e)
+        return frozenset(out)
+
+    # ----------------------------------------------------------------- #
+    # Abstractions.                                                     #
+    # ----------------------------------------------------------------- #
+
+    def from_const(self, n: int):
+        """Abstract a concrete integer to its sign."""
+        if n < 0:
+            return self.NEG
+        if n == 0:
+            return self.ZERO
+        return self.POS
+
+    def from_interval(self, iv) -> frozenset:
+        """Abstract an interval element (of :class:`IntervalLattice`)."""
+        if iv is None:
+            return self.BOT
+        atoms = set()
+        if iv.lo < 0:
+            atoms.add(_NEG)
+        if iv.lo <= 0 <= iv.hi:
+            atoms.add(_ZERO)
+        if iv.hi > 0:
+            atoms.add(_POS)
+        return frozenset(atoms)
+
+    def format(self, a) -> str:
+        if not a:
+            return "_|_"
+        return "{" + ",".join(sorted(a)) + "}"

@@ -1,0 +1,135 @@
+"""Widening/narrowing *combinators*: wrappers that tune acceleration.
+
+The paper treats the widening ``widen`` and narrowing ``narrow`` operators as
+given and studies how to interleave them.  Real analyzers additionally tune
+the operators themselves; this module provides the three classic tuning
+knobs as lattice wrappers:
+
+* :class:`ThresholdWidening` -- widen through a finite ascending set of
+  threshold elements before giving up to the inner widening;
+* :class:`DelayedWidening` -- behave like join for the first ``delay``
+  widening applications (a *global* delay; the per-unknown variant lives in
+  :class:`repro.solvers.combine.WarrowCombine`);
+* :class:`NarrowToMeet` -- replace the narrowing by the meet (the most
+  aggressive improvement; terminating only on domains without infinite
+  descending chains, used in ablation experiments).
+
+All wrappers delegate the order-theoretic structure to the inner lattice
+unchanged, so they can be dropped into any analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.lattices.base import Lattice
+
+
+class _Wrapper(Lattice[Any]):
+    """Base class delegating all lattice structure to an inner lattice."""
+
+    def __init__(self, inner: Lattice) -> None:
+        self._inner = inner
+        self.name = f"{type(self).__name__.lower()}({inner.name})"
+
+    @property
+    def inner(self) -> Lattice:
+        """The wrapped lattice."""
+        return self._inner
+
+    @property
+    def bottom(self):
+        return self._inner.bottom
+
+    @property
+    def top(self):
+        return self._inner.top
+
+    def leq(self, a, b):
+        return self._inner.leq(a, b)
+
+    def join(self, a, b):
+        return self._inner.join(a, b)
+
+    def meet(self, a, b):
+        return self._inner.meet(a, b)
+
+    def widen(self, a, b):
+        return self._inner.widen(a, b)
+
+    def narrow(self, a, b):
+        return self._inner.narrow(a, b)
+
+    def equal(self, a, b):
+        return self._inner.equal(a, b)
+
+    def validate(self, a):
+        self._inner.validate(a)
+
+    def format(self, a):
+        return self._inner.format(a)
+
+
+class ThresholdWidening(_Wrapper):
+    """Widen through a finite set of threshold elements.
+
+    ``widen(a, b)`` returns the least threshold element above
+    ``join(a, b)`` if one exists, and falls back to the inner widening
+    otherwise.  Because the threshold set is finite and results only grow,
+    this is again a widening operator.
+    """
+
+    def __init__(self, inner: Lattice, thresholds: Iterable[Any]) -> None:
+        super().__init__(inner)
+        self._thresholds = list(thresholds)
+
+    def widen(self, a, b):
+        joined = self._inner.join(a, b)
+        best = None
+        for t in self._thresholds:
+            if self._inner.leq(joined, t):
+                if best is None or self._inner.leq(t, best):
+                    best = t
+        if best is not None:
+            return best
+        return self._inner.widen(a, b)
+
+
+class DelayedWidening(_Wrapper):
+    """Use plain join for the first ``delay`` widening applications.
+
+    The delay counter is *global* to the wrapper instance (the style used by
+    analyzers that run a few precise Kleene rounds before accelerating).
+    Termination is preserved: after finitely many joins the inner widening
+    takes over.  Call :meth:`reset` to reuse the instance across solver runs.
+    """
+
+    def __init__(self, inner: Lattice, delay: int) -> None:
+        super().__init__(inner)
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self._delay = delay
+        self._used = 0
+
+    def reset(self) -> None:
+        """Reset the delay budget (e.g. between solver runs)."""
+        self._used = 0
+
+    def widen(self, a, b):
+        if self._used < self._delay:
+            self._used += 1
+            return self._inner.join(a, b)
+        return self._inner.widen(a, b)
+
+
+class NarrowToMeet(_Wrapper):
+    """Replace narrowing by the meet: ``narrow(a, b) = meet(a, b)``.
+
+    For ``b <= a`` this equals ``b``, i.e. full precision is taken
+    immediately.  This is only a proper narrowing on domains whose
+    descending chains stabilise; it exists to quantify (in the ablations)
+    how much the safe narrowing of a domain gives up.
+    """
+
+    def narrow(self, a, b):
+        return self._inner.meet(a, b)

@@ -1,0 +1,96 @@
+"""Generic fixpoint solvers parameterised by a binary update operator.
+
+This package is the reproduction of the paper's algorithmic core:
+
+========  =======================================  =====================
+Solver    Paper reference                          Function
+========  =======================================  =====================
+RR        Fig. 1, round robin                      :func:`solve_rr`
+W         Fig. 2, worklist                         :func:`solve_wl`
+SRR       Fig. 3, structured round robin           :func:`solve_srr`
+SW        Fig. 4, structured worklist              :func:`solve_sw`
+RLD       Fig. 5, Hofmann et al. local solver      :func:`solve_rld`
+SLR       Fig. 6, structured local recursive       :func:`solve_slr`
+SLR+      Section 6, side-effecting SLR            :func:`solve_slr_side`
+--        two-phase widening/narrowing baseline    :func:`solve_twophase`
+--        naive Kleene iteration baseline          :func:`solve_kleene`
+========  =======================================  =====================
+
+Every solver takes a :class:`~repro.solvers.combine.Combine` operator; the
+paper's combined widening/narrowing operator is
+:class:`~repro.solvers.combine.WarrowCombine`.
+"""
+
+from repro.solvers.combine import (
+    BoundedWarrowCombine,
+    Combine,
+    JoinCombine,
+    MeetCombine,
+    NarrowCombine,
+    OverrideCombine,
+    WarrowCombine,
+    WidenCombine,
+    warrow,
+)
+from repro.solvers.improve import improve_post_solution
+from repro.solvers.kleene import solve_kleene
+from repro.solvers.ordering import dfs_priority_order, weak_topological_order
+from repro.solvers.rld import solve_rld
+from repro.solvers.rr import solve_rr
+from repro.solvers.rr_local import solve_rr_local
+from repro.solvers.slr import LocalResult, solve_slr
+from repro.solvers.slr_side import SideEffectError, SideResult, solve_slr_side
+from repro.solvers.srr import solve_srr
+from repro.solvers.stats import (
+    Budget,
+    DivergenceError,
+    SolverResult,
+    SolverStats,
+)
+from repro.solvers.sw import PriorityWorklist, solve_sw
+from repro.solvers.td import solve_td
+from repro.solvers.twophase import TwoPhaseResult, solve_twophase
+from repro.solvers.wl import solve_wl
+from repro.solvers.wpoints import (
+    SelectiveCombine,
+    SelectiveWarrowCombine,
+    widening_points,
+)
+
+__all__ = [
+    "BoundedWarrowCombine",
+    "Combine",
+    "JoinCombine",
+    "MeetCombine",
+    "NarrowCombine",
+    "OverrideCombine",
+    "WarrowCombine",
+    "WidenCombine",
+    "warrow",
+    "improve_post_solution",
+    "solve_kleene",
+    "dfs_priority_order",
+    "weak_topological_order",
+    "solve_rld",
+    "solve_rr",
+    "solve_rr_local",
+    "LocalResult",
+    "solve_slr",
+    "SideEffectError",
+    "SideResult",
+    "solve_slr_side",
+    "solve_srr",
+    "Budget",
+    "DivergenceError",
+    "SolverResult",
+    "SolverStats",
+    "PriorityWorklist",
+    "solve_sw",
+    "solve_td",
+    "TwoPhaseResult",
+    "solve_twophase",
+    "solve_wl",
+    "SelectiveCombine",
+    "SelectiveWarrowCombine",
+    "widening_points",
+]

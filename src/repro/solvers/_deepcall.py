@@ -1,0 +1,55 @@
+"""Deep-recursion execution support for the local solvers.
+
+RLD, SLR and SLR+ are recursive by nature: ``solve`` re-enters itself
+through ``eval`` callbacks inside user right-hand sides.  Python's default
+interpreter stack cannot host tens of thousands of such frames -- raising
+``sys.setrecursionlimit`` is not enough because right-hand sides routinely
+pass through C frames (``max``, ``min``, comprehensions) which consume the
+native stack.  The helper below therefore runs a solver body in a dedicated
+thread with a large native stack.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+#: Native stack size for solver threads (bytes).
+_STACK_BYTES = 512 * 1024 * 1024
+
+#: Python-level recursion limit inside solver threads.
+_RECURSION_LIMIT = 1_000_000
+
+
+def call_with_deep_stack(fn: Callable[[], T]) -> T:
+    """Run ``fn`` on a thread with a large native stack and return its result.
+
+    Exceptions raised by ``fn`` (including solver divergence guards)
+    propagate to the caller unchanged.
+    """
+    outcome: dict = {}
+
+    def runner() -> None:
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, _RECURSION_LIMIT))
+        try:
+            outcome["value"] = fn()
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            outcome["error"] = exc
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+    old_size = threading.stack_size()
+    try:
+        threading.stack_size(_STACK_BYTES)
+        thread = threading.Thread(target=runner, name="repro-solver")
+        thread.start()
+    finally:
+        threading.stack_size(old_size)
+    thread.join()
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["value"]

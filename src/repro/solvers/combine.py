@@ -1,0 +1,207 @@
+"""Binary update operators, including the paper's combined operator.
+
+A *generic* solver performs update steps ``sigma[x] <- sigma[x] (op) f_x(sigma)``
+for some binary operator ``op`` ("box" in the paper).  Instantiating ``op``
+differently yields ordinary solving (override), post-solving (join),
+pre-solving (meet), accelerated ascending iteration (widen), accelerated
+descending iteration (narrow) -- and, centrally, the paper's novel combined
+widening/narrowing operator, which we spell ``warrow``::
+
+    a warrow b  =  a narrow b   if b <= a
+                   a widen b    otherwise
+
+Operators are modelled as callables ``op(x, old, new) -> combined`` that also
+receive the unknown ``x``; stateless operators ignore it, while the
+per-unknown book-keeping variants (delayed widening, the k-bounded
+termination safeguard from the end of Section 4) key their state on it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Hashable
+
+from repro.lattices.base import Lattice
+
+
+class Combine(ABC):
+    """A binary update operator with optional per-unknown state."""
+
+    #: Whether ``(a op b) op b == a op b`` holds for all a, b.  Solvers may
+    #: exploit idempotence; the combined operator is *not* idempotent.
+    idempotent: bool = False
+
+    @abstractmethod
+    def __call__(self, x: Hashable, old, new):
+        """Combine the ``old`` value of ``x`` with the ``new`` contribution."""
+
+    def reset(self) -> None:
+        """Clear any per-unknown state (called at the start of a solve)."""
+
+    def fresh(self) -> "Combine":
+        """Return an equivalent operator with cleared state.
+
+        The default resets in place and returns ``self``; stateless
+        operators need not override this.
+        """
+        self.reset()
+        return self
+
+
+class OverrideCombine(Combine):
+    """``a op b = b``: plain (unaccelerated) solving for exact solutions."""
+
+    idempotent = True
+
+    def __call__(self, x, old, new):
+        return new
+
+
+class JoinCombine(Combine):
+    """``op = join``: solutions are *post* solutions (sigma[x] >= f_x(sigma))."""
+
+    idempotent = True
+
+    def __init__(self, lattice: Lattice) -> None:
+        self.lattice = lattice
+
+    def __call__(self, x, old, new):
+        return self.lattice.join(old, new)
+
+
+class MeetCombine(Combine):
+    """``op = meet``: solutions are *pre* solutions (sigma[x] <= f_x(sigma))."""
+
+    idempotent = True
+
+    def __init__(self, lattice: Lattice) -> None:
+        self.lattice = lattice
+
+    def __call__(self, x, old, new):
+        return self.lattice.meet(old, new)
+
+
+class WidenCombine(Combine):
+    """``op = widen``: the ascending (widening) phase of classic two-phase
+    solving.
+
+    The optional per-unknown *delay* uses plain join for the first
+    ``delay`` growing updates of each unknown before accelerating --
+    standard practice in production analyzers, and the fair setting when
+    comparing against a delayed combined operator.
+    """
+
+    def __init__(self, lattice: Lattice, delay: int = 0) -> None:
+        self.lattice = lattice
+        self.delay = delay
+        self._grow_counts: Dict[Hashable, int] = {}
+
+    def reset(self) -> None:
+        self._grow_counts.clear()
+
+    def __call__(self, x, old, new):
+        if self.delay and not self.lattice.leq(new, old):
+            seen = self._grow_counts.get(x, 0)
+            if seen < self.delay:
+                self._grow_counts[x] = seen + 1
+                return self.lattice.join(old, new)
+        return self.lattice.widen(old, new)
+
+
+class NarrowCombine(Combine):
+    """``op = narrow``: the descending phase; only sound on post solutions
+    of monotonic systems.
+
+    Following the definition of narrowing, the new contribution is first
+    met with the old value so that the pre-condition ``b <= a`` of the
+    operator holds even when the iteration is (unsoundly) applied to
+    non-monotonic systems; on monotone descending iterations the meet is
+    the identity.
+    """
+
+    def __init__(self, lattice: Lattice) -> None:
+        self.lattice = lattice
+
+    def __call__(self, x, old, new):
+        clipped = new if self.lattice.leq(new, old) else self.lattice.meet(old, new)
+        return self.lattice.narrow(old, clipped)
+
+
+class WarrowCombine(Combine):
+    """The paper's combined operator (Section 3).
+
+    ``a warrow b`` narrows while the new contribution shrinks and widens
+    while it grows.  An optional *delay* makes the growing branch behave
+    like plain join for the first ``delay`` updates of each unknown -- a
+    standard precision knob that keeps all the paper's guarantees (after
+    finitely many joins, widening takes over).
+    """
+
+    def __init__(self, lattice: Lattice, delay: int = 0) -> None:
+        self.lattice = lattice
+        self.delay = delay
+        self._grow_counts: Dict[Hashable, int] = {}
+
+    def reset(self) -> None:
+        self._grow_counts.clear()
+
+    def __call__(self, x, old, new):
+        if self.lattice.leq(new, old):
+            return self.lattice.narrow(old, new)
+        if self.delay:
+            seen = self._grow_counts.get(x, 0)
+            if seen < self.delay:
+                self._grow_counts[x] = seen + 1
+                return self.lattice.join(old, new)
+        return self.lattice.widen(old, new)
+
+
+class BoundedWarrowCombine(Combine):
+    """The termination safeguard sketched at the end of Section 4.
+
+    For non-monotonic systems even the structured solvers may not
+    terminate, because an unknown can switch from narrowing back to
+    widening infinitely often.  This operator counts, per unknown, how
+    often that switch happens; past the threshold ``k`` the narrowing
+    branch degrades to ``a op b = a`` (no further improvement), after which
+    the unknown's value can only grow by widening and hence stabilises.
+
+    The result is still a post solution: in the degraded branch the new
+    contribution satisfies ``b <= a``, so keeping ``a`` preserves
+    ``sigma[x] >= f_x(sigma)``.
+    """
+
+    def __init__(self, lattice: Lattice, k: int = 2) -> None:
+        if k < 0:
+            raise ValueError("threshold k must be non-negative")
+        self.lattice = lattice
+        self.k = k
+        self._switches: Dict[Hashable, int] = {}
+        self._mode: Dict[Hashable, str] = {}
+
+    def reset(self) -> None:
+        self._switches.clear()
+        self._mode.clear()
+
+    def __call__(self, x, old, new):
+        if self.lattice.leq(new, old):
+            if self._switches.get(x, 0) >= self.k:
+                return old
+            result = self.lattice.narrow(old, new)
+            # Only a *strict* improvement arms the switch detector: a
+            # stable re-evaluation (new == old) is not narrowing and must
+            # not burn the budget when growth resumes later.
+            if not self.lattice.equal(result, old):
+                self._mode[x] = "narrow"
+            return result
+        if self._mode.get(x) == "narrow":
+            self._switches[x] = self._switches.get(x, 0) + 1
+        self._mode[x] = "widen"
+        return self.lattice.widen(old, new)
+
+
+def warrow(lattice: Lattice, a, b):
+    """One-shot application of the combined operator (stateless form)."""
+    if lattice.leq(b, a):
+        return lattice.narrow(a, b)
+    return lattice.widen(a, b)

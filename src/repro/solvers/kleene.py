@@ -1,0 +1,50 @@
+"""Naive Kleene iteration: simultaneous (Jacobi-style) fixpoint computation.
+
+Included as the textbook baseline.  All right-hand sides are evaluated
+against the *previous* mapping and the whole mapping is replaced at once.
+For monotone systems over finite-height lattices this converges to the
+least solution; on domains with infinite ascending chains it need not
+terminate -- precisely the problem widening solves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.eqs.system import FiniteSystem
+from repro.solvers.stats import Budget, SolverResult, SolverStats
+
+
+def solve_kleene(
+    system: FiniteSystem,
+    order: Optional[Sequence] = None,
+    max_evals: Optional[int] = None,
+) -> SolverResult:
+    """Iterate ``sigma_{k+1}[x] = f_x(sigma_k)`` until a fixpoint is reached.
+
+    :param system: a finite equation system.
+    :param order: evaluation order (cosmetic for Jacobi iteration).
+    :param max_evals: evaluation budget guarding against divergence.
+    """
+    xs = list(order) if order is not None else list(system.unknowns)
+    sigma = {x: system.init(x) for x in xs}
+    stats = SolverStats(unknowns=len(xs))
+    budget = Budget(stats, max_evals)
+    lat = system.lattice
+
+    changed = True
+    while changed:
+        changed = False
+        snapshot = dict(sigma)
+
+        def get(y):
+            return snapshot[y]
+
+        for x in xs:
+            budget.charge(x, sigma)
+            new = system.rhs(x)(get)
+            if not lat.equal(sigma[x], new):
+                sigma[x] = new
+                stats.count_update()
+                changed = True
+    return SolverResult(sigma, stats)

@@ -1,0 +1,80 @@
+"""The local solver RLD of Hofmann, Karbyshev and Seidl (Fig. 5).
+
+RLD is reproduced faithfully, including the property the paper criticises:
+``eval`` recursively solves *every* looked-up unknown, so one evaluation of
+a right-hand side may observe values from several different intermediate
+mappings.  Right-hand sides are therefore not executed atomically, and RLD
+enhanced with an arbitrary update operator is **not** a generic solver: it
+may terminate with a mapping that is not an ``op``-solution.  The paper's
+solver SLR (:mod:`repro.solvers.slr`) repairs exactly this; the test-suite
+contains a side-by-side demonstration.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.eqs.system import PureSystem
+from repro.solvers._deepcall import call_with_deep_stack
+from repro.solvers.combine import Combine
+from repro.solvers.stats import Budget, SolverResult, SolverStats
+
+
+def solve_rld(
+    system: PureSystem,
+    op: Combine,
+    x0: Hashable,
+    max_evals: Optional[int] = None,
+) -> SolverResult:
+    """Run RLD for the interesting unknown ``x0``.
+
+    :param system: a system of pure equations (possibly infinite).
+    :param op: the binary update operator.
+    :param x0: the unknown whose value is queried.
+    :param max_evals: evaluation budget guarding against divergence.
+    :returns: the mapping over all encountered unknowns.
+    """
+    op.reset()
+    lat = system.lattice
+    sigma: dict = {}
+    infl: dict = {}
+    stable: set = set()
+    stats = SolverStats()
+    budget = Budget(stats, max_evals)
+
+    def value_of(y):
+        if y not in sigma:
+            sigma[y] = system.init(y)
+        return sigma[y]
+
+    # ``infl`` maps an unknown to an insertion-ordered set (a dict with
+    # ``None`` values) so that destabilised unknowns are re-solved in the
+    # order their dependencies were recorded -- keeping runs deterministic
+    # regardless of string-hash randomisation.
+    def solve(x) -> None:
+        if x in stable:
+            return
+        stable.add(x)
+        value_of(x)
+        budget.charge(x, sigma)
+        tmp = op(x, sigma[x], system.rhs(x)(make_eval(x)))
+        if not lat.equal(tmp, sigma[x]):
+            work = list(infl.get(x, ()))
+            sigma[x] = tmp
+            stats.count_update()
+            infl[x] = {}
+            stable.difference_update(work)
+            for y in work:
+                solve(y)
+
+    def make_eval(x):
+        def eval_(y):
+            solve(y)
+            infl.setdefault(y, {})[x] = None
+            return value_of(y)
+
+        return eval_
+
+    call_with_deep_stack(lambda: solve(x0))
+    stats.unknowns = len(sigma)
+    return SolverResult(sigma, stats)

@@ -1,0 +1,58 @@
+"""The generic round-robin solver RR (Fig. 1 of the paper).
+
+Repeatedly sweeps over all unknowns in order, combining the old value with
+the freshly evaluated right-hand side, until one full sweep changes
+nothing.  RR treats right-hand sides as black boxes and is a *generic*
+solver: upon termination the result is an ``op``-solution for any binary
+update operator ``op``.
+
+The paper's Example 1 shows that RR instantiated with the combined operator
+may diverge even for finite monotonic systems; pass ``max_evals`` to bound
+the run and observe the divergence as a :class:`DivergenceError`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.eqs.system import FiniteSystem
+from repro.solvers.combine import Combine
+from repro.solvers.stats import Budget, SolverResult, SolverStats
+
+
+def solve_rr(
+    system: FiniteSystem,
+    op: Combine,
+    order: Optional[Sequence] = None,
+    max_evals: Optional[int] = None,
+) -> SolverResult:
+    """Solve ``system`` by round-robin iteration with update operator ``op``.
+
+    :param system: a finite equation system.
+    :param op: the binary update operator (e.g. :class:`WarrowCombine`).
+    :param order: sweep order of the unknowns (default: declaration order).
+    :param max_evals: evaluation budget; exceeding it raises
+        :class:`~repro.solvers.stats.DivergenceError`.
+    :returns: the final mapping together with solver statistics.
+    """
+    op.reset()
+    xs = list(order) if order is not None else list(system.unknowns)
+    sigma = {x: system.init(x) for x in xs}
+    stats = SolverStats(unknowns=len(xs))
+    budget = Budget(stats, max_evals)
+    lat = system.lattice
+
+    def get(y):
+        return sigma[y]
+
+    dirty = True
+    while dirty:
+        dirty = False
+        for x in xs:
+            budget.charge(x, sigma)
+            new = op(x, sigma[x], system.rhs(x)(get))
+            if not lat.equal(sigma[x], new):
+                sigma[x] = new
+                stats.count_update()
+                dirty = True
+    return SolverResult(sigma, stats)

@@ -1,0 +1,77 @@
+"""The naive local solver sketched at the start of the paper's Section 5.
+
+    "one such instance can be derived from the round-robin algorithm.
+    For that, the evaluation of right-hand sides is instrumented in such
+    a way that it keeps track of the set of accessed unknowns.  Each
+    round then operates on a growing set of unknowns.  In the first
+    round, just x0 alone is considered.  In any subsequent round all
+    unknowns are added whose values have been newly accessed during the
+    last iteration."
+
+This solver exists as the simplest possible *generic local* solver: a
+correctness baseline for SLR (which visits unknowns in a far better
+order), and a demonstration that locality and genericity are orthogonal
+to the structured-iteration ideas of Section 4.  Like plain round-robin,
+it may diverge under the combined operator even for monotonic systems --
+the guarantees of Theorem 3 belong to SLR alone.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.eqs.system import PureSystem
+from repro.eqs.tracked import TracingGet
+from repro.solvers.combine import Combine
+from repro.solvers.stats import Budget, SolverResult, SolverStats
+
+
+def solve_rr_local(
+    system: PureSystem,
+    op: Combine,
+    x0: Hashable,
+    max_evals: Optional[int] = None,
+) -> SolverResult:
+    """Local solving by round-robin sweeps over a growing unknown set.
+
+    :param system: a system of pure equations (possibly infinite).
+    :param op: the binary update operator.
+    :param x0: the unknown whose value is queried.
+    :param max_evals: evaluation budget guarding against divergence.
+    :returns: a partial ``op``-solution whose domain contains ``x0`` and
+        is closed under the dynamically discovered dependencies.
+    """
+    op.reset()
+    lat = system.lattice
+    sigma: dict = {x0: system.init(x0)}
+    worklist = [x0]  # insertion-ordered domain
+    stats = SolverStats()
+    budget = Budget(stats, max_evals)
+
+    def lookup(y):
+        if y not in sigma:
+            sigma[y] = system.init(y)
+        return sigma[y]
+
+    dirty = True
+    while dirty:
+        dirty = False
+        discovered: list = []
+        for x in worklist:
+            budget.charge(x, sigma)
+            tracer = TracingGet(lookup)
+            value = system.rhs(x)(tracer)
+            new = op(x, sigma[x], value)
+            if not lat.equal(sigma[x], new):
+                sigma[x] = new
+                stats.count_update()
+                dirty = True
+            for y in tracer.accessed:
+                if y not in sigma:
+                    sigma[y] = system.init(y)
+                if y not in set(worklist) | set(discovered):
+                    discovered.append(y)
+                    dirty = True
+        worklist.extend(discovered)
+    stats.unknowns = len(worklist)
+    return SolverResult({x: sigma[x] for x in worklist}, stats)

@@ -1,0 +1,227 @@
+"""The side-effecting local solver SLR+ (Section 6) -- the paper's flagship.
+
+SLR+ extends SLR to systems whose right-hand sides may *contribute* values
+to other unknowns via a ``side`` callback.  Conceptually each side effect of
+the right-hand side of ``x`` onto ``z`` flows through a fresh unknown
+``(x, z)`` that holds the latest contribution, and the right-hand side of
+``z`` is extended with the join of all contributions
+``join { sigma[(x, z)] | x in set[z] }``.  Combining the contributions
+through the *combined* operator (rather than widening each contribution
+individually into the global) is what keeps narrowing of globals sound --
+Example 8 of the paper.
+
+Theorem 4: SLR+ returns a partial post solution whenever it terminates, and
+terminates for monotonic systems whenever only finitely many unknowns are
+encountered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional, Set, Tuple
+
+from repro.eqs.side import SideEffectingSystem
+from repro.solvers._deepcall import call_with_deep_stack
+from repro.solvers.combine import Combine
+from repro.solvers.slr import LocalResult
+from repro.solvers.stats import Budget, SolverStats
+from repro.solvers.sw import PriorityWorklist
+
+
+class SideEffectError(Exception):
+    """Raised when a right-hand side violates the side-effect discipline.
+
+    The paper assumes each right-hand side ``f_x`` performs no side effect
+    to ``x`` itself and at most one side effect per other unknown and
+    evaluation; SLR+ checks both.
+    """
+
+
+@dataclass
+class SideResult(LocalResult):
+    """Result of an SLR+ run.
+
+    ``contribs`` maps ``(x, z)`` pairs to the latest value the right-hand
+    side of ``x`` contributed to ``z``; ``contributors`` is the final
+    ``set`` map of the algorithm.
+    """
+
+    contribs: Dict[Tuple[Hashable, Hashable], object] = field(
+        default_factory=dict
+    )
+    contributors: Dict[Hashable, Set[Hashable]] = field(default_factory=dict)
+    #: In classical (non-tracked) mode: the unknowns that received
+    #: accumulated side effects.  Their values live only in ``sigma`` and
+    #: must be protected across a subsequent narrowing pass.
+    accumulated: Set[Hashable] = field(default_factory=set)
+
+
+def solve_slr_side(
+    system: SideEffectingSystem,
+    op: Combine,
+    x0: Hashable,
+    max_evals: Optional[int] = None,
+    track_contributions: bool = True,
+    protect: Optional[set] = None,
+) -> SideResult:
+    """Run SLR+ for the interesting unknown ``x0``.
+
+    :param system: a system of pure side-effecting equations.
+    :param op: the binary update operator (typically
+        :class:`~repro.solvers.combine.WarrowCombine`).
+    :param x0: the unknown whose value is queried.
+    :param max_evals: evaluation budget guarding against divergence.
+    :param track_contributions: when ``True`` (the paper's SLR+), each
+        side effect flows through a per-origin unknown ``(x, z)`` and the
+        right-hand side of ``z`` joins the *current* contributions -- which
+        is what makes narrowing of side-effected unknowns sound
+        (Example 8).  When ``False``, side effects are *accumulated*
+        directly into the target (``sigma[z] <- sigma[z] op
+        (sigma[z] join d)``), the classical treatment in which
+        side-effected unknowns can never shrink again.  The classical mode
+        exists as the baseline for the precision experiments.
+    :param protect: unknowns to treat as already-accumulated from the
+        start (their current value always joins their right-hand side).
+        A narrowing pass over a classical phase-1 result must pass the
+        phase-1 ``accumulated`` set here, otherwise side-effected unknowns
+        would collapse before their contributors re-run.
+    :returns: a partial ``op``-solution over the encountered unknowns,
+        including all side-effect targets.
+    """
+    op.reset()
+    lat = system.lattice
+    sigma: dict = {}
+    contribs: Dict[Tuple[Hashable, Hashable], object] = {}
+    contributors: Dict[Hashable, Set[Hashable]] = {}
+    infl: Dict[Hashable, Set[Hashable]] = {}
+    key: Dict[Hashable, int] = {}
+    stable: set = set()
+    dom: set = set()
+    accumulated: set = set(protect) if protect else set()
+    count = 0
+    queue = PriorityWorklist(lambda x: key[x])
+    stats = SolverStats()
+    budget = Budget(stats, max_evals)
+
+    def init(y) -> None:
+        nonlocal count
+        dom.add(y)
+        key[y] = -count
+        count += 1
+        infl[y] = {y}
+        contributors.setdefault(y, set())
+        sigma[y] = system.init(y)
+
+    def destabilize_and_queue(y) -> None:
+        stable.discard(y)
+        queue.add(y)
+
+    def solve(x) -> None:
+        if x in stable:
+            return
+        stable.add(x)
+        budget.charge(x, sigma)
+        own = system.rhs(x)(make_eval(x), make_side(x))
+        # Join the return value with all recorded side contributions to x.
+        total = own
+        if track_contributions:
+            for z in contributors.get(x, ()):
+                total = lat.join(total, contribs[(z, x)])
+        elif x in accumulated:
+            # Classical accumulation keeps past side effects in sigma[x]
+            # itself, so they must survive the combine with the own value.
+            total = lat.join(total, sigma[x])
+        tmp = op(x, sigma[x], total)
+        if not lat.equal(tmp, sigma[x]):
+            work = infl[x]
+            for y in work:
+                queue.add(y)
+            sigma[x] = tmp
+            stats.count_update()
+            infl[x] = {x}
+            stable.difference_update(work)
+        while queue and queue.min_key() <= key[x]:
+            stats.observe_queue(len(queue))
+            solve(queue.extract_min())
+
+    def make_eval(x):
+        def eval_(y):
+            if y not in dom:
+                init(y)
+                solve(y)
+            infl[y].add(x)
+            return sigma[y]
+
+        return eval_
+
+    def _side_accumulate(x, y, d) -> None:
+        """Classical side-effect handling: fold ``d`` into the target."""
+        fresh = y not in dom
+        if fresh:
+            init(y)
+        accumulated.add(y)
+        new = op(y, sigma[y], lat.join(sigma[y], d))
+        if not lat.equal(new, sigma[y]):
+            sigma[y] = new
+            stats.count_update()
+            if fresh:
+                solve(y)
+            else:
+                work = infl[y]
+                for z in work:
+                    queue.add(z)
+                infl[y] = {y}
+                stable.difference_update(work)
+
+    def make_side(x):
+        effected: set = set()
+
+        def side(y, d) -> None:
+            if y == x:
+                raise SideEffectError(
+                    f"right-hand side of {x!r} side-effects itself"
+                )
+            if y in effected:
+                raise SideEffectError(
+                    f"right-hand side of {x!r} side-effects {y!r} twice "
+                    f"in one evaluation"
+                )
+            effected.add(y)
+            if not track_contributions:
+                _side_accumulate(x, y, d)
+                return
+            pair = (x, y)
+            old = contribs.get(pair, lat.bottom)
+            changed = not lat.equal(old, d)
+            if changed:
+                contribs[pair] = d
+            if y not in dom:
+                init(y)
+                contributors[y] = {x}
+                solve(y)
+            else:
+                contributors[y].add(x)
+                if changed:
+                    destabilize_and_queue(y)
+
+        return side
+
+    def run() -> None:
+        init(x0)
+        solve(x0)
+        # Drain any work the final evaluation may have left behind (side
+        # effects can enqueue unknowns while the top-level value is stable).
+        while queue:
+            solve(queue.extract_min())
+
+    call_with_deep_stack(run)
+    stats.unknowns = len(dom)
+    return SideResult(
+        sigma=sigma,
+        stats=stats,
+        infl=infl,
+        keys=key,
+        contribs=contribs,
+        contributors=contributors,
+        accumulated=accumulated,
+    )

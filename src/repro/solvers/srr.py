@@ -1,0 +1,65 @@
+"""The structured round-robin solver SRR (Fig. 3 of the paper).
+
+``solve i`` recursively solves the unknowns ``x_1 ... x_{i-1}`` before
+every update of ``x_i`` and restarts itself whenever ``x_i`` changes.
+Theorem 1: for monotonic systems, SRR instantiated with the combined
+operator terminates for every initial mapping -- and on lattices of bounded
+height ``h`` it needs at most ``n + h/2 * n * (n + 1)`` evaluations.
+
+The implementation below is an exact iterative rendition of the recursion
+(the recursive ``solve i`` performs the same evaluation sequence as
+"restart the sweep from x_1 after every change"), which keeps Python's
+recursion limit out of the picture for large systems.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.eqs.system import FiniteSystem
+from repro.solvers.combine import Combine
+from repro.solvers.stats import Budget, SolverResult, SolverStats
+
+
+def solve_srr(
+    system: FiniteSystem,
+    op: Combine,
+    order: Optional[Sequence] = None,
+    max_evals: Optional[int] = None,
+) -> SolverResult:
+    """Solve ``system`` by structured round-robin iteration.
+
+    :param system: a finite equation system.
+    :param op: the binary update operator.
+    :param order: the linear order ``x_1 ... x_n`` (default: declaration
+        order).  The order affects efficiency, not correctness; inner-loop
+        unknowns should receive small indices (cf. Bourdoncle).
+    :param max_evals: evaluation budget guarding against divergence.
+    """
+    op.reset()
+    xs = list(order) if order is not None else list(system.unknowns)
+    sigma = {x: system.init(x) for x in xs}
+    stats = SolverStats(unknowns=len(xs))
+    budget = Budget(stats, max_evals)
+    lat = system.lattice
+
+    def get(y):
+        return sigma[y]
+
+    # Invariant at position i (0-based): all x_j with j < i satisfy their
+    # equation.  A change at position i invalidates nothing below it, but
+    # the recursive formulation nevertheless re-solves 1..i-1 before the
+    # next update of x_i; restarting the climb from position 0 performs
+    # exactly that evaluation sequence.
+    i = 0
+    while i < len(xs):
+        x = xs[i]
+        budget.charge(x, sigma)
+        new = op(x, sigma[x], system.rhs(x)(get))
+        if lat.equal(sigma[x], new):
+            i += 1
+        else:
+            sigma[x] = new
+            stats.count_update()
+            i = 0
+    return SolverResult(sigma, stats)

@@ -1,0 +1,99 @@
+"""Solver instrumentation: evaluation counts, update counts, divergence guard.
+
+The complexity statements of Theorems 1 and 2 are phrased in terms of the
+number of right-hand-side evaluations, so every solver in this package
+counts them.  The same counter doubles as a divergence guard: the paper
+*proves* that round-robin and plain worklist iteration with the combined
+operator may diverge (Examples 1 and 2), and the test-suite demonstrates
+exactly that by catching :class:`DivergenceError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional
+
+
+class DivergenceError(Exception):
+    """Raised when a solver exceeds its evaluation budget.
+
+    Carries the partial ``sigma`` and the statistics so tests can inspect
+    the oscillating iteration (e.g. reproduce the tables of Examples 1-2).
+    """
+
+    def __init__(self, message: str, sigma: dict, stats: "SolverStats") -> None:
+        super().__init__(message)
+        self.sigma = sigma
+        self.stats = stats
+
+
+@dataclass
+class SolverStats:
+    """Counters accumulated during one solver run."""
+
+    #: Total number of right-hand-side evaluations.
+    evaluations: int = 0
+    #: Number of evaluations whose combined value changed the mapping.
+    updates: int = 0
+    #: Per-unknown evaluation counts.
+    per_unknown: Dict[Hashable, int] = field(default_factory=dict)
+    #: Largest size reached by the worklist / queue (where applicable).
+    max_queue: int = 0
+    #: Number of distinct unknowns touched (== len(dom) for local solvers).
+    unknowns: int = 0
+
+    def count_eval(self, x: Hashable) -> None:
+        """Record one evaluation of the right-hand side of ``x``."""
+        self.evaluations += 1
+        self.per_unknown[x] = self.per_unknown.get(x, 0) + 1
+
+    def count_update(self) -> None:
+        """Record one changed value."""
+        self.updates += 1
+
+    def observe_queue(self, size: int) -> None:
+        """Record the current queue size."""
+        if size > self.max_queue:
+            self.max_queue = size
+
+
+@dataclass
+class SolverResult:
+    """The outcome of a solver run: the mapping plus instrumentation.
+
+    For local solvers, ``sigma``'s key set is the encountered domain
+    ``dom``; for global solvers it is the full unknown set.
+    """
+
+    sigma: dict
+    stats: SolverStats
+
+    def __getitem__(self, x):
+        return self.sigma[x]
+
+    def __contains__(self, x) -> bool:
+        return x in self.sigma
+
+    @property
+    def dom(self) -> set:
+        """The set of unknowns with a computed value."""
+        return set(self.sigma)
+
+
+class Budget:
+    """An evaluation budget shared by a solver run."""
+
+    def __init__(self, stats: SolverStats, max_evals: Optional[int]) -> None:
+        self._stats = stats
+        self._max = max_evals
+
+    def charge(self, x: Hashable, sigma: dict) -> None:
+        """Count one evaluation of ``x``; raise on budget exhaustion."""
+        self._stats.count_eval(x)
+        if self._max is not None and self._stats.evaluations > self._max:
+            raise DivergenceError(
+                f"exceeded {self._max} right-hand-side evaluations "
+                f"(likely divergence)",
+                dict(sigma),
+                self._stats,
+            )

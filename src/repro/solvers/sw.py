@@ -1,0 +1,106 @@
+"""The structured worklist solver SW (Fig. 4 of the paper).
+
+Like the classic worklist solver W, but the pending unknowns live in a
+*priority queue* ordered by a fixed linear order on the unknowns, and every
+round extracts the unknown with the least index.  On a change of ``x``,
+``x`` itself and all influenced unknowns are (re-)inserted.
+
+Theorem 2: for monotonic systems over a complete lattice, SW instantiated
+with the combined operator terminates for every initial mapping; with
+``op = join`` on lattices of ascending-chain height ``h`` it performs at
+most ``h * N`` evaluations where ``N = sum_i (2 + |deps(x_i)|)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional, Sequence
+
+from repro.eqs.system import FiniteSystem
+from repro.solvers.combine import Combine
+from repro.solvers.stats import Budget, SolverResult, SolverStats
+
+
+class PriorityWorklist:
+    """A priority queue of unknowns with set semantics (paper's ``add``).
+
+    ``add`` inserts an element or leaves the queue unchanged if present;
+    ``extract_min`` removes and returns the unknown with the least key.
+    """
+
+    def __init__(self, key_of) -> None:
+        self._key_of = key_of
+        self._heap: list = []
+        self._present: set = set()
+
+    def __len__(self) -> int:
+        return len(self._present)
+
+    def __bool__(self) -> bool:
+        return bool(self._present)
+
+    def add(self, x) -> None:
+        """Insert ``x`` unless it is already enqueued."""
+        if x not in self._present:
+            self._present.add(x)
+            heapq.heappush(self._heap, (self._key_of(x), len(self._heap), x))
+
+    def extract_min(self):
+        """Remove and return the unknown with the smallest key."""
+        while self._heap:
+            _, _, x = heapq.heappop(self._heap)
+            if x in self._present:
+                self._present.discard(x)
+                return x
+        raise IndexError("extract_min from an empty worklist")
+
+    def min_key(self):
+        """The smallest key currently enqueued."""
+        while self._heap and self._heap[0][2] not in self._present:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            raise IndexError("min_key of an empty worklist")
+        return self._heap[0][0]
+
+
+def solve_sw(
+    system: FiniteSystem,
+    op: Combine,
+    order: Optional[Sequence] = None,
+    max_evals: Optional[int] = None,
+) -> SolverResult:
+    """Solve ``system`` by structured (priority-queue) worklist iteration.
+
+    :param system: a finite equation system with static dependency sets.
+    :param op: the binary update operator.
+    :param order: the linear order ``x_1 ... x_n`` defining priorities
+        (default: declaration order).
+    :param max_evals: evaluation budget guarding against divergence.
+    """
+    op.reset()
+    xs = list(order) if order is not None else list(system.unknowns)
+    key = {x: i for i, x in enumerate(xs)}
+    sigma = {x: system.init(x) for x in system.unknowns}
+    infl = system.infl()
+    stats = SolverStats(unknowns=len(sigma))
+    budget = Budget(stats, max_evals)
+    lat = system.lattice
+
+    def get(y):
+        return sigma[y]
+
+    queue = PriorityWorklist(key.__getitem__)
+    for x in xs:
+        queue.add(x)
+    while queue:
+        stats.observe_queue(len(queue))
+        x = queue.extract_min()
+        budget.charge(x, sigma)
+        new = op(x, sigma[x], system.rhs(x)(get))
+        if not lat.equal(sigma[x], new):
+            sigma[x] = new
+            stats.count_update()
+            queue.add(x)
+            for z in infl.get(x, [x]):
+                queue.add(z)
+    return SolverResult(sigma, stats)

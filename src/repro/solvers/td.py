@@ -1,0 +1,104 @@
+"""The top-down solver TD (Le Charlier & Van Hentenryck 1992).
+
+The classical demand-driven solver the paper's related work builds on
+(cited as [22]; Fecht & Seidl's faster solver [12] and RLD descend from
+it).  TD solves an unknown by *iterating it locally to stabilisation*:
+``solve x`` repeatedly evaluates ``f_x``, recursively solving every
+unknown the evaluation looks up, until the value of ``x`` stops changing.
+A set of "called" unknowns breaks recursive cycles: a lookup of an unknown
+already on the call stack returns its current value, and dependency
+book-keeping re-schedules the caller when such an unknown changes later.
+
+Like RLD -- and unlike SLR -- evaluations are not atomic (nested solving
+may update values mid-evaluation), so TD with a non-idempotent operator
+such as the combined operator is *not* a generic solver in the paper's
+sense; it is provided as the historical baseline, and the test-suite
+demonstrates both its strengths (exactness for join on monotone systems)
+and this weakness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Set
+
+from repro.eqs.system import PureSystem
+from repro.solvers._deepcall import call_with_deep_stack
+from repro.solvers.combine import Combine
+from repro.solvers.stats import Budget, SolverResult, SolverStats
+
+
+def solve_td(
+    system: PureSystem,
+    op: Combine,
+    x0: Hashable,
+    max_evals: Optional[int] = None,
+) -> SolverResult:
+    """Run the top-down solver for the interesting unknown ``x0``.
+
+    :param system: a system of pure equations (possibly infinite).
+    :param op: the binary update operator.
+    :param x0: the unknown whose value is queried.
+    :param max_evals: evaluation budget guarding against divergence.
+    :returns: the mapping over all encountered unknowns.
+    """
+    op.reset()
+    lat = system.lattice
+    sigma: dict = {}
+    #: Unknowns whose local iteration is currently running (call stack).
+    called: Set[Hashable] = set()
+    #: Unknowns whose value is known stable (invalidated on change).
+    stable: Set[Hashable] = set()
+    #: y -> unknowns whose evaluation looked up y.
+    infl: Dict[Hashable, dict] = {}
+    stats = SolverStats()
+    budget = Budget(stats, max_evals)
+
+    def value_of(y):
+        if y not in sigma:
+            sigma[y] = system.init(y)
+        return sigma[y]
+
+    def destabilize(y) -> None:
+        work = list(infl.get(y, ()))
+        infl[y] = {}
+        for z in work:
+            if z in stable:
+                stable.discard(z)
+                destabilize(z)
+
+    def solve(x) -> None:
+        if x in stable or x in called:
+            return
+        called.add(x)
+        try:
+            while True:
+                value_of(x)
+                budget.charge(x, sigma)
+                new = op(x, sigma[x], system.rhs(x)(make_eval(x)))
+                if lat.equal(new, sigma[x]):
+                    break
+                sigma[x] = new
+                stats.count_update()
+                destabilize(x)
+        finally:
+            called.discard(x)
+        stable.add(x)
+
+    def make_eval(x):
+        def eval_(y):
+            solve(y)
+            infl.setdefault(y, {})[x] = None
+            return value_of(y)
+
+        return eval_
+
+    call_with_deep_stack(lambda: solve(x0))
+    # Unknowns destabilised after the top-level iteration finished would
+    # be re-solved on the next query; drain them now so the returned
+    # mapping is as stable as TD can make it.
+    rounds = 0
+    while x0 not in stable and rounds < 100:
+        call_with_deep_stack(lambda: solve(x0))
+        rounds += 1
+    stats.unknowns = len(sigma)
+    return SolverResult(sigma, stats)

@@ -1,0 +1,74 @@
+"""The generic worklist solver W (Fig. 2 of the paper).
+
+Maintains a set of unknowns whose equations may be violated.  In contrast
+to round-robin, W needs the static dependency sets ``deps(x)`` so that a
+change of ``y`` can re-schedule the influenced set ``infl(y)``.  Note that
+the paper's formulation re-schedules the updated unknown itself as well --
+the precaution needed for update operators that are not right-idempotent,
+such as the combined operator.
+
+The paper's Example 2 shows that W with a LIFO discipline and the combined
+operator may diverge on a finite monotonic system; SW (Fig. 4,
+:mod:`repro.solvers.sw`) repairs this with a priority queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Sequence
+
+from repro.eqs.system import FiniteSystem
+from repro.solvers.combine import Combine
+from repro.solvers.stats import Budget, SolverResult, SolverStats
+
+
+def solve_wl(
+    system: FiniteSystem,
+    op: Combine,
+    order: Optional[Sequence] = None,
+    discipline: str = "lifo",
+    max_evals: Optional[int] = None,
+) -> SolverResult:
+    """Solve ``system`` by worklist iteration with update operator ``op``.
+
+    :param system: a finite equation system with static dependency sets.
+    :param op: the binary update operator.
+    :param order: initial worklist contents (default: declaration order).
+    :param discipline: ``"lifo"`` (stack, the paper's Example 2 setting) or
+        ``"fifo"`` (queue).
+    :param max_evals: evaluation budget; exceeding it raises
+        :class:`~repro.solvers.stats.DivergenceError`.
+    """
+    if discipline not in ("lifo", "fifo"):
+        raise ValueError(f"unknown worklist discipline {discipline!r}")
+    op.reset()
+    xs = list(order) if order is not None else list(system.unknowns)
+    sigma = {x: system.init(x) for x in system.unknowns}
+    infl = system.infl()
+    stats = SolverStats(unknowns=len(sigma))
+    budget = Budget(stats, max_evals)
+    lat = system.lattice
+
+    def get(y):
+        return sigma[y]
+
+    work = deque(xs)
+    member = set(xs)
+    while work:
+        stats.observe_queue(len(work))
+        x = work.pop() if discipline == "lifo" else work.popleft()
+        member.discard(x)
+        budget.charge(x, sigma)
+        new = op(x, sigma[x], system.rhs(x)(get))
+        if not lat.equal(sigma[x], new):
+            sigma[x] = new
+            stats.count_update()
+            # Influenced unknowns are pushed so that under LIFO the updated
+            # unknown itself is re-evaluated first (infl lists start with
+            # the unknown itself, hence the reversal).  This matches the
+            # discipline of the paper's Example 2.
+            for z in reversed(infl.get(x, [x])):
+                if z not in member:
+                    member.add(z)
+                    work.append(z)
+    return SolverResult(sigma, stats)

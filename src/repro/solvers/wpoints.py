@@ -1,0 +1,168 @@
+"""Widening-point selection: accelerate only where cycles close.
+
+Applying widening (or the combined operator) at *every* unknown loses
+precision at harmless join points.  The classic optimisation (Bourdoncle)
+accelerates only at a set ``W`` of unknowns that cuts every dependency
+cycle -- loop heads, in CFG terms.  All other unknowns are combined with
+plain join, which cannot diverge because every infinite ascending chain
+must pass through an accelerated unknown.
+
+The paper notes that its approach is "complementary to such techniques
+and can, possibly, be combined with these"; this module is exactly that
+combination: :class:`SelectiveCombine` applies the combined operator at
+the widening points and join elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, List, Set
+
+from repro.lattices.base import Lattice
+from repro.solvers.combine import Combine, JoinCombine, WarrowCombine
+
+
+def widening_points(
+    roots: Iterable[Hashable],
+    deps: Callable[[Hashable], Iterable[Hashable]],
+) -> Set[Hashable]:
+    """A set of unknowns cutting every dependency cycle.
+
+    Computed as the back-edge targets of an iterative depth-first search
+    over the *dependency* graph (edges ``x -> deps(x)``): an unknown that
+    is looked up again while still on the DFS stack heads a cycle.  The
+    result is a feedback-vertex heuristic, not a minimum set -- exactly
+    the loop-head selection used in practice.
+    """
+    points: Set[Hashable] = set()
+    visited: Set[Hashable] = set()
+    on_stack: Set[Hashable] = set()
+
+    for root in roots:
+        if root in visited:
+            continue
+        # Iterative DFS with explicit enter/exit events.
+        stack: List[tuple] = [("enter", root)]
+        while stack:
+            action, node = stack.pop()
+            if action == "exit":
+                on_stack.discard(node)
+                continue
+            if node in on_stack:
+                continue
+            if node in visited:
+                continue
+            visited.add(node)
+            on_stack.add(node)
+            stack.append(("exit", node))
+            for dep in deps(node):
+                if dep in on_stack:
+                    points.add(dep)
+                elif dep not in visited:
+                    stack.append(("enter", dep))
+    return points
+
+
+class SelectiveCombine(Combine):
+    """Accelerate at selected unknowns only; plain join elsewhere.
+
+    For monotone systems whose every dependency cycle passes through a
+    selected unknown, termination of the structured solvers is preserved:
+    between two accelerated updates, the join-combined unknowns can only
+    re-evaluate finitely often.
+    """
+
+    def __init__(
+        self,
+        lattice: Lattice,
+        points: Set[Hashable],
+        accelerated: Combine = None,
+        otherwise: Combine = None,
+    ) -> None:
+        """Create the selective operator.
+
+        :param points: the unknowns to accelerate (e.g. from
+            :func:`widening_points`).
+        :param accelerated: operator at the points (default: the combined
+            operator).
+        :param otherwise: operator elsewhere (default: join).
+        """
+        self.lattice = lattice
+        self.points = set(points)
+        self.accelerated = (
+            accelerated if accelerated is not None else WarrowCombine(lattice)
+        )
+        self.otherwise = (
+            otherwise if otherwise is not None else JoinCombine(lattice)
+        )
+
+    def reset(self) -> None:
+        self.accelerated.reset()
+        self.otherwise.reset()
+
+    def __call__(self, x, old, new):
+        if x in self.points:
+            return self.accelerated(x, old, new)
+        return self.otherwise(x, old, new)
+
+
+class SelectiveWarrowCombine(SelectiveCombine):
+    """Combined operator at widening points, join-or-narrow elsewhere.
+
+    Plain join at non-points would freeze over-approximations that flow in
+    from a point before it narrows, so the non-accelerated branch also
+    shrinks: values grow by join and shrink by narrowing.  Unrestricted,
+    that combination re-creates the oscillations of the paper's
+    Examples 1--2 *through the non-points* (a narrow at a non-point can
+    re-trigger growth around the cycle forever) -- the empirical
+    confirmation lives in the test-suite.  Worse, the joins at non-points
+    can in turn drive unbounded narrow-to-widen switching at the
+    *accelerated* points themselves -- the termination theorems of
+    Section 4 hold only when the combined operator governs every unknown.
+    We therefore apply the paper's Section 4 safeguard on both sides:
+    after ``switch_bound`` narrow-to-grow switches per unknown, narrowing
+    is given up, leaving only bounded join/widening growth.
+    """
+
+    def __init__(
+        self,
+        lattice: Lattice,
+        points: Set[Hashable],
+        delay: int = 0,
+        switch_bound: int = 3,
+    ) -> None:
+        class _BoundedJoinOrNarrow(Combine):
+            def __init__(self) -> None:
+                self._switches: dict = {}
+                self._mode: dict = {}
+
+            def reset(self) -> None:
+                self._switches.clear()
+                self._mode.clear()
+
+            def __call__(self, x, old, new):
+                if lattice.leq(new, old):
+                    if self._switches.get(x, 0) >= switch_bound:
+                        return old
+                    result = lattice.narrow(old, new)
+                    # Stable re-evaluations must not arm the detector.
+                    if not lattice.equal(result, old):
+                        self._mode[x] = "narrow"
+                    return result
+                if self._mode.get(x) == "narrow":
+                    self._switches[x] = self._switches.get(x, 0) + 1
+                self._mode[x] = "grow"
+                return lattice.join(old, new)
+
+        from repro.solvers.combine import BoundedWarrowCombine
+
+        accelerated: Combine
+        if delay:
+            accelerated = WarrowCombine(lattice, delay=delay)
+        else:
+            accelerated = BoundedWarrowCombine(lattice, k=switch_bound)
+        super().__init__(
+            lattice,
+            points,
+            accelerated=accelerated,
+            otherwise=_BoundedJoinOrNarrow(),
+        )

@@ -1,0 +1,90 @@
+"""Tests for the precision-comparison machinery behind Figure 7."""
+
+from __future__ import annotations
+
+from repro.analysis import IntervalDomain, analyze_program
+from repro.analysis.compare import (
+    PrecisionComparison,
+    compare_results,
+    join_contexts,
+)
+from repro.analysis.inter import FullValueContext, analyze_program_twophase
+from repro.lang import compile_program
+
+dom = IntervalDomain()
+
+LOOP_THEN_GLOBAL = """
+int g = 0;
+int main() {
+    int i = 0;
+    while (i < 10) { i = i + 1; }
+    g = i;
+    return g;
+}
+"""
+
+
+class TestJoinContexts:
+    def test_contexts_are_merged(self):
+        src = (
+            "int id(int x) { return x; }"
+            "int main() { int a = id(1); int b = id(5); return a + b; }"
+        )
+        cfg = compile_program(src)
+        result = analyze_program(cfg, dom, policy=FullValueContext())
+        merged = join_contexts(result)
+        fn = cfg.functions["id"]
+        entry_env = merged[("id", fn.entry)]
+        # Two singleton contexts join to the hull.
+        assert entry_env["x"].lo == 1 and entry_env["x"].hi == 5
+
+    def test_keys_are_function_node_pairs(self):
+        cfg = compile_program("int main() { return 0; }")
+        merged = join_contexts(analyze_program(cfg, dom))
+        assert all(fn == "main" for fn, _ in merged)
+
+
+class TestCompareResults:
+    def test_self_comparison_is_all_equal(self):
+        cfg = compile_program(LOOP_THEN_GLOBAL)
+        result = analyze_program(cfg, dom)
+        cmp_ = compare_results(result, result)
+        assert cmp_.better == cmp_.worse == cmp_.incomparable == 0
+        assert cmp_.equal == cmp_.total > 0
+
+    def test_combined_vs_classical_directional(self):
+        cfg = compile_program(LOOP_THEN_GLOBAL)
+        combined = analyze_program(cfg, dom)
+        classical = analyze_program_twophase(cfg, dom)
+        forward = compare_results(combined, classical)
+        backward = compare_results(classical, combined)
+        assert forward.better > 0
+        assert forward.worse == 0
+        assert backward.better == 0
+        assert backward.worse == forward.better
+
+    def test_globals_counted_as_points(self):
+        cfg = compile_program(LOOP_THEN_GLOBAL)
+        combined = analyze_program(cfg, dom)
+        classical = analyze_program_twophase(cfg, dom)
+        with_globals = compare_results(combined, classical, count_globals=True)
+        without = compare_results(combined, classical, count_globals=False)
+        assert with_globals.total == without.total + 1  # the global g
+
+    def test_better_points_recorded(self):
+        cfg = compile_program(LOOP_THEN_GLOBAL)
+        combined = analyze_program(cfg, dom)
+        classical = analyze_program_twophase(cfg, dom)
+        cmp_ = compare_results(combined, classical)
+        assert len(cmp_.better_points) == cmp_.better
+        assert ("<global g>", None) in cmp_.better_points
+
+    def test_improved_fraction(self):
+        c = PrecisionComparison(total=10, better=4)
+        assert c.improved_fraction == 0.4
+        assert PrecisionComparison().improved_fraction == 0.0
+
+    def test_str_rendering(self):
+        c = PrecisionComparison(total=4, better=1, worse=1, equal=2)
+        text = str(c)
+        assert "1/4" in text and "25.0%" in text

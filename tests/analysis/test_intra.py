@@ -1,0 +1,186 @@
+"""Tests for the intraprocedural analysis on hand-written programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import IntervalDomain, ConstDomain, analyze_function
+from repro.analysis.transfer import TransferError
+from repro.lang import compile_program
+from repro.lattices.flat import FlatTop
+from repro.lattices.interval import Interval, POS_INF, const
+from repro.lattices.lifted import LiftedBottom
+from repro.solvers import JoinCombine, WarrowCombine, WidenCombine
+
+dom = IntervalDomain()
+
+
+def exit_env(source: str, **kwargs):
+    cfg = compile_program(source)
+    result = analyze_function(cfg, "main", dom, **kwargs)
+    return result.env_at(cfg.functions["main"].exit)
+
+
+class TestLoops:
+    def test_counting_loop_bounds(self):
+        env = exit_env(
+            "int main() { int i = 0; while (i < 10) { i = i + 1; } return i; }"
+        )
+        assert env["i"] == const(10)
+
+    def test_sum_in_loop_has_lower_bound(self):
+        env = exit_env(
+            "int main() { int i = 0; int s = 0;"
+            " while (i < 10) { s = s + i; i = i + 1; } return s; }"
+        )
+        assert env["s"] == Interval(0, POS_INF)
+
+    def test_nested_loops(self):
+        env = exit_env(
+            "int main() { int i = 0; int j = 0;"
+            " while (i < 5) { j = 0; while (j < 3) { j = j + 1; } i = i + 1; }"
+            " return i + j; }"
+        )
+        # The outer counter is over-widened at the *inner* loop head, whose
+        # self-join then blocks narrowing -- the classic "decreasing
+        # sequence fails" situation (Halbwachs & Henry 2012, cited in the
+        # paper's related work).  Interval analyses recover the lower bound
+        # and the exact inner-loop bound, but not the outer upper bound.
+        assert env["i"] == Interval(5, POS_INF)
+        assert env["j"] == Interval(0, 3)
+
+    def test_decrementing_loop(self):
+        env = exit_env(
+            "int main() { int i = 10; while (i > 0) { i = i - 1; } return i; }"
+        )
+        assert env["i"] == const(0)
+
+    def test_widening_only_overshoots(self):
+        # Widening-only keeps the +oo bound; the combined operator is tight.
+        cfg = compile_program(
+            "int main() { int i = 0; while (i < 10) { i = i + 1; } return i; }"
+        )
+        from repro.analysis.intra import build_intra_system
+        from repro.solvers import solve_sw
+
+        system, env_lat, fn = build_intra_system(cfg, "main", dom)
+        widened = solve_sw(system, WidenCombine(env_lat))
+        combined = solve_sw(system, WarrowCombine(env_lat))
+        assert widened.sigma[fn.exit]["i"] == Interval(10, POS_INF)
+        assert combined.sigma[fn.exit]["i"] == const(10)
+
+
+class TestBranches:
+    def test_join_of_branches(self):
+        env = exit_env(
+            "int main() { int x = 0; int c = 0;"
+            " if (c == 0) { x = 1; } else { x = 5; } return x; }"
+        )
+        # c == 0 is definite, so only the then-branch survives.
+        assert env["x"] == const(1)
+
+    def test_imprecise_condition_joins(self):
+        env = exit_env(
+            "int main(int c) { int x = 0;"
+            " if (c) { x = 1; } else { x = 5; } return x; }"
+        )
+        assert env["x"] == Interval(1, 5)
+
+    def test_dead_branch_is_unreachable(self):
+        source = (
+            "int main() { int x = 1; if (x > 5) { x = 100; } return x; }"
+        )
+        cfg = compile_program(source)
+        result = analyze_function(cfg, "main", dom)
+        fn = cfg.functions["main"]
+        dead = [
+            n
+            for n in fn.nodes
+            if result.env_at(n) is LiftedBottom and n != fn.exit
+        ]
+        assert dead, "the then-branch must be unreachable"
+        assert result.env_at(fn.exit)["x"] == const(1)
+
+    def test_guard_refines_downstream(self):
+        env = exit_env(
+            "int main(int n) { int x = 0;"
+            " if (n >= 0 && n < 16) { x = n; } return x; }"
+        )
+        assert env["x"] == Interval(0, 15)
+
+
+class TestGlobalsFlowSensitive:
+    def test_globals_in_env(self):
+        env = exit_env("int g = 3; int main() { g = g + 1; return g; }")
+        assert env["g"] == const(4)
+
+    def test_global_array(self):
+        env = exit_env(
+            "int buf[4]; int main() { buf[0] = 9; return buf[1]; }"
+        )
+        assert env["buf"] == Interval(0, 9)
+
+
+class TestReturnValue:
+    def test_ret_slot(self):
+        env = exit_env("int main() { return 41 + 1; }")
+        assert env["__ret__"] == const(42)
+
+    def test_early_return_joins(self):
+        env = exit_env(
+            "int main(int c) { if (c) { return 1; } return 2; }"
+        )
+        assert env["__ret__"] == Interval(1, 2)
+
+
+class TestOtherDomains:
+    def test_constant_propagation(self):
+        cfg = compile_program(
+            "int main() { int x = 3; int y = x * 2; int z = y - 6; return z; }"
+        )
+        cdom = ConstDomain()
+        result = analyze_function(cfg, "main", cdom)
+        env = result.env_at(cfg.functions["main"].exit)
+        assert env["z"] == 0
+
+    def test_constants_lose_at_joins(self):
+        cfg = compile_program(
+            "int main(int c) { int x = 1; if (c) { x = 2; } return x; }"
+        )
+        cdom = ConstDomain()
+        result = analyze_function(cfg, "main", cdom)
+        env = result.env_at(cfg.functions["main"].exit)
+        assert env["x"] is FlatTop
+
+
+class TestRejections:
+    def test_calls_rejected(self):
+        cfg = compile_program(
+            "int f() { return 1; } int main() { int x = f(); return x; }"
+        )
+        with pytest.raises(TransferError):
+            analyze_function(cfg, "main", dom)
+
+
+class TestSolverChoice:
+    def test_join_solver_on_loop_free_program(self):
+        cfg = compile_program("int main() { int x = 1; int y = x + 1; return y; }")
+        from repro.analysis.intra import build_intra_system
+        from repro.solvers import solve_srr
+
+        system, env_lat, fn = build_intra_system(cfg, "main", dom)
+        result = solve_srr(system, JoinCombine(env_lat))
+        assert result.sigma[fn.exit]["y"] == const(2)
+
+    def test_slr_local_solving_matches_sw(self):
+        source = (
+            "int main() { int i = 0; while (i < 7) { i = i + 2; } return i; }"
+        )
+        cfg = compile_program(source)
+        from repro.analysis.intra import build_intra_system
+        from repro.solvers import solve_slr, solve_sw
+
+        system, env_lat, fn = build_intra_system(cfg, "main", dom)
+        r_sw = solve_sw(system, WarrowCombine(env_lat))
+        r_slr = solve_slr(system, WarrowCombine(env_lat), fn.exit)
+        assert r_slr.sigma[fn.exit] == r_sw.sigma[fn.exit]

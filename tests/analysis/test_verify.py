@@ -1,0 +1,121 @@
+"""Tests for assert statements and the verification client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import IntervalDomain, analyze_program
+from repro.analysis.inter import analyze_program_twophase
+from repro.analysis.verify import Verdict, check_assertions, summarize
+from repro.lang import compile_program, run_program
+from repro.lang.interp import ExecutionError
+
+dom = IntervalDomain()
+
+
+def verdicts(source: str, analyze=analyze_program) -> dict:
+    cfg = compile_program(source)
+    result = analyze(cfg, dom, max_evals=2_000_000)
+    return {
+        (r.fn, r.line): r.verdict for r in check_assertions(cfg, result)
+    }
+
+
+class TestLanguageSupport:
+    def test_passing_assert_executes(self):
+        src = "int main() { int x = 3; assert(x == 3); return x; }"
+        assert run_program(src).ret == 3
+
+    def test_failing_assert_aborts(self):
+        src = "int main() { assert(1 == 2); return 0; }"
+        with pytest.raises(ExecutionError, match="assertion failed at line 1"):
+            run_program(src)
+
+    def test_pretty_roundtrip(self):
+        from repro.lang.parser import parse_program
+        from repro.lang.pretty import pretty_program
+
+        src = "int main() { assert(1 < 2); return 0; }"
+        printed = pretty_program(parse_program(src))
+        assert "assert((1 < 2));" in printed
+        run_program(printed)
+
+    def test_assert_requires_parentheses(self):
+        from repro.lang.parser import ParseError
+
+        with pytest.raises(ParseError):
+            compile_program("int main() { assert 1; return 0; }")
+
+
+class TestVerdicts:
+    def test_proved_loop_bound(self):
+        src = (
+            "int main() { int i = 0; while (i < 10) { i = i + 1; }"
+            " assert(i == 10); return i; }"
+        )
+        assert list(verdicts(src).values()) == [Verdict.PROVED]
+
+    def test_violated(self):
+        src = "int main() { int x = 1; assert(x > 5); return x; }"
+        assert list(verdicts(src).values()) == [Verdict.VIOLATED]
+
+    def test_unknown_for_inputs(self):
+        src = "int main(int n) { assert(n > 0); return n; }"
+        assert list(verdicts(src).values()) == [Verdict.UNKNOWN]
+
+    def test_unreachable(self):
+        src = (
+            "int main() { int x = 1; if (x > 5) { assert(x == 0); }"
+            " return x; }"
+        )
+        assert list(verdicts(src).values()) == [Verdict.UNREACHABLE]
+
+    def test_assert_refines_downstream(self):
+        """assume semantics: later code sees the asserted fact."""
+        src = """int main(int n) {
+            assert(n >= 0);
+            assert(n < 16);
+            assert(n <= 15);
+            return n;
+        }"""
+        out = verdicts(src)
+        values = [out[k] for k in sorted(out)]
+        # First two constrain an unknown input; the third follows.
+        assert values == [Verdict.UNKNOWN, Verdict.UNKNOWN, Verdict.PROVED]
+
+    def test_asserts_on_globals(self):
+        src = (
+            "int g = 0;"
+            "void inc() { g = g + 1; }"
+            "int main() { inc(); assert(g >= 0); return g; }"
+        )
+        out = verdicts(src)
+        assert list(out.values()) == [Verdict.PROVED]
+
+
+class TestPrecisionStory:
+    def test_combined_proves_more_than_classical(self):
+        """The Figure 7 effect, observed through assertions: a global set
+        from a narrowed loop counter is provably bounded under the
+        combined operator, but not under classical two-phase solving."""
+        src = (
+            "int g = 0;"
+            "int main() { int i = 0; while (i < 10) { i = i + 1; }"
+            " g = i; assert(g <= 10); return g; }"
+        )
+        combined = verdicts(src)
+        classical = verdicts(src, analyze=analyze_program_twophase)
+        assert list(combined.values()) == [Verdict.PROVED]
+        assert list(classical.values()) == [Verdict.UNKNOWN]
+
+    def test_summary_counts(self):
+        src = (
+            "int main(int n) { int x = 1; assert(x == 1);"
+            " assert(n == 7); return 0; }"
+        )
+        cfg = compile_program(src)
+        result = analyze_program(cfg, dom)
+        counts = summarize(check_assertions(cfg, result))
+        assert counts[Verdict.PROVED] == 1
+        assert counts[Verdict.UNKNOWN] == 1
+        assert counts[Verdict.VIOLATED] == 0

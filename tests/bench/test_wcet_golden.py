@@ -1,0 +1,66 @@
+"""Golden concrete results for every WCET benchmark.
+
+Pinning the interpreter's outputs makes any semantic change to the
+front-end, the CFG construction, or the interpreter immediately visible.
+The values were produced by the initial verified implementation and
+cross-checked by hand for the small programs (fibcall: fib(30) = 832040,
+fac: sum of 0!..5! = 154, isqrt: sum of floor(sqrt(n^2+n)) = 435, ...).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.wcet import PROGRAMS
+from repro.lang import Interpreter, compile_program
+
+#: benchmark -> (return value, selected global values).
+GOLDEN = {
+    "fibcall": (832040, {"fib_last": 832040}),
+    "fac": (154, {"total": 154}),
+    "bs": (3, {"hits": 3}),
+    "cnt": (48, {"poscnt": 48}),
+    "insertsort": (0, {}),
+    "bsort": (24, {"passes": 24}),
+    "prime": (22, {"largest": 79}),
+    "expint": (64, {"terms": 12}),
+    "lcdnum": (52, {}),
+    "janne_complex": (31, {}),
+    "ns": (3, {"foundpos": 3}),
+    "crc": (2987, {"checksum": 2987}),
+    "matmult": (144, {"trace": 144}),
+    "fir": (14, {"peak": 14}),
+    "fdct": (-14, {"dc": -14}),
+    "ud": (684, {}),
+    "qsort-exam": (29, {}),
+    "statemate": (61, {"steps": 61}),
+    "edn": (8, {}),
+    "duff": (43, {"copied": 43}),
+    "ndes": (2560, {"digest": 2560}),
+    "adpcm": (244, {"encoded": 244}),
+    "compress": (26, {"out_len": 26}),
+    "fibsearch": (3, {}),
+    "isqrt": (435, {}),
+    "select": (24, {}),
+    "minver": (3, {"pivots": 3}),
+    "recursion": (144, {"calls": 465}),
+    "cover": (750, {}),
+    "ludcmp": (213, {"pivot_ops": 10}),
+    "st": (119, {"mean_a": -1, "var_a": 743, "var_b": 469}),
+    "nsichneu": (153, {"p1": 1, "p8": 1}),
+}
+
+
+def test_every_benchmark_has_a_golden_value():
+    assert set(GOLDEN) == set(PROGRAMS)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_result(name):
+    prog = PROGRAMS[name]
+    expected_ret, expected_globals = GOLDEN[name]
+    cfg = compile_program(prog.source)
+    result = Interpreter(cfg, fuel=3_000_000).run("main", prog.args)
+    assert result.ret == expected_ret
+    for g, value in expected_globals.items():
+        assert result.globals[g] == value, f"{name}: global {g}"

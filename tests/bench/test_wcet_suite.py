@@ -1,0 +1,62 @@
+"""Integration tests over the WCET-style benchmark suite.
+
+Every program must compile, terminate under the concrete interpreter,
+and be soundly covered by the interval analysis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import IntervalDomain, analyze_program
+from repro.bench.wcet import PROGRAMS, by_size
+from repro.lang import Interpreter, compile_program
+from repro.lattices.lifted import LiftedBottom
+
+dom = IntervalDomain()
+
+NAMES = sorted(PROGRAMS)
+
+
+class TestSuiteShape:
+    def test_suite_has_at_least_twenty_benchmarks(self):
+        assert len(PROGRAMS) >= 20
+
+    def test_by_size_is_sorted(self):
+        sizes = [p.loc for p in by_size()]
+        assert sizes == sorted(sizes)
+
+    def test_qsort_exam_present(self):
+        assert "qsort-exam" in PROGRAMS
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_program_compiles(name):
+    cfg = compile_program(PROGRAMS[name].source)
+    assert "main" in cfg.functions
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_program_terminates_concretely(name):
+    prog = PROGRAMS[name]
+    cfg = compile_program(prog.source)
+    result = Interpreter(cfg, fuel=3_000_000).run("main", prog.args)
+    assert isinstance(result.ret, int)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_analysis_covers_concrete_run(name):
+    prog = PROGRAMS[name]
+    cfg = compile_program(prog.source)
+    run = Interpreter(cfg, fuel=3_000_000, record=True).run("main", prog.args)
+    result = analyze_program(cfg, dom, max_evals=5_000_000)
+    for obs in run.observations:
+        env = result.env_at(obs.node.fn, obs.node)
+        assert env is not LiftedBottom
+        for var, val in obs.locals.items():
+            assert dom.contains(env[var], val), (
+                f"{name} at {obs.node}: {var}={val} "
+                f"not in {dom.format(env[var])}"
+            )
+        for g, val in obs.globals.items():
+            assert dom.contains(result.globals.get(g, dom.bottom), val)

@@ -1,0 +1,126 @@
+"""Tests for the equation-system abstractions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eqs import (
+    DictSideSystem,
+    DictSystem,
+    FunSystem,
+    TracingGet,
+    finite_from_pure,
+    plain_as_side,
+    trace_rhs,
+)
+from repro.lattices import NatInf
+
+nat = NatInf()
+
+
+class TestDictSystem:
+    def make(self):
+        return DictSystem(
+            nat,
+            {
+                "a": (lambda get: 3, []),
+                "b": (lambda get: get("a") + 1, ["a"]),
+            },
+            init={"b": 7},
+        )
+
+    def test_unknowns_in_declaration_order(self):
+        assert self.make().unknowns == ["a", "b"]
+
+    def test_rhs_and_deps(self):
+        system = self.make()
+        assert system.rhs("a")(lambda y: 0) == 3
+        assert list(system.deps("b")) == ["a"]
+
+    def test_init_defaults_to_bottom(self):
+        system = self.make()
+        assert system.init("a") == 0
+        assert system.init("b") == 7
+
+    def test_infl_includes_self_and_readers(self):
+        infl = self.make().infl()
+        assert infl["a"] == ["a", "b"]
+        assert infl["b"] == ["b"]
+
+
+class TestFunSystem:
+    def test_infinite_domain(self):
+        system = FunSystem(nat, lambda n: (lambda get: n))
+        assert system.rhs(10**9)(lambda y: 0) == 10**9
+
+    def test_custom_init(self):
+        system = FunSystem(
+            nat, lambda n: (lambda get: n), init_of=lambda n: n % 3
+        )
+        assert system.init(7) == 1
+
+
+class TestTracing:
+    def test_tracing_get_records_order_and_multiplicity(self):
+        tracer = TracingGet(lambda y: 0)
+        tracer("a")
+        tracer("b")
+        tracer("a")
+        assert tracer.accessed == ["a", "b", "a"]
+        assert tracer.accessed_set == {"a", "b"}
+
+    def test_trace_rhs(self):
+        value, accessed = trace_rhs(
+            lambda get: get("x") + get("y"), lambda y: 1
+        )
+        assert value == 2
+        assert accessed == ["x", "y"]
+
+    def test_value_dependent_lookup_is_visible(self):
+        """The Example 5 pattern: the second lookup depends on the first's
+        value -- dynamic dependency discovery sees both."""
+        sigma = {"p": "q", "q": 5}
+        value, accessed = trace_rhs(lambda get: get(get("p")), sigma.get)
+        assert value == 5
+        assert accessed == ["p", "q"]
+
+
+class TestFiniteFromPure:
+    def test_discovers_static_deps_by_tracing(self):
+        pure = FunSystem(
+            nat,
+            lambda n: (lambda get: get(n - 1) if n else 0),
+        )
+        finite = finite_from_pure(pure, [0, 1, 2])
+        assert list(finite.deps(2)) == [1]
+        assert list(finite.deps(0)) == []
+
+    def test_explicit_deps_override(self):
+        pure = FunSystem(nat, lambda n: (lambda get: 0))
+        finite = finite_from_pure(pure, [0], deps={0: [0]})
+        assert list(finite.deps(0)) == [0]
+
+    def test_solvable_by_static_solvers(self):
+        from repro.solvers import JoinCombine, solve_sw
+
+        pure = FunSystem(
+            nat, lambda n: (lambda get: get(n - 1) + 1 if n else 0)
+        )
+        finite = finite_from_pure(pure, [0, 1, 2, 3])
+        result = solve_sw(finite, JoinCombine(nat))
+        assert result.sigma == {0: 0, 1: 1, 2: 2, 3: 3}
+
+
+class TestSideSystems:
+    def test_plain_as_side_ignores_side(self):
+        rhs = plain_as_side(lambda get: get("a"))
+        assert rhs(lambda y: 42, None) == 42
+
+    def test_dict_side_system_default_rhs_is_bottom(self):
+        system = DictSideSystem(nat, {"a": lambda get, side: 1})
+        assert system.rhs("g")(lambda y: 0, lambda z, d: None) == 0
+
+    def test_dict_side_system_init(self):
+        system = DictSideSystem(nat, {"a": lambda get, side: 1}, init={"a": 9})
+        assert system.init("a") == 9
+        assert system.init("zzz") == 0

@@ -1,0 +1,154 @@
+"""Tests for CFG construction: shapes, renaming, loop structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import compile_program
+from repro.lang.cfg import (
+    CallInstr,
+    Guard,
+    Nop,
+    RETURN_SLOT,
+    SetLocal,
+    StoreArray,
+)
+
+
+class TestShapes:
+    def test_straight_line(self):
+        cfg = compile_program("int main() { int x = 1; x = x + 1; return x; }")
+        fn = cfg.functions["main"]
+        # entry --SetLocal--> --SetLocal--> --SetLocal(__ret__)--> --Nop--> exit
+        instrs = [type(e.instr).__name__ for e in fn.edges]
+        assert instrs.count("SetLocal") == 3
+        assert fn.exit in {e.dst for e in fn.edges}
+
+    def test_return_slot_is_a_local(self):
+        cfg = compile_program("int main() { return 7; }")
+        assert RETURN_SLOT in cfg.functions["main"].locals
+
+    def test_if_produces_two_guards(self):
+        cfg = compile_program(
+            "int main() { int x = 0; if (x < 1) { x = 1; } return x; }"
+        )
+        fn = cfg.functions["main"]
+        guards = [e.instr for e in fn.edges if isinstance(e.instr, Guard)]
+        assert len(guards) == 2
+        assert {g.assume for g in guards} == {True, False}
+
+    def test_while_has_backedge(self):
+        cfg = compile_program(
+            "int main() { int i = 0; while (i < 3) { i = i + 1; } return i; }"
+        )
+        fn = cfg.functions["main"]
+        # Find the loop head: the target of a Nop edge that also has guard
+        # out-edges.
+        heads = [
+            n
+            for n in fn.nodes
+            if any(isinstance(e.instr, Guard) for e in fn.out_edges(n))
+        ]
+        assert len(heads) == 1
+        head = heads[0]
+        assert len(fn.in_edges(head)) == 2  # initial entry + back edge
+
+    def test_break_and_continue_edges(self):
+        cfg = compile_program(
+            "int main() { int i = 0; while (1) { i = i + 1;"
+            " if (i > 3) { break; } continue; } return i; }"
+        )
+        fn = cfg.functions["main"]
+        # Program must still have a path to the exit (via break).
+        reachable = {fn.entry}
+        frontier = [fn.entry]
+        while frontier:
+            node = frontier.pop()
+            for e in fn.out_edges(node):
+                if e.dst not in reachable:
+                    reachable.add(e.dst)
+                    frontier.append(e.dst)
+        assert fn.exit in reachable
+
+    def test_call_edge(self):
+        cfg = compile_program(
+            "int f(int x) { return x; } int main() { int y = f(2); return y; }"
+        )
+        fn = cfg.functions["main"]
+        calls = [e.instr for e in fn.edges if isinstance(e.instr, CallInstr)]
+        assert len(calls) == 1
+        assert calls[0].func == "f"
+        assert calls[0].target == "y"
+
+    def test_void_call_edge_has_no_target(self):
+        cfg = compile_program("void f() { } int main() { f(); return 0; }")
+        fn = cfg.functions["main"]
+        calls = [e.instr for e in fn.edges if isinstance(e.instr, CallInstr)]
+        assert calls[0].target is None
+
+    def test_array_store_instr(self):
+        cfg = compile_program("int main() { int a[2]; a[1] = 5; return a[1]; }")
+        fn = cfg.functions["main"]
+        stores = [e.instr for e in fn.edges if isinstance(e.instr, StoreArray)]
+        assert len(stores) == 1
+        assert fn.arrays == {"a": 2}
+
+
+class TestRenaming:
+    def test_shadowed_locals_get_unique_names(self):
+        cfg = compile_program(
+            "int main() { int x = 1; { int x = 2; x = 3; } x = 4; return x; }"
+        )
+        fn = cfg.functions["main"]
+        sets = [e.instr for e in fn.edges if isinstance(e.instr, SetLocal)]
+        targets = [s.target for s in sets if s.target != RETURN_SLOT]
+        assert "x" in targets and "x$1" in targets
+        # The assignment after the inner block writes the outer x again.
+        assert targets[-1] == "x"
+
+    def test_initialiser_sees_outer_binding(self):
+        # `int x = x + 1;` inside a block reads the outer x.
+        cfg = compile_program(
+            "int main() { int x = 1; { int x = x + 1; x = x; } return x; }"
+        )
+        fn = cfg.functions["main"]
+        sets = [e.instr for e in fn.edges if isinstance(e.instr, SetLocal)]
+        inner_decl = next(s for s in sets if s.target == "x$1")
+        # Its expression references the outer `x`, not `x$1`.
+        from repro.lang import astnodes as ast
+
+        assert isinstance(inner_decl.expr, ast.Binary)
+        assert inner_decl.expr.left.name == "x"
+
+    def test_for_loop_variable_scoped(self):
+        cfg = compile_program(
+            "int main() { for (int i = 0; i < 2; i = i + 1) { } "
+            "int i = 9; return i; }"
+        )
+        fn = cfg.functions["main"]
+        assert "i" in fn.locals and "i$1" in fn.locals
+
+    def test_globals_not_renamed(self):
+        cfg = compile_program("int g; int main() { g = 1; return g; }")
+        fn = cfg.functions["main"]
+        sets = [e.instr for e in fn.edges if isinstance(e.instr, SetLocal)]
+        assert any(s.target == "g" for s in sets)
+        assert "g" not in fn.locals
+
+
+class TestGlobalTables:
+    def test_scalar_initialisers(self):
+        cfg = compile_program("int a = 3; int b; int main() { return 0; }")
+        assert cfg.global_scalars == {"a": 3, "b": 0}
+
+    def test_arrays(self):
+        cfg = compile_program("int buf[16]; int main() { return 0; }")
+        assert cfg.global_arrays == {"buf": 16}
+
+    def test_total_nodes_counts_all_functions(self):
+        cfg = compile_program(
+            "void f() { } int main() { f(); return 0; }"
+        )
+        assert cfg.total_nodes() == len(cfg.functions["f"].nodes) + len(
+            cfg.functions["main"].nodes
+        )

@@ -1,0 +1,157 @@
+"""Tests for the concrete interpreter -- the analyses' ground truth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import run_program
+from repro.lang.interp import ExecutionError, c_rem, trunc_div
+
+
+class TestArithmetic:
+    def test_trunc_div_matches_c(self):
+        assert trunc_div(7, 2) == 3
+        assert trunc_div(-7, 2) == -3
+        assert trunc_div(7, -2) == -3
+        assert trunc_div(-7, -2) == 3
+
+    def test_c_rem_sign_follows_dividend(self):
+        assert c_rem(7, 3) == 1
+        assert c_rem(-7, 3) == -1
+        assert c_rem(7, -3) == 1
+        assert c_rem(-7, -3) == -1
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError):
+            trunc_div(1, 0)
+
+    def test_expression_program(self):
+        src = "int main() { return (3 + 4) * 2 - 10 / 3 - 11 % 4; }"
+        assert run_program(src).ret == 14 - 3 - 3
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = "int main() { int x = 5; if (x > 3) { return 1; } else { return 2; } }"
+        assert run_program(src).ret == 1
+
+    def test_while_loop(self):
+        src = "int main() { int i = 0; int s = 0; while (i < 10) { s = s + i; i = i + 1; } return s; }"
+        assert run_program(src).ret == 45
+
+    def test_for_loop_with_break_continue(self):
+        src = """
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 100; i = i + 1) {
+                if (i == 5) { break; }
+                if (i % 2 == 0) { continue; }
+                s = s + i;
+            }
+            return s;
+        }
+        """
+        assert run_program(src).ret == 1 + 3
+
+    def test_falling_off_end_returns_zero(self):
+        assert run_program("int main() { int x = 5; }").ret == 0
+
+    def test_logical_ops_evaluate_both_sides(self):
+        # mini-C deviation: no short circuit, but values match C.
+        src = "int main() { return (1 && 0) + (0 || 3) * 2; }"
+        assert run_program(src).ret == 2
+
+    def test_nonterminating_program_runs_out_of_fuel(self):
+        with pytest.raises(ExecutionError):
+            run_program("int main() { while (1) { } return 0; }", fuel=1000)
+
+
+class TestFunctions:
+    def test_recursion(self):
+        src = """
+        int fac(int n) {
+            if (n <= 1) { return 1; }
+            int r = fac(n - 1);
+            return n * r;
+        }
+        int main() { return fac(6); }
+        """
+        assert run_program(src).ret == 720
+
+    def test_call_chain(self):
+        src = """
+        int dec(int n) { return n - 1; }
+        int tri(int n) {
+            if (n <= 0) { return 0; }
+            int m = dec(n);
+            int rest = tri(m);
+            return n + rest;
+        }
+        int main() { return tri(4); }
+        """
+        assert run_program(src).ret == 10
+
+    def test_arguments_by_value(self):
+        src = """
+        void f(int x) { x = 99; }
+        int main() { int x = 1; f(x); return x; }
+        """
+        assert run_program(src).ret == 1
+
+    def test_entry_args(self):
+        src = "int main(int a, int b) { return a * 10 + b; }"
+        assert run_program(src, args=[3, 4]).ret == 34
+
+
+class TestGlobalsAndArrays:
+    def test_global_updates(self):
+        src = """
+        int g = 7;
+        void bump() { g = g + 1; }
+        int main() { bump(); bump(); return g; }
+        """
+        result = run_program(src)
+        assert result.ret == 9
+        assert result.globals["g"] == 9
+
+    def test_global_array(self):
+        src = """
+        int buf[4];
+        int main() {
+            int i;
+            for (i = 0; i < 4; i = i + 1) { buf[i] = i * i; }
+            return buf[3];
+        }
+        """
+        result = run_program(src)
+        assert result.ret == 9
+        assert result.global_arrays["buf"] == [0, 1, 4, 9]
+
+    def test_local_array_starts_zeroed(self):
+        src = "int main() { int a[3]; return a[0] + a[1] + a[2]; }"
+        assert run_program(src).ret == 0
+
+    def test_out_of_bounds_read(self):
+        with pytest.raises(ExecutionError):
+            run_program("int main() { int a[2]; return a[5]; }")
+
+    def test_out_of_bounds_write(self):
+        with pytest.raises(ExecutionError):
+            run_program("int main() { int a[2]; a[2] = 1; return 0; }")
+
+
+class TestObservations:
+    def test_snapshots_are_recorded(self):
+        src = "int main() { int x = 1; x = 2; return x; }"
+        result = run_program(src, record=True)
+        assert result.observations
+        # The final observation carries the final value of x.
+        assert result.observations[-1].locals["x"] == 2
+
+    def test_shadowed_variables_visible_via_renaming(self):
+        src = "int main() { int x = 1; { int x = 42; x = x; } return x; }"
+        result = run_program(src, record=True)
+        names = set()
+        for obs in result.observations:
+            names |= set(obs.locals)
+        assert "x" in names and "x$1" in names

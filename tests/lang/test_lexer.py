@@ -1,0 +1,80 @@
+"""Tests for the mini-C lexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input_gives_only_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_keywords_vs_identifiers(self):
+        assert kinds("int intx if iffy") == [
+            (TokenKind.KEYWORD, "int"),
+            (TokenKind.IDENT, "intx"),
+            (TokenKind.KEYWORD, "if"),
+            (TokenKind.IDENT, "iffy"),
+        ]
+
+    def test_numbers(self):
+        assert kinds("0 42 1234567890") == [
+            (TokenKind.INT_LIT, "0"),
+            (TokenKind.INT_LIT, "42"),
+            (TokenKind.INT_LIT, "1234567890"),
+        ]
+
+    def test_malformed_number_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("12abc")
+
+    def test_two_char_punct_longest_match(self):
+        assert kinds("<= < == = != ! &&") == [
+            (TokenKind.PUNCT, "<="),
+            (TokenKind.PUNCT, "<"),
+            (TokenKind.PUNCT, "=="),
+            (TokenKind.PUNCT, "="),
+            (TokenKind.PUNCT, "!="),
+            (TokenKind.PUNCT, "!"),
+            (TokenKind.PUNCT, "&&"),
+        ]
+
+    def test_single_pipe_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("a | b")
+
+    def test_positions(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // hello\nb") == [
+            (TokenKind.IDENT, "a"),
+            (TokenKind.IDENT, "b"),
+        ]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [
+            (TokenKind.IDENT, "a"),
+            (TokenKind.IDENT, "b"),
+        ]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")

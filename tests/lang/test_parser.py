@@ -1,0 +1,165 @@
+"""Tests for the mini-C parser: shapes, precedence, and error reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import astnodes as ast
+from repro.lang.parser import ParseError, parse_expr, parse_program
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert isinstance(e, ast.Binary) and e.op == "+"
+        assert isinstance(e.right, ast.Binary) and e.right.op == "*"
+
+    def test_precedence_cmp_over_logic(self):
+        e = parse_expr("a < b && c < d")
+        assert isinstance(e, ast.Binary) and e.op == "&&"
+        assert e.left.op == "<" and e.right.op == "<"
+
+    def test_or_binds_weaker_than_and(self):
+        e = parse_expr("a || b && c")
+        assert e.op == "||"
+        assert e.right.op == "&&"
+
+    def test_left_associativity(self):
+        e = parse_expr("a - b - c")
+        assert e.op == "-"
+        assert isinstance(e.left, ast.Binary) and e.left.op == "-"
+        assert isinstance(e.right, ast.Var) and e.right.name == "c"
+
+    def test_unary_chain(self):
+        e = parse_expr("--x")
+        assert isinstance(e, ast.Unary) and isinstance(e.operand, ast.Unary)
+
+    def test_parentheses(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_call_and_array(self):
+        e = parse_expr("f(a[i], 2)")
+        assert isinstance(e, ast.Call)
+        assert isinstance(e.args[0], ast.ArrayRef)
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 + 2 3")
+
+
+class TestStatements:
+    def parse_main(self, body: str) -> ast.FuncDecl:
+        program = parse_program("int main() { %s }" % body)
+        return program.function("main")
+
+    def test_vardecl_forms(self):
+        fn = self.parse_main("int x; int y = 3; int a[7];")
+        decls = fn.body.stmts
+        assert decls[0].init is None
+        assert isinstance(decls[1].init, ast.IntLit)
+        assert decls[2].array_size == 7
+
+    def test_if_else_normalised_to_blocks(self):
+        fn = self.parse_main("if (x) y = 1; else { y = 2; }")
+        stmt = fn.body.stmts[0]
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.then_body, ast.Block)
+        assert isinstance(stmt.else_body, ast.Block)
+
+    def test_dangling_else_binds_to_nearest_if(self):
+        fn = self.parse_main("if (a) if (b) x = 1; else x = 2;")
+        outer = fn.body.stmts[0]
+        inner = outer.then_body.stmts[0]
+        assert outer.else_body is None
+        assert inner.else_body is not None
+
+    def test_for_with_declaration(self):
+        fn = self.parse_main("for (int i = 0; i < 10; i = i + 1) { s = s + i; }")
+        loop = fn.body.stmts[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.VarDecl)
+        assert loop.cond.op == "<"
+        assert isinstance(loop.step, ast.Assign)
+
+    def test_for_with_empty_parts(self):
+        fn = self.parse_main("for (;;) { break; }")
+        loop = fn.body.stmts[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_array_assignment(self):
+        fn = self.parse_main("a[i + 1] = 5;")
+        stmt = fn.body.stmts[0]
+        assert isinstance(stmt, ast.ArrayAssign)
+
+    def test_call_statement(self):
+        fn = self.parse_main("f(1, 2);")
+        stmt = fn.body.stmts[0]
+        assert isinstance(stmt, ast.ExprStmt)
+        assert isinstance(stmt.expr, ast.Call)
+
+    def test_return_forms(self):
+        fn = self.parse_main("return 1 + 2;")
+        assert isinstance(fn.body.stmts[0], ast.Return)
+        program = parse_program("void f() { return; }")
+        assert program.function("f").body.stmts[0].value is None
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            self.parse_main("x = 1")
+
+
+class TestTopLevel:
+    def test_globals_and_functions(self):
+        program = parse_program(
+            "int g = 5; int arr[3]; int neg = -2;\n"
+            "void f(int a, int b) { }\n"
+            "int main() { return g; }\n"
+        )
+        assert [g.name for g in program.globals] == ["g", "arr", "neg"]
+        assert program.globals[2].init == -2
+        assert program.function("f").params[1].name == "b"
+        assert program.function("main").returns_value
+
+    def test_unknown_function_lookup(self):
+        program = parse_program("int main() { return 0; }")
+        with pytest.raises(KeyError):
+            program.function("nope")
+
+    def test_garbage_at_top_level(self):
+        with pytest.raises(ParseError):
+            parse_program("banana;")
+
+
+class TestRoundTrip:
+    SOURCES = [
+        "int main() { int x = 1; return x; }",
+        "int g = 0;\nvoid f(int b) { if (b) { g = b + 1; } else { g = -b - 1; } }\n"
+        "int main() { f(1); f(2); return 0; }",
+        "int main() { int a[4]; int i; for (i = 0; i < 4; i = i + 1) "
+        "{ a[i] = i; } return a[3]; }",
+        "int main() { int i = 0; while (i < 5 && !(i == 3)) { i = i + 1; "
+        "if (i > 2) { continue; } } return i; }",
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_pretty_then_parse_is_identity(self, source):
+        import dataclasses
+
+        from repro.lang.pretty import pretty_program
+
+        def strip(x):
+            if dataclasses.is_dataclass(x):
+                return (type(x).__name__,) + tuple(
+                    strip(getattr(x, f.name))
+                    for f in dataclasses.fields(x)
+                    if f.name != "line"
+                )
+            if isinstance(x, tuple):
+                return tuple(strip(i) for i in x)
+            return x
+
+        first = parse_program(source)
+        second = parse_program(pretty_program(first))
+        assert strip(first) == strip(second)

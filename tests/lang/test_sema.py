@@ -1,0 +1,71 @@
+"""Tests for the semantic checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.parser import parse_program
+from repro.lang.sema import SemanticError, check_program
+
+
+def check(source: str) -> None:
+    check_program(parse_program(source))
+
+
+class TestAccepts:
+    GOOD = [
+        "int main() { return 0; }",
+        "int g; int main() { g = 1; return g; }",
+        "int main() { int a[3]; a[0] = 1; return a[0]; }",
+        "int f(int x) { return x; } int main() { int y = f(3); return y; }",
+        "void f() { } int main() { f(); return 0; }",
+        "int main() { int x = 1; { int x = 2; } return x; }",  # shadowing
+        "int main() { while (1) { break; } return 0; }",
+        "int main() { for (int i = 0; i < 3; i = i + 1) { continue; } return 0; }",
+    ]
+
+    @pytest.mark.parametrize("source", GOOD)
+    def test_valid_program(self, source):
+        check(source)
+
+
+class TestRejects:
+    BAD = [
+        ("int main() { return x; }", "undeclared"),
+        ("int main() { x = 1; return 0; }", "undeclared"),
+        ("int main() { int x; int x; return 0; }", "duplicate"),
+        ("int f() { return 0; } int f() { return 0; } int main() { return 0; }",
+         "duplicate function"),
+        ("int main() { int a[3]; return a; }", "without index"),
+        ("int main() { int x; return x[0]; }", "not an array"),
+        ("int main() { int a[0]; return 0; }", "positive size"),
+        ("int main() { break; }", "break outside"),
+        ("int main() { continue; }", "continue outside"),
+        ("int main() { return g(); }", None),  # undefined callee
+        ("void f() { } int main() { int x = f(); return x; }", "used for its value"),
+        ("void f(int a) { } int main() { f(); return 0; }", "argument"),
+        ("void f() { return 1; }", "returns a value"),
+        ("int f() { return; } int main() { return 0; }", "must return"),
+        ("int f() { return 0; } int main() { return 1 + f(); }",
+         "right-hand side"),
+        ("int __x; int main() { return 0; }", "reserved"),
+        ("int g; int g() { return 0; } int main() { return 0; }", "shadows"),
+    ]
+
+    @pytest.mark.parametrize("source,fragment", BAD)
+    def test_invalid_program(self, source, fragment):
+        with pytest.raises(SemanticError) as err:
+            check(source)
+        if fragment:
+            assert fragment in str(err.value)
+
+    def test_nested_call_in_condition_rejected(self):
+        with pytest.raises(SemanticError):
+            check("int f() { return 1; } int main() { if (f()) { } return 0; }")
+
+    def test_call_as_argument_rejected(self):
+        with pytest.raises(SemanticError):
+            check(
+                "int f(int x) { return x; } "
+                "int main() { int y = f(f(1)); return y; }"
+            )

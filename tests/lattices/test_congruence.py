@@ -1,0 +1,172 @@
+"""Tests for the congruence lattice, including property-based laws."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+import hypothesis.strategies as st
+
+from repro.lattices.base import LatticeError
+from repro.lattices.congruence import (
+    CongruenceLattice,
+    TOP,
+    congruence,
+    const,
+)
+
+lat = CongruenceLattice()
+
+
+def elements():
+    constants = st.integers(-20, 20).map(const)
+    proper = st.tuples(
+        st.integers(1, 12), st.integers(-20, 20)
+    ).map(lambda mr: congruence(*mr))
+    return st.one_of(st.none(), constants, proper)
+
+
+def members(e):
+    """A few concrete members of a non-bottom element."""
+    m, r = e
+    if m == 0:
+        return [r]
+    return [r, r + m, r - m, r + 5 * m]
+
+
+class TestConstruction:
+    def test_const(self):
+        assert const(7) == (0, 7)
+
+    def test_canonical_residue(self):
+        assert congruence(4, 11) == (4, 3)
+        assert congruence(4, -1) == (4, 3)
+
+    def test_negative_modulus_rejected(self):
+        with pytest.raises(LatticeError):
+            congruence(-2, 0)
+
+    def test_validate(self):
+        lat.validate(None)
+        lat.validate(const(5))
+        lat.validate(congruence(3, 2))
+        with pytest.raises(LatticeError):
+            lat.validate((4, 5))  # non-canonical
+        with pytest.raises(LatticeError):
+            lat.validate("junk")
+
+
+class TestOrder:
+    def test_constants_below_their_congruence(self):
+        assert lat.leq(const(7), congruence(3, 1))
+        assert not lat.leq(const(8), congruence(3, 1))
+
+    def test_divisibility_order(self):
+        assert lat.leq(congruence(6, 1), congruence(3, 1))
+        assert not lat.leq(congruence(3, 1), congruence(6, 1))
+
+    def test_top(self):
+        assert lat.top == TOP
+        assert lat.leq(congruence(5, 2), TOP)
+
+    @given(elements(), elements())
+    def test_leq_respects_membership(self, a, b):
+        if a is None or not lat.leq(a, b):
+            return
+        for n in members(a):
+            assert lat.contains(b, n)
+
+
+class TestJoinMeet:
+    def test_join_of_constants(self):
+        assert lat.join(const(3), const(7)) == congruence(4, 3)
+        assert lat.join(const(5), const(5)) == const(5)
+
+    def test_join_of_congruences(self):
+        assert lat.join(congruence(4, 1), congruence(6, 3)) == congruence(2, 1)
+
+    def test_meet_crt(self):
+        # x = 1 (mod 4)  and  x = 2 (mod 3)  ==>  x = 5 (mod 12).
+        assert lat.meet(congruence(4, 1), congruence(3, 2)) == congruence(12, 5)
+
+    def test_meet_incompatible(self):
+        assert lat.meet(congruence(2, 0), congruence(2, 1)) is None
+        assert lat.meet(const(3), const(4)) is None
+
+    def test_meet_constant_member(self):
+        assert lat.meet(const(7), congruence(3, 1)) == const(7)
+        assert lat.meet(const(8), congruence(3, 1)) is None
+
+    @given(elements(), elements())
+    def test_join_is_upper_bound(self, a, b):
+        j = lat.join(a, b)
+        assert lat.leq(a, j) and lat.leq(b, j)
+
+    @given(elements(), elements())
+    def test_meet_is_lower_bound(self, a, b):
+        m = lat.meet(a, b)
+        assert lat.leq(m, a) and lat.leq(m, b)
+
+    @given(elements(), elements())
+    def test_meet_keeps_common_members(self, a, b):
+        if a is None or b is None:
+            return
+        m = lat.meet(a, b)
+        for n in members(a):
+            if lat.contains(b, n):
+                assert m is not None and lat.contains(m, n)
+
+
+class TestArithmetic:
+    @given(elements(), elements())
+    def test_add_sound(self, a, b):
+        if a is None or b is None:
+            return
+        out = lat.add(a, b)
+        for x in members(a):
+            for y in members(b):
+                assert lat.contains(out, x + y)
+
+    @given(elements(), elements())
+    def test_sub_sound(self, a, b):
+        if a is None or b is None:
+            return
+        out = lat.sub(a, b)
+        for x in members(a):
+            for y in members(b):
+                assert lat.contains(out, x - y)
+
+    @given(elements(), elements())
+    def test_mul_sound(self, a, b):
+        if a is None or b is None:
+            return
+        out = lat.mul(a, b)
+        for x in members(a):
+            for y in members(b):
+                assert lat.contains(out, x * y)
+
+    @given(elements())
+    def test_neg_sound(self, a):
+        if a is None:
+            return
+        out = lat.neg(a)
+        for x in members(a):
+            assert lat.contains(out, -x)
+
+    def test_stride_arithmetic(self):
+        # (4k) + (4l + 1) = 4m + 1.
+        assert lat.add(congruence(4, 0), congruence(4, 1)) == congruence(4, 1)
+        # (2k + 1) * (2l + 1) is odd.
+        odd = congruence(2, 1)
+        assert lat.mul(odd, odd) == odd
+
+
+class TestNarrowing:
+    def test_only_top_improves(self):
+        assert lat.narrow(TOP, congruence(4, 1)) == congruence(4, 1)
+        assert lat.narrow(congruence(2, 1), congruence(4, 1)) == congruence(2, 1)
+
+    def test_format(self):
+        assert lat.format(None) == "_|_"
+        assert lat.format(const(5)) == "5"
+        assert lat.format(TOP) == "Z"
+        assert lat.format(congruence(4, 3)) == "3(mod 4)"

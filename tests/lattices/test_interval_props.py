@@ -1,0 +1,155 @@
+"""Property-based soundness of the abstract interval arithmetic.
+
+Every abstract operator must over-approximate its concrete counterpart:
+whenever ``m in a`` and ``n in b``, then ``m (op) n in a (op#) b``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given
+import hypothesis.strategies as st
+
+from repro.lattices import IntervalLattice
+from tests.conftest import interval_elements
+
+lat = IntervalLattice()
+
+members = st.integers(min_value=-60, max_value=60)
+
+
+def _pick(iv, n):
+    """Clamp a candidate integer into the interval (for membership)."""
+    lo = iv.lo if iv.lo != float("-inf") else -10**6
+    hi = iv.hi if iv.hi != float("inf") else 10**6
+    return int(min(max(n, lo), hi))
+
+
+@given(interval_elements(), interval_elements(), members, members)
+def test_add_sound(a, b, m, n):
+    assume(a is not None and b is not None)
+    m, n = _pick(a, m), _pick(b, n)
+    assert lat.add(a, b).contains(m + n)
+
+
+@given(interval_elements(), interval_elements(), members, members)
+def test_sub_sound(a, b, m, n):
+    assume(a is not None and b is not None)
+    m, n = _pick(a, m), _pick(b, n)
+    assert lat.sub(a, b).contains(m - n)
+
+
+@given(interval_elements(), interval_elements(), members, members)
+def test_mul_sound(a, b, m, n):
+    assume(a is not None and b is not None)
+    m, n = _pick(a, m), _pick(b, n)
+    assert lat.mul(a, b).contains(m * n)
+
+
+@given(interval_elements(), interval_elements(), members, members)
+def test_div_sound(a, b, m, n):
+    assume(a is not None and b is not None)
+    m, n = _pick(a, m), _pick(b, n)
+    assume(n != 0)
+    # C-style truncated division.
+    q = abs(m) // abs(n)
+    q = q if (m >= 0) == (n > 0) else -q
+    res = lat.div(a, b)
+    assert res is not None and res.contains(q)
+
+
+@given(interval_elements(), interval_elements(), members, members)
+def test_rem_sound(a, b, m, n):
+    assume(a is not None and b is not None)
+    m, n = _pick(a, m), _pick(b, n)
+    assume(n != 0)
+    # C-style remainder: sign follows the dividend.
+    q = abs(m) // abs(n)
+    q = q if (m >= 0) == (n > 0) else -q
+    r = m - q * n
+    res = lat.rem(a, b)
+    assert res is not None and res.contains(r)
+
+
+@given(interval_elements(), members)
+def test_neg_sound(a, m):
+    assume(a is not None)
+    m = _pick(a, m)
+    assert lat.neg(a).contains(-m)
+
+
+@given(interval_elements(), interval_elements(), members, members)
+def test_cmp_lt_sound(a, b, m, n):
+    assume(a is not None and b is not None)
+    m, n = _pick(a, m), _pick(b, n)
+    assert lat.cmp_lt(a, b).contains(1 if m < n else 0)
+
+
+@given(interval_elements(), interval_elements(), members, members)
+def test_cmp_eq_sound(a, b, m, n):
+    assume(a is not None and b is not None)
+    m, n = _pick(a, m), _pick(b, n)
+    assert lat.cmp_eq(a, b).contains(1 if m == n else 0)
+
+
+@given(interval_elements(), interval_elements(), members, members)
+def test_refine_lt_sound(a, b, m, n):
+    """Guard refinement keeps every concrete pair satisfying the guard."""
+    assume(a is not None and b is not None)
+    m, n = _pick(a, m), _pick(b, n)
+    assume(m < n)
+    ra, rb = lat.refine_lt(a, b)
+    assert ra is not None and ra.contains(m)
+    assert rb is not None and rb.contains(n)
+
+
+@given(interval_elements(), interval_elements(), members, members)
+def test_refine_le_sound(a, b, m, n):
+    assume(a is not None and b is not None)
+    m, n = _pick(a, m), _pick(b, n)
+    assume(m <= n)
+    ra, rb = lat.refine_le(a, b)
+    assert ra is not None and ra.contains(m)
+    assert rb is not None and rb.contains(n)
+
+
+@given(interval_elements(), interval_elements(), members)
+def test_refine_eq_sound(a, b, m):
+    assume(a is not None and b is not None)
+    m = _pick(a, m)
+    assume(b.contains(m))
+    ra, rb = lat.refine_eq(a, b)
+    assert ra is not None and ra.contains(m)
+    assert rb is not None and rb.contains(m)
+
+
+@given(interval_elements(), interval_elements(), members, members)
+def test_refine_ne_sound(a, b, m, n):
+    assume(a is not None and b is not None)
+    m, n = _pick(a, m), _pick(b, n)
+    assume(m != n)
+    ra, rb = lat.refine_ne(a, b)
+    assert ra is not None and ra.contains(m)
+    assert rb is not None and rb.contains(n)
+
+
+@given(interval_elements(), interval_elements())
+def test_refinements_shrink(a, b):
+    """Refined intervals are always below the inputs."""
+    for ra, rb in (
+        lat.refine_lt(a, b),
+        lat.refine_le(a, b),
+        lat.refine_eq(a, b),
+        lat.refine_ne(a, b),
+    ):
+        assert lat.leq(ra, a)
+        assert lat.leq(rb, b)
+
+
+@given(interval_elements(), interval_elements())
+def test_narrow_after_widen_recovers_finite_bounds(a, b):
+    """narrow(widen(a, b), join(a, b)) is never worse than widen(a, b)."""
+    w = lat.widen(a, b)
+    j = lat.join(a, b)
+    n = lat.narrow(w, j)
+    assert lat.leq(j, n)
+    assert lat.leq(n, w)

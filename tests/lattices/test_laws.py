@@ -1,0 +1,179 @@
+"""Property-based lattice laws, checked uniformly over every shipped domain.
+
+These are the contracts :mod:`repro.lattices.base` documents: partial-order
+laws, lub/glb characterisations, and the widening/narrowing operator
+contracts from Cousot & Cousot that the paper's Section 2 recalls.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+import hypothesis.strategies as st
+
+from tests.conftest import lattice_cases
+
+CASES = lattice_cases()
+IDS = [lat.name for lat, _ in CASES]
+
+
+def case_params():
+    return [pytest.param(lat, strat, id=lat.name) for lat, strat in CASES]
+
+
+@pytest.mark.parametrize("lat,strat", case_params())
+def test_order_reflexive(lat, strat):
+    @given(strat)
+    def check(a):
+        assert lat.leq(a, a)
+
+    check()
+
+
+@pytest.mark.parametrize("lat,strat", case_params())
+def test_order_antisymmetric(lat, strat):
+    @given(strat, strat)
+    def check(a, b):
+        if lat.leq(a, b) and lat.leq(b, a):
+            assert lat.equal(a, b)
+
+    check()
+
+
+@pytest.mark.parametrize("lat,strat", case_params())
+def test_order_transitive(lat, strat):
+    @given(strat, strat, strat)
+    def check(a, b, c):
+        if lat.leq(a, b) and lat.leq(b, c):
+            assert lat.leq(a, c)
+
+    check()
+
+
+@pytest.mark.parametrize("lat,strat", case_params())
+def test_bottom_and_top_are_extremal(lat, strat):
+    @given(strat)
+    def check(a):
+        assert lat.leq(lat.bottom, a)
+        assert lat.leq(a, lat.top)
+
+    check()
+
+
+@pytest.mark.parametrize("lat,strat", case_params())
+def test_join_is_least_upper_bound(lat, strat):
+    @given(strat, strat, strat)
+    def check(a, b, c):
+        j = lat.join(a, b)
+        assert lat.leq(a, j) and lat.leq(b, j)
+        if lat.leq(a, c) and lat.leq(b, c):
+            assert lat.leq(j, c)
+
+    check()
+
+
+@pytest.mark.parametrize("lat,strat", case_params())
+def test_meet_is_greatest_lower_bound(lat, strat):
+    @given(strat, strat, strat)
+    def check(a, b, c):
+        m = lat.meet(a, b)
+        assert lat.leq(m, a) and lat.leq(m, b)
+        if lat.leq(c, a) and lat.leq(c, b):
+            assert lat.leq(c, m)
+
+    check()
+
+
+@pytest.mark.parametrize("lat,strat", case_params())
+def test_join_meet_idempotent_commutative(lat, strat):
+    @given(strat, strat)
+    def check(a, b):
+        assert lat.equal(lat.join(a, a), a)
+        assert lat.equal(lat.meet(a, a), a)
+        assert lat.equal(lat.join(a, b), lat.join(b, a))
+        assert lat.equal(lat.meet(a, b), lat.meet(b, a))
+
+    check()
+
+
+@pytest.mark.parametrize("lat,strat", case_params())
+def test_absorption(lat, strat):
+    @given(strat, strat)
+    def check(a, b):
+        assert lat.equal(lat.join(a, lat.meet(a, b)), a)
+        assert lat.equal(lat.meet(a, lat.join(a, b)), a)
+
+    check()
+
+
+@pytest.mark.parametrize("lat,strat", case_params())
+def test_widening_covers_join(lat, strat):
+    """The widening contract ``join(a, b) <= widen(a, b)``."""
+
+    @given(strat, strat)
+    def check(a, b):
+        assert lat.leq(lat.join(a, b), lat.widen(a, b))
+
+    check()
+
+
+@pytest.mark.parametrize("lat,strat", case_params())
+def test_narrowing_is_bracketed(lat, strat):
+    """The narrowing contract ``b <= a  ==>  b <= narrow(a, b) <= a``."""
+
+    @given(strat, strat)
+    def check(a, b):
+        if lat.leq(b, a):
+            n = lat.narrow(a, b)
+            assert lat.leq(b, n)
+            assert lat.leq(n, a)
+
+    check()
+
+
+@pytest.mark.parametrize("lat,strat", case_params())
+def test_widening_stabilises_chains(lat, strat):
+    """Folding any value sequence through widening stabilises."""
+
+    @given(st.lists(strat, min_size=1, max_size=25))
+    def check(values):
+        acc = lat.bottom
+        for v in values:
+            acc = lat.widen(acc, v)
+        # One more round with the same inputs must not change anything:
+        # all inputs are now below the accumulated value, so widening
+        # (applied to a smaller second argument) must keep it stable for
+        # the domains shipped here.
+        for v in values:
+            nxt = lat.widen(acc, v)
+            assert lat.leq(acc, nxt)
+            acc = nxt
+        again = acc
+        for v in values:
+            again = lat.widen(again, v)
+        assert lat.equal(acc, again)
+
+    check()
+
+
+@pytest.mark.parametrize("lat,strat", case_params())
+def test_validate_accepts_generated_elements(lat, strat):
+    @given(strat)
+    def check(a):
+        lat.validate(a)
+
+    check()
+
+
+@pytest.mark.parametrize("lat,strat", case_params())
+def test_join_all_and_meet_all(lat, strat):
+    @given(st.lists(strat, max_size=6))
+    def check(values):
+        j = lat.join_all(values)
+        for v in values:
+            assert lat.leq(v, j)
+        m = lat.meet_all(values)
+        for v in values:
+            assert lat.leq(m, v)
+
+    check()

@@ -1,0 +1,85 @@
+"""Tests for the N | {oo} chain, the paper's running example domain."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+import hypothesis.strategies as st
+
+from repro.lattices import INF, NatInf
+from repro.lattices.base import LatticeError
+
+nat = NatInf()
+
+
+class TestOrder:
+    def test_bottom_is_zero(self):
+        assert nat.bottom == 0
+
+    def test_top_is_infinity(self):
+        assert nat.top == INF
+
+    def test_natural_ordering(self):
+        assert nat.leq(3, 5)
+        assert not nat.leq(5, 3)
+        assert nat.leq(5, INF)
+        assert not nat.leq(INF, 5)
+
+    def test_join_is_max_meet_is_min(self):
+        assert nat.join(3, 7) == 7
+        assert nat.meet(3, 7) == 3
+        assert nat.join(3, INF) == INF
+        assert nat.meet(3, INF) == 3
+
+
+class TestWidening:
+    """The paper's widening: ``a widen b = a if b <= a else oo``."""
+
+    def test_keeps_stable_values(self):
+        assert nat.widen(5, 3) == 5
+        assert nat.widen(5, 5) == 5
+
+    def test_jumps_to_infinity_on_growth(self):
+        assert nat.widen(5, 6) == INF
+        assert nat.widen(0, 1) == INF
+
+    @given(st.integers(0, 100), st.integers(0, 100))
+    def test_covers_join(self, a, b):
+        assert nat.leq(nat.join(a, b), nat.widen(a, b))
+
+
+class TestNarrowing:
+    """The paper's narrowing: ``a narrow b = b if a = oo else a``."""
+
+    def test_improves_only_infinity(self):
+        assert nat.narrow(INF, 7) == 7
+        assert nat.narrow(9, 7) == 9
+
+    @given(st.integers(0, 100), st.integers(0, 100))
+    def test_bracketed(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        n = nat.narrow(hi, lo)
+        assert nat.leq(lo, n) and nat.leq(n, hi)
+
+    def test_narrowing_chain_stabilises_after_one_step(self):
+        # From infinity a single narrowing step lands on a finite value,
+        # after which narrowing is the identity.
+        v = nat.narrow(INF, 42)
+        assert v == 42
+        assert nat.narrow(v, 41) == 42
+
+
+class TestValidation:
+    def test_accepts_naturals_and_infinity(self):
+        nat.validate(0)
+        nat.validate(17)
+        nat.validate(INF)
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, "x", True, None])
+    def test_rejects_foreign_values(self, bad):
+        with pytest.raises(LatticeError):
+            nat.validate(bad)
+
+    def test_format(self):
+        assert nat.format(INF) == "oo"
+        assert nat.format(3) == "3"

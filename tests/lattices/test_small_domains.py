@@ -1,0 +1,129 @@
+"""Unit tests for the finite building-block domains."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lattices import (
+    BoolLattice,
+    Flat,
+    FlatBot,
+    FlatTop,
+    Interval,
+    Parity,
+    PowersetLattice,
+    Sign,
+)
+from repro.lattices.base import LatticeError
+from repro.lattices.interval import const
+
+
+class TestSign:
+    sign = Sign()
+
+    def test_from_const(self):
+        assert self.sign.from_const(-3) == self.sign.NEG
+        assert self.sign.from_const(0) == self.sign.ZERO
+        assert self.sign.from_const(9) == self.sign.POS
+
+    def test_from_interval(self):
+        assert self.sign.from_interval(None) == self.sign.BOT
+        assert self.sign.from_interval(const(5)) == self.sign.POS
+        assert self.sign.from_interval(Interval(-1, 1)) == self.sign.TOP
+        assert self.sign.from_interval(Interval(0, 3)) == self.sign.NON_NEG
+        assert self.sign.from_interval(Interval(-3, 0)) == self.sign.NON_POS
+        assert self.sign.from_interval(Interval(-3, -1)) == self.sign.NEG
+
+    def test_eight_elements(self):
+        assert len(self.sign.elements()) == 8
+
+    def test_height(self):
+        assert self.sign.height() == 4  # {} < {0} < {0,+} < {-,0,+}
+
+    def test_validate_rejects_foreign(self):
+        with pytest.raises(LatticeError):
+            self.sign.validate(frozenset({"?"}))
+
+    def test_format(self):
+        assert self.sign.format(self.sign.BOT) == "_|_"
+        assert self.sign.format(self.sign.NON_NEG) == "{+,0}"
+
+
+class TestParity:
+    par = Parity()
+
+    def test_from_const(self):
+        assert self.par.from_const(4) == self.par.EVEN
+        assert self.par.from_const(-3) == self.par.ODD
+
+    def test_from_interval(self):
+        assert self.par.from_interval(None) == self.par.BOT
+        assert self.par.from_interval(const(4)) == self.par.EVEN
+        assert self.par.from_interval(Interval(0, 1)) == self.par.TOP
+
+    def test_structure(self):
+        assert self.par.join(self.par.EVEN, self.par.ODD) == self.par.TOP
+        assert self.par.meet(self.par.EVEN, self.par.ODD) == self.par.BOT
+        assert self.par.height() == 3
+
+
+class TestBool:
+    bl = BoolLattice()
+
+    def test_implication_order(self):
+        assert self.bl.leq(False, True)
+        assert not self.bl.leq(True, False)
+
+    def test_join_meet(self):
+        assert self.bl.join(False, True) is True
+        assert self.bl.meet(False, True) is False
+
+
+class TestFlat:
+    flat = Flat()
+
+    def test_sentinels_are_singletons(self):
+        assert type(FlatBot)() is FlatBot
+        assert type(FlatTop)() is FlatTop
+
+    def test_join_of_distinct_constants_is_top(self):
+        assert self.flat.join(1, 2) is FlatTop
+        assert self.flat.join(1, 1) == 1
+
+    def test_meet_of_distinct_constants_is_bottom(self):
+        assert self.flat.meet(1, 2) is FlatBot
+        assert self.flat.meet(1, 1) == 1
+
+    def test_order(self):
+        assert self.flat.leq(FlatBot, 42)
+        assert self.flat.leq(42, FlatTop)
+        assert not self.flat.leq(1, 2)
+
+    def test_format(self):
+        assert self.flat.format(FlatBot) == "_|_"
+        assert self.flat.format(FlatTop) == "T"
+        assert self.flat.format(3) == "3"
+
+
+class TestPowerset:
+    ps = PowersetLattice(["a", "b", "c"])
+
+    def test_singleton(self):
+        assert self.ps.singleton("a") == frozenset({"a"})
+        with pytest.raises(LatticeError):
+            self.ps.singleton("z")
+
+    def test_structure(self):
+        ab = frozenset({"a", "b"})
+        bc = frozenset({"b", "c"})
+        assert self.ps.join(ab, bc) == frozenset({"a", "b", "c"})
+        assert self.ps.meet(ab, bc) == frozenset({"b"})
+
+    def test_validate(self):
+        with pytest.raises(LatticeError):
+            self.ps.validate(frozenset({"z"}))
+        with pytest.raises(LatticeError):
+            self.ps.validate({"a"})  # mutable set is rejected
+
+    def test_height_bound(self):
+        assert self.ps.height_bound() == 4

@@ -1,0 +1,108 @@
+"""Tests for the tagged-union lattice that glues analysis domains together."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lattices import (
+    IntervalLattice,
+    Interval,
+    NatInf,
+    TaggedUnionLattice,
+    UNION_BOT,
+    UNION_TOP,
+)
+from repro.lattices.base import LatticeError
+from repro.lattices.interval import const
+
+nat = NatInf()
+iv = IntervalLattice()
+union = TaggedUnionLattice({"n": nat, "iv": iv})
+
+
+class TestStructure:
+    def test_universal_bottom_and_top(self):
+        assert union.bottom == UNION_BOT
+        assert union.top == UNION_TOP
+        for element in (("n", 3), ("iv", const(1)), UNION_BOT, UNION_TOP):
+            assert union.leq(UNION_BOT, element)
+            assert union.leq(element, UNION_TOP)
+
+    def test_same_tag_comparisons_delegate(self):
+        assert union.leq(("n", 2), ("n", 5))
+        assert not union.leq(("n", 5), ("n", 2))
+        assert union.leq(("iv", const(3)), ("iv", Interval(0, 5)))
+
+    def test_cross_tag_incomparable(self):
+        assert not union.leq(("n", 0), ("iv", const(0)))
+        assert not union.leq(("iv", const(0)), ("n", 0))
+
+    def test_join_same_tag(self):
+        assert union.join(("n", 2), ("n", 5)) == ("n", 5)
+
+    def test_join_cross_tag_is_top(self):
+        assert union.join(("n", 2), ("iv", const(1))) == UNION_TOP
+
+    def test_meet_cross_tag_is_bottom(self):
+        assert union.meet(("n", 2), ("iv", const(1))) == UNION_BOT
+
+    def test_join_meet_with_universals(self):
+        e = ("n", 4)
+        assert union.join(UNION_BOT, e) == e
+        assert union.join(e, UNION_TOP) == UNION_TOP
+        assert union.meet(UNION_TOP, e) == e
+        assert union.meet(e, UNION_BOT) == UNION_BOT
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(LatticeError):
+            TaggedUnionLattice({})
+
+
+class TestAcceleration:
+    def test_widen_delegates_per_tag(self):
+        out = union.widen(("n", 3), ("n", 5))
+        assert out == ("n", float("inf"))
+
+    def test_widen_from_bottom_is_new_value(self):
+        assert union.widen(UNION_BOT, ("n", 3)) == ("n", 3)
+
+    def test_narrow_delegates_per_tag(self):
+        w = ("iv", Interval(0, float("inf")))
+        out = union.narrow(w, ("iv", Interval(0, 9)))
+        assert out == ("iv", Interval(0, 9))
+
+    def test_narrow_from_universal_bottom(self):
+        assert union.narrow(("n", 5), UNION_BOT) == UNION_BOT
+
+
+class TestHelpers:
+    def test_inject_and_payload(self):
+        e = union.inject("iv", const(7))
+        assert union.payload(e) == const(7)
+
+    def test_inject_foreign_tag_rejected(self):
+        with pytest.raises(LatticeError):
+            union.inject("nope", 1)
+
+    def test_payload_of_universals_rejected(self):
+        with pytest.raises(LatticeError):
+            union.payload(UNION_BOT)
+        with pytest.raises(LatticeError):
+            union.payload(UNION_TOP)
+
+    def test_equal_respects_tags(self):
+        assert union.equal(("n", 1), ("n", 1))
+        assert not union.equal(("n", 1), ("iv", const(1)))
+        assert union.equal(UNION_BOT, UNION_BOT)
+        assert not union.equal(UNION_BOT, ("n", 0))
+
+    def test_validate(self):
+        union.validate(("n", 3))
+        with pytest.raises(LatticeError):
+            union.validate(("n", -1))
+        with pytest.raises(LatticeError):
+            union.validate("nonsense")
+
+    def test_format(self):
+        assert union.format(UNION_BOT) == "_|_"
+        assert union.format(("n", float("inf"))) == "n:oo"

@@ -1,0 +1,173 @@
+"""Property-based tests of the generic-solver guarantees.
+
+Lemma 1: every warrow-solution of a finite system over a lattice is a post
+solution -- monotone or not.  Theorems 1--3: the structured solvers
+terminate on monotone systems with the combined operator.  We check both on
+seeded random systems.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.bench.randsys import (
+    RandomSystemConfig,
+    random_monotone_system,
+    random_nonmonotone_system,
+    random_powerset_system,
+)
+from repro.eqs.tracked import trace_rhs
+from repro.lattices import NatInf
+from repro.solvers import (
+    BoundedWarrowCombine,
+    JoinCombine,
+    WarrowCombine,
+    solve_rld,
+    solve_slr,
+    solve_srr,
+    solve_sw,
+)
+
+nat = NatInf()
+
+configs = st.builds(
+    RandomSystemConfig,
+    size=st.integers(min_value=1, max_value=12),
+    max_deps=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+def assert_post_solution(system, sigma) -> None:
+    """sigma[x] >= f_x(sigma) for all unknowns of a finite system."""
+    lat = system.lattice
+    for x in system.unknowns:
+        value, _ = trace_rhs(system.rhs(x), lambda y: sigma[y])
+        assert lat.leq(value, sigma[x]), (
+            f"{x}: {lat.format(sigma[x])} does not cover {lat.format(value)}"
+        )
+
+
+@given(configs)
+@settings(max_examples=40)
+def test_srr_warrow_terminates_and_is_post_solution(config):
+    system = random_monotone_system(config)
+    result = solve_srr(system, WarrowCombine(nat), max_evals=200_000)
+    assert_post_solution(system, result.sigma)
+
+
+@given(configs)
+@settings(max_examples=40)
+def test_sw_warrow_terminates_and_is_post_solution(config):
+    system = random_monotone_system(config)
+    result = solve_sw(system, WarrowCombine(nat), max_evals=200_000)
+    assert_post_solution(system, result.sigma)
+
+
+@given(configs)
+@settings(max_examples=40)
+def test_slr_warrow_is_partial_post_solution(config):
+    system = random_monotone_system(config)
+    x0 = system.unknowns[0]
+    result = solve_slr(system, WarrowCombine(nat), x0, max_evals=200_000)
+    sigma = result.sigma
+    lat = system.lattice
+    assert x0 in sigma
+    for x in sigma:
+        value, accessed = trace_rhs(system.rhs(x), lambda y: sigma[y])
+        assert set(accessed) <= set(sigma), "domain not dependency-closed"
+        assert lat.leq(value, sigma[x])
+
+
+@given(configs)
+@settings(max_examples=25)
+def test_structured_solvers_agree_on_termination(config):
+    """SRR and SW may compute different post solutions, but both must
+    terminate and both must be post solutions (there is no canonical
+    warrow-solution)."""
+    system = random_monotone_system(config)
+    r1 = solve_srr(system, WarrowCombine(nat), max_evals=200_000)
+    r2 = solve_sw(system, WarrowCombine(nat), max_evals=200_000)
+    assert_post_solution(system, r1.sigma)
+    assert_post_solution(system, r2.sigma)
+
+
+@given(configs)
+@settings(max_examples=25)
+def test_join_solving_on_powerset_reaches_least_fixpoint(config):
+    """With op = join on a finite lattice, SRR/SW/SLR/RLD all compute the
+    same least solution (all are exact for monotone Kleene iteration)."""
+    system = random_powerset_system(
+        size=config.size, universe_size=4, seed=config.seed
+    )
+    lat = system.lattice
+    r_srr = solve_srr(system, JoinCombine(lat), max_evals=500_000)
+    r_sw = solve_sw(system, JoinCombine(lat), max_evals=500_000)
+    assert r_srr.sigma == r_sw.sigma
+    x0 = system.unknowns[0]
+    r_slr = solve_slr(system, JoinCombine(lat), x0, max_evals=500_000)
+    r_rld = solve_rld(system, JoinCombine(lat), x0, max_evals=500_000)
+    for x in r_slr.sigma:
+        assert r_slr.sigma[x] == r_srr.sigma[x]
+    for x in r_rld.sigma:
+        assert r_rld.sigma[x] == r_srr.sigma[x]
+
+
+@given(configs)
+@settings(max_examples=30)
+def test_bounded_warrow_always_terminates_even_nonmonotone(config):
+    """The Section 4 safeguard: with the k-bounded operator, termination
+    holds even for the injected non-monotone systems."""
+    system = random_nonmonotone_system(config)
+    result = solve_sw(
+        system, BoundedWarrowCombine(nat, k=2), max_evals=1_000_000
+    )
+    # Post-solution property still holds: the degraded narrowing branch
+    # keeps values above the contribution.
+    assert_post_solution(system, result.sigma)
+
+
+@given(configs)
+@settings(max_examples=30)
+def test_warrow_not_worse_than_widen_only(config):
+    """Solving with warrow is at least as precise as pure widening."""
+    from repro.solvers import WidenCombine
+
+    system = random_monotone_system(config)
+    r_warrow = solve_sw(system, WarrowCombine(nat), max_evals=500_000)
+    r_widen = solve_sw(system, WidenCombine(nat), max_evals=500_000)
+    for x in system.unknowns:
+        assert nat.leq(r_warrow.sigma[x], r_widen.sigma[x])
+
+
+@given(configs)
+@settings(max_examples=30)
+def test_lemma1_on_interval_systems(config):
+    """Lemma 1 over the interval lattice: the structured solvers with the
+    combined operator terminate on monotone interval systems and return
+    post solutions."""
+    from repro.bench.randsys import random_interval_system
+
+    system = random_interval_system(config)
+    lat = system.lattice
+    for solver in (solve_srr, solve_sw):
+        result = solver(system, WarrowCombine(lat), max_evals=500_000)
+        assert_post_solution(system, result.sigma)
+
+
+@given(configs)
+@settings(max_examples=20)
+def test_interval_systems_warrow_vs_twophase(config):
+    """On monotone interval systems the combined operator is never less
+    precise than separate widening/narrowing phases."""
+    from repro.bench.randsys import random_interval_system
+    from repro.solvers import solve_twophase
+
+    system = random_interval_system(config)
+    lat = system.lattice
+    combined = solve_sw(system, WarrowCombine(lat), max_evals=500_000)
+    phased = solve_twophase(system, max_evals=500_000)
+    for x in system.unknowns:
+        assert lat.leq(combined.sigma[x], phased.sigma[x])

@@ -1,0 +1,70 @@
+"""Tests for the Fact 1 narrowing-improvement utility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.randsys import RandomSystemConfig, random_monotone_system
+from repro.eqs import DictSystem
+from repro.eqs.tracked import trace_rhs
+from repro.lattices import INF, IntervalLattice, Interval, NEG_INF, NatInf
+from repro.lattices.interval import const
+from repro.solvers import WidenCombine, solve_sw
+from repro.solvers.improve import improve_post_solution
+
+nat = NatInf()
+iv = IntervalLattice()
+
+
+def bounded_loop_system() -> DictSystem:
+    def head(get):
+        stepped = iv.add(get("i"), const(1))
+        guarded = iv.meet(stepped, Interval(NEG_INF, 9))
+        return iv.join(const(0), guarded)
+
+    return DictSystem(iv, {"i": (head, ["i"])})
+
+
+class TestFact1:
+    def test_improves_widened_solution(self):
+        system = bounded_loop_system()
+        widened = solve_sw(system, WidenCombine(iv))
+        assert widened.sigma["i"] == Interval(0, float("inf"))
+        improved = improve_post_solution(system, widened.sigma)
+        assert improved.sigma["i"] == Interval(0, 9)
+
+    def test_result_is_decreasing(self):
+        system = bounded_loop_system()
+        widened = solve_sw(system, WidenCombine(iv))
+        improved = improve_post_solution(system, widened.sigma)
+        for x in system.unknowns:
+            assert iv.leq(improved.sigma[x], widened.sigma[x])
+
+    def test_result_is_still_post_solution(self):
+        system = bounded_loop_system()
+        widened = solve_sw(system, WidenCombine(iv))
+        improved = improve_post_solution(system, widened.sigma)
+        for x in system.unknowns:
+            value, _ = trace_rhs(system.rhs(x), lambda y: improved.sigma[y])
+            assert iv.leq(value, improved.sigma[x])
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_monotone_systems(self, seed):
+        system = random_monotone_system(
+            RandomSystemConfig(size=7, max_deps=3, seed=seed)
+        )
+        widened = solve_sw(system, WidenCombine(nat), max_evals=200_000)
+        improved = improve_post_solution(
+            system, widened.sigma, max_evals=200_000
+        )
+        for x in system.unknowns:
+            # Decreasing ...
+            assert nat.leq(improved.sigma[x], widened.sigma[x])
+            # ... and still a post solution (Fact 1).
+            value, _ = trace_rhs(system.rhs(x), lambda y: improved.sigma[y])
+            assert nat.leq(value, improved.sigma[x])
+
+    def test_exact_post_solution_is_a_fixpoint_of_improvement(self):
+        system = DictSystem(nat, {"x": (lambda get: min(get("x"), 7), ["x"])})
+        improved = improve_post_solution(system, {"x": 7})
+        assert improved.sigma["x"] == 7

@@ -1,0 +1,74 @@
+"""Tests for the naive Kleene iteration baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.randsys import random_powerset_system
+from repro.eqs import DictSystem
+from repro.lattices import NatInf
+from repro.solvers import (
+    DivergenceError,
+    JoinCombine,
+    OverrideCombine,
+    solve_kleene,
+    solve_sw,
+)
+
+nat = NatInf()
+
+
+class TestKleene:
+    def test_reaches_exact_solution_on_finite_chain(self):
+        system = DictSystem(
+            nat,
+            {
+                "a": (lambda get: 3, []),
+                "b": (lambda get: get("a") + 1, ["a"]),
+                "c": (lambda get: max(get("a"), get("b")), ["a", "b"]),
+            },
+        )
+        result = solve_kleene(system)
+        assert result.sigma == {"a": 3, "b": 4, "c": 4}
+
+    def test_jacobi_vs_chaotic_agree_on_monotone_finite(self):
+        for seed in range(8):
+            system = random_powerset_system(8, 4, seed=seed)
+            kleene = solve_kleene(system)
+            chaotic = solve_sw(system, JoinCombine(system.lattice))
+            assert kleene.sigma == chaotic.sigma
+
+    def test_diverges_on_infinite_ascending_chains(self):
+        """The motivation for widening: naive iteration cannot cope with
+        x = x + 1 over N | {oo}."""
+        system = DictSystem(nat, {"x": (lambda get: get("x") + 1, ["x"])})
+        with pytest.raises(DivergenceError):
+            solve_kleene(system, max_evals=1000)
+
+    def test_simultaneous_evaluation_uses_previous_round(self):
+        """Jacobi-style: both unknowns read the *previous* mapping, so a
+        swap system stabilises at the swapped initial values only after
+        the values become equal -- here it oscillates and the fixpoint is
+        reached when both hold the same value."""
+        system = DictSystem(
+            nat,
+            {
+                "a": (lambda get: max(get("b"), 1), ["b"]),
+                "b": (lambda get: max(get("a"), 1), ["a"]),
+            },
+        )
+        result = solve_kleene(system)
+        assert result.sigma == {"a": 1, "b": 1}
+
+    def test_override_result_is_exact_solution(self):
+        """Upon termination the mapping satisfies x = f_x(sigma) exactly."""
+        system = DictSystem(
+            nat,
+            {
+                "a": (lambda get: 2, []),
+                "b": (lambda get: get("a") * 2, ["a"]),
+            },
+        )
+        result = solve_kleene(system)
+        for x in system.unknowns:
+            assert result.sigma[x] == system.rhs(x)(result.sigma.get)

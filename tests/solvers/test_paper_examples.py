@@ -1,0 +1,164 @@
+"""The paper's worked Examples 1--4, reproduced exactly.
+
+* Example 1: round-robin iteration with the combined operator diverges on a
+  finite monotonic system; Example 3: SRR terminates on the same system.
+* Example 2: LIFO worklist iteration with the combined operator diverges;
+  Example 4: SW terminates on the same system.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lattices import INF, NatInf
+from repro.eqs import DictSystem
+from repro.solvers import (
+    DivergenceError,
+    WarrowCombine,
+    solve_rr,
+    solve_srr,
+    solve_sw,
+    solve_wl,
+)
+
+nat = NatInf()
+
+
+def example1_system() -> DictSystem:
+    """x1 = x2;  x2 = x3 + 1;  x3 = x1 over N | {oo}."""
+    return DictSystem(
+        nat,
+        {
+            "x1": (lambda get: get("x2"), ["x2"]),
+            "x2": (lambda get: get("x3") + 1, ["x3"]),
+            "x3": (lambda get: get("x1"), ["x1"]),
+        },
+    )
+
+
+def example2_system() -> DictSystem:
+    """x1 = (x1+1) meet (x2+1);  x2 = (x2+1) meet (x1+1)."""
+    return DictSystem(
+        nat,
+        {
+            "x1": (lambda get: min(get("x1") + 1, get("x2") + 1), ["x1", "x2"]),
+            "x2": (lambda get: min(get("x2") + 1, get("x1") + 1), ["x1", "x2"]),
+        },
+    )
+
+
+class TestExample1RoundRobinDiverges:
+    def test_rr_with_warrow_diverges(self):
+        with pytest.raises(DivergenceError) as err:
+            solve_rr(example1_system(), WarrowCombine(nat), max_evals=600)
+        # The oscillation keeps producing finite values that climb by one:
+        # the partial mapping contains a finite value, not a stable oo.
+        finite = [v for v in err.value.sigma.values() if v != INF]
+        assert finite, "oscillation should keep some unknown finite"
+
+    def test_oscillation_pattern(self):
+        """The paper's table: x2 alternates between oo and climbing k."""
+        seen = []
+        sys1 = DictSystem(
+            nat,
+            {
+                "x1": (lambda get: get("x2"), ["x2"]),
+                "x2": (lambda get: _spy(seen, get("x3") + 1), ["x3"]),
+                "x3": (lambda get: get("x1"), ["x1"]),
+            },
+        )
+        with pytest.raises(DivergenceError):
+            solve_rr(sys1, WarrowCombine(nat), max_evals=120)
+        # The contributions for x2 climb 1, 2, 3, ... without bound.
+        climbing = [v for v in seen if v != INF]
+        assert climbing[:4] == [1, 1, 2, 3] or climbing[:4] == [1, 2, 3, 4]
+
+
+class TestExample3StructuredRoundRobin:
+    def test_srr_terminates_and_reaches_the_least_post_solution(self):
+        result = solve_srr(example1_system(), WarrowCombine(nat))
+        # The system's least solution is all-oo (the cycle adds 1 forever).
+        assert result.sigma == {"x1": INF, "x2": INF, "x3": INF}
+
+    def test_srr_is_quick(self):
+        """The paper's trace stabilises after a handful of updates."""
+        result = solve_srr(example1_system(), WarrowCombine(nat))
+        assert result.stats.evaluations <= 20
+
+    def test_srr_terminates_from_any_initial_mapping(self):
+        """Theorem 1(2): termination for *every* initial mapping."""
+        for init in ({"x1": 5, "x2": 0, "x3": INF}, {"x1": 1, "x2": 1, "x3": 1}):
+            sys1 = DictSystem(
+                nat,
+                {
+                    "x1": (lambda get: get("x2"), ["x2"]),
+                    "x2": (lambda get: get("x3") + 1, ["x3"]),
+                    "x3": (lambda get: get("x1"), ["x1"]),
+                },
+                init=init,
+            )
+            result = solve_srr(sys1, WarrowCombine(nat), max_evals=10_000)
+            sigma = result.sigma
+            # Post-solution check.
+            assert sigma["x1"] >= sigma["x2"]
+            assert sigma["x2"] >= sigma["x3"] + 1
+            assert sigma["x3"] >= sigma["x1"]
+
+
+class TestExample2WorklistDiverges:
+    def test_lifo_worklist_with_warrow_diverges(self):
+        with pytest.raises(DivergenceError):
+            solve_wl(
+                example2_system(),
+                WarrowCombine(nat),
+                discipline="lifo",
+                max_evals=600,
+            )
+
+    def test_divergence_keeps_climbing(self):
+        with pytest.raises(DivergenceError) as err:
+            solve_wl(
+                example2_system(),
+                WarrowCombine(nat),
+                discipline="lifo",
+                max_evals=2000,
+            )
+        finite = [v for v in err.value.sigma.values() if v != INF]
+        assert finite and max(finite) > 100
+
+
+class TestExample4StructuredWorklist:
+    def test_sw_terminates(self):
+        result = solve_sw(example2_system(), WarrowCombine(nat))
+        # The paper's trace ends with both unknowns at oo.
+        assert result.sigma == {"x1": INF, "x2": INF}
+
+    def test_sw_matches_papers_evaluation_count_order(self):
+        result = solve_sw(example2_system(), WarrowCombine(nat))
+        # The paper's trace finishes within 8 extractions.
+        assert result.stats.evaluations <= 10
+
+    def test_sw_terminates_from_any_initial_mapping(self):
+        """Theorem 2(2): termination from arbitrary initial mappings."""
+        sys2 = DictSystem(
+            nat,
+            {
+                "x1": (
+                    lambda get: min(get("x1") + 1, get("x2") + 1),
+                    ["x1", "x2"],
+                ),
+                "x2": (
+                    lambda get: min(get("x2") + 1, get("x1") + 1),
+                    ["x1", "x2"],
+                ),
+            },
+            init={"x1": 17, "x2": INF},
+        )
+        result = solve_sw(sys2, WarrowCombine(nat), max_evals=10_000)
+        sigma = result.sigma
+        assert sigma["x1"] >= min(sigma["x1"] + 1, sigma["x2"] + 1)
+
+
+def _spy(log: list, value):
+    log.append(value)
+    return value

@@ -1,0 +1,108 @@
+"""RLD vs SLR: the motivation for Section 5's new solver.
+
+The paper observes that RLD enhanced with an arbitrary update operator is
+*not* a generic solver: its ``eval`` re-solves already-encountered unknowns
+in the middle of a right-hand-side evaluation, so one evaluation may mix
+values from several intermediate mappings, and the final mapping need not
+be an ``op``-solution.  SLR repairs this (Theorem 3).  The seeds below were
+found by exhaustive search over the seeded random non-monotone systems and
+are therefore stable regression anchors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.randsys import RandomSystemConfig, random_nonmonotone_system
+from repro.eqs.tracked import trace_rhs
+from repro.lattices import NatInf
+from repro.solvers import (
+    DivergenceError,
+    WarrowCombine,
+    solve_rld,
+    solve_slr,
+    warrow,
+)
+
+nat = NatInf()
+
+
+def is_warrow_solution(system, sigma) -> bool:
+    """Check sigma[x] = sigma[x] warrow f_x(sigma) over the domain."""
+    for x in sigma:
+        value, _ = trace_rhs(
+            system.rhs(x), lambda y: sigma.get(y, nat.bottom)
+        )
+        if sigma[x] != warrow(nat, sigma[x], value):
+            return False
+    return True
+
+
+#: Seeds where RLD + warrow terminates with a mapping that is NOT a
+#: warrow-solution (while SLR terminates with a proper one).
+NON_SOLUTION_SEEDS = [0, 1, 2, 6, 9]
+
+#: Seeds where RLD + warrow diverges although SLR terminates.
+DIVERGENCE_SEEDS = [3, 43, 73]
+
+
+@pytest.mark.parametrize("seed", NON_SOLUTION_SEEDS)
+def test_rld_returns_non_solution_where_slr_is_sound(seed):
+    system = random_nonmonotone_system(
+        RandomSystemConfig(size=6, max_deps=3, seed=seed)
+    )
+    x0 = system.unknowns[0]
+    r_slr = solve_slr(system, WarrowCombine(nat), x0, max_evals=50_000)
+    assert is_warrow_solution(system, r_slr.sigma)
+    r_rld = solve_rld(system, WarrowCombine(nat), x0, max_evals=50_000)
+    assert not is_warrow_solution(system, r_rld.sigma)
+
+
+@pytest.mark.parametrize("seed", DIVERGENCE_SEEDS)
+def test_rld_diverges_where_slr_terminates(seed):
+    system = random_nonmonotone_system(
+        RandomSystemConfig(size=6, max_deps=3, seed=seed)
+    )
+    x0 = system.unknowns[0]
+    solve_slr(system, WarrowCombine(nat), x0, max_evals=50_000)
+    with pytest.raises(DivergenceError):
+        solve_rld(system, WarrowCombine(nat), x0, max_evals=100_000)
+
+
+def test_slr_is_warrow_solution_on_many_nonmonotone_systems():
+    """Theorem 3(1) at scale: every terminating SLR run yields a partial
+    warrow-solution, monotone or not."""
+    checked = 0
+    for seed in range(120):
+        system = random_nonmonotone_system(
+            RandomSystemConfig(size=6, max_deps=3, seed=seed)
+        )
+        x0 = system.unknowns[0]
+        try:
+            result = solve_slr(system, WarrowCombine(nat), x0, max_evals=20_000)
+        except DivergenceError:
+            continue
+        assert is_warrow_solution(system, result.sigma)
+        checked += 1
+    assert checked > 50  # the majority of instances terminate
+
+
+def test_rld_agrees_with_slr_for_join_on_monotone_systems():
+    """With an idempotent operator on monotone systems both solvers are
+    sound; RLD's non-atomicity only matters for operators like warrow."""
+    from repro.bench.randsys import random_monotone_system
+    from repro.solvers import JoinCombine
+
+    for seed in range(40):
+        system = random_monotone_system(
+            RandomSystemConfig(size=5, max_deps=2, seed=seed)
+        )
+        x0 = system.unknowns[0]
+        try:
+            r_rld = solve_rld(system, JoinCombine(nat), x0, max_evals=50_000)
+        except DivergenceError:
+            continue  # join alone need not terminate on N | {oo}
+        r_slr = solve_slr(system, JoinCombine(nat), x0, max_evals=50_000)
+        for x in r_rld.sigma:
+            if x in r_slr.sigma:
+                assert r_rld.sigma[x] == r_slr.sigma[x]

@@ -1,0 +1,105 @@
+"""Tests for the naive local round-robin solver of Section 5's sketch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.randsys import RandomSystemConfig, random_monotone_system
+from repro.eqs import DictSystem, FunSystem
+from repro.eqs.tracked import trace_rhs
+from repro.lattices import NatInf
+from repro.solvers import (
+    DivergenceError,
+    JoinCombine,
+    WarrowCombine,
+    solve_rr_local,
+    solve_slr,
+)
+
+nat = NatInf()
+
+
+def example5_system() -> FunSystem:
+    def rhs_of(m):
+        if m % 2 == 0:
+            return lambda get, m=m: max(get(get(m)), m // 2)
+        return lambda get, m=m: get(3 * (m - 1) + 4)
+
+    return FunSystem(nat, rhs_of)
+
+
+class TestLocality:
+    def test_solves_the_infinite_system(self):
+        result = solve_rr_local(example5_system(), JoinCombine(nat), 1)
+        assert result.sigma == {0: 0, 1: 2, 2: 2, 4: 2}
+
+    def test_untouched_unknowns_stay_untouched(self):
+        system = DictSystem(
+            nat,
+            {
+                "a": (lambda get: 1, []),
+                "b": (lambda get: get("a"), ["a"]),
+                "far": (lambda get: 99, []),
+            },
+        )
+        result = solve_rr_local(system, JoinCombine(nat), "b")
+        assert "far" not in result.sigma
+        assert result.sigma["b"] == 1
+
+    def test_domain_is_dependency_closed(self):
+        system = example5_system()
+        result = solve_rr_local(system, JoinCombine(nat), 1)
+        for x in result.sigma:
+            _, accessed = trace_rhs(
+                system.rhs(x), lambda y: result.sigma.get(y, 0)
+            )
+            assert set(accessed) <= set(result.sigma)
+
+
+class TestGenericity:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_matches_slr_for_join_on_monotone_systems(self, seed):
+        system = random_monotone_system(
+            RandomSystemConfig(size=6, max_deps=2, seed=seed)
+        )
+        x0 = system.unknowns[0]
+        try:
+            naive = solve_rr_local(system, JoinCombine(nat), x0, max_evals=50_000)
+        except DivergenceError:
+            return  # join alone may climb forever on N | {oo}
+        clever = solve_slr(system, JoinCombine(nat), x0, max_evals=50_000)
+        for x in naive.sigma:
+            if x in clever.sigma:
+                assert naive.sigma[x] == clever.sigma[x]
+
+    def test_op_solution_on_termination(self):
+        from repro.solvers import warrow
+
+        system = DictSystem(
+            nat,
+            {
+                "x": (lambda get: min(get("x") + 1, 5), ["x"]),
+            },
+        )
+        result = solve_rr_local(system, WarrowCombine(nat), "x", max_evals=10_000)
+        value, _ = trace_rhs(system.rhs("x"), lambda y: result.sigma[y])
+        assert result.sigma["x"] == warrow(nat, result.sigma["x"], value)
+
+
+class TestNoTerminationGuarantee:
+    def test_may_diverge_with_warrow_like_plain_rr(self):
+        """Unlike SLR, the naive local solver inherits RR's divergence on
+        the paper's Example 1."""
+        system = DictSystem(
+            nat,
+            {
+                "x1": (lambda get: get("x2"), ["x2"]),
+                "x2": (lambda get: get("x3") + 1, ["x3"]),
+                "x3": (lambda get: get("x1"), ["x1"]),
+            },
+        )
+        with pytest.raises(DivergenceError):
+            solve_rr_local(system, WarrowCombine(nat), "x1", max_evals=2_000)
+        # SLR terminates on the same query (Theorem 3).
+        result = solve_slr(system, WarrowCombine(nat), "x1", max_evals=10_000)
+        assert result.sigma["x1"] == float("inf")

@@ -1,0 +1,165 @@
+"""Tests for the local solver SLR: Examples 5--6 and Theorem 3 invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lattices import INF, IntervalLattice, Interval, NatInf
+from repro.eqs import FunSystem, DictSystem
+from repro.eqs.tracked import trace_rhs
+from repro.solvers import (
+    DivergenceError,
+    JoinCombine,
+    WarrowCombine,
+    solve_slr,
+    warrow,
+)
+
+nat = NatInf()
+
+
+def example5_system() -> FunSystem:
+    """The paper's infinite system over N | {oo}:
+
+    y_{2n}   = max(y_{y_{2n}}, n)       (a value-dependent lookup!)
+    y_{2n+1} = y_{6n+4}
+    """
+
+    def rhs_of(m):
+        if m % 2 == 0:
+            return lambda get, m=m: max(get(get(m)), m // 2)
+        return lambda get, m=m: get(3 * (m - 1) + 4)
+
+    return FunSystem(nat, rhs_of)
+
+
+class TestExample5and6:
+    def test_partial_solution_for_y1(self):
+        """Example 6: solving y1 yields {y0 -> 0, y1 -> 2, y2 -> 2, y4 -> 2}."""
+        result = solve_slr(example5_system(), JoinCombine(nat), 1)
+        assert result.sigma == {0: 0, 1: 2, 2: 2, 4: 2}
+
+    def test_domain_is_dependency_closed(self):
+        """Partial solutions must have dep-closed domains (Section 5)."""
+        result = solve_slr(example5_system(), JoinCombine(nat), 1)
+        sigma = result.sigma
+        system = example5_system()
+        for x in sigma:
+            _, accessed = trace_rhs(system.rhs(x), lambda y: sigma[y])
+            assert set(accessed) <= set(sigma)
+
+    def test_is_partial_max_solution(self):
+        """sigma[x] = sigma[x] max f_x(sigma) for every encountered x."""
+        result = solve_slr(example5_system(), JoinCombine(nat), 1)
+        sigma = result.sigma
+        system = example5_system()
+        for x in sigma:
+            value, _ = trace_rhs(system.rhs(x), lambda y: sigma[y])
+            assert sigma[x] == max(sigma[x], value)
+
+    def test_x0_has_largest_key(self):
+        result = solve_slr(example5_system(), JoinCombine(nat), 1)
+        assert result.keys[1] == 0
+        assert all(k <= 0 for k in result.keys.values())
+
+    def test_only_needed_unknowns_are_touched(self):
+        """Local solving must not explore the infinite unknown space."""
+        result = solve_slr(example5_system(), JoinCombine(nat), 1)
+        assert len(result.sigma) == 4
+
+
+class TestSLRGenericSolver:
+    def test_warrow_on_example1_terminates(self):
+        """SLR + warrow terminates where plain RR diverged (Theorem 3)."""
+        sys1 = DictSystem(
+            nat,
+            {
+                "x1": (lambda get: get("x2"), ["x2"]),
+                "x2": (lambda get: get("x3") + 1, ["x3"]),
+                "x3": (lambda get: get("x1"), ["x1"]),
+            },
+        )
+        result = solve_slr(sys1, WarrowCombine(nat), "x1", max_evals=10_000)
+        assert result.sigma["x1"] == INF
+
+    def test_warrow_solution_property(self):
+        """Upon termination sigma is a partial warrow-solution (Thm 3.1)."""
+        sys1 = DictSystem(
+            nat,
+            {
+                "x1": (lambda get: get("x2"), ["x2"]),
+                "x2": (lambda get: get("x3") + 1, ["x3"]),
+                "x3": (lambda get: get("x1"), ["x1"]),
+            },
+        )
+        result = solve_slr(sys1, WarrowCombine(nat), "x1", max_evals=10_000)
+        sigma = result.sigma
+        for x in sigma:
+            value, _ = trace_rhs(sys1.rhs(x), lambda y: sigma[y])
+            assert sigma[x] == warrow(nat, sigma[x], value)
+
+    def test_interval_loop_gets_narrowed(self):
+        """A bounded counting loop: widening overshoots, warrow recovers.
+
+        i0 = [0,0];  i1 = (i0 join (i1 + [1,1])) meet [-oo, 9]
+        models ``for (i = 0; i <= 9; i++)`` at the loop head.
+        """
+        iv = IntervalLattice()
+
+        def head(get):
+            body = iv.add(get("i1"), Interval(1, 1))
+            guarded = iv.meet(body, Interval(float("-inf"), 9))
+            return iv.join(get("i0"), guarded)
+
+        system = DictSystem(
+            iv,
+            {
+                "i0": (lambda get: Interval(0, 0), []),
+                "i1": (head, ["i0", "i1"]),
+            },
+        )
+        result = solve_slr(system, WarrowCombine(iv), "i1")
+        assert result.sigma["i1"] == Interval(0, 9)
+
+    def test_unreached_unknowns_stay_untouched(self):
+        iv = IntervalLattice()
+        system = DictSystem(
+            iv,
+            {
+                "a": (lambda get: Interval(0, 0), []),
+                "b": (lambda get: get("a"), ["a"]),
+                "unrelated": (lambda get: Interval(5, 5), []),
+            },
+        )
+        result = solve_slr(system, WarrowCombine(iv), "b")
+        assert "unrelated" not in result.sigma
+        assert result.sigma["b"] == Interval(0, 0)
+
+    def test_divergence_guard_fires_for_nonmonotone_oscillation(self):
+        """Termination is only guaranteed for monotone systems; a crafted
+        non-monotone equation can oscillate forever and must hit the
+        budget."""
+
+        def flip(get):
+            v = get("x")
+            # Non-monotone: a larger input can produce a smaller output.
+            return 1 if v == INF else v + 1
+
+        system = DictSystem(nat, {"x": (flip, ["x"])})
+        with pytest.raises(DivergenceError):
+            solve_slr(system, WarrowCombine(nat), "x", max_evals=500)
+
+    def test_bounded_warrow_recovers_termination(self):
+        """The Section 4 safeguard: k-bounded narrowing forces termination
+        even on the oscillating non-monotone system."""
+        from repro.solvers import BoundedWarrowCombine
+
+        def flip(get):
+            v = get("x")
+            return 1 if v == INF else v + 1
+
+        system = DictSystem(nat, {"x": (flip, ["x"])})
+        result = solve_slr(
+            system, BoundedWarrowCombine(nat, k=2), "x", max_evals=10_000
+        )
+        assert result.sigma["x"] == INF  # frozen at the sound value

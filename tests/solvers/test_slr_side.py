@@ -1,0 +1,233 @@
+"""Tests for SLR+, the side-effecting solver of Section 6.
+
+Includes the paper's Examples 7--9 expressed directly as a side-effecting
+equation system: a flow-insensitive global ``g`` receives contributions
+``[0,0]`` (initialisation), ``[2,2]`` and ``[3,3]`` (from the two calls of
+``f``), and the combined operator must end at exactly ``[0,3]`` -- widening
+alone would keep ``[0,+oo]``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lattices import Interval, IntervalLattice, NatInf, POS_INF
+from repro.lattices.interval import const
+from repro.eqs.side import FunSideSystem, plain_as_side
+from repro.solvers import (
+    JoinCombine,
+    SideEffectError,
+    WarrowCombine,
+    WidenCombine,
+    solve_slr_side,
+)
+
+iv = IntervalLattice()
+
+
+def example7_system() -> FunSideSystem:
+    """The analysis skeleton of the paper's Example 7 program.
+
+    Unknowns: ``main`` (drives the two calls and the initialisation),
+    ``("f", 1)`` and ``("f", 2)`` (the two calling contexts of ``f``),
+    and the global ``g`` which only receives side effects.
+    """
+
+    def rhs_of(x):
+        if x == "main":
+            def rhs(get, side):
+                side("g", const(0))        # int g = 0;
+                get(("f", 1))              # f(1);
+                get(("f", 2))              # f(2);
+                return const(0)            # return 0;
+            return rhs
+        if x == ("f", 1):
+            def rhs(get, side):
+                side("g", const(2))        # g = b + 1 with b = 1
+                return const(0)
+            return rhs
+        if x == ("f", 2):
+            def rhs(get, side):
+                side("g", const(3))        # g = b + 1 with b = 2
+                return const(0)
+            return rhs
+        if x == "g":
+            return lambda get, side: iv.bottom
+        raise KeyError(x)
+
+    return FunSideSystem(iv, rhs_of)
+
+
+class TestExample9:
+    def test_global_ends_at_0_3_with_warrow(self):
+        result = solve_slr_side(example7_system(), WarrowCombine(iv), "main")
+        assert result.sigma["g"] == Interval(0, 3)
+
+    def test_widening_only_overshoots(self):
+        """The paper's narrative: with pure widening g = [0,+oo]."""
+        result = solve_slr_side(example7_system(), WidenCombine(iv), "main")
+        assert result.sigma["g"] == Interval(0, POS_INF)
+
+    def test_contributions_are_recorded_per_origin(self):
+        result = solve_slr_side(example7_system(), WarrowCombine(iv), "main")
+        assert result.contribs[("main", "g")] == const(0)
+        assert result.contribs[(("f", 1), "g")] == const(2)
+        assert result.contribs[(("f", 2), "g")] == const(3)
+        assert result.contributors["g"] == {"main", ("f", 1), ("f", 2)}
+
+    def test_all_contexts_in_domain(self):
+        result = solve_slr_side(example7_system(), WarrowCombine(iv), "main")
+        assert {"main", ("f", 1), ("f", 2), "g"} <= result.dom
+
+
+class TestSideDiscipline:
+    def test_self_side_effect_rejected(self):
+        def rhs_of(x):
+            def rhs(get, side):
+                side(x, const(1))
+                return iv.bottom
+            return rhs
+
+        with pytest.raises(SideEffectError):
+            solve_slr_side(FunSideSystem(iv, rhs_of), WarrowCombine(iv), "a")
+
+    def test_double_side_effect_rejected(self):
+        def rhs_of(x):
+            if x == "a":
+                def rhs(get, side):
+                    side("g", const(1))
+                    side("g", const(2))
+                    return iv.bottom
+                return rhs
+            return lambda get, side: iv.bottom
+
+        with pytest.raises(SideEffectError):
+            solve_slr_side(FunSideSystem(iv, rhs_of), WarrowCombine(iv), "a")
+
+    def test_plain_rhs_adapter(self):
+        def rhs_of(x):
+            if x == "a":
+                return plain_as_side(lambda get: const(7))
+            return plain_as_side(lambda get: get("a"))
+
+        result = solve_slr_side(FunSideSystem(iv, rhs_of), WarrowCombine(iv), "b")
+        assert result.sigma["b"] == const(7)
+
+
+class TestSideSolutionProperties:
+    def test_partial_post_solution(self):
+        """Theorem 4(1): the result is a partial post solution: for every
+        x in dom, sigma[x] covers the return value joined with all side
+        contributions to x."""
+        system = example7_system()
+        result = solve_slr_side(system, WarrowCombine(iv), "main")
+        sigma = result.sigma
+        for x in result.dom:
+            collected = {}
+
+            def side(z, d):
+                collected[z] = d
+
+            own = system.rhs(x)(lambda y: sigma[y], side)
+            total = own
+            for z, contributors in result.contributors.items():
+                pass
+            for origin in result.contributors.get(x, ()):
+                total = iv.join(total, result.contribs[(origin, x)])
+            assert iv.leq(total, sigma[x])
+            # And each side effect recorded during the final evaluation is
+            # covered by the target's final value.
+            for z, d in collected.items():
+                assert iv.leq(d, sigma[z])
+
+    def test_changing_contribution_narrows_global(self):
+        """A contributor that first overshoots and then shrinks: the
+        combined operator must recover the smaller global value, which a
+        separate narrowing phase could not do for this non-monotone
+        system."""
+
+        def rhs_of(x):
+            if x == "main":
+                def rhs(get, side):
+                    loop = get("loop")
+                    side("g", loop)
+                    return iv.bottom
+                return rhs
+            if x == "loop":
+                def rhs(get, side):
+                    # i := 0 join (i + 1 meet <= 4): a bounded loop.
+                    body = iv.add(get("loop"), const(1))
+                    capped = iv.meet(body, Interval(float("-inf"), 4))
+                    return iv.join(const(0), capped)
+                return rhs
+            return lambda get, side: iv.bottom
+
+        result = solve_slr_side(FunSideSystem(iv, rhs_of), WarrowCombine(iv), "main")
+        assert result.sigma["loop"] == Interval(0, 4)
+        assert result.sigma["g"] == Interval(0, 4)
+
+
+class TestJoinInsteadOfWarrow:
+    def test_generic_in_operator(self):
+        """SLR+ is generic: with op = join on a finite-chain fragment it
+        reaches the exact least solution."""
+        nat = NatInf()
+
+        def rhs_of(x):
+            if x == "a":
+                def rhs(get, side):
+                    side("acc", 3)
+                    return 1
+                return rhs
+            if x == "b":
+                def rhs(get, side):
+                    side("acc", 5)
+                    return get("a")
+                return rhs
+            return lambda get, side: 0
+
+        result = solve_slr_side(FunSideSystem(nat, rhs_of), JoinCombine(nat), "b")
+        assert result.sigma["b"] == 1
+        assert result.sigma["acc"] == 5
+
+
+class TestExample9Trace:
+    def test_global_goes_through_widening_then_narrowing(self):
+        """The paper's Example 9 narrates the exact operator applications
+        on the global g: first the initialisation gives [0,0], then the
+        joined contributions push it to [0,0] widen [0,3] = [0,+oo], and
+        the next evaluation narrows [0,+oo] back to [0,3].  We record the
+        combine-operator applications on g and check that trace."""
+        from repro.analysis.inter import GV, InterAnalysis
+        from repro.lang import compile_program
+        from repro.analysis import IntervalDomain
+        from repro.solvers import WarrowCombine
+        from repro.solvers.slr_side import solve_slr_side
+
+        dom = IntervalDomain()
+        cfg = compile_program(
+            "int g = 0;"
+            "void f(int b) { if (b) { g = b + 1; } else { g = -b - 1; } }"
+            "int main() { f(1); f(2); return 0; }"
+        )
+        analysis = InterAnalysis(cfg, dom)
+        trace = []
+
+        class Spy(WarrowCombine):
+            def __call__(self, x, old, new):
+                out = super().__call__(x, old, new)
+                if x == GV("g"):
+                    trace.append((old, out))
+                return out
+
+        result = solve_slr_side(
+            analysis.system(), Spy(analysis.lattice), analysis.root()
+        )
+        values = [analysis.lattice.format(v) for _, v in trace]
+        # The value history must contain the widening overshoot followed
+        # by the narrowing recovery, ending at [0,3].
+        assert any("+oo" in v for v in values), values
+        assert values[-1] == "val:[0,3]"
+        # And once narrowed, it never grows back (stable suffix).
+        last_inf = max(i for i, v in enumerate(values) if "+oo" in v)
+        assert all("+oo" not in v for v in values[last_inf + 1 :])

@@ -1,0 +1,212 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+int g = 0;
+void f(int b) {
+    if (b) { g = b + 1; } else { g = -b - 1; }
+}
+int main() {
+    f(1);
+    f(2);
+    assert(g <= 3);
+    return g;
+}
+"""
+
+LOOP_GLOBAL = """
+int g = 0;
+int main() {
+    int i = 0;
+    while (i < 10) { i = i + 1; }
+    g = i;
+    assert(g <= 10);
+    return g;
+}
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "example.mc"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+@pytest.fixture
+def loop_file(tmp_path):
+    path = tmp_path / "loop.mc"
+    path.write_text(LOOP_GLOBAL)
+    return str(path)
+
+
+class TestRun:
+    def test_run_prints_result(self, program_file, capsys):
+        assert main(["run", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "return value: 3" in out
+        assert "g = 3" in out
+
+    def test_run_with_args(self, tmp_path, capsys):
+        path = tmp_path / "args.mc"
+        path.write_text("int main(int a, int b) { return a * b; }")
+        assert main(["run", str(path), "6", "7"]) == 0
+        assert "return value: 42" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_analyze_reports_globals(self, program_file, capsys):
+        assert main(["analyze", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "g = [0,3]" in out
+        assert "unknowns" in out
+
+    def test_analyze_full_context(self, program_file, capsys):
+        assert main(["analyze", program_file, "--context", "full"]) == 0
+        out = capsys.readouterr().out
+        assert "f: 2" in out  # two contexts for f
+
+    def test_analyze_twophase_is_less_precise(self, loop_file, capsys):
+        assert main(["analyze", loop_file, "--solver", "twophase"]) == 0
+        out = capsys.readouterr().out
+        assert "g = [0,+oo]" in out
+
+    def test_analyze_points(self, loop_file, capsys):
+        assert main(["analyze", loop_file, "--points"]) == 0
+        out = capsys.readouterr().out
+        assert "main:0" in out
+
+
+class TestVerify:
+    def test_all_proved_exit_zero(self, loop_file, capsys):
+        assert main(["verify", loop_file]) == 0
+        out = capsys.readouterr().out
+        assert "proved" in out
+
+    def test_unknown_under_twophase_exit_one(self, loop_file, capsys):
+        assert main(["verify", loop_file, "--solver", "twophase"]) == 1
+        out = capsys.readouterr().out
+        assert "unknown" in out
+
+    def test_violated_exit_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.mc"
+        path.write_text("int main() { int x = 1; assert(x == 2); return 0; }")
+        assert main(["verify", str(path)]) == 2
+
+    def test_no_assertions(self, tmp_path, capsys):
+        path = tmp_path / "plain.mc"
+        path.write_text("int main() { return 0; }")
+        assert main(["verify", str(path)]) == 0
+        assert "no assertions" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_dump_cfg(self, program_file, capsys):
+        assert main(["dump-cfg", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "function main" in out
+        assert "CallInstr" in out
+
+    def test_fig7_subset(self, capsys):
+        assert main(["fig7", "fibcall"]) == 0
+        out = capsys.readouterr().out
+        assert "fibcall" in out and "weighted average" in out
+
+    def test_table1_subset(self, capsys):
+        assert main(["table1", "470.lbm"]) == 0
+        out = capsys.readouterr().out
+        assert "470.lbm" in out
+
+    def test_module_entry_point(self, program_file):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "run", program_file],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "return value: 3" in proc.stdout
+
+
+class TestDomainsAndThresholds:
+    NESTED = """int main() {
+        int i = 0;
+        int j = 0;
+        while (i < 5) {
+            j = 0;
+            while (j < 3) { j = j + 1; }
+            i = i + 1;
+        }
+        assert(i == 5);
+        return i + j;
+    }"""
+
+    STRIDE = """int main() {
+        int i = 0;
+        while (i < 100) { i = i + 2; }
+        assert(i % 2 == 0);
+        return i;
+    }"""
+
+    def test_thresholds_flag_proves_nested_loop_bound(self, tmp_path):
+        path = tmp_path / "nested.mc"
+        path.write_text(self.NESTED)
+        assert main(["verify", str(path)]) == 1  # unknown without
+        assert main(["verify", str(path), "--thresholds"]) == 0
+
+    def test_interval_congruence_domain(self, tmp_path):
+        path = tmp_path / "stride.mc"
+        path.write_text(self.STRIDE)
+        assert main(["verify", str(path), "--domain", "interval-congruence"]) == 0
+
+    def test_sign_domain_runs(self, tmp_path, capsys):
+        path = tmp_path / "prog.mc"
+        path.write_text("int g = 3; int main() { g = g * g; return g; }")
+        assert main(["analyze", str(path), "--domain", "sign"]) == 0
+        out = capsys.readouterr().out
+        assert "g = {+}" in out
+
+    def test_unknown_domain_rejected(self, tmp_path):
+        import pytest
+
+        path = tmp_path / "prog.mc"
+        path.write_text("int main() { return 0; }")
+        with pytest.raises(SystemExit):
+            main(["analyze", str(path), "--domain", "octagon"])
+
+
+class TestErrorHandling:
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent/prog.mc"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_parse_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.mc"
+        path.write_text("int main( { return 0; }")
+        assert main(["analyze", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_semantic_error(self, tmp_path, capsys):
+        path = tmp_path / "undeclared.mc"
+        path.write_text("int main() { return zebra; }")
+        assert main(["run", str(path)]) == 2
+        assert "undeclared" in capsys.readouterr().err
+
+    def test_runtime_error(self, tmp_path, capsys):
+        path = tmp_path / "crash.mc"
+        path.write_text("int main() { int a[2]; return a[9]; }")
+        assert main(["run", str(path)]) == 2
+        assert "out of bounds" in capsys.readouterr().err
+
+    def test_failing_assert_at_runtime(self, tmp_path, capsys):
+        path = tmp_path / "assert.mc"
+        path.write_text("int main() { assert(0); return 0; }")
+        assert main(["run", str(path)]) == 2
+        assert "assertion failed" in capsys.readouterr().err
