@@ -64,7 +64,8 @@ from repro.lattices.lifted import Lifted, LiftedBottom
 from repro.lattices.maplat import FrozenMap, MapLattice
 from repro.lattices.union import TaggedUnionLattice, UNION_BOT
 from repro.solvers import Combine, NarrowCombine, WarrowCombine, WidenCombine
-from repro.solvers.slr_side import SideResult, solve_slr_side
+from repro.solvers.registry import resolve_solver
+from repro.solvers.slr_side import SideResult
 
 
 # --------------------------------------------------------------------- #
@@ -436,6 +437,7 @@ def analyze_program(
     entry_fn: str = "main",
     max_evals: Optional[int] = None,
     widen_delay: int = 1,
+    solver="slr+",
 ) -> AnalysisResult:
     """Run the interprocedural analysis with a single solver pass.
 
@@ -446,11 +448,14 @@ def analyze_program(
         only; matched by :func:`analyze_program_twophase` so that
         precision comparisons isolate the *operator*, not the widening
         schedule).
+    :param solver: a side-effecting local solver, as a callable or a
+        registry name (default: ``"slr+"``).
     """
+    solve = resolve_solver(solver, side_effecting=True, scope="local")
     analysis = InterAnalysis(cfg, domain, policy, entry_fn)
     if op is None:
         op = WarrowCombine(analysis.lattice, delay=widen_delay)
-    result = solve_slr_side(
+    result = solve(
         analysis.system(), op, analysis.root(), max_evals=max_evals
     )
     return _collect(analysis, result)
@@ -464,6 +469,7 @@ def analyze_program_twophase(
     max_evals: Optional[int] = None,
     track_contributions: bool = False,
     widen_delay: int = 1,
+    solver="slr+",
 ) -> AnalysisResult:
     """The classic baseline: a complete widening pass, then a narrowing pass.
 
@@ -479,10 +485,11 @@ def analyze_program_twophase(
     stronger baseline that separates phases but keeps the new side-effect
     machinery.
     """
+    solve = resolve_solver(solver, side_effecting=True, scope="local")
     analysis = InterAnalysis(cfg, domain, policy, entry_fn)
     system = analysis.system()
     root = analysis.root()
-    phase1 = solve_slr_side(
+    phase1 = solve(
         system,
         WidenCombine(analysis.lattice, delay=widen_delay),
         root,
@@ -496,7 +503,7 @@ def analyze_program_twophase(
         return frozen.get(x, analysis.lattice.bottom)
 
     system2 = FunSideSystem(analysis.lattice, system.rhs, init_of=init_of)
-    phase2 = solve_slr_side(
+    phase2 = solve(
         system2,
         NarrowCombine(analysis.lattice),
         root,

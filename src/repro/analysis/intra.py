@@ -28,8 +28,9 @@ from repro.eqs.system import DictSystem
 from repro.lang.cfg import CallInstr, ControlFlowGraph, Node
 from repro.lattices.lifted import Lifted, LiftedBottom
 from repro.lattices.maplat import FrozenMap, MapLattice
-from repro.solvers import Combine, SolverResult, WarrowCombine, solve_sw
+from repro.solvers import Combine, SolverResult, WarrowCombine
 from repro.solvers.ordering import dfs_priority_order
+from repro.solvers.registry import resolve_solver
 
 
 @dataclass
@@ -110,7 +111,7 @@ def analyze_function(
     fn_name: str,
     domain: NumericDomain,
     op: Optional[Combine] = None,
-    solve=solve_sw,
+    solve="sw",
     entry_env: Optional[FrozenMap] = None,
     max_evals: Optional[int] = None,
 ) -> IntraResult:
@@ -120,11 +121,13 @@ def analyze_function(
     :param fn_name: the function to analyse.
     :param domain: the numeric value domain (e.g. :class:`IntervalDomain`).
     :param op: the update operator (default: the combined operator).
-    :param solve: a generic solver taking ``(system, op, order, max_evals)``.
+    :param solve: a generic solver taking ``(system, op, order, max_evals)``
+        -- either a callable or a registry name such as ``"sw"``.
     :param entry_env: the abstract state at function entry (default: all
         locals 0, parameters unconstrained, globals at their initialisers).
     :param max_evals: evaluation budget.
     """
+    solve = resolve_solver(solve, scope="global", generic=True)
     system, env_lat, fn = build_intra_system(cfg, fn_name, domain, entry_env)
     if op is None:
         op = WarrowCombine(env_lat)

@@ -24,7 +24,7 @@ from repro.bench.spec import PROGRAMS as SPEC_PROGRAMS
 from repro.bench.wcet import PROGRAMS as WCET_PROGRAMS
 from repro.lang import compile_program
 from repro.solvers import WarrowCombine, WidenCombine
-from repro.solvers.slr_side import solve_slr_side
+from repro.solvers.registry import get_solver
 
 
 # --------------------------------------------------------------------- #
@@ -137,8 +137,9 @@ def _solve_config(
         op = WarrowCombine(analysis.lattice, delay=1)
     else:
         op = WidenCombine(analysis.lattice, delay=1)
+    solve = get_solver("slr+", side_effecting=True)
     start = time.perf_counter()
-    result = solve_slr_side(
+    result = solve(
         analysis.system(), op, analysis.root(), max_evals=max_evals
     )
     elapsed = time.perf_counter() - start
@@ -147,6 +148,75 @@ def _solve_config(
         unknowns=result.stats.unknowns,
         evaluations=result.stats.evaluations,
     )
+
+
+# --------------------------------------------------------------------- #
+# Memoization smoke check: same results, strictly less work.            #
+# --------------------------------------------------------------------- #
+
+@dataclass
+class MemoSmokeRow:
+    """One solver's plain-vs-memoized comparison on a random system."""
+
+    solver: str
+    evaluations_plain: int
+    evaluations_memo: int
+    memo_hits: int
+    memo_misses: int
+    #: Whether both runs produced the same mapping (they must).
+    identical: bool
+
+    @property
+    def hit_rate(self) -> float:
+        consultations = self.memo_hits + self.memo_misses
+        return self.memo_hits / consultations if consultations else 0.0
+
+
+def run_memo_smoke(
+    size: int = 12,
+    seed: int = 0,
+    solvers=("sw", "slr"),
+    max_evals: int = 1_000_000,
+) -> List[MemoSmokeRow]:
+    """Run memoizable solvers with the RHS cache off and on.
+
+    On a random monotone interval system, each solver must produce an
+    identical mapping in both modes while the memoized run performs at
+    most as many right-hand-side evaluations -- the smoke check behind the
+    ``benchmark_smoke`` test job.
+    """
+    from repro.bench.randsys import RandomSystemConfig, random_interval_system
+
+    system = random_interval_system(RandomSystemConfig(size=size, seed=seed))
+    lat = system.lattice
+    rows = []
+    for name in solvers:
+        spec = get_solver(name, memoize=True)
+
+        def run(memoize: bool):
+            op = WarrowCombine(lat)
+            if spec.scope == "local":
+                return spec(
+                    system, op, "x0", max_evals=max_evals, memoize=memoize
+                )
+            return spec(system, op, max_evals=max_evals, memoize=memoize)
+
+        plain = run(False)
+        memo = run(True)
+        identical = set(plain.sigma) == set(memo.sigma) and all(
+            lat.equal(plain.sigma[x], memo.sigma[x]) for x in plain.sigma
+        )
+        rows.append(
+            MemoSmokeRow(
+                solver=spec.name,
+                evaluations_plain=plain.stats.evaluations,
+                evaluations_memo=memo.stats.evaluations,
+                memo_hits=memo.stats.memo_hits,
+                memo_misses=memo.stats.memo_misses,
+                identical=identical,
+            )
+        )
+    return rows
 
 
 def run_table1(

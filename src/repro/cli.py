@@ -7,6 +7,7 @@ Usage (also via ``python -m repro``)::
     repro analyze program.mc [options]      interval analysis report
     repro verify program.mc [options]       check assert() statements
     repro dump-cfg program.mc               print the control-flow graphs
+    repro solvers                           list the registered solvers
     repro fig7 [BENCH ...]                  regenerate Figure 7
     repro table1 [PROGRAM ...]              regenerate Table 1
 """
@@ -72,11 +73,19 @@ def _analyze(args):
     policy = _policy(args.context, domain)
     if args.solver == "twophase":
         result = analyze_program_twophase(
-            cfg, domain, policy=policy, max_evals=args.max_evals
+            cfg,
+            domain,
+            policy=policy,
+            max_evals=args.max_evals,
+            solver=args.local_solver,
         )
     else:
         result = analyze_program(
-            cfg, domain, policy=policy, max_evals=args.max_evals
+            cfg,
+            domain,
+            policy=policy,
+            max_evals=args.max_evals,
+            solver=args.local_solver,
         )
     return cfg, result, domain
 
@@ -161,6 +170,29 @@ def cmd_verify(args) -> int:
     return 0
 
 
+def cmd_solvers(args) -> int:
+    from repro.solvers.registry import all_specs
+
+    for spec in all_specs():
+        caps = [spec.scope]
+        if spec.side_effecting:
+            caps.append("side-effecting")
+        if not spec.takes_op:
+            caps.append("fixed-op")
+        if not spec.generic:
+            caps.append("non-generic")
+        if spec.memoizable:
+            caps.append("memoizable")
+        names = spec.name
+        if spec.aliases:
+            names += f" ({', '.join(spec.aliases)})"
+        ref = f" [{spec.paper_ref}]" if spec.paper_ref else ""
+        print(f"{names}: {', '.join(caps)}{ref}")
+        if spec.summary:
+            print(f"    {spec.summary}")
+    return 0
+
+
 def cmd_dump_cfg(args) -> int:
     cfg = compile_program(_read_source(args.file))
     for fn_name, fn in cfg.functions.items():
@@ -212,6 +244,14 @@ def _add_analysis_options(parser: argparse.ArgumentParser) -> None:
         help="combined operator (paper) or classical two-phase baseline",
     )
     parser.add_argument(
+        "--local-solver",
+        default="slr+",
+        help=(
+            "registry name of the side-effecting local solver driving the "
+            "analysis (see `repro solvers`)"
+        ),
+    )
+    parser.add_argument(
         "--max-evals",
         type=int,
         default=10_000_000,
@@ -261,6 +301,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_dump.add_argument("file")
     p_dump.set_defaults(func=cmd_dump_cfg)
 
+    p_solvers = sub.add_parser(
+        "solvers", help="list the registered solvers and their capabilities"
+    )
+    p_solvers.set_defaults(func=cmd_solvers)
+
     p_fig7 = sub.add_parser("fig7", help="regenerate Figure 7")
     p_fig7.add_argument("names", nargs="*", help="benchmark subset")
     p_fig7.set_defaults(func=cmd_fig7)
@@ -281,6 +326,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.lang import LexError, ParseError, SemanticError
     from repro.lang.interp import ExecutionError
     from repro.solvers import DivergenceError
+    from repro.solvers.registry import (
+        SolverCapabilityError,
+        UnknownSolverError,
+    )
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -297,6 +346,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     except DivergenceError as err:
         print(f"error: solver budget exhausted: {err}", file=sys.stderr)
+        return 2
+    except (UnknownSolverError, SolverCapabilityError) as err:
+        print(f"error: {err}", file=sys.stderr)
         return 2
 
 

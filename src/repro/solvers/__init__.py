@@ -1,24 +1,33 @@
 """Generic fixpoint solvers parameterised by a binary update operator.
 
-This package is the reproduction of the paper's algorithmic core:
+This package is the reproduction of the paper's algorithmic core.  Every
+solver is a thin strategy over the shared
+:class:`~repro.solvers.engine.SolverEngine` and registers itself in the
+solver registry, so it can be selected by name via
+:func:`~repro.solvers.registry.get_solver`:
 
-========  =======================================  =====================
-Solver    Paper reference                          Function
-========  =======================================  =====================
-RR        Fig. 1, round robin                      :func:`solve_rr`
-W         Fig. 2, worklist                         :func:`solve_wl`
-SRR       Fig. 3, structured round robin           :func:`solve_srr`
-SW        Fig. 4, structured worklist              :func:`solve_sw`
-RLD       Fig. 5, Hofmann et al. local solver      :func:`solve_rld`
-SLR       Fig. 6, structured local recursive       :func:`solve_slr`
-SLR+      Section 6, side-effecting SLR            :func:`solve_slr_side`
---        two-phase widening/narrowing baseline    :func:`solve_twophase`
---        naive Kleene iteration baseline          :func:`solve_kleene`
-========  =======================================  =====================
+==========  ========  =================================  ====================
+Registry    Solver    Paper reference                    Function
+==========  ========  =================================  ====================
+``rr``      RR        Fig. 1, round robin                :func:`solve_rr`
+``wl``      W         Fig. 2, worklist                   :func:`solve_wl`
+``srr``     SRR       Fig. 3, structured round robin     :func:`solve_srr`
+``sw``      SW        Fig. 4, structured worklist        :func:`solve_sw`
+``rld``     RLD       Fig. 5, Hofmann et al. local       :func:`solve_rld`
+``slr``     SLR       Fig. 6, structured local rec.      :func:`solve_slr`
+``slr+``    SLR+      Section 6, side-effecting SLR      :func:`solve_slr_side`
+``td``      TD        [22], top-down baseline            :func:`solve_td`
+``rr-local``  --      Section 5 local round-robin        :func:`solve_rr_local`
+``twophase``  --      two-phase widen/narrow baseline    :func:`solve_twophase`
+``kleene``    --      naive Kleene iteration baseline    :func:`solve_kleene`
+==========  ========  =================================  ====================
 
-Every solver takes a :class:`~repro.solvers.combine.Combine` operator; the
-paper's combined widening/narrowing operator is
-:class:`~repro.solvers.combine.WarrowCombine`.
+Every generic solver takes a :class:`~repro.solvers.combine.Combine`
+operator; the paper's combined widening/narrowing operator is
+:class:`~repro.solvers.combine.WarrowCombine`.  Instrumentation is
+pluggable through the engine's event bus (``observers=...``), and the
+atomically-evaluating solvers accept ``memoize=True`` to skip
+re-evaluations whose dependencies are unchanged.
 """
 
 from repro.solvers.combine import (
@@ -32,9 +41,30 @@ from repro.solvers.combine import (
     WidenCombine,
     warrow,
 )
+from repro.solvers.engine import (
+    DivergenceMonitor,
+    EventBus,
+    MemoCache,
+    ObservedWorklist,
+    RecordingObserver,
+    SolverEngine,
+    SolverObserver,
+    StatsObserver,
+    TimingObserver,
+)
 from repro.solvers.improve import improve_post_solution
 from repro.solvers.kleene import solve_kleene
 from repro.solvers.ordering import dfs_priority_order, weak_topological_order
+from repro.solvers.registry import (
+    SolverCapabilityError,
+    SolverSpec,
+    UnknownSolverError,
+    all_specs,
+    get_solver,
+    register_solver,
+    resolve_solver,
+    solver_names,
+)
 from repro.solvers.rld import solve_rld
 from repro.solvers.rr import solve_rr
 from repro.solvers.rr_local import solve_rr_local
@@ -67,6 +97,23 @@ __all__ = [
     "WarrowCombine",
     "WidenCombine",
     "warrow",
+    "DivergenceMonitor",
+    "EventBus",
+    "MemoCache",
+    "ObservedWorklist",
+    "RecordingObserver",
+    "SolverEngine",
+    "SolverObserver",
+    "StatsObserver",
+    "TimingObserver",
+    "SolverCapabilityError",
+    "SolverSpec",
+    "UnknownSolverError",
+    "all_specs",
+    "get_solver",
+    "register_solver",
+    "resolve_solver",
+    "solver_names",
     "improve_post_solution",
     "solve_kleene",
     "dfs_priority_order",

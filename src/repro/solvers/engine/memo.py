@@ -1,0 +1,67 @@
+"""Right-hand-side memoization keyed on dependency-value fingerprints.
+
+A right-hand side is a pure function of the values it looks up, so its
+result can only change when one of those values changes.  The engine
+assigns every unknown a monotonically increasing *version* (bumped on
+each committed update); one cache entry per unknown stores the versions
+of all unknowns the previous evaluation read, together with the value it
+produced.  A lookup hits exactly when every recorded version is still
+current -- i.e. when no dependency changed since the last evaluation.
+
+Versions rather than values are the fingerprint on purpose: they need no
+hashing or equality on (arbitrarily large) lattice values, and recording
+them *at read time* is what keeps the cache sound for local solvers,
+where a nested ``solve`` may update a dependency after it was read.
+
+On a hit the solver still applies its update operator to the cached
+right-hand-side value -- only the (expensive) evaluation is skipped -- so
+the sequence of operator applications, and therefore the final mapping,
+is bit-identical to an unmemoized run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Tuple
+
+#: Sentinel distinguishing "no cached value" from a cached ``None`` (which
+#: is a legitimate lattice value, e.g. the interval lattice's bottom).
+MISS = object()
+
+
+class MemoCache:
+    """One solver run's RHS cache: ``x -> (read fingerprint, value)``."""
+
+    __slots__ = ("_entries", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._entries: Dict[Hashable, Tuple[Tuple, object]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, x: Hashable, versions: Mapping[Hashable, int]):
+        """The cached value of ``f_x``, or :data:`MISS`.
+
+        A hit requires every unknown read by the previous evaluation to
+        still be at the version it was read at.
+        """
+        entry = self._entries.get(x)
+        if entry is None:
+            self.misses += 1
+            return MISS
+        reads, value = entry
+        for y, version in reads:
+            if versions.get(y, 0) != version:
+                self.misses += 1
+                return MISS
+        self.hits += 1
+        return value
+
+    def store(
+        self, x: Hashable, reads: Mapping[Hashable, int], value
+    ) -> None:
+        """Record that evaluating ``f_x`` read ``reads`` and returned
+        ``value``."""
+        self._entries[x] = (tuple(reads.items()), value)

@@ -18,18 +18,18 @@ this utility's precondition fails).
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence, Union
 
 from repro.eqs.system import DictSystem, FiniteSystem
 from repro.solvers.combine import NarrowCombine
+from repro.solvers.registry import resolve_solver
 from repro.solvers.stats import SolverResult
-from repro.solvers.sw import solve_sw
 
 
 def improve_post_solution(
     system: FiniteSystem,
     post_solution: Mapping,
-    solve: Callable = solve_sw,
+    solve: Union[str, Callable] = "sw",
     order: Optional[Sequence] = None,
     max_evals: Optional[int] = None,
 ) -> SolverResult:
@@ -39,10 +39,12 @@ def improve_post_solution(
         sides (the caller's obligation -- Fact 1's precondition).
     :param post_solution: a mapping with ``post_solution[x] >=
         f_x(post_solution)`` for all unknowns.
-    :param solve: any generic solver (default: structured worklist).
+    :param solve: any generic solver, as a callable or a registry name
+        (default: structured worklist).
     :returns: a solver result whose mapping is point-wise below the input
         and still a post solution.
     """
+    solve = resolve_solver(solve, scope="global", generic=True)
     seeded = DictSystem(
         system.lattice,
         {

@@ -12,25 +12,38 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.eqs.system import FiniteSystem
-from repro.solvers.stats import Budget, SolverResult, SolverStats
+from repro.solvers.engine import SolverEngine
+from repro.solvers.registry import register_solver
+from repro.solvers.stats import SolverResult
 
 
+@register_solver(
+    "kleene",
+    scope="global",
+    takes_op=False,
+    generic=False,
+    takes_order=True,
+    aliases=("jacobi",),
+    paper_ref="textbook",
+    summary="naive simultaneous (Jacobi) fixpoint iteration baseline",
+)
 def solve_kleene(
     system: FiniteSystem,
     order: Optional[Sequence] = None,
     max_evals: Optional[int] = None,
+    *,
+    observers=(),
 ) -> SolverResult:
     """Iterate ``sigma_{k+1}[x] = f_x(sigma_k)`` until a fixpoint is reached.
 
     :param system: a finite equation system.
     :param order: evaluation order (cosmetic for Jacobi iteration).
     :param max_evals: evaluation budget guarding against divergence.
+    :param observers: extra event-bus observers for this run.
     """
+    eng = SolverEngine(system, max_evals=max_evals, observers=observers)
     xs = list(order) if order is not None else list(system.unknowns)
-    sigma = {x: system.init(x) for x in xs}
-    stats = SolverStats(unknowns=len(xs))
-    budget = Budget(stats, max_evals)
-    lat = system.lattice
+    sigma = eng.seed_finite(xs)
 
     changed = True
     while changed:
@@ -41,10 +54,7 @@ def solve_kleene(
             return snapshot[y]
 
         for x in xs:
-            budget.charge(x, sigma)
-            new = system.rhs(x)(get)
-            if not lat.equal(sigma[x], new):
-                sigma[x] = new
-                stats.count_update()
+            if eng.commit(x, eng.eval_rhs(x, get)):
                 changed = True
-    return SolverResult(sigma, stats)
+    eng.finish(unknowns=len(xs))
+    return SolverResult(sigma, eng.stats)

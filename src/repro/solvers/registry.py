@@ -1,0 +1,206 @@
+"""The solver registry: name-based lookup with capability metadata.
+
+Every ``solve_*`` function registers itself with :func:`register_solver`,
+so downstream layers (the CLI, the intra-/interprocedural analyses and
+the benchmark harness) select solvers by *string* instead of importing a
+specific function::
+
+    from repro.solvers.registry import get_solver
+
+    spec = get_solver("slr")            # -> SolverSpec, callable
+    result = spec(system, op, "x0")
+
+Capability metadata makes mis-selection a loud error instead of a wrong
+answer: :func:`get_solver` can require a scope (``"global"`` whole-system
+solvers vs ``"local"`` demand-driven ones), side-effect support,
+genericity in the paper's sense, or memoization support, and raises
+:class:`SolverCapabilityError` on a mismatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class UnknownSolverError(LookupError):
+    """Raised when no solver is registered under the requested name."""
+
+
+class SolverCapabilityError(ValueError):
+    """Raised when the named solver lacks a required capability."""
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """One registered solver and its capabilities.
+
+    Instances are callable and delegate to the underlying ``solve_*``
+    function, so ``get_solver(name)(...)`` is a drop-in for a direct
+    import.
+    """
+
+    #: Canonical registry name (lower-case).
+    name: str
+    #: The underlying ``solve_*`` function.
+    fn: Callable
+    #: ``"global"`` (iterates a finite system) or ``"local"``
+    #: (demand-driven from an interesting unknown ``x0``).
+    scope: str
+    #: Whether the solver accepts side-effecting systems (``SLR+``).
+    side_effecting: bool = False
+    #: Whether the solver takes a :class:`Combine` operator (the Kleene
+    #: and two-phase baselines fix their operators internally).
+    takes_op: bool = True
+    #: Whether the solver is *generic* in the paper's sense: upon
+    #: termination the result is an ``op``-solution for any operator.
+    generic: bool = True
+    #: Whether the solver supports the engine's RHS memoization cache
+    #: (requires atomic evaluations and a side-effect-free system).
+    memoizable: bool = False
+    #: Whether the solver consumes a linear ``order`` of the unknowns.
+    takes_order: bool = False
+    #: Alternate lookup names.
+    aliases: Tuple[str, ...] = ()
+    #: Paper reference, e.g. ``"Fig. 6"``.
+    paper_ref: str = ""
+    #: One-line description for listings.
+    summary: str = ""
+
+    def __call__(self, *args, **kwargs):
+        return self.fn(*args, **kwargs)
+
+
+_REGISTRY: Dict[str, SolverSpec] = {}
+_CANONICAL: List[str] = []
+
+
+def _normalize(name: str) -> str:
+    return name.strip().lower().replace("_", "-")
+
+
+def register_solver(
+    name: str,
+    *,
+    scope: str,
+    side_effecting: bool = False,
+    takes_op: bool = True,
+    generic: bool = True,
+    memoizable: bool = False,
+    takes_order: bool = False,
+    aliases: Tuple[str, ...] = (),
+    paper_ref: str = "",
+    summary: str = "",
+) -> Callable:
+    """Class decorator for ``solve_*`` functions: add them to the registry."""
+    if scope not in ("global", "local"):
+        raise ValueError(f"scope must be 'global' or 'local', got {scope!r}")
+
+    def decorate(fn: Callable) -> Callable:
+        spec = SolverSpec(
+            name=_normalize(name),
+            fn=fn,
+            scope=scope,
+            side_effecting=side_effecting,
+            takes_op=takes_op,
+            generic=generic,
+            memoizable=memoizable,
+            takes_order=takes_order,
+            aliases=tuple(_normalize(a) for a in aliases),
+            paper_ref=paper_ref,
+            summary=summary,
+        )
+        for key in (spec.name, *spec.aliases):
+            existing = _REGISTRY.get(key)
+            if existing is not None and existing.fn is not fn:
+                raise ValueError(
+                    f"solver name {key!r} already registered "
+                    f"for {existing.fn.__name__}"
+                )
+            _REGISTRY[key] = spec
+        if spec.name not in _CANONICAL:
+            _CANONICAL.append(spec.name)
+        return fn
+
+    return decorate
+
+
+def _ensure_loaded() -> None:
+    # Registration happens on import of the solver modules; importing the
+    # package pulls in all of them.  The import is deferred to avoid a
+    # cycle (the solver modules import this module for the decorator).
+    if not _REGISTRY:
+        import repro.solvers  # noqa: F401
+
+
+def get_solver(
+    name: str,
+    *,
+    scope: Optional[str] = None,
+    side_effecting: Optional[bool] = None,
+    generic: Optional[bool] = None,
+    memoize: Optional[bool] = None,
+) -> SolverSpec:
+    """Look up a solver by name, optionally enforcing capabilities.
+
+    :param name: a registry name or alias, case-insensitive (``"slr"``,
+        ``"SLR+"``, ``"sw"``...).
+    :param scope: require ``"global"`` or ``"local"``.
+    :param side_effecting: require (or reject) side-effecting support.
+    :param generic: require genericity in the paper's sense.
+    :param memoize: when ``True``, require RHS-memoization support.
+    :raises UnknownSolverError: for unregistered names.
+    :raises SolverCapabilityError: when a requirement is not met.
+    """
+    _ensure_loaded()
+    spec = _REGISTRY.get(_normalize(name))
+    if spec is None:
+        known = ", ".join(sorted(_CANONICAL))
+        raise UnknownSolverError(
+            f"unknown solver {name!r}; registered solvers: {known}"
+        )
+    if scope is not None and spec.scope != scope:
+        raise SolverCapabilityError(
+            f"solver {spec.name!r} is {spec.scope}, but a {scope} solver "
+            f"is required"
+        )
+    if side_effecting is not None and spec.side_effecting != side_effecting:
+        detail = "does not support" if side_effecting else "requires"
+        raise SolverCapabilityError(
+            f"solver {spec.name!r} {detail} side-effecting systems"
+        )
+    if generic is not None and spec.generic != generic:
+        raise SolverCapabilityError(
+            f"solver {spec.name!r} is "
+            f"{'not ' if generic else ''}a generic solver"
+        )
+    if memoize and not spec.memoizable:
+        raise SolverCapabilityError(
+            f"solver {spec.name!r} does not support RHS memoization "
+            f"(it needs atomic, side-effect-free evaluations)"
+        )
+    return spec
+
+
+def resolve_solver(solve, **requirements) -> Callable:
+    """Accept either a solver callable or a registry name.
+
+    Callables pass through untouched (the historic API); strings are
+    resolved via :func:`get_solver` with the given capability
+    ``requirements``.
+    """
+    if callable(solve):
+        return solve
+    return get_solver(solve, **requirements)
+
+
+def solver_names() -> List[str]:
+    """Canonical names of all registered solvers, in registration order."""
+    _ensure_loaded()
+    return list(_CANONICAL)
+
+
+def all_specs() -> List[SolverSpec]:
+    """All registered solver specs, in registration order."""
+    _ensure_loaded()
+    return [_REGISTRY[name] for name in _CANONICAL]

@@ -17,14 +17,26 @@ from typing import Hashable, Optional
 from repro.eqs.system import PureSystem
 from repro.solvers._deepcall import call_with_deep_stack
 from repro.solvers.combine import Combine
-from repro.solvers.stats import Budget, SolverResult, SolverStats
+from repro.solvers.engine import SolverEngine
+from repro.solvers.registry import register_solver
+from repro.solvers.stats import SolverResult
 
 
+@register_solver(
+    "rld",
+    scope="local",
+    generic=False,
+    aliases=("hofmann",),
+    paper_ref="Fig. 5",
+    summary="Hofmann et al. local solver; not generic (non-atomic evals)",
+)
 def solve_rld(
     system: PureSystem,
     op: Combine,
     x0: Hashable,
     max_evals: Optional[int] = None,
+    *,
+    observers=(),
 ) -> SolverResult:
     """Run RLD for the interesting unknown ``x0``.
 
@@ -32,49 +44,27 @@ def solve_rld(
     :param op: the binary update operator.
     :param x0: the unknown whose value is queried.
     :param max_evals: evaluation budget guarding against divergence.
+    :param observers: extra event-bus observers for this run.
     :returns: the mapping over all encountered unknowns.
     """
-    op.reset()
-    lat = system.lattice
-    sigma: dict = {}
-    infl: dict = {}
-    stable: set = set()
-    stats = SolverStats()
-    budget = Budget(stats, max_evals)
+    eng = SolverEngine(system, op, max_evals=max_evals, observers=observers)
+    sigma = eng.sigma
 
-    def value_of(y):
-        if y not in sigma:
-            sigma[y] = system.init(y)
-        return sigma[y]
-
-    # ``infl`` maps an unknown to an insertion-ordered set (a dict with
+    # The engine's ``infl`` holds insertion-ordered sets (dicts with
     # ``None`` values) so that destabilised unknowns are re-solved in the
     # order their dependencies were recorded -- keeping runs deterministic
     # regardless of string-hash randomisation.
     def solve(x) -> None:
-        if x in stable:
+        if x in eng.stable:
             return
-        stable.add(x)
-        value_of(x)
-        budget.charge(x, sigma)
-        tmp = op(x, sigma[x], system.rhs(x)(make_eval(x)))
-        if not lat.equal(tmp, sigma[x]):
-            work = list(infl.get(x, ()))
-            sigma[x] = tmp
-            stats.count_update()
-            infl[x] = {}
-            stable.difference_update(work)
-            for y in work:
+        eng.stable.add(x)
+        eng.value_of(x)
+        old = sigma[x]
+        tmp = op(x, old, eng.eval_rhs(x, eng.demand_solving_eval(x, solve)))
+        if eng.commit(x, tmp):
+            for y in eng.destabilize_ordered(x):
                 solve(y)
 
-    def make_eval(x):
-        def eval_(y):
-            solve(y)
-            infl.setdefault(y, {})[x] = None
-            return value_of(y)
-
-        return eval_
-
     call_with_deep_stack(lambda: solve(x0))
-    stats.unknowns = len(sigma)
-    return SolverResult(sigma, stats)
+    eng.finish(unknowns=len(sigma))
+    return SolverResult(sigma, eng.stats)

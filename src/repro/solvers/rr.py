@@ -17,14 +17,28 @@ from typing import Optional, Sequence
 
 from repro.eqs.system import FiniteSystem
 from repro.solvers.combine import Combine
-from repro.solvers.stats import Budget, SolverResult, SolverStats
+from repro.solvers.engine import SolverEngine
+from repro.solvers.registry import register_solver
+from repro.solvers.stats import SolverResult
 
 
+@register_solver(
+    "rr",
+    scope="global",
+    memoizable=True,
+    takes_order=True,
+    aliases=("round-robin",),
+    paper_ref="Fig. 1",
+    summary="round-robin sweeps until a full sweep changes nothing",
+)
 def solve_rr(
     system: FiniteSystem,
     op: Combine,
     order: Optional[Sequence] = None,
     max_evals: Optional[int] = None,
+    *,
+    observers=(),
+    memoize: bool = False,
 ) -> SolverResult:
     """Solve ``system`` by round-robin iteration with update operator ``op``.
 
@@ -33,14 +47,15 @@ def solve_rr(
     :param order: sweep order of the unknowns (default: declaration order).
     :param max_evals: evaluation budget; exceeding it raises
         :class:`~repro.solvers.stats.DivergenceError`.
+    :param observers: extra event-bus observers for this run.
+    :param memoize: skip re-evaluations whose dependencies are unchanged.
     :returns: the final mapping together with solver statistics.
     """
-    op.reset()
+    eng = SolverEngine(
+        system, op, max_evals=max_evals, observers=observers, memoize=memoize
+    )
     xs = list(order) if order is not None else list(system.unknowns)
-    sigma = {x: system.init(x) for x in xs}
-    stats = SolverStats(unknowns=len(xs))
-    budget = Budget(stats, max_evals)
-    lat = system.lattice
+    sigma = eng.seed_finite(xs)
 
     def get(y):
         return sigma[y]
@@ -49,10 +64,8 @@ def solve_rr(
     while dirty:
         dirty = False
         for x in xs:
-            budget.charge(x, sigma)
-            new = op(x, sigma[x], system.rhs(x)(get))
-            if not lat.equal(sigma[x], new):
-                sigma[x] = new
-                stats.count_update()
+            old = sigma[x]
+            if eng.commit(x, op(x, old, eng.eval_rhs(x, get))):
                 dirty = True
-    return SolverResult(sigma, stats)
+    eng.finish(unknowns=len(xs))
+    return SolverResult(sigma, eng.stats)

@@ -23,14 +23,25 @@ from typing import Hashable, Optional
 from repro.eqs.system import PureSystem
 from repro.eqs.tracked import TracingGet
 from repro.solvers.combine import Combine
-from repro.solvers.stats import Budget, SolverResult, SolverStats
+from repro.solvers.engine import SolverEngine
+from repro.solvers.registry import register_solver
+from repro.solvers.stats import SolverResult
 
 
+@register_solver(
+    "rr-local",
+    scope="local",
+    aliases=("local-round-robin",),
+    paper_ref="Section 5 (sketch)",
+    summary="round-robin sweeps over a growing unknown set; may diverge",
+)
 def solve_rr_local(
     system: PureSystem,
     op: Combine,
     x0: Hashable,
     max_evals: Optional[int] = None,
+    *,
+    observers=(),
 ) -> SolverResult:
     """Local solving by round-robin sweeps over a growing unknown set.
 
@@ -38,33 +49,24 @@ def solve_rr_local(
     :param op: the binary update operator.
     :param x0: the unknown whose value is queried.
     :param max_evals: evaluation budget guarding against divergence.
+    :param observers: extra event-bus observers for this run.
     :returns: a partial ``op``-solution whose domain contains ``x0`` and
         is closed under the dynamically discovered dependencies.
     """
-    op.reset()
-    lat = system.lattice
-    sigma: dict = {x0: system.init(x0)}
+    eng = SolverEngine(system, op, max_evals=max_evals, observers=observers)
+    sigma = eng.sigma
+    sigma[x0] = system.init(x0)
     worklist = [x0]  # insertion-ordered domain
-    stats = SolverStats()
-    budget = Budget(stats, max_evals)
-
-    def lookup(y):
-        if y not in sigma:
-            sigma[y] = system.init(y)
-        return sigma[y]
 
     dirty = True
     while dirty:
         dirty = False
         discovered: list = []
         for x in worklist:
-            budget.charge(x, sigma)
-            tracer = TracingGet(lookup)
-            value = system.rhs(x)(tracer)
-            new = op(x, sigma[x], value)
-            if not lat.equal(sigma[x], new):
-                sigma[x] = new
-                stats.count_update()
+            tracer = TracingGet(eng.value_of)
+            old = sigma[x]
+            value = eng.eval_rhs(x, tracer)
+            if eng.commit(x, op(x, old, value)):
                 dirty = True
             for y in tracer.accessed:
                 if y not in sigma:
@@ -73,5 +75,5 @@ def solve_rr_local(
                     discovered.append(y)
                     dirty = True
         worklist.extend(discovered)
-    stats.unknowns = len(worklist)
-    return SolverResult({x: sigma[x] for x in worklist}, stats)
+    eng.finish(unknowns=len(worklist))
+    return SolverResult({x: sigma[x] for x in worklist}, eng.stats)

@@ -31,8 +31,9 @@ from typing import Dict, Hashable, Optional, Set
 from repro.eqs.system import PureSystem
 from repro.solvers._deepcall import call_with_deep_stack
 from repro.solvers.combine import Combine
-from repro.solvers.stats import Budget, SolverResult, SolverStats
-from repro.solvers.sw import PriorityWorklist
+from repro.solvers.engine import SolverEngine
+from repro.solvers.registry import register_solver
+from repro.solvers.stats import SolverResult
 
 
 @dataclass
@@ -47,11 +48,22 @@ class LocalResult(SolverResult):
     keys: Dict[Hashable, int] = field(default_factory=dict)
 
 
+@register_solver(
+    "slr",
+    scope="local",
+    memoizable=True,
+    aliases=("structured-local-recursive",),
+    paper_ref="Fig. 6",
+    summary="structured local recursive solving; Theorem 3 guarantees",
+)
 def solve_slr(
     system: PureSystem,
     op: Combine,
     x0: Hashable,
     max_evals: Optional[int] = None,
+    *,
+    observers=(),
+    memoize: bool = False,
 ) -> LocalResult:
     """Run SLR for the interesting unknown ``x0``.
 
@@ -61,61 +73,35 @@ def solve_slr(
     :param x0: the unknown whose value is queried.
     :param max_evals: evaluation budget guarding against divergence (the
         guarantee of Theorem 3 only covers monotonic systems).
+    :param observers: extra event-bus observers for this run.
+    :param memoize: skip re-evaluations whose dependencies are unchanged
+        (sound for SLR because evaluations are atomic).
     :returns: a partial ``op``-solution whose domain contains ``x0`` and is
         closed under dynamic dependencies.
     """
-    op.reset()
-    lat = system.lattice
-    sigma: dict = {}
-    infl: Dict[Hashable, Set[Hashable]] = {}
-    key: Dict[Hashable, int] = {}
-    stable: set = set()
-    dom: set = set()
-    count = 0
-    queue = PriorityWorklist(lambda x: key[x])
-    stats = SolverStats()
-    budget = Budget(stats, max_evals)
-
-    def init(y) -> None:
-        nonlocal count
-        dom.add(y)
-        key[y] = -count
-        count += 1
-        infl[y] = {y}
-        sigma[y] = system.init(y)
+    eng = SolverEngine(
+        system, op, max_evals=max_evals, observers=observers, memoize=memoize
+    )
+    sigma, keys = eng.sigma, eng.keys
+    queue = eng.make_queue(lambda x: keys[x])
 
     def solve(x) -> None:
-        if x in stable:
+        if x in eng.stable:
             return
-        stable.add(x)
-        budget.charge(x, sigma)
-        tmp = op(x, sigma[x], system.rhs(x)(make_eval(x)))
-        if not lat.equal(tmp, sigma[x]):
-            work = infl[x]
-            for y in work:
-                queue.add(y)
-            sigma[x] = tmp
-            stats.count_update()
-            infl[x] = {x}
-            stable.difference_update(work)
-        while queue and queue.min_key() <= key[x]:
-            stats.observe_queue(len(queue))
+        eng.stable.add(x)
+        old = sigma[x]
+        tmp = op(x, old, eng.eval_rhs(x, eng.fresh_solving_eval(x, solve)))
+        if eng.commit(x, tmp):
+            eng.destabilize(x, queue)
+        while queue and queue.min_key() <= keys[x]:
             solve(queue.extract_min())
 
-    def make_eval(x):
-        def eval_(y):
-            if y not in dom:
-                init(y)
-                solve(y)
-            infl[y].add(x)
-            return sigma[y]
-
-        return eval_
-
     def run() -> None:
-        init(x0)
+        eng.init_unknown(x0)
         solve(x0)
 
     call_with_deep_stack(run)
-    stats.unknowns = len(dom)
-    return LocalResult(sigma=sigma, stats=stats, infl=infl, keys=key)
+    eng.finish()
+    return LocalResult(
+        sigma=sigma, stats=eng.stats, infl=eng.infl, keys=keys
+    )

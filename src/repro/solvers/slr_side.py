@@ -23,9 +23,9 @@ from typing import Dict, Hashable, Optional, Set, Tuple
 from repro.eqs.side import SideEffectingSystem
 from repro.solvers._deepcall import call_with_deep_stack
 from repro.solvers.combine import Combine
+from repro.solvers.engine import SolverEngine
+from repro.solvers.registry import register_solver
 from repro.solvers.slr import LocalResult
-from repro.solvers.stats import Budget, SolverStats
-from repro.solvers.sw import PriorityWorklist
 
 
 class SideEffectError(Exception):
@@ -56,6 +56,14 @@ class SideResult(LocalResult):
     accumulated: Set[Hashable] = field(default_factory=set)
 
 
+@register_solver(
+    "slr+",
+    scope="local",
+    side_effecting=True,
+    aliases=("slr-side", "slrside"),
+    paper_ref="Section 6",
+    summary="side-effecting SLR; drives the interprocedural analyses",
+)
 def solve_slr_side(
     system: SideEffectingSystem,
     op: Combine,
@@ -63,6 +71,8 @@ def solve_slr_side(
     max_evals: Optional[int] = None,
     track_contributions: bool = True,
     protect: Optional[set] = None,
+    *,
+    observers=(),
 ) -> SideResult:
     """Run SLR+ for the interesting unknown ``x0``.
 
@@ -88,29 +98,17 @@ def solve_slr_side(
     :returns: a partial ``op``-solution over the encountered unknowns,
         including all side-effect targets.
     """
-    op.reset()
-    lat = system.lattice
-    sigma: dict = {}
+    eng = SolverEngine(system, op, max_evals=max_evals, observers=observers)
+    lat = eng.lattice
+    sigma, keys, dom, stable = eng.sigma, eng.keys, eng.dom, eng.stable
     contribs: Dict[Tuple[Hashable, Hashable], object] = {}
     contributors: Dict[Hashable, Set[Hashable]] = {}
-    infl: Dict[Hashable, Set[Hashable]] = {}
-    key: Dict[Hashable, int] = {}
-    stable: set = set()
-    dom: set = set()
     accumulated: set = set(protect) if protect else set()
-    count = 0
-    queue = PriorityWorklist(lambda x: key[x])
-    stats = SolverStats()
-    budget = Budget(stats, max_evals)
+    queue = eng.make_queue(lambda x: keys[x])
 
     def init(y) -> None:
-        nonlocal count
-        dom.add(y)
-        key[y] = -count
-        count += 1
-        infl[y] = {y}
+        eng.init_unknown(y)
         contributors.setdefault(y, set())
-        sigma[y] = system.init(y)
 
     def destabilize_and_queue(y) -> None:
         stable.discard(y)
@@ -120,8 +118,9 @@ def solve_slr_side(
         if x in stable:
             return
         stable.add(x)
-        budget.charge(x, sigma)
-        own = system.rhs(x)(make_eval(x), make_side(x))
+        side = make_side(x)
+        rhs = system.rhs(x)
+        own = eng.eval_rhs(x, make_eval(x), lambda get: rhs(get, side))
         # Join the return value with all recorded side contributions to x.
         total = own
         if track_contributions:
@@ -131,28 +130,13 @@ def solve_slr_side(
             # Classical accumulation keeps past side effects in sigma[x]
             # itself, so they must survive the combine with the own value.
             total = lat.join(total, sigma[x])
-        tmp = op(x, sigma[x], total)
-        if not lat.equal(tmp, sigma[x]):
-            work = infl[x]
-            for y in work:
-                queue.add(y)
-            sigma[x] = tmp
-            stats.count_update()
-            infl[x] = {x}
-            stable.difference_update(work)
-        while queue and queue.min_key() <= key[x]:
-            stats.observe_queue(len(queue))
+        if eng.commit(x, op(x, sigma[x], total)):
+            eng.destabilize(x, queue)
+        while queue and queue.min_key() <= keys[x]:
             solve(queue.extract_min())
 
     def make_eval(x):
-        def eval_(y):
-            if y not in dom:
-                init(y)
-                solve(y)
-            infl[y].add(x)
-            return sigma[y]
-
-        return eval_
+        return eng.fresh_solving_eval(x, solve)
 
     def _side_accumulate(x, y, d) -> None:
         """Classical side-effect handling: fold ``d`` into the target."""
@@ -161,17 +145,11 @@ def solve_slr_side(
             init(y)
         accumulated.add(y)
         new = op(y, sigma[y], lat.join(sigma[y], d))
-        if not lat.equal(new, sigma[y]):
-            sigma[y] = new
-            stats.count_update()
+        if eng.commit(y, new):
             if fresh:
                 solve(y)
             else:
-                work = infl[y]
-                for z in work:
-                    queue.add(z)
-                infl[y] = {y}
-                stable.difference_update(work)
+                eng.destabilize(y, queue)
 
     def make_side(x):
         effected: set = set()
@@ -200,7 +178,9 @@ def solve_slr_side(
                 contributors[y] = {x}
                 solve(y)
             else:
-                contributors[y].add(x)
+                # ``y`` may have been discovered through ``eval`` (which
+                # does not touch the contributor map), so default here.
+                contributors.setdefault(y, set()).add(x)
                 if changed:
                     destabilize_and_queue(y)
 
@@ -215,12 +195,12 @@ def solve_slr_side(
             solve(queue.extract_min())
 
     call_with_deep_stack(run)
-    stats.unknowns = len(dom)
+    eng.finish()
     return SideResult(
         sigma=sigma,
-        stats=stats,
-        infl=infl,
-        keys=key,
+        stats=eng.stats,
+        infl=eng.infl,
+        keys=keys,
         contribs=contribs,
         contributors=contributors,
         accumulated=accumulated,

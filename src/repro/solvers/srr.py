@@ -18,14 +18,28 @@ from typing import Optional, Sequence
 
 from repro.eqs.system import FiniteSystem
 from repro.solvers.combine import Combine
-from repro.solvers.stats import Budget, SolverResult, SolverStats
+from repro.solvers.engine import SolverEngine
+from repro.solvers.registry import register_solver
+from repro.solvers.stats import SolverResult
 
 
+@register_solver(
+    "srr",
+    scope="global",
+    memoizable=True,
+    takes_order=True,
+    aliases=("structured-round-robin",),
+    paper_ref="Fig. 3",
+    summary="structured round robin; terminating with warrow (Theorem 1)",
+)
 def solve_srr(
     system: FiniteSystem,
     op: Combine,
     order: Optional[Sequence] = None,
     max_evals: Optional[int] = None,
+    *,
+    observers=(),
+    memoize: bool = False,
 ) -> SolverResult:
     """Solve ``system`` by structured round-robin iteration.
 
@@ -35,13 +49,14 @@ def solve_srr(
         order).  The order affects efficiency, not correctness; inner-loop
         unknowns should receive small indices (cf. Bourdoncle).
     :param max_evals: evaluation budget guarding against divergence.
+    :param observers: extra event-bus observers for this run.
+    :param memoize: skip re-evaluations whose dependencies are unchanged.
     """
-    op.reset()
+    eng = SolverEngine(
+        system, op, max_evals=max_evals, observers=observers, memoize=memoize
+    )
     xs = list(order) if order is not None else list(system.unknowns)
-    sigma = {x: system.init(x) for x in xs}
-    stats = SolverStats(unknowns=len(xs))
-    budget = Budget(stats, max_evals)
-    lat = system.lattice
+    sigma = eng.seed_finite(xs)
 
     def get(y):
         return sigma[y]
@@ -54,12 +69,10 @@ def solve_srr(
     i = 0
     while i < len(xs):
         x = xs[i]
-        budget.charge(x, sigma)
-        new = op(x, sigma[x], system.rhs(x)(get))
-        if lat.equal(sigma[x], new):
-            i += 1
-        else:
-            sigma[x] = new
-            stats.count_update()
+        old = sigma[x]
+        if eng.commit(x, op(x, old, eng.eval_rhs(x, get))):
             i = 0
-    return SolverResult(sigma, stats)
+        else:
+            i += 1
+    eng.finish(unknowns=len(xs))
+    return SolverResult(sigma, eng.stats)

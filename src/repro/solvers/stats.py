@@ -41,6 +41,10 @@ class SolverStats:
     max_queue: int = 0
     #: Number of distinct unknowns touched (== len(dom) for local solvers).
     unknowns: int = 0
+    #: RHS memoization cache hits (0 unless memoization is enabled).
+    memo_hits: int = 0
+    #: RHS memoization cache misses (0 unless memoization is enabled).
+    memo_misses: int = 0
 
     def count_eval(self, x: Hashable) -> None:
         """Record one evaluation of the right-hand side of ``x``."""

@@ -13,61 +13,33 @@ most ``h * N`` evaluations where ``N = sum_i (2 + |deps(x_i)|)``.
 
 from __future__ import annotations
 
-import heapq
 from typing import Optional, Sequence
 
 from repro.eqs.system import FiniteSystem
 from repro.solvers.combine import Combine
-from repro.solvers.stats import Budget, SolverResult, SolverStats
+from repro.solvers.engine import SolverEngine
+from repro.solvers.engine.worklist import PriorityWorklist  # noqa: F401  (re-export)
+from repro.solvers.registry import register_solver
+from repro.solvers.stats import SolverResult
 
 
-class PriorityWorklist:
-    """A priority queue of unknowns with set semantics (paper's ``add``).
-
-    ``add`` inserts an element or leaves the queue unchanged if present;
-    ``extract_min`` removes and returns the unknown with the least key.
-    """
-
-    def __init__(self, key_of) -> None:
-        self._key_of = key_of
-        self._heap: list = []
-        self._present: set = set()
-
-    def __len__(self) -> int:
-        return len(self._present)
-
-    def __bool__(self) -> bool:
-        return bool(self._present)
-
-    def add(self, x) -> None:
-        """Insert ``x`` unless it is already enqueued."""
-        if x not in self._present:
-            self._present.add(x)
-            heapq.heappush(self._heap, (self._key_of(x), len(self._heap), x))
-
-    def extract_min(self):
-        """Remove and return the unknown with the smallest key."""
-        while self._heap:
-            _, _, x = heapq.heappop(self._heap)
-            if x in self._present:
-                self._present.discard(x)
-                return x
-        raise IndexError("extract_min from an empty worklist")
-
-    def min_key(self):
-        """The smallest key currently enqueued."""
-        while self._heap and self._heap[0][2] not in self._present:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            raise IndexError("min_key of an empty worklist")
-        return self._heap[0][0]
-
-
+@register_solver(
+    "sw",
+    scope="global",
+    memoizable=True,
+    takes_order=True,
+    aliases=("structured-worklist",),
+    paper_ref="Fig. 4",
+    summary="structured (priority-queue) worklist; Theorem 2 guarantees",
+)
 def solve_sw(
     system: FiniteSystem,
     op: Combine,
     order: Optional[Sequence] = None,
     max_evals: Optional[int] = None,
+    *,
+    observers=(),
+    memoize: bool = False,
 ) -> SolverResult:
     """Solve ``system`` by structured (priority-queue) worklist iteration.
 
@@ -76,31 +48,31 @@ def solve_sw(
     :param order: the linear order ``x_1 ... x_n`` defining priorities
         (default: declaration order).
     :param max_evals: evaluation budget guarding against divergence.
+    :param observers: extra event-bus observers for this run.
+    :param memoize: skip re-evaluations whose dependencies are unchanged.
     """
-    op.reset()
+    eng = SolverEngine(
+        system, op, max_evals=max_evals, observers=observers, memoize=memoize
+    )
     xs = list(order) if order is not None else list(system.unknowns)
     key = {x: i for i, x in enumerate(xs)}
-    sigma = {x: system.init(x) for x in system.unknowns}
+    sigma = eng.seed_finite(system.unknowns)
     infl = system.infl()
-    stats = SolverStats(unknowns=len(sigma))
-    budget = Budget(stats, max_evals)
-    lat = system.lattice
 
     def get(y):
         return sigma[y]
 
-    queue = PriorityWorklist(key.__getitem__)
+    queue = eng.make_queue(key.__getitem__)
     for x in xs:
         queue.add(x)
     while queue:
-        stats.observe_queue(len(queue))
         x = queue.extract_min()
-        budget.charge(x, sigma)
-        new = op(x, sigma[x], system.rhs(x)(get))
-        if not lat.equal(sigma[x], new):
-            sigma[x] = new
-            stats.count_update()
+        old = sigma[x]
+        if eng.commit(x, op(x, old, eng.eval_rhs(x, get))):
+            work = infl.get(x, [x])
             queue.add(x)
-            for z in infl.get(x, [x]):
+            for z in work:
                 queue.add(z)
-    return SolverResult(sigma, stats)
+            eng.bus.emit_destabilize(x, work)
+    eng.finish(unknowns=len(sigma))
+    return SolverResult(sigma, eng.stats)

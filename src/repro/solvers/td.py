@@ -19,19 +19,31 @@ and this weakness.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Set
+from typing import Hashable, Optional, Set
 
 from repro.eqs.system import PureSystem
 from repro.solvers._deepcall import call_with_deep_stack
 from repro.solvers.combine import Combine
-from repro.solvers.stats import Budget, SolverResult, SolverStats
+from repro.solvers.engine import SolverEngine
+from repro.solvers.registry import register_solver
+from repro.solvers.stats import SolverResult
 
 
+@register_solver(
+    "td",
+    scope="local",
+    generic=False,
+    aliases=("top-down",),
+    paper_ref="[22], related work",
+    summary="Le Charlier & Van Hentenryck top-down baseline; not generic",
+)
 def solve_td(
     system: PureSystem,
     op: Combine,
     x0: Hashable,
     max_evals: Optional[int] = None,
+    *,
+    observers=(),
 ) -> SolverResult:
     """Run the top-down solver for the interesting unknown ``x0``.
 
@@ -39,28 +51,18 @@ def solve_td(
     :param op: the binary update operator.
     :param x0: the unknown whose value is queried.
     :param max_evals: evaluation budget guarding against divergence.
+    :param observers: extra event-bus observers for this run.
     :returns: the mapping over all encountered unknowns.
     """
-    op.reset()
-    lat = system.lattice
-    sigma: dict = {}
+    eng = SolverEngine(system, op, max_evals=max_evals, observers=observers)
+    sigma, infl, stable = eng.sigma, eng.infl, eng.stable
     #: Unknowns whose local iteration is currently running (call stack).
     called: Set[Hashable] = set()
-    #: Unknowns whose value is known stable (invalidated on change).
-    stable: Set[Hashable] = set()
-    #: y -> unknowns whose evaluation looked up y.
-    infl: Dict[Hashable, dict] = {}
-    stats = SolverStats()
-    budget = Budget(stats, max_evals)
-
-    def value_of(y):
-        if y not in sigma:
-            sigma[y] = system.init(y)
-        return sigma[y]
 
     def destabilize(y) -> None:
         work = list(infl.get(y, ()))
         infl[y] = {}
+        eng.bus.emit_destabilize(y, work)
         for z in work:
             if z in stable:
                 stable.discard(z)
@@ -72,25 +74,17 @@ def solve_td(
         called.add(x)
         try:
             while True:
-                value_of(x)
-                budget.charge(x, sigma)
-                new = op(x, sigma[x], system.rhs(x)(make_eval(x)))
-                if lat.equal(new, sigma[x]):
+                eng.value_of(x)
+                old = sigma[x]
+                new = op(
+                    x, old, eng.eval_rhs(x, eng.demand_solving_eval(x, solve))
+                )
+                if not eng.commit(x, new):
                     break
-                sigma[x] = new
-                stats.count_update()
                 destabilize(x)
         finally:
             called.discard(x)
         stable.add(x)
-
-    def make_eval(x):
-        def eval_(y):
-            solve(y)
-            infl.setdefault(y, {})[x] = None
-            return value_of(y)
-
-        return eval_
 
     call_with_deep_stack(lambda: solve(x0))
     # Unknowns destabilised after the top-level iteration finished would
@@ -100,5 +94,5 @@ def solve_td(
     while x0 not in stable and rounds < 100:
         call_with_deep_stack(lambda: solve(x0))
         rounds += 1
-    stats.unknowns = len(sigma)
-    return SolverResult(sigma, stats)
+    eng.finish(unknowns=len(sigma))
+    return SolverResult(sigma, eng.stats)

@@ -24,8 +24,9 @@ from typing import Optional, Sequence
 
 from repro.eqs.system import FiniteSystem
 from repro.solvers.combine import NarrowCombine, WidenCombine
-from repro.solvers.stats import Budget, SolverResult, SolverStats
-from repro.solvers.sw import PriorityWorklist
+from repro.solvers.engine import SolverEngine
+from repro.solvers.registry import register_solver
+from repro.solvers.stats import SolverResult
 
 
 @dataclass
@@ -39,11 +40,23 @@ class TwoPhaseResult(SolverResult):
     monotonicity_violated: bool = False
 
 
+@register_solver(
+    "twophase",
+    scope="global",
+    takes_op=False,
+    generic=False,
+    takes_order=True,
+    aliases=("two-phase", "wn"),
+    paper_ref="Fig. 7 baseline",
+    summary="widening phase then narrowing phase (Cousot & Cousot)",
+)
 def solve_twophase(
     system: FiniteSystem,
     order: Optional[Sequence] = None,
     max_evals: Optional[int] = None,
     narrow_rounds: Optional[int] = None,
+    *,
+    observers=(),
 ) -> TwoPhaseResult:
     """Solve by a widening phase followed by a separate narrowing phase.
 
@@ -60,32 +73,29 @@ def solve_twophase(
     """
     xs = list(order) if order is not None else list(system.unknowns)
     key = {x: i for i, x in enumerate(xs)}
-    sigma = {x: system.init(x) for x in system.unknowns}
+    eng = SolverEngine(system, max_evals=max_evals, observers=observers)
+    sigma = eng.seed_finite(system.unknowns)
     infl = system.infl()
-    stats = SolverStats(unknowns=len(sigma))
-    budget = Budget(stats, max_evals)
-    lat = system.lattice
+    lat = eng.lattice
 
     def get(y):
         return sigma[y]
 
     # ---------------- Phase 1: ascending iteration with widening. -------- #
     widen_op = WidenCombine(lat)
-    queue = PriorityWorklist(key.__getitem__)
+    queue = eng.make_queue(key.__getitem__)
     for x in xs:
         queue.add(x)
     while queue:
-        stats.observe_queue(len(queue))
         x = queue.extract_min()
-        budget.charge(x, sigma)
-        new = widen_op(x, sigma[x], system.rhs(x)(get))
-        if not lat.equal(sigma[x], new):
-            sigma[x] = new
-            stats.count_update()
+        new = widen_op(x, sigma[x], eng.eval_rhs(x, get))
+        if eng.commit(x, new):
+            work = infl.get(x, [x])
             queue.add(x)
-            for z in infl.get(x, [x]):
+            for z in work:
                 queue.add(z)
-    widen_evals = stats.evaluations
+            eng.bus.emit_destabilize(x, work)
+    widen_evals = eng.stats.evaluations
 
     # ---------------- Phase 2: descending iteration with narrowing. ------ #
     narrow_op = NarrowCombine(lat)
@@ -96,16 +106,13 @@ def solve_twophase(
         changed = False
         rounds += 1
         for x in xs:
-            budget.charge(x, sigma)
-            contribution = system.rhs(x)(get)
+            contribution = eng.eval_rhs(x, get)
             if not lat.leq(contribution, sigma[x]):
                 violated = True
-            new = narrow_op(x, sigma[x], contribution)
-            if not lat.equal(sigma[x], new):
-                sigma[x] = new
-                stats.count_update()
+            if eng.commit(x, narrow_op(x, sigma[x], contribution)):
                 changed = True
 
+    stats = eng.finish(unknowns=len(sigma))
     return TwoPhaseResult(
         sigma=sigma,
         stats=stats,

@@ -19,15 +19,29 @@ from typing import Optional, Sequence
 
 from repro.eqs.system import FiniteSystem
 from repro.solvers.combine import Combine
-from repro.solvers.stats import Budget, SolverResult, SolverStats
+from repro.solvers.engine import SolverEngine
+from repro.solvers.registry import register_solver
+from repro.solvers.stats import SolverResult
 
 
+@register_solver(
+    "wl",
+    scope="global",
+    memoizable=True,
+    takes_order=True,
+    aliases=("w", "worklist"),
+    paper_ref="Fig. 2",
+    summary="classic worklist iteration over static dependency sets",
+)
 def solve_wl(
     system: FiniteSystem,
     op: Combine,
     order: Optional[Sequence] = None,
     discipline: str = "lifo",
     max_evals: Optional[int] = None,
+    *,
+    observers=(),
+    memoize: bool = False,
 ) -> SolverResult:
     """Solve ``system`` by worklist iteration with update operator ``op``.
 
@@ -38,37 +52,39 @@ def solve_wl(
         ``"fifo"`` (queue).
     :param max_evals: evaluation budget; exceeding it raises
         :class:`~repro.solvers.stats.DivergenceError`.
+    :param observers: extra event-bus observers for this run.
+    :param memoize: skip re-evaluations whose dependencies are unchanged.
     """
     if discipline not in ("lifo", "fifo"):
         raise ValueError(f"unknown worklist discipline {discipline!r}")
-    op.reset()
+    eng = SolverEngine(
+        system, op, max_evals=max_evals, observers=observers, memoize=memoize
+    )
     xs = list(order) if order is not None else list(system.unknowns)
-    sigma = {x: system.init(x) for x in system.unknowns}
+    sigma = eng.seed_finite(system.unknowns)
     infl = system.infl()
-    stats = SolverStats(unknowns=len(sigma))
-    budget = Budget(stats, max_evals)
-    lat = system.lattice
 
     def get(y):
         return sigma[y]
 
     work = deque(xs)
     member = set(xs)
+    eng.observe_queue(len(work))
     while work:
-        stats.observe_queue(len(work))
         x = work.pop() if discipline == "lifo" else work.popleft()
         member.discard(x)
-        budget.charge(x, sigma)
-        new = op(x, sigma[x], system.rhs(x)(get))
-        if not lat.equal(sigma[x], new):
-            sigma[x] = new
-            stats.count_update()
+        old = sigma[x]
+        if eng.commit(x, op(x, old, eng.eval_rhs(x, get))):
             # Influenced unknowns are pushed so that under LIFO the updated
             # unknown itself is re-evaluated first (infl lists start with
             # the unknown itself, hence the reversal).  This matches the
             # discipline of the paper's Example 2.
-            for z in reversed(infl.get(x, [x])):
+            pushed = infl.get(x, [x])
+            for z in reversed(pushed):
                 if z not in member:
                     member.add(z)
                     work.append(z)
-    return SolverResult(sigma, stats)
+            eng.bus.emit_destabilize(x, pushed)
+            eng.observe_queue(len(work))
+    eng.finish(unknowns=len(sigma))
+    return SolverResult(sigma, eng.stats)

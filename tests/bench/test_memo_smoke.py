@@ -1,0 +1,32 @@
+"""Benchmark smoke job: RHS memoization pays off and changes nothing.
+
+Marked ``benchmark_smoke`` so CI can run it as a separate job::
+
+    pytest -m benchmark_smoke
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import run_memo_smoke
+
+pytestmark = pytest.mark.benchmark_smoke
+
+
+def test_memo_smoke_identical_and_cheaper():
+    rows = run_memo_smoke(size=12, seed=0, solvers=("sw", "slr"))
+    assert {row.solver for row in rows} == {"sw", "slr"}
+    for row in rows:
+        assert row.identical, f"{row.solver}: memoized sigma differs"
+        assert row.evaluations_memo <= row.evaluations_plain
+        assert row.memo_hits > 0, f"{row.solver}: cache never hit"
+        assert row.hit_rate > 0.0
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_memo_smoke_across_seeds(seed):
+    for row in run_memo_smoke(size=10, seed=seed):
+        assert row.identical
+        assert row.evaluations_memo <= row.evaluations_plain
+        assert row.memo_hits > 0

@@ -1,0 +1,80 @@
+"""Golden regression: the engine-based solvers reproduce the pre-engine
+behaviour bit-for-bit.
+
+``goldens_seed.json`` was captured by ``tools/capture_goldens.py`` at the
+commit *before* the solvers were refactored onto the shared
+:class:`~repro.solvers.engine.SolverEngine`: evaluation counts, update
+counts, unknown counts and the full ``sigma`` repr for every solver on
+seeded random systems.  This test re-runs the exact same configurations
+(memoization off) and demands identical fingerprints.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.randsys import (
+    RandomSystemConfig,
+    random_interval_system,
+    random_monotone_system,
+)
+from repro.solvers import WarrowCombine
+from repro.solvers.registry import get_solver
+
+GOLDENS = json.loads(
+    (Path(__file__).parent / "goldens_seed.json").read_text()
+)
+
+#: capture-tool case label -> registry name.
+CASES = {
+    "rr": "rr",
+    "wl": "wl",
+    "srr": "srr",
+    "sw": "sw",
+    "slr": "slr",
+    "rld": "rld",
+    "td": "td",
+    "rr_local": "rr-local",
+    "kleene": "kleene",
+    "twophase": "twophase",
+}
+
+
+def _fingerprint(result) -> dict:
+    return {
+        "evaluations": result.stats.evaluations,
+        "updates": result.stats.updates,
+        "unknowns": result.stats.unknowns,
+        "sigma": repr(sorted(result.sigma.items())),
+    }
+
+
+def _run(case: str, label: str, seed: int):
+    config = RandomSystemConfig(size=10, seed=seed)
+    system = (
+        random_monotone_system(config)
+        if label == "nat"
+        else random_interval_system(config)
+    )
+    spec = get_solver(CASES[case])
+    args = [system]
+    if spec.takes_op:
+        args.append(WarrowCombine(system.lattice))
+    if spec.scope == "local":
+        args.append("x0")
+    return spec(*args, max_evals=500_000)
+
+
+@pytest.mark.parametrize("key", sorted(GOLDENS))
+def test_fingerprint_matches_seed(key):
+    case, label, seed = key.split("/")
+    golden = GOLDENS[key]
+    if "error" in golden:
+        with pytest.raises(Exception) as err:
+            _run(case, label, int(seed))
+        assert type(err.value).__name__ == golden["error"]
+        return
+    assert _fingerprint(_run(case, label, int(seed))) == golden

@@ -1,0 +1,131 @@
+"""The solver registry: name lookup, capability gating, and the guarantee
+that every registered solver solves the same system to the same
+post-solution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eqs import DictSystem
+from repro.lattices.interval import Interval, IntervalLattice
+from repro.solvers import WarrowCombine
+from repro.solvers.registry import (
+    SolverCapabilityError,
+    UnknownSolverError,
+    all_specs,
+    get_solver,
+    resolve_solver,
+    solver_names,
+)
+
+iv = IntervalLattice()
+
+
+def loop_system() -> DictSystem:
+    """A small monotone interval system (a counting loop) with the unique
+    least solution x0=[0,0], x1=[0,10], x2=[1,11]."""
+    return DictSystem(
+        iv,
+        {
+            "x0": (lambda get: Interval(0, 0), []),
+            "x1": (
+                lambda get: iv.join(
+                    get("x0"),
+                    iv.meet(get("x2"), Interval(float("-inf"), 10)),
+                ),
+                ["x0", "x2"],
+            ),
+            "x2": (lambda get: iv.add(get("x1"), Interval(1, 1)), ["x1"]),
+        },
+    )
+
+
+EXPECTED = {
+    "x0": Interval(0, 0),
+    "x1": Interval(0, 10),
+    "x2": Interval(1, 11),
+}
+
+
+class TestLookup:
+    def test_every_canonical_name_resolves(self):
+        for name in solver_names():
+            assert get_solver(name).name == name
+
+    def test_aliases_and_case_insensitivity(self):
+        assert get_solver("SLR").fn is get_solver("slr").fn
+        assert get_solver("round-robin").fn is get_solver("rr").fn
+        assert get_solver("round_robin").fn is get_solver("rr").fn
+        assert get_solver("hofmann").fn is get_solver("rld").fn
+
+    def test_all_paper_solvers_registered(self):
+        names = set(solver_names())
+        assert {
+            "rr", "wl", "srr", "sw", "rld", "slr", "slr+", "td",
+            "rr-local", "twophase", "kleene",
+        } <= names
+
+    def test_unknown_name(self):
+        with pytest.raises(UnknownSolverError, match="registered solvers"):
+            get_solver("does-not-exist")
+
+    def test_resolve_passes_callables_through(self):
+        fn = get_solver("sw").fn
+        assert resolve_solver(fn) is fn
+        assert resolve_solver("sw").fn is fn
+
+
+class TestCapabilities:
+    def test_scope_mismatch(self):
+        with pytest.raises(SolverCapabilityError, match="global"):
+            get_solver("slr", scope="global")
+        with pytest.raises(SolverCapabilityError, match="local"):
+            get_solver("sw", scope="local")
+
+    def test_side_effect_mismatch(self):
+        with pytest.raises(SolverCapabilityError, match="side-effecting"):
+            get_solver("slr", side_effecting=True)
+        assert get_solver("slr+", side_effecting=True).name == "slr+"
+
+    def test_generic_mismatch(self):
+        with pytest.raises(SolverCapabilityError, match="generic"):
+            get_solver("rld", generic=True)
+        assert get_solver("slr", generic=True).name == "slr"
+
+    def test_memoize_mismatch(self):
+        with pytest.raises(SolverCapabilityError, match="memoization"):
+            get_solver("rld", memoize=True)
+        with pytest.raises(SolverCapabilityError, match="memoization"):
+            get_solver("slr+", memoize=True)
+        assert get_solver("sw", memoize=True).name == "sw"
+
+
+class TestAllSolversAgree:
+    """Every registered solver reaches the same post-solution of the
+    counting-loop system (genericity made concrete)."""
+
+    def _run(self, spec):
+        system = loop_system()
+        kwargs = {"max_evals": 100_000}
+        if spec.takes_op:
+            args = [system, WarrowCombine(iv)]
+        else:
+            args = [system]
+        if spec.scope == "local":
+            args.append("x2")
+        return spec(*args, **kwargs)
+
+    @pytest.mark.parametrize("name", [s.name for s in all_specs()])
+    def test_same_post_solution(self, name):
+        spec = get_solver(name)
+        if spec.side_effecting:
+            pytest.skip("needs a side-effecting system")
+        result = self._run(spec)
+        for x, expected in EXPECTED.items():
+            assert x in result.sigma, f"{name} never reached {x}"
+            assert iv.leq(expected, result.sigma[x]), (
+                f"{name} is unsound at {x}: {result.sigma[x]}"
+            )
+            assert iv.equal(result.sigma[x], expected), (
+                f"{name} at {x}: {result.sigma[x]} != {expected}"
+            )

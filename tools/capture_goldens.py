@@ -1,0 +1,74 @@
+"""Capture golden solver behaviour (eval counts, updates, sigma) on fixed
+systems.  Run at the pre-refactor seed to pin ground truth; the engine
+refactor must reproduce these numbers bit-for-bit (memoization off).
+
+Usage: PYTHONPATH=src python tools/capture_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.randsys import (
+    RandomSystemConfig,
+    random_interval_system,
+    random_monotone_system,
+)
+from repro.solvers import (
+    WarrowCombine,
+    solve_kleene,
+    solve_rld,
+    solve_rr,
+    solve_rr_local,
+    solve_slr,
+    solve_srr,
+    solve_sw,
+    solve_td,
+    solve_twophase,
+    solve_wl,
+)
+
+
+def fingerprint(result):
+    return {
+        "evaluations": result.stats.evaluations,
+        "updates": result.stats.updates,
+        "unknowns": result.stats.unknowns,
+        "sigma": repr(sorted(result.sigma.items())),
+    }
+
+
+def main() -> None:
+    goldens = {}
+    for seed in (0, 1, 2):
+        nat_sys = random_monotone_system(RandomSystemConfig(size=10, seed=seed))
+        iv_sys = random_interval_system(RandomSystemConfig(size=10, seed=seed))
+        for label, system in (("nat", nat_sys), ("iv", iv_sys)):
+            lat = system.lattice
+            x0 = "x0"
+            cases = {
+                "rr": lambda: solve_rr(system, WarrowCombine(lat), max_evals=500_000),
+                "wl": lambda: solve_wl(system, WarrowCombine(lat), max_evals=500_000),
+                "srr": lambda: solve_srr(system, WarrowCombine(lat), max_evals=500_000),
+                "sw": lambda: solve_sw(system, WarrowCombine(lat), max_evals=500_000),
+                "slr": lambda: solve_slr(system, WarrowCombine(lat), x0, max_evals=500_000),
+                "rld": lambda: solve_rld(system, WarrowCombine(lat), x0, max_evals=500_000),
+                "td": lambda: solve_td(system, WarrowCombine(lat), x0, max_evals=500_000),
+                "rr_local": lambda: solve_rr_local(system, WarrowCombine(lat), x0, max_evals=500_000),
+                "kleene": lambda: solve_kleene(system, max_evals=500_000),
+                "twophase": lambda: solve_twophase(system, max_evals=500_000),
+            }
+            for name, run in cases.items():
+                if name == "kleene" and label == "iv":
+                    # Plain Kleene iteration needs no acceleration only on
+                    # finite-height chains; skip the interval systems.
+                    continue
+                try:
+                    goldens[f"{name}/{label}/{seed}"] = fingerprint(run())
+                except Exception as err:  # noqa: BLE001 - capture tool
+                    goldens[f"{name}/{label}/{seed}"] = {"error": type(err).__name__}
+    print(json.dumps(goldens, indent=1, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()
