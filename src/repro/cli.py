@@ -6,6 +6,7 @@ Usage (also via ``python -m repro``)::
     repro run program.mc [-- ARGS...]       execute a program concretely
     repro analyze program.mc [options]      interval analysis report
     repro verify program.mc [options]       check assert() statements
+    repro incr old.mc new.mc [options]      warm re-analysis after an edit
     repro dump-cfg program.mc               print the control-flow graphs
     repro solvers                           list the registered solvers
     repro fig7 [BENCH ...]                  regenerate Figure 7
@@ -183,6 +184,10 @@ def cmd_solvers(args) -> int:
             caps.append("non-generic")
         if spec.memoizable:
             caps.append("memoizable")
+        if spec.takes_order:
+            caps.append("takes-order")
+        if spec.supports_warm_start:
+            caps.append("supports-warm-start")
         names = spec.name
         if spec.aliases:
             names += f" ({', '.join(spec.aliases)})"
@@ -205,6 +210,89 @@ def cmd_dump_cfg(args) -> int:
             print(f"  {edge.src!r} --{type(edge.instr).__name__}--> {edge.dst!r}")
         print()
     return 0
+
+
+def cmd_incr(args) -> int:
+    import json
+
+    from repro.incremental import (
+        SolverState,
+        analyze_and_snapshot,
+        reanalyze_program,
+    )
+
+    old_cfg = compile_program(_read_source(args.file))
+    new_cfg = compile_program(_read_source(args.edited))
+    domain = _domain(args, old_cfg)
+    policy = _policy(args.context, domain)
+
+    result, state = analyze_and_snapshot(
+        old_cfg, domain, policy=policy, max_evals=args.max_evals
+    )
+    cold_evals = result.solver_result.stats.evaluations
+    print(
+        f"cold solve of {args.file}: {result.unknown_count} unknowns, "
+        f"{cold_evals} evaluations"
+    )
+
+    if args.state_file:
+        # Persist and reload the snapshot: the warm start below runs off
+        # the deserialized state, exercising the full round-trip.
+        lattice = result.lattice
+        with open(args.state_file, "w", encoding="utf-8") as handle:
+            handle.write(state.dumps(lattice))
+        with open(args.state_file, "r", encoding="utf-8") as handle:
+            state = SolverState.loads(handle.read(), lattice)
+        print(f"state saved to {args.state_file} and restored")
+
+    report = reanalyze_program(
+        old_cfg,
+        new_cfg,
+        state,
+        domain,
+        policy=policy,
+        max_evals=args.max_evals,
+        closure=args.closure,
+        reset=args.reset,
+        compare_scratch=not args.no_compare,
+    )
+    diff = report.diff
+    print(
+        f"diff against {args.edited}: {len(diff.dirty_nodes)} dirty nodes, "
+        f"{len(diff.node_map)} matched, "
+        f"{len(report.dirty)} dirty unknowns, "
+        f"{report.transferred} unknowns transferred"
+    )
+    print(f"warm re-solve: {report.warm_evaluations} evaluations")
+    if report.scratch is not None:
+        scratch_evals = report.scratch_evaluations
+        ratio = (
+            scratch_evals / report.warm_evaluations
+            if report.warm_evaluations
+            else float("inf")
+        )
+        print(
+            f"from-scratch re-solve: {scratch_evals} evaluations "
+            f"({ratio:.1f}x more than warm)"
+        )
+    if report.sound:
+        print("soundness: warm solution is a post solution")
+    else:
+        print(f"soundness: {len(report.violations)} VIOLATIONS")
+        for v in report.violations[:10]:
+            print(f"  {v!r}")
+    if report.precision is not None:
+        cmp_ = report.precision
+        print(
+            f"precision vs from-scratch: {cmp_.equal} equal, "
+            f"{cmp_.better} better, {cmp_.worse} worse, "
+            f"{cmp_.incomparable} incomparable "
+            f"(of {cmp_.total} program points)"
+        )
+        if args.points:
+            for fn, node in cmp_.better_points:
+                print(f"  warm more precise at {fn} {node!r}")
+    return 0 if report.sound else 2
 
 
 def cmd_fig7(args) -> int:
@@ -296,6 +384,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify = sub.add_parser("verify", help="check assert() statements")
     _add_analysis_options(p_verify)
     p_verify.set_defaults(func=cmd_verify)
+
+    p_incr = sub.add_parser(
+        "incr",
+        help="incremental re-analysis: solve, snapshot, diff, warm re-solve",
+    )
+    _add_analysis_options(p_incr)
+    p_incr.add_argument(
+        "edited", help="the edited version of the mini-C source file"
+    )
+    p_incr.add_argument(
+        "--state-file",
+        default=None,
+        help="persist the solver snapshot as JSON and warm-start from the "
+        "reloaded copy",
+    )
+    p_incr.add_argument(
+        "--closure",
+        choices=["transitive", "direct"],
+        default="transitive",
+        help="destabilize the full influence closure of the dirty unknowns "
+        "or only the dirty unknowns themselves",
+    )
+    p_incr.add_argument(
+        "--reset",
+        choices=["none", "destabilized"],
+        default="none",
+        help="resume destabilized unknowns from their stale values (none, "
+        "fewest re-evaluations) or their initial values (destabilized, "
+        "from-scratch precision)",
+    )
+    p_incr.add_argument(
+        "--no-compare",
+        action="store_true",
+        help="skip the from-scratch comparison run",
+    )
+    p_incr.add_argument(
+        "--points",
+        action="store_true",
+        help="list program points where the warm solve is more precise",
+    )
+    p_incr.set_defaults(func=cmd_incr)
 
     p_dump = sub.add_parser("dump-cfg", help="print the control-flow graphs")
     p_dump.add_argument("file")

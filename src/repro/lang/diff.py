@@ -1,0 +1,226 @@
+"""Structural diff of two mini-C control-flow graphs.
+
+The incremental re-solver (:mod:`repro.incremental`) needs to know, for
+two versions of a program, (a) which program points of the old version
+correspond to which points of the new one, and (b) which points of the
+new version have a *changed equation* -- the dirty set whose influence
+closure gets destabilized in the warm start.
+
+Matching works per function and purely structurally:
+
+* Each node gets a **local signature**: entry/exit role plus the
+  renderings of its incoming and outgoing edge instructions (source
+  indices excluded -- the signature must be stable under the index
+  shifts a single edit causes).
+* The node lists of both versions are aligned by longest-common-
+  subsequence over the signature sequences
+  (:class:`difflib.SequenceMatcher`).  CFG construction is deterministic
+  in statement order, so a single-statement edit shifts a contiguous
+  suffix of indices and the LCS recovers everything around it.
+* A matched node is **dirty** when its in-edge set -- pairs of (matched
+  source, instruction) -- differs between the versions: the right-hand
+  side of its dataflow equation is the join over exactly those edges.
+  Unmatched new nodes carry no transferred state and are discovered
+  fresh by the solver; their matched successors are dirty by the source
+  comparison.
+
+Function-level conservatism: when a function's interface or variable
+layout changes (parameters, locals, arrays -- which determine its
+environment lattice), *no* state can be transferred for it, and every
+call site of it in other functions is marked dirty.  The same holds for
+added functions.  Changed global initialisers are reported so the caller
+can dirty the program entry point, whose equation seeds them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from difflib import SequenceMatcher
+from typing import Dict, List, Set
+
+from repro.lang.cfg import (
+    AssertInstr,
+    CallInstr,
+    ControlFlowGraph,
+    FunctionCFG,
+    Guard,
+    Node,
+    Nop,
+    SetLocal,
+    StoreArray,
+)
+from repro.lang.pretty import pretty_expr
+
+
+def instr_signature(instr) -> str:
+    """A stable, line-number-free rendering of an edge instruction."""
+    if isinstance(instr, SetLocal):
+        return f"set {instr.target} = {pretty_expr(instr.expr)}"
+    if isinstance(instr, StoreArray):
+        return (
+            f"store {instr.name}[{pretty_expr(instr.index)}] = "
+            f"{pretty_expr(instr.value)}"
+        )
+    if isinstance(instr, Guard):
+        return f"guard[{instr.assume}] {pretty_expr(instr.cond)}"
+    if isinstance(instr, AssertInstr):
+        return f"assert {pretty_expr(instr.cond)}"
+    if isinstance(instr, CallInstr):
+        args = ", ".join(pretty_expr(a) for a in instr.args)
+        target = instr.target if instr.target is not None else "_"
+        return f"call {target} = {instr.func}({args})"
+    if isinstance(instr, Nop):
+        return "nop"
+    raise AssertionError(f"unexpected instruction {instr!r}")
+
+
+def _node_signature(fn: FunctionCFG, node: Node) -> str:
+    role = "entry" if node == fn.entry else ("exit" if node == fn.exit else "mid")
+    ins = sorted(instr_signature(e.instr) for e in fn.in_edges(node))
+    outs = sorted(instr_signature(e.instr) for e in fn.out_edges(node))
+    return f"{role}|in:{';'.join(ins)}|out:{';'.join(outs)}"
+
+
+@dataclass
+class FunctionDiff:
+    """Node matching and dirtiness for one function present in both versions."""
+
+    name: str
+    #: Old node -> new node for matched program points.
+    node_map: Dict[Node, Node] = field(default_factory=dict)
+    #: New-version nodes whose equation changed.
+    dirty: Set[Node] = field(default_factory=set)
+    #: New-version nodes without an old counterpart.
+    added: Set[Node] = field(default_factory=set)
+    #: Old-version nodes without a new counterpart.
+    removed: Set[Node] = field(default_factory=set)
+
+
+@dataclass
+class CfgDiff:
+    """The full program diff consumed by the incremental re-solver."""
+
+    #: Per-function diffs for transferable functions.
+    functions: Dict[str, FunctionDiff] = field(default_factory=dict)
+    #: Old node -> new node across all transferable functions.
+    node_map: Dict[Node, Node] = field(default_factory=dict)
+    #: New-version nodes whose equation changed (union over functions,
+    #: plus call sites of dropped/added functions).
+    dirty_nodes: Set[Node] = field(default_factory=set)
+    #: Functions whose state cannot transfer (interface/layout changed).
+    dropped_functions: Set[str] = field(default_factory=set)
+    #: Functions new in the second version.
+    added_functions: Set[str] = field(default_factory=set)
+    #: Functions removed in the second version.
+    removed_functions: Set[str] = field(default_factory=set)
+    #: Globals whose initialiser changed, or that were added/removed.
+    changed_globals: Set[str] = field(default_factory=set)
+
+    @property
+    def is_identical(self) -> bool:
+        """No dirty equations and no structural changes at all."""
+        return not (
+            self.dirty_nodes
+            or self.dropped_functions
+            or self.added_functions
+            or self.removed_functions
+            or self.changed_globals
+            or any(f.added or f.removed for f in self.functions.values())
+        )
+
+
+def diff_function(old: FunctionCFG, new: FunctionCFG) -> FunctionDiff:
+    """Match the nodes of two versions of one function."""
+    diff = FunctionDiff(name=new.name)
+    old_nodes: List[Node] = list(old.nodes)
+    new_nodes: List[Node] = list(new.nodes)
+    old_sigs = [_node_signature(old, n) for n in old_nodes]
+    new_sigs = [_node_signature(new, n) for n in new_nodes]
+    matcher = SequenceMatcher(a=old_sigs, b=new_sigs, autojunk=False)
+    for block in matcher.get_matching_blocks():
+        for offset in range(block.size):
+            diff.node_map[old_nodes[block.a + offset]] = new_nodes[
+                block.b + offset
+            ]
+    # Entry and exit always correspond: their signatures include adjacent
+    # edge instructions, so an edit next to them would otherwise unmatch
+    # the one pair of nodes that is positionally unambiguous (and whose
+    # loss prunes entry seeding / exit summaries from transferred state).
+    matched_new = set(diff.node_map.values())
+    for old_n, new_n in ((old.entry, new.entry), (old.exit, new.exit)):
+        if old_n not in diff.node_map and new_n not in matched_new:
+            diff.node_map[old_n] = new_n
+            matched_new.add(new_n)
+    diff.added = set(new_nodes) - matched_new
+    diff.removed = set(old_nodes) - set(diff.node_map)
+
+    # Reverse map to compare in-edge sources in new-version terms.
+    reverse = {v: u for u, v in diff.node_map.items()}
+    for v in new_nodes:
+        if v not in reverse:
+            continue
+        u = reverse[v]
+        old_in = set()
+        transferable = True
+        for e in old.in_edges(u):
+            src = diff.node_map.get(e.src)
+            if src is None:
+                transferable = False
+                break
+            old_in.add((src, instr_signature(e.instr)))
+        new_in = {(e.src, instr_signature(e.instr)) for e in new.in_edges(v)}
+        if not transferable or old_in != new_in:
+            diff.dirty.add(v)
+    return diff
+
+
+def _layout(fn: FunctionCFG) -> tuple:
+    return (
+        fn.params,
+        fn.returns_value,
+        tuple(sorted(fn.locals)),
+        tuple(sorted(fn.arrays.items())),
+    )
+
+
+def diff_cfg(old: ControlFlowGraph, new: ControlFlowGraph) -> CfgDiff:
+    """Diff two whole programs at the CFG level."""
+    diff = CfgDiff()
+    old_fns = set(old.functions)
+    new_fns = set(new.functions)
+    diff.added_functions = new_fns - old_fns
+    diff.removed_functions = old_fns - new_fns
+
+    for name in sorted(old_fns & new_fns):
+        old_fn = old.functions[name]
+        new_fn = new.functions[name]
+        if _layout(old_fn) != _layout(new_fn):
+            # The function's environment lattice changed: nothing about
+            # its abstract states is comparable across the versions.
+            diff.dropped_functions.add(name)
+            continue
+        fd = diff_function(old_fn, new_fn)
+        diff.functions[name] = fd
+        diff.node_map.update(fd.node_map)
+        diff.dirty_nodes.update(fd.dirty)
+
+    # Call sites of functions whose analysis must restart from scratch:
+    # the caller's equation reads the callee's exit state, which carries
+    # no transferred value any more.
+    untrusted = diff.dropped_functions | diff.added_functions
+    if untrusted:
+        for name, fd in diff.functions.items():
+            fn = new.functions[name]
+            for edge in fn.edges:
+                if isinstance(edge.instr, CallInstr) and edge.instr.func in untrusted:
+                    diff.dirty_nodes.add(edge.dst)
+
+    # Globals: changed initialisers (or presence) re-seed at the entry.
+    old_globals = dict(old.global_scalars)
+    new_globals = dict(new.global_scalars)
+    for g in set(old_globals) | set(new_globals):
+        if old_globals.get(g) != new_globals.get(g):
+            diff.changed_globals.add(g)
+    for g in set(old.global_arrays) ^ set(new.global_arrays):
+        diff.changed_globals.add(g)
+    return diff

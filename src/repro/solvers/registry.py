@@ -70,9 +70,22 @@ class SolverSpec:
     def __call__(self, *args, **kwargs):
         return self.fn(*args, **kwargs)
 
+    @property
+    def supports_warm_start(self) -> bool:
+        """Whether a warm-start strategy is registered for this solver.
+
+        Warm starts resume iteration from a restored
+        :class:`~repro.incremental.state.SolverState`; see
+        :func:`get_warm_start`.
+        """
+        _ensure_warm_loaded()
+        return self.name in _WARM
+
 
 _REGISTRY: Dict[str, SolverSpec] = {}
 _CANONICAL: List[str] = []
+#: Warm-start strategies, registered by :mod:`repro.incremental`.
+_WARM: Dict[str, Callable] = {}
 
 
 def _normalize(name: str) -> str:
@@ -131,6 +144,38 @@ def _ensure_loaded() -> None:
     # cycle (the solver modules import this module for the decorator).
     if not _REGISTRY:
         import repro.solvers  # noqa: F401
+
+
+def _ensure_warm_loaded() -> None:
+    # Warm-start strategies live in repro.incremental, which imports the
+    # solver modules; defer the import for the same cycle reason.
+    if not _WARM:
+        import repro.incremental  # noqa: F401
+
+
+def register_warm_start(name: str, fn: Callable) -> None:
+    """Register the warm-start strategy for the solver named ``name``.
+
+    Called by :mod:`repro.incremental` for SW/SLR/SLR+; custom solvers
+    with resumable state can register their own.
+    """
+    _WARM[_normalize(name)] = fn
+
+
+def get_warm_start(name: str) -> Callable:
+    """The warm-start strategy of the named solver.
+
+    :raises SolverCapabilityError: when the solver exists but has no
+        registered warm-start strategy.
+    """
+    spec = get_solver(name)
+    _ensure_warm_loaded()
+    fn = _WARM.get(spec.name)
+    if fn is None:
+        raise SolverCapabilityError(
+            f"solver {spec.name!r} does not support warm starts"
+        )
+    return fn
 
 
 def get_solver(

@@ -1,0 +1,169 @@
+"""End-to-end incremental re-analysis of mini-C programs.
+
+Exercises the full pipeline: cold interprocedural analysis with snapshot,
+CFG diff, state transfer, warm SLR+ re-solve, independent post-solution
+checking, and precision comparison against a from-scratch analysis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import IntervalDomain
+from repro.incremental import (
+    SolverState,
+    analyze_and_snapshot,
+    reanalyze_program,
+)
+from repro.lang import compile_program
+from repro.lattices import Interval
+
+BASE = """
+int g = 0;
+void work(int n) {
+    int i = 0;
+    while (i < n) {
+        g = g + 1;
+        i = i + 1;
+    }
+}
+int main() {
+    work(10);
+    assert(g >= 0);
+    return g;
+}
+"""
+
+
+def snapshot(src: str):
+    cfg = compile_program(src)
+    result, state = analyze_and_snapshot(cfg, IntervalDomain())
+    return cfg, result, state
+
+
+def reanalyze(old_cfg, state, new_src: str, **kwargs):
+    new_cfg = compile_program(new_src)
+    kwargs.setdefault("compare_scratch", True)
+    return reanalyze_program(old_cfg, new_cfg, state, IntervalDomain(), **kwargs)
+
+
+class TestCallArgumentEdit:
+    NEW = BASE.replace("work(10)", "work(12)")
+
+    def test_sound_and_cheaper_than_scratch(self):
+        old_cfg, _, state = snapshot(BASE)
+        report = reanalyze(old_cfg, state, self.NEW)
+        assert report.sound
+        assert report.warm_evaluations < report.scratch_evaluations
+        assert report.transferred > 0
+        assert report.dirty
+
+    def test_reset_mode_matches_scratch_precision(self):
+        old_cfg, _, state = snapshot(BASE)
+        report = reanalyze(old_cfg, state, self.NEW, reset="destabilized")
+        assert report.sound
+        cmp_ = report.precision
+        assert cmp_.worse == 0 and cmp_.incomparable == 0
+        assert cmp_.equal == cmp_.total
+
+    def test_default_mode_is_sound_but_may_be_stale(self):
+        old_cfg, _, state = snapshot(BASE)
+        report = reanalyze(old_cfg, state, self.NEW)
+        cmp_ = report.precision
+        # Interval narrowing cannot lower stale finite bounds, so the
+        # stale mode concedes precision only, never soundness.
+        assert report.sound
+        assert cmp_.better == 0
+
+
+class TestIdenticalProgram:
+    def test_no_dirty_unknowns_and_no_work(self):
+        old_cfg, cold, state = snapshot(BASE)
+        report = reanalyze(old_cfg, state, BASE, compare_scratch=False)
+        assert report.diff.is_identical
+        assert not report.dirty
+        assert report.sound
+        assert report.warm_evaluations == 0
+        # The carried-over solution is exactly the cold one.
+        assert report.result.globals == cold.globals
+
+
+class TestGlobalInitialiserEdit:
+    def test_entry_reseeds_the_global(self):
+        old_cfg, _, state = snapshot(BASE)
+        new = BASE.replace("int g = 0;", "int g = 5;")
+        report = reanalyze(old_cfg, state, new, reset="destabilized")
+        assert report.diff.changed_globals == {"g"}
+        assert report.sound
+        assert report.precision.worse == 0
+        g = report.result.globals["g"]
+        assert g == report.scratch.globals["g"]
+        assert g.lo == 5
+
+
+class TestFunctionLayoutEdit:
+    def test_dropped_function_restarts_from_scratch_soundly(self):
+        old_cfg, _, state = snapshot(BASE)
+        new = BASE.replace("int i = 0;", "int i = 0; int extra = 0;")
+        report = reanalyze(old_cfg, state, new, reset="destabilized")
+        assert report.diff.dropped_functions == {"work"}
+        assert report.sound
+        assert report.precision.worse == 0
+
+
+class TestStatePersistence:
+    def test_roundtripped_state_reanalyzes_identically(self):
+        old_cfg, cold, state = snapshot(BASE)
+        text = state.dumps(cold.lattice)
+        restored = SolverState.loads(text, cold.lattice)
+        new = BASE.replace("work(10)", "work(12)")
+        mem = reanalyze(old_cfg, state, new, compare_scratch=False)
+        disk = reanalyze(old_cfg, restored, new, compare_scratch=False)
+        assert disk.sound and mem.sound
+        assert disk.warm_evaluations == mem.warm_evaluations
+        assert disk.result.globals == mem.result.globals
+        assert disk.state.dumps(disk.result.lattice) == mem.state.dumps(
+            mem.result.lattice
+        )
+
+
+class TestChainedEdits:
+    def test_snapshot_of_warm_run_supports_the_next_edit(self):
+        old_cfg, _, state = snapshot(BASE)
+        v2 = BASE.replace("work(10)", "work(12)")
+        report1 = reanalyze(old_cfg, state, v2, compare_scratch=False)
+        assert report1.sound
+
+        v2_cfg = compile_program(v2)
+        v3 = v2.replace("assert(g >= 0)", "assert(g >= -1)")
+        report2 = reanalyze_program(
+            v2_cfg,
+            compile_program(v3),
+            report1.state,
+            IntervalDomain(),
+            compare_scratch=True,
+        )
+        assert report2.sound
+        assert report2.warm_evaluations < report2.scratch_evaluations
+
+
+class TestPrunedContributionDirtying:
+    def test_unmatched_origin_dirties_its_target(self):
+        # Editing the call argument unmatches the call edge's endpoint,
+        # whose stored contribution fed work's entry: the entry must be
+        # destabilized even though its own node is untouched, or work
+        # would keep analysing n = [10,10].
+        old_cfg, _, state = snapshot(BASE)
+        report = reanalyze(
+            old_cfg, state, BASE.replace("work(10)", "work(12)"),
+            reset="destabilized",
+        )
+        envs = report.result.point_envs
+        entry_envs = [
+            env
+            for pp, env in envs.items()
+            if pp.fn == "work" and pp.node.index == 0
+        ]
+        assert entry_envs, "work's entry must be analysed"
+        for env in entry_envs:
+            assert env["n"] == Interval(12, 12)

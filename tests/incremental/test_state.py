@@ -1,0 +1,178 @@
+"""Snapshot, JSON round-trip, and golden-resume tests for SolverState.
+
+The centrepiece is the golden on the paper's Example 1: the solver state
+of a cold SLR run is serialized to JSON, restored, and the warm re-solve
+after a one-equation edit must produce the *bit-identical* ordered event
+trace that a warm re-solve from the in-memory state produces -- pinned
+explicitly below, so serialization can lose neither values, influence
+edges, priorities, nor stability.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eqs import DictSystem
+from repro.incremental import (
+    SolverState,
+    StateFormatError,
+    capture,
+    diff_finite_systems,
+    warm_solve_slr,
+)
+from repro.lattices import INF, NatInf
+from repro.solvers import WarrowCombine, solve_slr
+from repro.solvers.engine import RecordingObserver
+
+nat = NatInf()
+
+
+def example1_system() -> DictSystem:
+    """x1 = x2;  x2 = x3 + 1;  x3 = x1 over N | {oo} (paper Example 1)."""
+    return DictSystem(
+        nat,
+        {
+            "x1": (lambda get: get("x2"), ["x2"]),
+            "x2": (lambda get: get("x3") + 1, ["x3"]),
+            "x3": (lambda get: get("x1"), ["x1"]),
+        },
+    )
+
+
+def edited_system(base: DictSystem) -> DictSystem:
+    """Example 1 with the edit ``x2 = min(x3 + 1, 5)``.
+
+    The unchanged equations share their right-hand-side objects with
+    ``base``, the way an incremental caller naturally builds an edit, so
+    :func:`diff_finite_systems` reports exactly ``{"x2"}``.
+    """
+    eqs = dict(base._equations)  # noqa: SLF001 - test constructs an edit
+    eqs["x2"] = (lambda get: min(get("x3") + 1, 5), ["x3"])
+    return DictSystem(nat, eqs)
+
+
+@pytest.fixture
+def cold_state():
+    base = example1_system()
+    result = solve_slr(base, WarrowCombine(nat), "x1")
+    return base, result, capture(result, "slr")
+
+
+class TestCapture:
+    def test_capture_restores_all_components(self, cold_state):
+        base, result, state = cold_state
+        assert state.solver == "slr"
+        assert state.sigma == result.sigma
+        assert state.dom == {"x1", "x2", "x3"}
+        assert state.stable == state.dom
+        assert state.infl == {x: set(s) for x, s in result.infl.items()}
+        assert state.keys == result.keys
+        # The counter continues strictly below every restored key.
+        assert -state.counter < min(state.keys.values())
+
+
+class TestJsonRoundTrip:
+    def test_dumps_is_deterministic(self, cold_state):
+        _, _, state = cold_state
+        assert state.dumps(nat) == state.dumps(nat)
+
+    def test_roundtrip_is_byte_identical(self, cold_state):
+        _, _, state = cold_state
+        text = state.dumps(nat)
+        restored = SolverState.loads(text, nat)
+        assert restored.dumps(nat) == text
+
+    def test_roundtrip_preserves_every_field(self, cold_state):
+        _, _, state = cold_state
+        restored = SolverState.loads(state.dumps(nat), nat)
+        assert restored.solver == state.solver
+        assert restored.sigma == state.sigma
+        assert restored.infl == state.infl
+        assert restored.keys == state.keys
+        assert restored.dom == state.dom
+        assert restored.stable == state.stable
+        assert restored.counter == state.counter
+
+    def test_wrong_format_marker_rejected(self, cold_state):
+        _, _, state = cold_state
+        data = state.to_json(__import__("repro.incremental.codecs", fromlist=["value_codec"]).value_codec(nat))
+        data["format"] = "something-else/9"
+        with pytest.raises(StateFormatError):
+            SolverState.from_json(data, None)
+
+
+class TestGoldenResume:
+    """The pinned warm-resume trace of Example 1 after editing ``x2``."""
+
+    #: warm SLR from the restored snapshot: the exact ordered events.
+    GOLDEN_TRACE = [
+        ("eval", "x1"),
+        ("eval", "x3"),
+        ("eval", "x2"),
+        ("update", "x2", INF, 5),
+        ("destabilize", "x2", ("x1", "x2")),
+        ("eval", "x2"),
+        ("eval", "x1"),
+        ("update", "x1", INF, 5),
+        ("destabilize", "x1", ("x1", "x3")),
+        ("eval", "x3"),
+        ("update", "x3", INF, 5),
+        ("destabilize", "x3", ("x2", "x3")),
+        ("eval", "x3"),
+        ("eval", "x2"),
+        ("eval", "x1"),
+    ]
+
+    def run_warm(self, state):
+        base = example1_system()
+        # Rebuilding base makes fresh rhs objects, so diff against the
+        # *shared-structure* edit must use one base for both versions.
+        new = edited_system(base)
+        dirty = diff_finite_systems(base, new)
+        assert dirty == {"x2"}
+        rec = RecordingObserver(kinds=("eval", "update", "destabilize"))
+        result = warm_solve_slr(
+            new, WarrowCombine(nat), "x1", state, dirty, observers=[rec]
+        )
+        return result, rec.events
+
+    def test_warm_resume_trace_matches_golden(self, cold_state):
+        _, _, state = cold_state
+        result, events = self.run_warm(state)
+        assert sorted(result.sigma.items()) == [("x1", 5), ("x2", 5), ("x3", 5)]
+        assert events == self.GOLDEN_TRACE
+
+    def test_serialized_resume_is_bit_identical(self, cold_state):
+        """JSON round-trip must not perturb the resume in any way."""
+        _, _, state = cold_state
+        restored = SolverState.loads(state.dumps(nat), nat)
+        result_mem, events_mem = self.run_warm(state)
+        result_json, events_json = self.run_warm(restored)
+        assert events_json == events_mem == self.GOLDEN_TRACE
+        assert sorted(result_json.sigma.items()) == sorted(
+            result_mem.sigma.items()
+        )
+        assert result_json.stats.evaluations == result_mem.stats.evaluations
+        # And the post-warm snapshots serialize identically, too.
+        assert capture(result_json, "slr").dumps(nat) == capture(
+            result_mem, "slr"
+        ).dumps(nat)
+
+
+class TestTransfer:
+    def test_transfer_renames_and_prunes(self, cold_state):
+        _, _, state = cold_state
+        renames = {"x1": "y1", "x2": "y2"}  # x3 is dropped
+        moved = state.transfer(lambda u: renames.get(u))
+        assert moved.dom == {"y1", "y2"}
+        assert set(moved.sigma) == {"y1", "y2"}
+        assert moved.keys == {"y1": state.keys["x1"], "y2": state.keys["x2"]}
+        assert moved.counter == state.counter
+        # Influence edges into the dropped unknown are shed.
+        for influenced in moved.infl.values():
+            assert "x3" not in influenced and "y3" not in influenced
+
+    def test_identity_transfer_is_lossless(self, cold_state):
+        _, _, state = cold_state
+        same = state.transfer(lambda u: u)
+        assert same.dumps(nat) == state.dumps(nat)

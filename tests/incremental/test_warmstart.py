@@ -1,0 +1,285 @@
+"""Warm-start behaviour of SW, SLR, and SLR+ on finite systems.
+
+Covers the destabilization closure, both ``closure`` modes, both
+``reset`` modes (and their precision contract: ``none`` is sound but may
+keep stale finite bounds after a shrinking edit; ``destabilized`` matches
+from-scratch values), and the SLR+ treatment of recorded side-effect
+contributions across an edit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eqs import DictSystem
+from repro.eqs.side import FunSideSystem
+from repro.incremental import (
+    capture,
+    check_post_solution,
+    check_post_solution_pure,
+    diff_finite_systems,
+    influence_closure,
+    warm_solve,
+    warm_solve_slr,
+    warm_solve_slr_side,
+    warm_solve_sw,
+)
+from repro.lattices import Interval, IntervalLattice, NatInf
+from repro.lattices.interval import const
+from repro.solvers import WarrowCombine, solve_slr, solve_sw
+from repro.solvers.slr_side import solve_slr_side
+
+nat = NatInf()
+iv = IntervalLattice()
+
+
+def chain_system(c: int) -> DictSystem:
+    """x0 = c; x1 = min(x0+1, 20); x2 = max(x1, x0); plus the side chain
+    x3 = 7, x4 = x3 + 1 that no edit below ever touches, and the joint
+    sink top = max(x2, x4) that makes everything reachable for SLR."""
+    return DictSystem(
+        nat,
+        {
+            "x0": ((lambda get, c=c: c), []),
+            "x1": ((lambda get: min(get("x0") + 1, 20)), ["x0"]),
+            "x2": ((lambda get: max(get("x1"), get("x0"))), ["x0", "x1"]),
+            "x3": ((lambda get: 7), []),
+            "x4": ((lambda get: get("x3") + 1), ["x3"]),
+            "top": ((lambda get: max(get("x2"), get("x4"))), ["x2", "x4"]),
+        },
+    )
+
+
+def edit_constant(base: DictSystem, c: int) -> DictSystem:
+    eqs = dict(base._equations)  # noqa: SLF001 - tests construct edits
+    eqs["x0"] = ((lambda get, c=c: c), [])
+    return DictSystem(nat, eqs)
+
+
+class TestInfluenceClosure:
+    def test_transitive_over_infl_edges(self):
+        infl = {"a": {"a", "b"}, "b": {"b", "c"}, "c": {"c"}, "d": {"d"}}
+        assert influence_closure({"a"}, infl) == {"a", "b", "c"}
+
+    def test_contribution_edges_join_the_closure(self):
+        infl = {"a": {"a"}, "g": {"g", "r"}, "r": {"r"}}
+        contribs = [("a", "g")]
+        assert influence_closure({"a"}, infl, contribs) == {"a", "g", "r"}
+
+    def test_unknown_without_edges(self):
+        assert influence_closure({"zz"}, {}) == {"zz"}
+
+
+class TestValidation:
+    def test_bad_closure_rejected(self):
+        base = chain_system(3)
+        state = capture(solve_sw(base, WarrowCombine(nat)), "sw")
+        with pytest.raises(ValueError, match="closure"):
+            warm_solve_sw(base, WarrowCombine(nat), state, set(), closure="bogus")
+
+    def test_bad_reset_rejected(self):
+        base = chain_system(3)
+        state = capture(solve_sw(base, WarrowCombine(nat)), "sw")
+        with pytest.raises(ValueError, match="reset"):
+            warm_solve_sw(base, WarrowCombine(nat), state, set(), reset="bogus")
+
+    def test_reset_requires_transitive_closure(self):
+        base = chain_system(3)
+        state = capture(solve_sw(base, WarrowCombine(nat)), "sw")
+        with pytest.raises(ValueError, match="transitive"):
+            warm_solve_sw(
+                base,
+                WarrowCombine(nat),
+                state,
+                set(),
+                closure="direct",
+                reset="destabilized",
+            )
+
+    def test_dispatch_unknown_solver(self):
+        base = chain_system(3)
+        state = capture(solve_sw(base, WarrowCombine(nat)), "sw")
+        state.solver = "kleene"
+        with pytest.raises(ValueError, match="kleene"):
+            warm_solve(base, WarrowCombine(nat), state, set())
+
+
+def warm(solver, new, state, dirty, **kwargs):
+    if solver == "slr":
+        return warm_solve_slr(new, WarrowCombine(nat), "top", state, dirty, **kwargs)
+    return warm_solve_sw(new, WarrowCombine(nat), state, dirty, **kwargs)
+
+
+def scratch_solve(solver, new):
+    if solver == "slr":
+        return solve_slr(new, WarrowCombine(nat), "top")
+    return solve_sw(new, WarrowCombine(nat))
+
+
+@pytest.mark.parametrize("solver", ["slr", "sw"])
+class TestGrowingEdit:
+    """c: 3 -> 5 moves the fixpoint up; warrow re-iteration recovers it."""
+
+    def run(self, solver, **kwargs):
+        base = chain_system(3)
+        cold = scratch_solve(solver, base)
+        state = capture(cold, solver)
+        new = edit_constant(base, 5)
+        dirty = diff_finite_systems(base, new)
+        assert dirty == {"x0"}
+        return cold, scratch_solve(solver, new), warm(solver, new, state, dirty, **kwargs)
+
+    def test_sound_and_exact(self, solver):
+        _, scratch, result = self.run(solver)
+        assert check_post_solution_pure(edit_constant(chain_system(3), 5), result.sigma) == []
+        for x in ("x0", "x1", "x2"):
+            assert result.sigma[x] == scratch.sigma[x]
+
+    def test_untouched_region_not_reevaluated(self, solver):
+        # x3/x4 are disjoint from the edit: the warm run must not spend
+        # evaluations on them, so it beats from-scratch even though the
+        # whole affected chain re-iterates.
+        _, scratch, result = self.run(solver)
+        assert result.sigma["x3"] == 7 and result.sigma["x4"] == 8
+        assert result.stats.evaluations < scratch.stats.evaluations
+
+    def test_direct_closure_also_sound(self, solver):
+        # The engine destabilizes readers on every committed change, so
+        # seeding only the dirty unknowns themselves stays sound.
+        _, scratch, result = self.run(solver, closure="direct")
+        assert check_post_solution_pure(edit_constant(chain_system(3), 5), result.sigma) == []
+        for x in ("x0", "x1", "x2"):
+            assert result.sigma[x] == scratch.sigma[x]
+
+
+@pytest.mark.parametrize("solver", ["slr", "sw"])
+class TestShrinkingEdit:
+    """c: 5 -> 1 moves the fixpoint down -- the non-monotonic direction."""
+
+    def run(self, solver, **kwargs):
+        base = chain_system(5)
+        state = capture(scratch_solve(solver, base), solver)
+        new = edit_constant(base, 1)
+        dirty = diff_finite_systems(base, new)
+        return new, scratch_solve(solver, new), warm(solver, new, state, dirty, **kwargs)
+
+    def test_reset_none_sound_but_stale(self, solver):
+        new, scratch, result = self.run(solver)
+        assert check_post_solution_pure(new, result.sigma) == []
+        # NatInf narrowing only improves infinite bounds: the stale finite
+        # values survive, over-approximating the new fixpoint.
+        assert result.sigma["x0"] == 5
+        assert nat.leq(scratch.sigma["x2"], result.sigma["x2"])
+
+    def test_reset_destabilized_matches_scratch(self, solver):
+        new, scratch, result = self.run(solver, reset="destabilized")
+        assert check_post_solution_pure(new, result.sigma) == []
+        for x in ("x0", "x1", "x2", "x3", "x4"):
+            assert result.sigma[x] == scratch.sigma[x]
+
+
+class TestNoopEdit:
+    def test_empty_dirty_set_costs_nothing_sw(self):
+        base = chain_system(3)
+        cold = solve_sw(base, WarrowCombine(nat))
+        state = capture(cold, "sw")
+        result = warm_solve_sw(base, WarrowCombine(nat), state, set())
+        assert result.stats.evaluations == 0
+        assert result.sigma == cold.sigma
+
+    def test_stable_reevaluation_is_a_noop_slr(self):
+        # Destabilizing with an unchanged system re-evaluates the seeds
+        # once, commits nothing, and propagates nowhere.
+        base = chain_system(3)
+        cold = solve_slr(base, WarrowCombine(nat), "top")
+        state = capture(cold, "slr")
+        result = warm_solve_slr(
+            base, WarrowCombine(nat), "top", state, {"x0"}, closure="direct"
+        )
+        assert result.stats.evaluations == 1
+        assert result.sigma == cold.sigma
+
+
+# --------------------------------------------------------------------- #
+# SLR+ with side effects (the paper's Example 7 skeleton).              #
+# --------------------------------------------------------------------- #
+
+def example7_system(f1_contrib: int) -> FunSideSystem:
+    """main initialises g and calls f twice; each call contributes to g."""
+
+    def rhs_of(x):
+        if x == "main":
+            def rhs(get, side):
+                side("g", const(0))
+                get(("f", 1))
+                get(("f", 2))
+                return const(0)
+            return rhs
+        if x == ("f", 1):
+            def rhs(get, side):
+                side("g", const(f1_contrib))
+                return const(0)
+            return rhs
+        if x == ("f", 2):
+            def rhs(get, side):
+                side("g", const(3))
+                return const(0)
+            return rhs
+        if x == "g":
+            return lambda get, side: iv.bottom
+        raise KeyError(x)
+
+    return FunSideSystem(iv, rhs_of)
+
+
+class TestSideEffectingWarmStart:
+    def cold(self, f1=2):
+        result = solve_slr_side(
+            example7_system(f1), WarrowCombine(iv), "main"
+        )
+        return result, capture(result, "slr+")
+
+    def test_growing_contribution(self):
+        _, state = self.cold(f1=2)
+        new = example7_system(5)
+        result = warm_solve_slr_side(
+            new, WarrowCombine(iv), "main", state, {("f", 1)}
+        )
+        assert check_post_solution(new, result.sigma) == []
+        assert result.sigma["g"] == Interval(0, 5)
+        assert result.contribs[(("f", 1), "g")] == const(5)
+
+    def test_clean_origin_contributions_survive(self):
+        _, state = self.cold(f1=2)
+        new = example7_system(5)
+        result = warm_solve_slr_side(
+            new, WarrowCombine(iv), "main", state, {("f", 1)}
+        )
+        # f2 and main never re-ran, yet their contributions still hold.
+        assert result.contribs[(("f", 2), "g")] == const(3)
+        assert result.contribs[("main", "g")] == const(0)
+
+    def test_shrinking_contribution_reset_matches_scratch(self):
+        _, state = self.cold(f1=9)
+        new = example7_system(1)
+        scratch = solve_slr_side(new, WarrowCombine(iv), "main")
+        stale = warm_solve_slr_side(
+            new, WarrowCombine(iv), "main", state, {("f", 1)}
+        )
+        fresh = warm_solve_slr_side(
+            new, WarrowCombine(iv), "main", state, {("f", 1)},
+            reset="destabilized",
+        )
+        assert check_post_solution(new, stale.sigma) == []
+        assert check_post_solution(new, fresh.sigma) == []
+        # Stale mode keeps the old upper bound 9; reset mode drops it.
+        assert iv.leq(scratch.sigma["g"], stale.sigma["g"])
+        assert fresh.sigma["g"] == scratch.sigma["g"] == Interval(0, 3)
+
+    def test_warm_dispatch_uses_recorded_solver(self):
+        _, state = self.cold(f1=2)
+        new = example7_system(5)
+        result = warm_solve(
+            new, WarrowCombine(iv), state, {("f", 1)}, x0="main"
+        )
+        assert result.sigma["g"] == Interval(0, 5)

@@ -1,0 +1,146 @@
+"""Tests for the structural CFG diff feeding the incremental re-solver."""
+
+from __future__ import annotations
+
+from repro.lang import compile_program
+from repro.lang.diff import diff_cfg, diff_function, instr_signature
+
+BASE = """
+int g = 0;
+void work(int n) {
+    int i = 0;
+    while (i < n) {
+        g = g + 1;
+        i = i + 1;
+    }
+}
+int main() {
+    work(10);
+    assert(g >= 0);
+    return g;
+}
+"""
+
+
+def compile_both(old_src: str, new_src: str):
+    return compile_program(old_src), compile_program(new_src)
+
+
+class TestIdentical:
+    def test_same_source_is_identical(self):
+        old, new = compile_both(BASE, BASE)
+        diff = diff_cfg(old, new)
+        assert diff.is_identical
+        assert not diff.dirty_nodes
+        # Every node of every function is matched.
+        for name, fn in old.functions.items():
+            for node in fn.nodes:
+                assert node in diff.node_map
+
+    def test_whitespace_only_edit_is_identical(self):
+        old, new = compile_both(BASE, BASE.replace("\n", "\n\n"))
+        assert diff_cfg(old, new).is_identical
+
+
+class TestConstantEdit:
+    def test_changed_call_dirties_only_the_call_destination(self):
+        old, new = compile_both(BASE, BASE.replace("work(10)", "work(12)"))
+        diff = diff_cfg(old, new)
+        assert not diff.dropped_functions and not diff.changed_globals
+        # Exactly the endpoint of the edited call edge is dirty; the
+        # callee is reached through the destabilization closure, not the
+        # static diff.
+        assert {(n.fn, n.index) for n in diff.dirty_nodes} == {("main", 2)}
+
+    def test_entry_and_exit_always_match(self):
+        # The edited call sits on the first edge out of main's entry: its
+        # signature changes, but the entry node must still correspond.
+        old, new = compile_both(BASE, BASE.replace("work(10)", "work(12)"))
+        fd = diff_function(old.functions["main"], new.functions["main"])
+        assert fd.node_map[old.functions["main"].entry] == new.functions["main"].entry
+        assert fd.node_map[old.functions["main"].exit] == new.functions["main"].exit
+
+    def test_loop_bound_edit(self):
+        old, new = compile_both(BASE, BASE.replace("i < n", "i <= n"))
+        diff = diff_cfg(old, new)
+        assert diff.dirty_nodes
+        assert all(n.fn == "work" for n in diff.dirty_nodes)
+
+
+class TestStatementInsertion:
+    def test_suffix_survives_an_inserted_statement(self):
+        new_src = BASE.replace("g = g + 1;", "g = g + 1; g = g + 2;")
+        old, new = compile_both(BASE, new_src)
+        diff = diff_cfg(old, new)
+        fd = diff.functions["work"]
+        # The loop head and everything before the insertion still match,
+        # and main is untouched.
+        assert fd.node_map
+        assert not any(n.fn == "main" for n in diff.dirty_nodes)
+        assert fd.added  # the new program point exists only in v2
+
+
+class TestGlobals:
+    def test_changed_initialiser_reported(self):
+        old, new = compile_both(BASE, BASE.replace("int g = 0;", "int g = 5;"))
+        diff = diff_cfg(old, new)
+        assert diff.changed_globals == {"g"}
+
+    def test_added_global_reported(self):
+        old, new = compile_both(BASE, BASE.replace("int g = 0;", "int g = 0;\nint h = 1;"))
+        diff = diff_cfg(old, new)
+        assert "h" in diff.changed_globals
+
+
+class TestFunctionLevel:
+    def test_layout_change_drops_the_function(self):
+        new_src = BASE.replace("int i = 0;", "int i = 0; int spare = 0;")
+        old, new = compile_both(BASE, new_src)
+        diff = diff_cfg(old, new)
+        assert diff.dropped_functions == {"work"}
+        assert "work" not in diff.functions
+        # The caller of a dropped function re-reads a reset summary.
+        assert any(n.fn == "main" for n in diff.dirty_nodes)
+
+    def test_added_function_dirties_its_call_sites(self):
+        new_src = BASE.replace(
+            "int main() {",
+            "void extra() { g = g + 7; }\nint main() {\n    extra();",
+        )
+        old, new = compile_both(BASE, new_src)
+        diff = diff_cfg(old, new)
+        assert diff.added_functions == {"extra"}
+        assert any(n.fn == "main" for n in diff.dirty_nodes)
+
+    def test_removed_function_reported(self):
+        old, new = compile_both(
+            BASE.replace(
+                "int main() {", "void extra() { g = g + 7; }\nint main() {"
+            ),
+            BASE,
+        )
+        diff = diff_cfg(old, new)
+        assert diff.removed_functions == {"extra"}
+
+
+class TestInstrSignatures:
+    def test_signatures_are_line_free(self):
+        old, new = compile_both(BASE, "\n\n\n" + BASE)
+        for fn_name in old.functions:
+            old_edges = old.functions[fn_name].edges
+            new_edges = new.functions[fn_name].edges
+            assert [instr_signature(e.instr) for e in old_edges] == [
+                instr_signature(e.instr) for e in new_edges
+            ]
+
+    def test_distinct_instructions_have_distinct_signatures(self):
+        cfg = compile_program(BASE)
+        sigs = [
+            instr_signature(e.instr)
+            for fn in cfg.functions.values()
+            for e in fn.edges
+        ]
+        # The program has no duplicated statements, so the multiset of
+        # signatures has no collisions apart from structural nops.
+        non_nop = [s for s in sigs if s != "nop"]
+        assert len(non_nop) == len(set(non_nop))

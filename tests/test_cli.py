@@ -105,6 +105,89 @@ class TestVerify:
         assert "no assertions" in capsys.readouterr().out
 
 
+class TestSolvers:
+    def test_lists_capability_flags(self, capsys):
+        assert main(["solvers"]) == 0
+        out = capsys.readouterr().out
+        assert "slr+" in out
+        assert "side-effecting" in out
+        assert "supports-warm-start" in out
+
+    def test_warm_start_flag_on_exactly_the_resumable_solvers(self, capsys):
+        assert main(["solvers"]) == 0
+        out = capsys.readouterr().out
+        for line in out.splitlines():
+            if ":" not in line or line.startswith(" "):
+                continue
+            name = line.split(":", 1)[0].split(" ")[0]
+            if name in ("sw", "slr", "slr+"):
+                assert "supports-warm-start" in line, line
+            else:
+                assert "supports-warm-start" not in line, line
+
+
+class TestIncr:
+    EDITED = PROGRAM.replace("f(2)", "f(3)").replace("g <= 3", "g <= 4")
+
+    @pytest.fixture
+    def edited_file(self, tmp_path):
+        path = tmp_path / "edited.mc"
+        path.write_text(self.EDITED)
+        return str(path)
+
+    def test_incr_reports_savings_and_soundness(
+        self, program_file, edited_file, capsys
+    ):
+        assert main(["incr", program_file, edited_file]) == 0
+        out = capsys.readouterr().out
+        assert "cold solve" in out
+        assert "dirty" in out
+        assert "warm re-solve" in out
+        assert "from-scratch re-solve" in out
+        assert "post solution" in out
+        assert "precision vs from-scratch" in out
+
+    def test_incr_state_file_roundtrip(
+        self, program_file, edited_file, tmp_path, capsys
+    ):
+        state_file = tmp_path / "state.json"
+        assert (
+            main(
+                [
+                    "incr",
+                    program_file,
+                    edited_file,
+                    "--state-file",
+                    str(state_file),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "state saved" in out
+        text = state_file.read_text()
+        assert text.startswith("{") and "repro-solver-state/1" in text
+
+    def test_incr_reset_mode(self, program_file, edited_file, capsys):
+        assert (
+            main(["incr", program_file, edited_file, "--reset", "destabilized"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "0 worse" in out
+
+    def test_incr_no_compare(self, program_file, edited_file, capsys):
+        assert main(["incr", program_file, edited_file, "--no-compare"]) == 0
+        out = capsys.readouterr().out
+        assert "from-scratch" not in out
+
+    def test_incr_identical_versions(self, program_file, capsys):
+        assert main(["incr", program_file, program_file, "--no-compare"]) == 0
+        out = capsys.readouterr().out
+        assert "0 dirty nodes" in out
+        assert "warm re-solve: 0 evaluations" in out
+
+
 class TestOtherCommands:
     def test_dump_cfg(self, program_file, capsys):
         assert main(["dump-cfg", program_file]) == 0
