@@ -6,11 +6,17 @@ Usage (also via ``python -m repro``)::
     repro run program.mc [-- ARGS...]       execute a program concretely
     repro analyze program.mc [options]      interval analysis report
     repro verify program.mc [options]       check assert() statements
+    repro solve program.mc [options]        supervised analysis run
     repro incr old.mc new.mc [options]      warm re-analysis after an edit
     repro dump-cfg program.mc               print the control-flow graphs
     repro solvers                           list the registered solvers
     repro fig7 [BENCH ...]                  regenerate Figure 7
     repro table1 [PROGRAM ...]              regenerate Table 1
+
+Exit codes distinguish failure classes (see ``repro --help``): ``0``
+success, ``1`` incomplete verification, ``2`` input errors (including
+violated assertions), ``3`` solver divergence (budget or watchdog),
+``4`` internal faults.
 """
 
 from __future__ import annotations
@@ -171,6 +177,53 @@ def cmd_verify(args) -> int:
     return 0
 
 
+def cmd_solve(args) -> int:
+    from repro.analysis.inter import InterAnalysis
+    from repro.solvers.combine import WarrowCombine
+    from repro.supervise import ChaosPolicy, FaultSpec, supervised_solve
+
+    cfg = compile_program(_read_source(args.file))
+    domain = _domain(args, cfg)
+    policy = _policy(args.context, domain)
+    analysis = InterAnalysis(cfg, domain, policy)
+    op = WarrowCombine(analysis.lattice, delay=1)
+
+    chaos = None
+    if args.chaos_rate or args.chaos_fail_at:
+        faults = []
+        if args.chaos_fail_at:
+            faults.append(FaultSpec("raise", at=args.chaos_fail_at))
+        chaos = ChaosPolicy(
+            seed=args.chaos_seed,
+            faults=faults,
+            rate=args.chaos_rate,
+            kinds=tuple(args.chaos_kinds.split(",")),
+        )
+
+    report = supervised_solve(
+        analysis.system(),
+        op,
+        analysis.root(),
+        solver=args.local_solver,
+        fallback=tuple(args.fallback or ()),
+        deadline=args.deadline,
+        max_evals=args.max_evals,
+        descent_cap=args.descent_cap,
+        escalate=not args.no_escalate,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=args.checkpoint_file,
+        chaos=chaos,
+        verify=not args.no_verify,
+    )
+    print(report.render())
+    if report.ok:
+        return 0
+    last = report.attempts[-1].outcome if report.attempts else "trip"
+    if last == "fault" or report.consistency_problems:
+        return 4
+    return 3
+
+
 def cmd_solvers(args) -> int:
     from repro.solvers.registry import all_specs
 
@@ -188,6 +241,8 @@ def cmd_solvers(args) -> int:
             caps.append("takes-order")
         if spec.supports_warm_start:
             caps.append("supports-warm-start")
+        if spec.supervisable:
+            caps.append("supervisable")
         names = spec.name
         if spec.aliases:
             names += f" ({', '.join(spec.aliases)})"
@@ -365,6 +420,16 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'How to Combine Widening and Narrowing for "
             "Non-monotonic Systems of Equations' (PLDI 2013)."
         ),
+        epilog=(
+            "exit codes:\n"
+            "  0  success\n"
+            "  1  verification incomplete (assertions with unknown verdict)\n"
+            "  2  input error (missing file, parse/semantic/runtime error,\n"
+            "     violated assertion, unknown solver or capability)\n"
+            "  3  solver divergence (evaluation budget or watchdog tripped)\n"
+            "  4  internal fault (unexpected error; please report)\n"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -384,6 +449,78 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify = sub.add_parser("verify", help="check assert() statements")
     _add_analysis_options(p_verify)
     p_verify.set_defaults(func=cmd_verify)
+
+    p_solve = sub.add_parser(
+        "solve",
+        help="analysis run under the supervision layer (watchdogs, "
+        "checkpoints, escalation, fallback cascade)",
+    )
+    _add_analysis_options(p_solve)
+    p_solve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-attempt wall-clock deadline in seconds",
+    )
+    p_solve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="take a resumable snapshot every N evaluations",
+    )
+    p_solve.add_argument(
+        "--checkpoint-file",
+        default=None,
+        help="persist each snapshot crash-safely to this file",
+    )
+    p_solve.add_argument(
+        "--fallback",
+        action="append",
+        default=None,
+        metavar="SOLVER",
+        help="fallback solver cascade, in order (repeatable)",
+    )
+    p_solve.add_argument(
+        "--descent-cap",
+        type=int,
+        default=1,
+        help="narrowing steps an escalated unknown may still take",
+    )
+    p_solve.add_argument(
+        "--no-escalate",
+        action="store_true",
+        help="skip the escalation rungs; trip straight to the cascade",
+    )
+    p_solve.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the independent post-solution verification gate",
+    )
+    p_solve.add_argument(
+        "--chaos-rate",
+        type=float,
+        default=0.0,
+        help="inject faults with this probability per evaluation",
+    )
+    p_solve.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for the deterministic chaos stream",
+    )
+    p_solve.add_argument(
+        "--chaos-kinds",
+        default="raise",
+        help="comma-separated fault kinds: raise, delay, perturb",
+    )
+    p_solve.add_argument(
+        "--chaos-fail-at",
+        type=int,
+        default=None,
+        metavar="K",
+        help="schedule a raise fault on exactly the K-th evaluation",
+    )
+    p_solve.set_defaults(func=cmd_solve)
 
     p_incr = sub.add_parser(
         "incr",
@@ -449,8 +586,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
-    User-level failures (missing files, malformed programs, divergence
-    budgets) are reported as one-line errors with exit code 2.
+    The exit code classifies the failure (also in ``repro --help``):
+    ``2`` for input errors (missing files, malformed programs, unknown
+    solvers, violated assertions), ``3`` for solver divergence (budget
+    or watchdog), ``4`` for internal faults; ``1`` is reserved for
+    incomplete verification.
     """
     from repro.lang import LexError, ParseError, SemanticError
     from repro.lang.interp import ExecutionError
@@ -474,11 +614,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"runtime error: {err}", file=sys.stderr)
         return 2
     except DivergenceError as err:
-        print(f"error: solver budget exhausted: {err}", file=sys.stderr)
-        return 2
+        print(f"error: solver diverged: {err}", file=sys.stderr)
+        return 3
     except (UnknownSolverError, SolverCapabilityError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
+    except Exception as err:  # pragma: no cover - defensive catch-all
+        print(f"internal fault: {err!r}", file=sys.stderr)
+        return 4
 
 
 if __name__ == "__main__":  # pragma: no cover

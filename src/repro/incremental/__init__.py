@@ -31,7 +31,13 @@ from repro.incremental.codecs import (
     register_value_codec,
     value_codec,
 )
-from repro.incremental.state import SolverState, StateFormatError, capture
+from repro.incremental.state import (
+    SolverState,
+    StateFormatError,
+    capture,
+    capture_engine,
+    resume_dirty,
+)
 from repro.incremental.warmstart import (
     influence_closure,
     warm_solve,
@@ -50,6 +56,8 @@ __all__ = [
     "ValueCodec",
     "analyze_and_snapshot",
     "capture",
+    "capture_engine",
+    "resume_dirty",
     "check_post_solution",
     "check_post_solution_pure",
     "diff_finite_systems",

@@ -264,3 +264,58 @@ def capture(result, solver: str, wpoints: Set[Hashable] = frozenset()) -> Solver
         },
         accumulated=set(getattr(result, "accumulated", ()) or ()),
     )
+
+
+def capture_engine(
+    engine, solver: str, wpoints: Set[Hashable] = frozenset()
+) -> SolverState:
+    """Snapshot a *running* :class:`~repro.solvers.engine.SolverEngine`.
+
+    Unlike :func:`capture`, which snapshots a terminated result (where
+    every encountered unknown is stable), this works mid-iteration -- it
+    is what the supervision layer's periodic checkpoints use.  Two
+    subtleties make the snapshot resumable:
+
+    * unknowns whose evaluation is currently *in flight* are removed from
+      the stability set: their pending evaluation never committed, so a
+      resumed run must re-solve them;
+    * strategy-private state that lives outside the engine (SLR+'s
+      contribution maps) is read from ``engine.aux``, where the solver
+      registers it.
+
+    A crash-recovery resume destabilizes ``state.dom - state.stable``
+    (see :func:`resume_dirty`); for SW, whose loop does not maintain the
+    stability set, that conservatively re-queues every unknown -- the
+    resumed run still starts from the snapshotted ``sigma`` instead of
+    bottom.
+    """
+    aux = getattr(engine, "aux", {})
+    stable = set(engine.stable)
+    stable.difference_update(getattr(engine, "inflight", ()))
+    return SolverState(
+        solver=solver,
+        sigma=dict(engine.sigma),
+        infl={x: set(s) for x, s in engine.infl.items()},
+        keys=dict(engine.keys),
+        dom=set(engine.dom) if engine.dom else set(engine.sigma),
+        stable=stable,
+        counter=engine._counter,
+        wpoints=set(wpoints),
+        contribs=dict(aux.get("contribs", {})),
+        contributors={
+            z: set(s) for z, s in aux.get("contributors", {}).items()
+        },
+        accumulated=set(aux.get("accumulated", ())),
+    )
+
+
+def resume_dirty(state: SolverState) -> Set[Hashable]:
+    """The unknowns a crash-recovery warm start must destabilize.
+
+    Everything the snapshot does not prove stable: the complement of
+    ``state.stable`` within ``state.dom``.  Pass this as the ``dirty``
+    argument of :func:`repro.incremental.warmstart.warm_solve` to resume
+    an interrupted run (the program itself is unchanged, so there are no
+    edit-dirty unknowns -- only work the crash cut short).
+    """
+    return set(state.dom) - set(state.stable)

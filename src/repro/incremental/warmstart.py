@@ -302,6 +302,9 @@ def warm_solve_slr_side(
         z: set(s) for z, s in state.contributors.items()
     }
     accumulated: set = set(state.accumulated)
+    eng.aux.update(
+        contribs=contribs, contributors=contributors, accumulated=accumulated
+    )
     queue = eng.make_queue(lambda x: keys[x])
 
     dirty_known = {x for x in dirty if x in dom}

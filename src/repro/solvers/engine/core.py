@@ -79,7 +79,11 @@ class SolverEngine:
         self.stable: set = set()
         #: Per-unknown update versions (the memoization fingerprint).
         self.versions: dict = {}
+        #: Strategy-private resumable state (e.g. SLR+ contribution maps),
+        #: registered by solvers so mid-run snapshots can capture it.
+        self.aux: dict = {}
         self._counter = 0
+        self._inflight: list = []
         stats_observer = StatsObserver()
         #: The classic counters, accumulated by the built-in observer.
         self.stats: SolverStats = stats_observer.stats
@@ -90,6 +94,7 @@ class SolverEngine:
         self.memo: Optional[MemoCache] = MemoCache() if memoize else None
         if op is not None:
             op.reset()
+        self.bus.emit_start(self)
 
     # ----------------------------------------------------------------- #
     # State initialisation.                                             #
@@ -125,6 +130,15 @@ class SolverEngine:
     # Budgeted evaluation.                                              #
     # ----------------------------------------------------------------- #
 
+    @property
+    def inflight(self) -> tuple:
+        """Unknowns whose right-hand sides are being evaluated right now.
+
+        Innermost last.  A mid-run snapshot must not consider these
+        stable: their current evaluation has not committed yet.
+        """
+        return tuple(self._inflight)
+
     def charge(self, x: Hashable) -> None:
         """Count one evaluation of ``x``; raise on budget exhaustion."""
         self.bus.emit_eval(x)
@@ -134,6 +148,7 @@ class SolverEngine:
                 f"(likely divergence)",
                 dict(self.sigma),
                 self.stats,
+                unknown=x,
             )
 
     def eval_rhs(self, x: Hashable, get, rhs=None):
@@ -149,14 +164,19 @@ class SolverEngine:
             rhs = self.system.rhs(x)
         memo = self.memo
         if memo is None:
-            self.charge(x)
-            return rhs(get)
+            # In-flight before charging: observers of ``on_eval`` (e.g. a
+            # mid-run checkpointer) must already see ``x`` as uncommitted.
+            self._inflight.append(x)
+            try:
+                self.charge(x)
+                return rhs(get)
+            finally:
+                self._inflight.pop()
         cached = memo.lookup(x, self.versions)
         if cached is not MISS:
             self.bus.emit_memo(x, True)
             return cached
         self.bus.emit_memo(x, False)
-        self.charge(x)
         reads: dict = {}
         versions = self.versions
 
@@ -167,7 +187,12 @@ class SolverEngine:
             reads[y] = versions.get(y, 0)
             return value
 
-        value = rhs(traced_get)
+        self._inflight.append(x)
+        try:
+            self.charge(x)
+            value = rhs(traced_get)
+        finally:
+            self._inflight.pop()
         memo.store(x, reads, value)
         return value
 

@@ -2,11 +2,12 @@
 
 Every solver in this package drives its iteration through a
 :class:`~repro.solvers.engine.core.SolverEngine`, and the engine reports
-what it does through an :class:`EventBus`.  Observers subscribe to five
-hooks -- ``on_eval``, ``on_update``, ``on_destabilize``, ``on_queue`` and
-``on_done`` (plus ``on_memo`` for the memoization cache) -- so tracing,
-timing, per-phase counters and divergence diagnostics are pluggable
-instead of being hard-coded into every solver loop.
+what it does through an :class:`EventBus`.  Observers subscribe to the
+hooks ``on_start``, ``on_eval``, ``on_update``, ``on_destabilize``,
+``on_queue`` and ``on_done`` (plus ``on_memo`` for the memoization
+cache) -- so tracing, timing, per-phase counters, watchdogs and
+divergence diagnostics are pluggable instead of being hard-coded into
+every solver loop.
 
 :class:`StatsObserver` is the observer that reproduces the classic
 :class:`~repro.solvers.stats.SolverStats` counters; it is installed by
@@ -29,6 +30,14 @@ class SolverObserver:
     solver state: they observe one solver run.
     """
 
+    def on_start(self, engine) -> None:
+        """The engine was constructed; ``engine`` is the live instance.
+
+        This is the only hook that hands out the engine itself, so that
+        stateful observers (watchdogs, checkpointers, salvage probes) can
+        read solver state later without the solver threading it through.
+        """
+
     def on_eval(self, x: Hashable) -> None:
         """One budgeted evaluation of the right-hand side of ``x``."""
 
@@ -49,44 +58,78 @@ class SolverObserver:
 
 
 class EventBus:
-    """Fan-out of engine events to subscribed observers, in order."""
+    """Fan-out of engine events to subscribed observers, in order.
 
-    __slots__ = ("observers",)
+    Dispatch is *filtered*: for each hook the bus precomputes the list of
+    observers that actually override it, so an observer that ignores an
+    event costs nothing on that event's path.  This is what keeps
+    supervision-style observers (probes, watchdogs, checkpointers) close
+    to free per evaluation -- the hot loop only ever calls methods that
+    do real work.
+    """
+
+    _HOOKS = (
+        "on_start",
+        "on_eval",
+        "on_update",
+        "on_destabilize",
+        "on_queue",
+        "on_memo",
+        "on_done",
+    )
+
+    __slots__ = ("observers", "_listeners")
 
     def __init__(self, observers: Iterable[SolverObserver] = ()) -> None:
         self.observers: List[SolverObserver] = list(observers)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self._listeners = {
+            hook: [
+                getattr(obs, hook)
+                for obs in self.observers
+                if getattr(type(obs), hook) is not getattr(SolverObserver, hook)
+            ]
+            for hook in self._HOOKS
+        }
 
     def subscribe(self, observer: SolverObserver) -> SolverObserver:
         """Attach ``observer``; returns it for chaining."""
         self.observers.append(observer)
+        self._rebuild()
         return observer
 
     # The emit methods are spelled out (rather than dispatched by name)
     # to keep the per-evaluation hot path free of string lookups.
 
+    def emit_start(self, engine) -> None:
+        for hook in self._listeners["on_start"]:
+            hook(engine)
+
     def emit_eval(self, x) -> None:
-        for obs in self.observers:
-            obs.on_eval(x)
+        for hook in self._listeners["on_eval"]:
+            hook(x)
 
     def emit_update(self, x, old, new) -> None:
-        for obs in self.observers:
-            obs.on_update(x, old, new)
+        for hook in self._listeners["on_update"]:
+            hook(x, old, new)
 
     def emit_destabilize(self, x, work) -> None:
-        for obs in self.observers:
-            obs.on_destabilize(x, work)
+        for hook in self._listeners["on_destabilize"]:
+            hook(x, work)
 
     def emit_queue(self, size: int) -> None:
-        for obs in self.observers:
-            obs.on_queue(size)
+        for hook in self._listeners["on_queue"]:
+            hook(size)
 
     def emit_memo(self, x, hit: bool) -> None:
-        for obs in self.observers:
-            obs.on_memo(x, hit)
+        for hook in self._listeners["on_memo"]:
+            hook(x, hit)
 
     def emit_done(self, engine) -> None:
-        for obs in self.observers:
-            obs.on_done(engine)
+        for hook in self._listeners["on_done"]:
+            hook(engine)
 
 
 class StatsObserver(SolverObserver):

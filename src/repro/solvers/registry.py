@@ -60,6 +60,11 @@ class SolverSpec:
     memoizable: bool = False
     #: Whether the solver consumes a linear ``order`` of the unknowns.
     takes_order: bool = False
+    #: Whether the solver can run under the supervision layer
+    #: (:mod:`repro.supervise`): it must accept ``observers=`` and drive
+    #: all evaluations through the engine, so watchdogs, checkpoints and
+    #: fault salvage see every event.  All engine-based solvers qualify.
+    supervisable: bool = True
     #: Alternate lookup names.
     aliases: Tuple[str, ...] = ()
     #: Paper reference, e.g. ``"Fig. 6"``.
@@ -101,6 +106,7 @@ def register_solver(
     generic: bool = True,
     memoizable: bool = False,
     takes_order: bool = False,
+    supervisable: bool = True,
     aliases: Tuple[str, ...] = (),
     paper_ref: str = "",
     summary: str = "",
@@ -119,6 +125,7 @@ def register_solver(
             generic=generic,
             memoizable=memoizable,
             takes_order=takes_order,
+            supervisable=supervisable,
             aliases=tuple(_normalize(a) for a in aliases),
             paper_ref=paper_ref,
             summary=summary,
@@ -185,6 +192,7 @@ def get_solver(
     side_effecting: Optional[bool] = None,
     generic: Optional[bool] = None,
     memoize: Optional[bool] = None,
+    supervisable: Optional[bool] = None,
 ) -> SolverSpec:
     """Look up a solver by name, optionally enforcing capabilities.
 
@@ -194,6 +202,8 @@ def get_solver(
     :param side_effecting: require (or reject) side-effecting support.
     :param generic: require genericity in the paper's sense.
     :param memoize: when ``True``, require RHS-memoization support.
+    :param supervisable: when ``True``, require support for the
+        supervision layer (watchdog observers, checkpointing, salvage).
     :raises UnknownSolverError: for unregistered names.
     :raises SolverCapabilityError: when a requirement is not met.
     """
@@ -223,6 +233,11 @@ def get_solver(
         raise SolverCapabilityError(
             f"solver {spec.name!r} does not support RHS memoization "
             f"(it needs atomic, side-effect-free evaluations)"
+        )
+    if supervisable and not spec.supervisable:
+        raise SolverCapabilityError(
+            f"solver {spec.name!r} cannot run under supervision "
+            f"(it must accept observers and evaluate through the engine)"
         )
     return spec
 

@@ -104,6 +104,11 @@ def solve_slr_side(
     contribs: Dict[Tuple[Hashable, Hashable], object] = {}
     contributors: Dict[Hashable, Set[Hashable]] = {}
     accumulated: set = set(protect) if protect else set()
+    # Expose the side-effect bookkeeping for mid-run snapshots
+    # (repro.incremental.state.capture_engine reads these).
+    eng.aux.update(
+        contribs=contribs, contributors=contributors, accumulated=accumulated
+    )
     queue = eng.make_queue(lambda x: keys[x])
 
     def init(y) -> None:

@@ -15,16 +15,33 @@ from typing import Dict, Hashable, Optional
 
 
 class DivergenceError(Exception):
-    """Raised when a solver exceeds its evaluation budget.
+    """Raised when a solver run is aborted before reaching quiescence.
 
-    Carries the partial ``sigma`` and the statistics so tests can inspect
-    the oscillating iteration (e.g. reproduce the tables of Examples 1-2).
+    Carries the partial ``sigma``, the statistics, and the unknown whose
+    evaluation tripped the abort, so callers can *salvage* the
+    accumulated work instead of discarding it: tests inspect the
+    oscillating iteration (the tables of Examples 1-2), and the
+    supervision layer (:mod:`repro.supervise`) escalates the offending
+    unknowns and resumes from the partial state.
+
+    Subclasses distinguish the budget guard from the supervision
+    watchdogs (:class:`repro.supervise.watchdog.WatchdogError`).
     """
 
-    def __init__(self, message: str, sigma: dict, stats: "SolverStats") -> None:
+    def __init__(
+        self,
+        message: str,
+        sigma: Optional[dict] = None,
+        stats: Optional["SolverStats"] = None,
+        unknown: Optional[Hashable] = None,
+    ) -> None:
         super().__init__(message)
-        self.sigma = sigma
+        #: Partial mapping accumulated up to the abort (salvageable work).
+        self.sigma = sigma if sigma is not None else {}
+        #: Counters of the aborted run.
         self.stats = stats
+        #: The unknown whose evaluation tripped the abort, if known.
+        self.unknown = unknown
 
 
 @dataclass
@@ -100,4 +117,5 @@ class Budget:
                 f"(likely divergence)",
                 dict(sigma),
                 self._stats,
+                unknown=x,
             )

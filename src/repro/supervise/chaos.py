@@ -1,0 +1,257 @@
+"""Deterministic fault injection for solver runs (the chaos harness).
+
+A production solver service must survive faulty user right-hand sides:
+ones that raise, that stall, or that return values violating the
+monotonicity the termination theorems assume.  The chaos harness makes
+such failures *reproducible*: :class:`ChaosSystem` wraps any equation
+system (pure, finite, or side-effecting) and injects faults into
+right-hand-side evaluations according to a seeded
+:class:`ChaosPolicy` -- the same seed always produces the same fault at
+the same evaluation, so every chaos test is a deterministic regression
+test.
+
+Three fault kinds, mirroring the three assumptions the engine must not
+depend on:
+
+* ``"raise"``  -- the evaluation raises :class:`InjectedFault`;
+* ``"delay"``  -- the evaluation stalls for a configurable time before
+  returning the true value (trips deadline watchdogs);
+* ``"perturb"`` -- the evaluation returns a *non-monotone* perturbation
+  of the true value (bottom, or top when the value already is bottom).
+
+:func:`check_engine_invariants` is the consistency oracle used by the
+chaos property suite: after any single injected failure the engine's
+``sigma``/``infl``/``stable`` must still describe a well-formed partial
+run.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+#: The fault kinds the harness can inject.
+KINDS = ("raise", "delay", "perturb")
+
+
+class InjectedFault(RuntimeError):
+    """The chaos harness made this right-hand-side evaluation fail."""
+
+    def __init__(self, unknown: Hashable, eval_index: int) -> None:
+        super().__init__(
+            f"injected fault in evaluation #{eval_index} "
+            f"(right-hand side of {unknown!r})"
+        )
+        self.unknown = unknown
+        self.eval_index = eval_index
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: ``kind`` fires at global evaluation ``at``."""
+
+    kind: str
+    #: 1-based index into the stream of wrapped evaluations.
+    at: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"fault kind must be one of {KINDS}, got {self.kind!r}")
+        if self.at < 1:
+            raise ValueError("fault index is 1-based and must be positive")
+
+
+@dataclass
+class FaultEvent:
+    """One fault that actually fired, as recorded by the harness."""
+
+    kind: str
+    unknown: Hashable
+    eval_index: int
+
+
+class ChaosPolicy:
+    """Decides, deterministically, which evaluations fault.
+
+    Faults come from two sources that compose:
+
+    * an explicit schedule of :class:`FaultSpec` entries (exact
+      evaluation indices -- what the property suite uses to fail the
+      k-th evaluation);
+    * a seeded random ``rate`` in ``[0, 1]``: each evaluation faults
+      with that probability, drawing the kind uniformly from ``kinds``.
+      The stream depends only on ``seed``, so runs are reproducible.
+
+    ``max_faults`` bounds how many faults fire in total (default 1: the
+    single-failure discipline the consistency properties are stated
+    for).  A policy is single-use -- it counts evaluations across its
+    lifetime -- so recovery retries against the same wrapped system do
+    not re-fire an already-fired scheduled fault.
+    """
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        faults: Sequence[FaultSpec] = (),
+        rate: float = 0.0,
+        kinds: Sequence[str] = ("raise",),
+        delay_seconds: float = 0.001,
+        max_faults: int = 1,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+        for kind in kinds:
+            if kind not in KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        self.scheduled = {spec.at: spec for spec in faults}
+        self.rate = rate
+        self.kinds = tuple(kinds)
+        self.delay_seconds = delay_seconds
+        self.max_faults = max_faults
+        self.fired = 0
+        self._rng = random.Random(seed)
+
+    def decide(self, eval_index: int) -> Optional[str]:
+        """The fault kind for this evaluation, or ``None``."""
+        if self.fired >= self.max_faults:
+            # Keep the random stream aligned with the no-cap run so the
+            # surviving prefix of faults is identical either way.
+            if self.rate:
+                self._rng.random()
+            return None
+        kind = None
+        spec = self.scheduled.get(eval_index)
+        if spec is not None:
+            kind = spec.kind
+        elif self.rate and self._rng.random() < self.rate:
+            kind = self._rng.choice(self.kinds)
+        if kind is not None:
+            self.fired += 1
+        return kind
+
+
+def fail_on_eval(k: int) -> ChaosPolicy:
+    """A policy that raises on exactly the ``k``-th evaluation."""
+    return ChaosPolicy(faults=[FaultSpec("raise", at=k)])
+
+
+class ChaosSystem:
+    """Wraps an equation system, injecting faults into RHS evaluations.
+
+    Everything except ``rhs`` delegates to the wrapped system, so the
+    wrapper is transparent to every solver: finite systems keep their
+    ``unknowns``/``deps``/``infl``, side-effecting right-hand sides keep
+    their ``(get, side)`` signature (the wrapped closure forwards
+    arbitrary arguments).
+
+    Fired faults are recorded in :attr:`log` for the
+    :class:`~repro.supervise.report.SupervisionReport`.
+    """
+
+    def __init__(self, system, policy: ChaosPolicy) -> None:
+        self._inner = system
+        self.policy = policy
+        #: Faults that actually fired, in order.
+        self.log: List[FaultEvent] = []
+        self._evals = 0
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    @property
+    def inner(self):
+        """The wrapped, fault-free system."""
+        return self._inner
+
+    def perturb(self, value):
+        """A non-monotone stand-in for ``value``.
+
+        Bottom is the default perturbation -- a strictly shrinking move,
+        which is the direction monotone ascending iteration never takes;
+        when the true value already is bottom, top is returned instead so
+        the perturbation is never a no-op.
+        """
+        lat = self._inner.lattice
+        if lat.equal(value, lat.bottom):
+            return lat.top
+        return lat.bottom
+
+    def rhs(self, x):
+        inner_rhs = self._inner.rhs(x)
+        policy = self.policy
+
+        def chaotic(*args, **kwargs):
+            self._evals += 1
+            index = self._evals
+            kind = policy.decide(index)
+            if kind is None:
+                return inner_rhs(*args, **kwargs)
+            self.log.append(FaultEvent(kind=kind, unknown=x, eval_index=index))
+            if kind == "raise":
+                raise InjectedFault(x, index)
+            if kind == "delay":
+                time.sleep(policy.delay_seconds)
+                return inner_rhs(*args, **kwargs)
+            return self.perturb(inner_rhs(*args, **kwargs))
+
+        return chaotic
+
+
+# --------------------------------------------------------------------- #
+# The consistency oracle.                                               #
+# --------------------------------------------------------------------- #
+
+def check_engine_invariants(engine) -> List[str]:
+    """Consistency violations of an engine's state; empty when sound.
+
+    The invariants hold at every event-bus boundary of every solver, so
+    they must hold in particular right after an exception unwound the
+    solver -- the property the chaos suite asserts for each registered
+    solver after a single injected failure:
+
+    * every stable unknown has a value (``stable`` ⊆ dom ``sigma``);
+    * every encountered unknown has a value (``dom`` ⊆ dom ``sigma``);
+    * influence edges only mention unknowns with values;
+    * priority keys are exactly the encountered domain of a local solve;
+    * no in-flight evaluations remain (the exception unwound them all);
+    * every stored value is a well-formed lattice element (reflexivity
+      of ``leq`` holds for it).
+    """
+    problems: List[str] = []
+    sigma_dom = set(engine.sigma)
+    for x in engine.stable:
+        if x not in sigma_dom:
+            problems.append(f"stable unknown {x!r} has no value in sigma")
+    for x in engine.dom:
+        if x not in sigma_dom:
+            problems.append(f"encountered unknown {x!r} has no value in sigma")
+    for x, influenced in engine.infl.items():
+        if x not in sigma_dom:
+            problems.append(f"influence source {x!r} has no value in sigma")
+        for y in influenced:
+            if y not in sigma_dom:
+                problems.append(
+                    f"influence edge {x!r} -> {y!r} mentions an unknown "
+                    f"without a value"
+                )
+    if engine.keys and set(engine.keys) != set(engine.dom):
+        problems.append(
+            f"priority keys cover {len(engine.keys)} unknowns but the "
+            f"encountered domain has {len(engine.dom)}"
+        )
+    if engine.inflight:
+        problems.append(
+            f"{len(engine.inflight)} evaluations still marked in-flight"
+        )
+    lat = engine.lattice
+    for x, value in engine.sigma.items():
+        try:
+            ok = lat.leq(value, value)
+        except Exception as err:  # pragma: no cover - malformed value
+            problems.append(f"sigma[{x!r}] is not a lattice element: {err}")
+            continue
+        if not ok:
+            problems.append(f"sigma[{x!r}] fails leq reflexivity")
+    return problems

@@ -1,0 +1,97 @@
+"""Per-unknown escalation of the combined operator (graceful degradation).
+
+When a watchdog trips, throwing the whole run away is the worst answer:
+typically only a few unknowns oscillate (the flip-flop mode of
+non-monotonic systems, end of the paper's Section 4) while the rest of
+the system is fine.  :class:`EscalatingCombine` degrades *selectively*:
+unescalated unknowns keep the caller's operator (usually the paper's ⌴),
+while escalated unknowns get a bounded-narrowing variant -- at most
+``descent_cap`` improving narrow steps, after which the value can only
+grow by widening and hence stabilises.  With ``descent_cap=0`` an
+escalated unknown is on pure widening (⌴ → ▽): ascending-only iteration,
+the paper's Theorem 1/2 regime where termination needs no monotonicity
+beyond the widening's own guarantee.
+
+Escalation preserves soundness: in the capped branch the new
+contribution satisfies ``b <= a``, so returning ``a`` keeps
+``sigma[x] >= f_x(sigma)`` -- the same argument as for
+:class:`~repro.solvers.combine.BoundedWarrowCombine`, applied per
+escalated unknown instead of globally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional, Set
+
+from repro.lattices.base import Lattice
+from repro.solvers.combine import Combine
+
+
+class EscalatingCombine(Combine):
+    """Wraps a base operator, degrading the escalated unknowns.
+
+    The escalated set is owned by the instance and can grow between
+    attempts (the supervisor's ladder adds the unknowns each trip
+    flagged); :meth:`reset` clears the per-unknown descent counters but
+    deliberately *keeps* the escalated set -- that is accumulated
+    diagnosis, not per-run state.
+    """
+
+    def __init__(
+        self,
+        lattice: Lattice,
+        base: Combine,
+        escalated: Iterable[Hashable] = (),
+        descent_cap: int = 0,
+    ) -> None:
+        if descent_cap < 0:
+            raise ValueError("descent_cap must be non-negative")
+        self.lattice = lattice
+        self.base = base
+        self.escalated: Set[Hashable] = set(escalated)
+        self.descent_cap = descent_cap
+        self._descents: Dict[Hashable, int] = {}
+
+    def reset(self) -> None:
+        self.base.reset()
+        self._descents.clear()
+
+    def escalate(self, unknowns: Iterable[Hashable]) -> None:
+        """Add ``unknowns`` to the escalated set."""
+        self.escalated.update(unknowns)
+
+    def __call__(self, x, old, new):
+        if x not in self.escalated:
+            return self.base(x, old, new)
+        if self.lattice.leq(new, old):
+            if self._descents.get(x, 0) >= self.descent_cap:
+                return old
+            result = self.lattice.narrow(old, new)
+            if not self.lattice.equal(result, old):
+                self._descents[x] = self._descents.get(x, 0) + 1
+            return result
+        return self.lattice.widen(old, new)
+
+
+def escalation_targets(
+    flagged: Iterable[Hashable],
+    error,
+    histogram: Optional[Dict[Hashable, int]] = None,
+    top: int = 5,
+) -> Set[Hashable]:
+    """The unknowns the next attempt should escalate after a trip.
+
+    Preference order: the oscillation watchdog's flagged set (a precise
+    diagnosis), then the hottest unknowns of the update histogram, then
+    the unknown the structured error names.  The fallbacks matter when a
+    budget or deadline watchdog trips before the oscillation detector
+    reaches its threshold.
+    """
+    targets = set(flagged)
+    if not targets and histogram:
+        ranked = sorted(histogram.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+        targets.update(x for x, _ in ranked[:top])
+    unknown = getattr(error, "unknown", None)
+    if unknown is not None:
+        targets.add(unknown)
+    return targets

@@ -1,0 +1,155 @@
+"""Structured reporting of a supervised solver run.
+
+Every degradation the supervisor applies -- escalating unknowns to pure
+widening, resuming from a checkpoint, restarting after a fault, falling
+back to another solver -- is recorded as a :class:`Degradation`, and
+every solver invocation as an :class:`Attempt`.  The resulting
+:class:`SupervisionReport` is the single source of truth about *how* a
+result was obtained: a verified result reached through three
+degradations is a different operational fact than a clean first-attempt
+solve, and a production service must be able to tell them apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Set, Tuple
+
+from repro.supervise.chaos import FaultEvent
+
+
+@dataclass
+class Degradation:
+    """One degradation step the supervisor applied."""
+
+    #: ``"escalate"``, ``"resume-checkpoint"``, ``"restart"``,
+    #: ``"fallback"``, or ``"salvage"``.
+    kind: str
+    #: Human-readable description of the step.
+    detail: str
+    #: The unknowns the step concerned (escalations name their targets).
+    unknowns: Tuple[Hashable, ...] = ()
+
+    def __str__(self) -> str:
+        if self.unknowns:
+            shown = ", ".join(repr(u) for u in self.unknowns[:4])
+            if len(self.unknowns) > 4:
+                shown += f", ... ({len(self.unknowns)} total)"
+            return f"{self.kind}: {self.detail} [{shown}]"
+        return f"{self.kind}: {self.detail}"
+
+
+@dataclass
+class Attempt:
+    """One solver invocation within a supervised run."""
+
+    solver: str
+    #: ``"ok"``, ``"trip"`` (watchdog/budget), ``"fault"`` (exception
+    #: from a right-hand side), or ``"unsound"`` (verifier rejected).
+    outcome: str
+    #: Representation of the error for non-ok outcomes.
+    error: str = ""
+    evaluations: int = 0
+    #: Whether the attempt resumed warm from a checkpoint.
+    warm: bool = False
+
+    def __str__(self) -> str:
+        mode = "warm" if self.warm else "cold"
+        line = f"{self.solver} ({mode}): {self.outcome}, {self.evaluations} evaluations"
+        if self.error:
+            line += f" -- {self.error}"
+        return line
+
+
+@dataclass
+class SupervisionReport:
+    """The complete outcome of one supervised solve."""
+
+    #: The solver the caller asked for.
+    requested_solver: str
+    #: Whether a (verified, when requested) result was produced.
+    ok: bool = False
+    #: The solver that produced the final result.
+    solver: Optional[str] = None
+    #: The final solver result (``None`` when every attempt failed).
+    result: Optional[object] = None
+    #: ``True``/``False`` after verification; ``None`` when not requested.
+    verified: Optional[bool] = None
+    #: Post-solution violations found by the verifier (must be empty).
+    violations: List[object] = field(default_factory=list)
+    #: Every solver invocation, in order.
+    attempts: List[Attempt] = field(default_factory=list)
+    #: Every degradation applied, in order.
+    degradations: List[Degradation] = field(default_factory=list)
+    #: Union of all unknowns escalated to bounded/pure widening.
+    escalated: Set[Hashable] = field(default_factory=set)
+    #: Faults the chaos harness fired (empty without chaos).
+    faults: List[FaultEvent] = field(default_factory=list)
+    #: Engine-consistency problems observed after faults (must be empty).
+    consistency_problems: List[str] = field(default_factory=list)
+    #: Checkpoints taken / persisted across all attempts.
+    checkpoints_taken: int = 0
+    checkpoints_written: int = 0
+    #: Partial mapping salvaged from the last failure (when not ok).
+    salvaged_sigma: Optional[dict] = None
+    #: The terminal error when every attempt failed.
+    fatal: Optional[str] = None
+
+    @property
+    def total_evaluations(self) -> int:
+        """Right-hand-side evaluations summed over all attempts."""
+        return sum(a.evaluations for a in self.attempts)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any degradation was applied."""
+        return bool(self.degradations)
+
+    def render(self) -> str:
+        """Multi-line human-readable summary (what the CLI prints)."""
+        lines = [
+            f"supervision report: requested solver {self.requested_solver!r}, "
+            f"{'ok' if self.ok else 'FAILED'}"
+        ]
+        for attempt in self.attempts:
+            lines.append(f"  attempt: {attempt}")
+        if self.degradations:
+            lines.append("  degradations applied:")
+            for deg in self.degradations:
+                lines.append(f"    - {deg}")
+        else:
+            lines.append("  degradations applied: none")
+        if self.faults:
+            for fault in self.faults:
+                lines.append(
+                    f"  fault injected: {fault.kind} at evaluation "
+                    f"#{fault.eval_index} ({fault.unknown!r})"
+                )
+        if self.consistency_problems:
+            lines.append(
+                f"  CONSISTENCY PROBLEMS after fault: "
+                f"{len(self.consistency_problems)}"
+            )
+            for problem in self.consistency_problems[:5]:
+                lines.append(f"    - {problem}")
+        if self.checkpoints_taken:
+            lines.append(
+                f"  checkpoints: {self.checkpoints_taken} taken, "
+                f"{self.checkpoints_written} written"
+            )
+        if self.verified is not None:
+            if self.verified:
+                lines.append("  verification: post solution confirmed")
+            else:
+                lines.append(
+                    f"  verification: {len(self.violations)} VIOLATIONS"
+                )
+        if self.ok and self.result is not None:
+            lines.append(
+                f"  result: {self.solver} solved "
+                f"{self.result.stats.unknowns} unknowns in "
+                f"{self.total_evaluations} total evaluations"
+            )
+        elif self.fatal:
+            lines.append(f"  fatal: {self.fatal}")
+        return "\n".join(lines)

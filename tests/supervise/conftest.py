@@ -1,0 +1,64 @@
+"""Shared fixtures for the supervision-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eqs import DictSystem
+from repro.eqs.side import FunSideSystem
+from repro.lattices import IntervalLattice, NatInf
+from repro.lattices.interval import const
+
+nat = NatInf()
+iv = IntervalLattice()
+
+
+def example1_system() -> DictSystem:
+    """The paper's Example 1: diverges under RR/WL with ⌴, terminates
+    under the structured solvers."""
+    return DictSystem(
+        nat,
+        {
+            "x1": (lambda get: get("x2"), ["x2"]),
+            "x2": (lambda get: get("x3") + 1, ["x3"]),
+            "x3": (lambda get: get("x1"), ["x1"]),
+        },
+    )
+
+
+def example7_side_system() -> FunSideSystem:
+    """The paper's Example 7 skeleton: a global fed by side effects."""
+
+    def rhs_of(x):
+        if x == "main":
+            def rhs(get, side):
+                side("g", const(0))
+                get(("f", 1))
+                get(("f", 2))
+                return const(0)
+            return rhs
+        if x == ("f", 1):
+            def rhs(get, side):
+                side("g", const(2))
+                return const(0)
+            return rhs
+        if x == ("f", 2):
+            def rhs(get, side):
+                side("g", const(3))
+                return const(0)
+            return rhs
+        if x == "g":
+            return lambda get, side: iv.bottom
+        raise KeyError(x)
+
+    return FunSideSystem(iv, rhs_of)
+
+
+@pytest.fixture
+def example1():
+    return example1_system()
+
+
+@pytest.fixture
+def example7_side():
+    return example7_side_system()

@@ -1,0 +1,164 @@
+"""Chaos property suite: a single injected right-hand-side failure never
+leaves any registered solver's engine state inconsistent.
+
+The property (for every solver in the registry): wrap the system in a
+:class:`~repro.supervise.chaos.ChaosSystem` that raises on exactly the
+k-th evaluation, run the solver, and afterwards -- whether the fault fired
+or the run finished first -- the engine's ``sigma``/``infl``/``stable``
+must satisfy :func:`~repro.supervise.chaos.check_engine_invariants`.  A
+second property closes the loop: recovery from the fault (checkpoint
+resume under the supervisor) produces the same verified solution as a
+fault-free run.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.randsys import RandomSystemConfig, random_monotone_system
+from repro.solvers import WarrowCombine
+from repro.solvers.registry import all_specs, get_solver
+from repro.supervise import (
+    ChaosPolicy,
+    ChaosSystem,
+    EngineProbe,
+    FaultSpec,
+    InjectedFault,
+    check_engine_invariants,
+    fail_on_eval,
+    supervised_solve,
+)
+from tests.supervise.conftest import example1_system, example7_side_system
+
+pytestmark = pytest.mark.chaos
+
+PURE_SOLVERS = [spec.name for spec in all_specs() if not spec.side_effecting]
+SIDE_SOLVERS = [spec.name for spec in all_specs() if spec.side_effecting]
+
+
+def _run_with_fault(spec, system, k: int):
+    """Run ``spec`` on ``system`` with a raise scheduled on eval ``k``.
+
+    :returns: the engine probe (bound to the run's engine) and the
+        chaos wrapper (whose log tells whether the fault fired).
+    """
+    sysx = ChaosSystem(system, fail_on_eval(k))
+    probe = EngineProbe()
+    args = [sysx]
+    if spec.takes_op:
+        args.append(WarrowCombine(system.lattice))
+    if spec.scope == "local":
+        args.append("x1" if not spec.side_effecting else "main")
+    try:
+        spec(*args, max_evals=5_000, observers=[probe])
+    except InjectedFault:
+        pass
+    return probe, sysx
+
+
+class TestSingleFaultConsistency:
+    @pytest.mark.parametrize("name", PURE_SOLVERS)
+    @settings(max_examples=20, deadline=None, derandomize=True)
+    @given(k=st.integers(min_value=1, max_value=40), seed=st.integers(0, 7))
+    def test_pure_solver_state_stays_consistent(self, name, k, seed):
+        spec = get_solver(name)
+        system = random_monotone_system(RandomSystemConfig(size=6, seed=seed))
+        probe, sysx = _run_with_fault(spec, system, k)
+        assert probe.engine is not None
+        assert check_engine_invariants(probe.engine) == []
+        assert sysx.policy.fired <= 1
+
+    @pytest.mark.parametrize("name", PURE_SOLVERS)
+    @settings(max_examples=15, deadline=None, derandomize=True)
+    @given(k=st.integers(min_value=1, max_value=30))
+    def test_pure_solver_on_example1(self, name, k):
+        spec = get_solver(name)
+        probe, _ = _run_with_fault(spec, example1_system(), k)
+        assert probe.engine is not None
+        assert check_engine_invariants(probe.engine) == []
+
+    @pytest.mark.parametrize("name", SIDE_SOLVERS)
+    @settings(max_examples=15, deadline=None, derandomize=True)
+    @given(k=st.integers(min_value=1, max_value=12))
+    def test_side_effecting_solver_state_stays_consistent(self, name, k):
+        spec = get_solver(name)
+        probe, _ = _run_with_fault(spec, example7_side_system(), k)
+        assert probe.engine is not None
+        assert check_engine_invariants(probe.engine) == []
+
+
+class TestRecoveryEquality:
+    @settings(max_examples=12, deadline=None, derandomize=True)
+    @given(k=st.integers(min_value=1, max_value=12))
+    def test_slr_checkpoint_recovery_matches_fault_free(self, k):
+        baseline = supervised_solve(
+            example1_system(), x0="x1", solver="slr", max_evals=2_000
+        )
+        assert baseline.ok and baseline.verified
+        report = supervised_solve(
+            example1_system(),
+            x0="x1",
+            solver="slr",
+            max_evals=2_000,
+            checkpoint_every=2,
+            chaos=fail_on_eval(k),
+        )
+        assert report.ok, report.render()
+        assert report.verified
+        assert report.consistency_problems == []
+        assert report.result.sigma == baseline.result.sigma
+
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    @given(k=st.integers(min_value=1, max_value=10))
+    def test_slr_side_recovery_is_verified(self, k):
+        report = supervised_solve(
+            example7_side_system(),
+            x0="main",
+            solver="slr+",
+            max_evals=2_000,
+            checkpoint_every=2,
+            chaos=fail_on_eval(k),
+        )
+        assert report.ok, report.render()
+        assert report.verified
+        assert report.consistency_problems == []
+
+
+class TestChaosPolicy:
+    def test_scheduled_fault_is_deterministic(self):
+        policy = fail_on_eval(3)
+        assert [policy.decide(i) for i in (1, 2, 3)] == [None, None, "raise"]
+
+    def test_max_faults_caps_firing(self):
+        policy = ChaosPolicy(
+            faults=[FaultSpec("raise", 1), FaultSpec("raise", 2)], max_faults=1
+        )
+        assert policy.decide(1) == "raise"
+        assert policy.decide(2) is None
+
+    def test_seeded_rate_stream_is_reproducible(self):
+        kinds = ("raise", "delay", "perturb")
+        runs = []
+        for _ in range(2):
+            policy = ChaosPolicy(seed=7, rate=0.3, kinds=kinds, max_faults=99)
+            runs.append([policy.decide(i) for i in range(1, 50)])
+        assert runs[0] == runs[1]
+        assert any(runs[0]), "a 30% rate over 49 draws should fire"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChaosPolicy(rate=1.5)
+        with pytest.raises(ValueError):
+            ChaosPolicy(kinds=("explode",))
+        with pytest.raises(ValueError):
+            FaultSpec("raise", 0)
+        with pytest.raises(ValueError):
+            FaultSpec("nope", 1)
+
+    def test_perturb_is_never_a_noop(self, example1):
+        sysx = ChaosSystem(example1, ChaosPolicy())
+        lat = example1.lattice
+        assert sysx.perturb(lat.bottom) == lat.top
+        assert sysx.perturb(lat.top) == lat.bottom
+        assert sysx.perturb(5) == lat.bottom

@@ -1,0 +1,161 @@
+"""Checkpointing: mid-run snapshots, crash-safe writes, kill/resume."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.incremental import check_post_solution_pure, resume_dirty, warm_solve
+from repro.lattices import NatInf
+from repro.solvers import WarrowCombine, solve_slr, solve_sw
+from repro.solvers.engine.events import SolverObserver
+from repro.supervise import (
+    Checkpointer,
+    ChaosSystem,
+    EngineProbe,
+    InjectedFault,
+    fail_on_eval,
+    load_checkpoint,
+)
+
+nat = NatInf()
+
+
+class TestMidRunCapture:
+    def test_snapshot_excludes_inflight_evaluations(self, example1):
+        """Every snapshot taken while evaluations are on the stack must
+        not mark those unknowns stable: their eval has not committed."""
+
+        class Recorder(SolverObserver):
+            def __init__(self, checkpointer):
+                self.checkpointer = checkpointer
+                self.observed = []
+
+            def on_eval(self, x):
+                engine = self.checkpointer.engine
+                self.observed.append(
+                    (set(engine.inflight), set(self.checkpointer.snapshot().stable))
+                )
+
+        cp = Checkpointer("slr", every=10**9)
+        rec = Recorder(cp)
+        solve_slr(example1, WarrowCombine(nat), "x1", observers=[cp, rec])
+        assert any(inflight for inflight, _ in rec.observed)
+        for inflight, stable in rec.observed:
+            assert not (inflight & stable)
+
+    def test_every_snapshot_resumes_to_post_solution(self, example1):
+        """Resuming from any periodic snapshot yields a verified post
+        solution -- the crash could happen at any interval boundary."""
+        cp = Checkpointer("slr", every=1, keep=10**6)
+        solve_slr(example1, WarrowCombine(nat), "x1", observers=[cp])
+        assert cp.taken >= 5
+        for state in cp.states:
+            result = warm_solve(
+                example1_copy(), WarrowCombine(nat), state,
+                resume_dirty(state), x0="x1", max_evals=2_000,
+            )
+            assert check_post_solution_pure(example1_copy(), result.sigma) == []
+            assert result.sigma["x1"] == nat.top
+
+    def test_unbound_checkpointer_refuses_to_snapshot(self):
+        with pytest.raises(RuntimeError):
+            Checkpointer("slr").snapshot()
+
+    def test_keeps_only_requested_history(self, example1):
+        cp = Checkpointer("slr", every=1, keep=2)
+        solve_slr(example1, WarrowCombine(nat), "x1", observers=[cp])
+        assert len(cp.states) == 2
+        assert cp.taken > 2
+        assert cp.latest is cp.states[-1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Checkpointer("slr", every=0)
+        with pytest.raises(ValueError):
+            Checkpointer("slr", keep=0)
+
+
+def example1_copy():
+    from tests.supervise.conftest import example1_system
+
+    return example1_system()
+
+
+class TestCrashSafeWrites:
+    def test_checkpoint_file_roundtrips(self, example1, tmp_path):
+        target = tmp_path / "solver.ckpt"
+        cp = Checkpointer("slr", every=3, path=str(target))
+        solve_slr(example1, WarrowCombine(nat), "x1", observers=[cp])
+        assert cp.written >= 1
+        assert target.exists()
+        state = load_checkpoint(str(target), nat)
+        latest = cp.latest
+        assert state.solver == "slr"
+        assert state.sigma == latest.sigma
+        assert set(state.stable) == set(latest.stable)
+        assert set(state.dom) == set(latest.dom)
+
+    def test_no_temporary_files_left_behind(self, example1, tmp_path):
+        target = tmp_path / "solver.ckpt"
+        cp = Checkpointer("slr", every=2, path=str(target))
+        solve_slr(example1, WarrowCombine(nat), "x1", observers=[cp])
+        assert os.listdir(tmp_path) == ["solver.ckpt"]
+
+    def test_write_requires_path(self, example1):
+        cp = Checkpointer("slr", every=10**9)
+        probe = EngineProbe()
+        solve_slr(example1, WarrowCombine(nat), "x1", observers=[probe, cp])
+        with pytest.raises(RuntimeError):
+            cp.write(cp.snapshot())
+
+
+class TestKillResume:
+    def test_fault_then_resume_matches_fault_free(self, example1):
+        """The acceptance loop in miniature: fault kills the run, the
+        checkpoint resumes it, the result matches a clean solve."""
+        clean = solve_slr(example1_copy(), WarrowCombine(nat), "x1")
+
+        sysx = ChaosSystem(example1, fail_on_eval(4))
+        cp = Checkpointer("slr", every=2)
+        with pytest.raises(InjectedFault):
+            solve_slr(sysx, WarrowCombine(nat), "x1", observers=[cp])
+        state = cp.latest
+        assert state is not None
+
+        resumed = warm_solve(
+            sysx, WarrowCombine(nat), state, resume_dirty(state),
+            x0="x1", max_evals=2_000,
+        )
+        assert resumed.sigma == clean.sigma
+        assert check_post_solution_pure(example1_copy(), resumed.sigma) == []
+
+    def test_resume_from_persisted_file_after_kill(self, example1, tmp_path):
+        """Full crash simulation: the only survivor is the checkpoint
+        file on disk; a fresh process loads and resumes it."""
+        target = tmp_path / "killed.ckpt"
+        sysx = ChaosSystem(example1, fail_on_eval(5))
+        cp = Checkpointer("slr", every=2, path=str(target))
+        with pytest.raises(InjectedFault):
+            solve_slr(sysx, WarrowCombine(nat), "x1", observers=[cp])
+
+        state = load_checkpoint(str(target), nat)
+        fresh = example1_copy()
+        resumed = warm_solve(
+            fresh, WarrowCombine(nat), state, resume_dirty(state),
+            x0="x1", max_evals=2_000,
+        )
+        assert check_post_solution_pure(fresh, resumed.sigma) == []
+        assert resumed.sigma["x1"] == nat.top
+
+    def test_sw_checkpoints_resume_too(self, example1):
+        cp = Checkpointer("sw", every=2)
+        solve_sw(example1, WarrowCombine(nat), observers=[cp])
+        state = cp.latest
+        assert state is not None
+        resumed = warm_solve(
+            example1_copy(), WarrowCombine(nat), state, resume_dirty(state),
+            max_evals=2_000,
+        )
+        assert check_post_solution_pure(example1_copy(), resumed.sigma) == []

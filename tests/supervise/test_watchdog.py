@@ -1,0 +1,152 @@
+"""Watchdog observers: deadlines, budgets, oscillation detection, and the
+structured divergence errors they raise."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.eqs import DictSystem
+from repro.lattices import NatInf
+from repro.solvers import DivergenceError, WarrowCombine, solve_rr, solve_slr
+from repro.supervise import (
+    BudgetExceeded,
+    BudgetWatchdog,
+    DeadlineExceeded,
+    DeadlineWatchdog,
+    EngineProbe,
+    OscillationDetected,
+    OscillationWatchdog,
+    WatchdogError,
+)
+
+nat = NatInf()
+
+
+class TestStructuredDivergenceError:
+    """Satellite: every raise site carries salvageable partial state."""
+
+    def test_engine_budget_carries_sigma_stats_unknown(self, example1):
+        with pytest.raises(DivergenceError) as err:
+            solve_rr(example1, WarrowCombine(nat), max_evals=60)
+        assert err.value.sigma, "partial mapping must be salvageable"
+        assert err.value.stats is not None
+        assert err.value.stats.evaluations > 60
+        assert err.value.unknown in {"x1", "x2", "x3"}
+
+    def test_optional_fields_default_empty(self):
+        err = DivergenceError("boom")
+        assert err.sigma == {}
+        assert err.stats is None
+        assert err.unknown is None
+
+    def test_watchdog_error_is_divergence_error(self):
+        assert issubclass(WatchdogError, DivergenceError)
+        assert issubclass(BudgetExceeded, WatchdogError)
+        assert issubclass(DeadlineExceeded, WatchdogError)
+        assert issubclass(OscillationDetected, WatchdogError)
+
+
+class TestEngineProbe:
+    def test_probe_binds_live_engine(self, example1):
+        probe = EngineProbe()
+        result = solve_slr(example1, WarrowCombine(nat), "x1", observers=[probe])
+        assert probe.engine is not None
+        assert probe.engine.sigma == result.sigma
+
+
+class TestBudgetWatchdog:
+    def test_trips_with_partial_state(self, example1):
+        with pytest.raises(BudgetExceeded) as err:
+            solve_rr(example1, WarrowCombine(nat), observers=[BudgetWatchdog(50)])
+        assert err.value.sigma
+        assert err.value.unknown is not None
+        assert err.value.stats.evaluations > 50
+
+    def test_does_not_trip_under_budget(self, example1):
+        result = solve_slr(
+            example1, WarrowCombine(nat), "x1", observers=[BudgetWatchdog(1000)]
+        )
+        assert result.sigma["x1"] == nat.top
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            BudgetWatchdog(0)
+
+
+class TestDeadlineWatchdog:
+    def test_trips_on_slow_divergent_run(self):
+        def slow(get):
+            time.sleep(0.002)
+            return get("x2")
+
+        system = DictSystem(
+            nat,
+            {
+                "x1": (slow, ["x2"]),
+                "x2": (lambda get: get("x3") + 1, ["x3"]),
+                "x3": (lambda get: get("x1"), ["x1"]),
+            },
+        )
+        dog = DeadlineWatchdog(0.02, check_every=1)
+        with pytest.raises(DeadlineExceeded) as err:
+            solve_rr(system, WarrowCombine(nat), observers=[dog])
+        assert err.value.sigma
+        assert err.value.unknown is not None
+
+    def test_generous_deadline_does_not_trip(self, example1):
+        result = solve_slr(
+            example1,
+            WarrowCombine(nat),
+            "x1",
+            observers=[DeadlineWatchdog(60.0)],
+        )
+        assert result.sigma["x1"] == nat.top
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            DeadlineWatchdog(0)
+        with pytest.raises(ValueError):
+            DeadlineWatchdog(1.0, check_every=0)
+
+
+class TestOscillationWatchdog:
+    def test_flags_flip_flopping_unknowns(self, example1):
+        """Example 1 under RR oscillates: values narrow back to finite
+        climbs and then widen to oo again; the watchdog must flag that."""
+        dog = OscillationWatchdog(flag_after=2)
+        with pytest.raises(DivergenceError):
+            solve_rr(example1, WarrowCombine(nat), max_evals=300, observers=[dog])
+        assert dog.flagged, "the oscillating unknowns must be flagged"
+        assert dog.flagged <= {"x1", "x2", "x3"}
+
+    def test_trip_after_aborts_run(self, example1):
+        dog = OscillationWatchdog(flag_after=2, trip_after=4)
+        with pytest.raises(OscillationDetected) as err:
+            solve_rr(
+                example1, WarrowCombine(nat), max_evals=10_000, observers=[dog]
+            )
+        assert err.value.unknown in dog.flagged
+        assert err.value.sigma
+
+    def test_terminating_run_is_clean(self, example1):
+        dog = OscillationWatchdog(flag_after=2, trip_after=50)
+        result = solve_slr(example1, WarrowCombine(nat), "x1", observers=[dog])
+        assert result.sigma["x1"] == nat.top
+        assert dog.update_counts, "updates are histogrammed"
+
+    def test_histogram_ranks_hottest_first(self, example1):
+        dog = OscillationWatchdog()
+        with pytest.raises(DivergenceError):
+            solve_rr(example1, WarrowCombine(nat), max_evals=300, observers=[dog])
+        ranked = dog.histogram()
+        counts = [count for _, count in ranked]
+        assert counts == sorted(counts, reverse=True)
+        assert dog.histogram(top=2) == ranked[:2]
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            OscillationWatchdog(flag_after=0)
+        with pytest.raises(ValueError):
+            OscillationWatchdog(flag_after=3, trip_after=2)

@@ -105,6 +105,61 @@ class TestVerify:
         assert "no assertions" in capsys.readouterr().out
 
 
+class TestSolve:
+    def test_clean_supervised_run(self, loop_file, capsys):
+        assert main(["solve", loop_file]) == 0
+        out = capsys.readouterr().out
+        assert "supervision report" in out
+        assert "post solution confirmed" in out
+        assert "degradations applied: none" in out
+
+    def test_chaos_with_checkpoint_recovery(self, loop_file, capsys):
+        code = main(
+            [
+                "solve", loop_file,
+                "--chaos-fail-at", "5",
+                "--checkpoint-every", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault injected: raise at evaluation #5" in out
+        assert "resume-checkpoint" in out
+        assert "post solution confirmed" in out
+
+    def test_checkpoint_file_is_written(self, loop_file, tmp_path, capsys):
+        target = tmp_path / "run.ckpt"
+        assert (
+            main(
+                [
+                    "solve", loop_file,
+                    "--checkpoint-every", "3",
+                    "--checkpoint-file", str(target),
+                ]
+            )
+            == 0
+        )
+        assert target.exists()
+
+    def test_budget_trip_without_recovery_exits_three(self, loop_file, capsys):
+        assert main(["solve", loop_file, "--max-evals", "2", "--no-escalate"]) == 3
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_divergence_exit_code_is_three(self, loop_file, capsys):
+        """Satellite: divergence (3) is distinguishable from input
+        errors (2) across the whole CLI."""
+        assert main(["analyze", loop_file, "--max-evals", "2"]) == 3
+        assert "diverged" in capsys.readouterr().err
+
+    def test_exit_codes_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "exit codes" in out
+        assert "3  solver divergence" in out
+        assert "4  internal fault" in out
+
+
 class TestSolvers:
     def test_lists_capability_flags(self, capsys):
         assert main(["solvers"]) == 0
@@ -112,6 +167,7 @@ class TestSolvers:
         assert "slr+" in out
         assert "side-effecting" in out
         assert "supports-warm-start" in out
+        assert "supervisable" in out
 
     def test_warm_start_flag_on_exactly_the_resumable_solvers(self, capsys):
         assert main(["solvers"]) == 0
