@@ -151,7 +151,9 @@ class FiniteProjectionContext(ContextPolicy):
     stays context-local.
     """
 
-    def __init__(self, project: Callable[[object], Hashable], name: str = "projected") -> None:
+    def __init__(
+        self, project: Callable[[object], Hashable], name: str = "projected"
+    ) -> None:
         self.project = project
         self.name = name
 
@@ -403,6 +405,18 @@ class InterAnalysis:
 # --------------------------------------------------------------------- #
 # Driver functions.                                                     #
 # --------------------------------------------------------------------- #
+
+def collect_analysis(
+    analysis: InterAnalysis, result: SideResult
+) -> AnalysisResult:
+    """Package a raw solver result as an :class:`AnalysisResult`.
+
+    Public so callers that drive the solver themselves (the supervision
+    layer, the batch farm) can still use the assertion checker and the
+    precision comparators, which consume :class:`AnalysisResult`.
+    """
+    return _collect(analysis, result)
+
 
 def _collect(analysis: InterAnalysis, result: SideResult) -> AnalysisResult:
     point_envs: Dict[PP, object] = {}

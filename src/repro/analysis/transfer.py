@@ -113,7 +113,9 @@ def refine(tc: TransferContext, env, cond: ast.Expr, assume: bool):
     return _refine_structural(tc, env, cond, assume)
 
 
-def _refine_structural(tc: TransferContext, env: FrozenMap, cond: ast.Expr, assume: bool):
+def _refine_structural(
+    tc: TransferContext, env: FrozenMap, cond: ast.Expr, assume: bool
+):
     dom = tc.domain
     if isinstance(cond, ast.Unary) and cond.op == "!":
         return _refine_structural(tc, env, cond.operand, not assume)

@@ -47,7 +47,10 @@ class AssertionReport:
     verdict: Verdict
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"{self.fn}:{self.line}: assert({self.condition}) -- {self.verdict.value}"
+        return (
+            f"{self.fn}:{self.line}: assert({self.condition}) "
+            f"-- {self.verdict.value}"
+        )
 
 
 def check_assertions(

@@ -1,0 +1,70 @@
+"""Parallel batch solving and corpus benchmarking.
+
+The paper's experimental claims are corpus-scale claims -- precision at
+~39% of program points, bounded ⌴-solver cost, both measured across whole
+benchmark suites -- so this package solves *corpora*, not programs:
+
+* :mod:`repro.batch.jobs`   -- picklable job specs, isolated execution,
+  the per-job exit-code taxonomy, post-solution fingerprints;
+* :mod:`repro.batch.farm`   -- the work-stealing process pool with crash
+  isolation and watchdog-based per-job deadlines;
+* :mod:`repro.batch.corpus` -- deterministic enumeration of the
+  examples/WCET/fig7/table1 workload families;
+* :mod:`repro.batch.bench`  -- min-of-N interleaved measurement, the
+  ``BENCH_<rev>.json`` schema, and baseline regression gating (the
+  ``repro bench`` subcommand and the CI bench gate).
+
+See ``docs/batch.md`` for the architecture tour.
+"""
+
+from repro.batch.bench import (
+    BENCH_FORMAT,
+    EVAL_THRESHOLD,
+    TIME_THRESHOLD,
+    BenchComparison,
+    compare_benches,
+    git_revision,
+    load_bench,
+    run_bench,
+    validate_bench,
+    write_bench,
+)
+from repro.batch.corpus import corpus_jobs, example_sources, family_names
+from repro.batch.farm import run_jobs
+from repro.batch.jobs import (
+    EXIT_DIVERGENCE,
+    EXIT_FAULT,
+    EXIT_INPUT,
+    EXIT_OK,
+    EXIT_UNKNOWN,
+    JobResult,
+    JobSpec,
+    execute_job,
+    solution_fingerprint,
+)
+
+__all__ = [
+    "BENCH_FORMAT",
+    "EVAL_THRESHOLD",
+    "TIME_THRESHOLD",
+    "BenchComparison",
+    "EXIT_DIVERGENCE",
+    "EXIT_FAULT",
+    "EXIT_INPUT",
+    "EXIT_OK",
+    "EXIT_UNKNOWN",
+    "JobResult",
+    "JobSpec",
+    "compare_benches",
+    "corpus_jobs",
+    "example_sources",
+    "execute_job",
+    "family_names",
+    "git_revision",
+    "load_bench",
+    "run_bench",
+    "run_jobs",
+    "solution_fingerprint",
+    "validate_bench",
+    "write_bench",
+]

@@ -1,0 +1,201 @@
+"""The benchmark corpus: every program the repo can throw at a solver.
+
+Four deterministic workload families, mirroring the paper's evaluation
+(Section 8) plus the repo's own worked examples:
+
+* ``examples`` -- the mini-C programs embedded in ``examples/*.py``
+  (extracted textually, so the corpus never executes example scripts);
+* ``wcet``     -- the Malardalen WCET renditions behind Figure 7, solved
+  with the paper's combined operator ⌴;
+* ``fig7``     -- the same suite under plain widening: together with
+  ``wcet`` this is exactly the precision comparison of Figure 7, and the
+  eval-count gap between the two families is tracked by the bench gate;
+* ``table1``   -- the synthetic SpecCPU-style programs of Table 1 in the
+  paper's four configurations ({context-insensitive, context-sensitive}
+  x {widening-only, combined}).
+
+Enumeration order is fixed (family order above, programs sorted within a
+family) and job ids are stable, so a corpus enumerated twice -- or on
+machines with different worker counts -- compares entry for entry.
+
+``quick=True`` selects the committed-baseline subset the CI bench gate
+runs: the smallest programs of each family, chosen to keep a full
+``repro bench --quick`` round under a few seconds.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.batch.jobs import JobSpec
+
+#: Family enumeration order (also the display order).
+FAMILIES = ("examples", "wcet", "fig7", "table1")
+
+#: WCET benchmarks in the quick subset (the smallest by LoC).
+_QUICK_WCET = 12
+#: WCET benchmarks under the widening-only baseline in the quick subset.
+_QUICK_FIG7 = 6
+#: Table-1 programs in the quick subset (the smallest rows).
+_QUICK_TABLE1 = 2
+
+#: Evaluation budget for corpus jobs; generous, the jobs are small.
+_MAX_EVALS = 5_000_000
+
+_SOURCE_RE = re.compile(r'^SOURCE = """\n(.*?)"""', re.S | re.M)
+
+
+def repo_root() -> Optional[Path]:
+    """The repository checkout containing this package, if any.
+
+    Resolved relative to the installed package (``src/repro`` ->
+    repository root), so ``repro bench`` finds the example programs no
+    matter the working directory.  ``None`` for site-package installs
+    without the ``examples/`` tree.
+    """
+    root = Path(__file__).resolve().parents[3]
+    return root if (root / "examples").is_dir() else None
+
+
+def example_sources() -> Dict[str, str]:
+    """mini-C sources embedded in the repo's ``examples/*.py`` scripts.
+
+    Extracted with a regex over the file text -- enumeration must not
+    execute example code.  Empty when the ``examples/`` tree is absent
+    (a bare package install).
+    """
+    root = repo_root()
+    if root is None:
+        return {}
+    sources: Dict[str, str] = {}
+    for path in sorted((root / "examples").glob("*.py")):
+        match = _SOURCE_RE.search(path.read_text(encoding="utf-8"))
+        if match is not None:
+            sources[path.stem] = match.group(1)
+    return sources
+
+
+def _examples_jobs(quick: bool) -> List[JobSpec]:
+    return [
+        JobSpec(
+            id=f"examples/{name}/warrow",
+            family="examples",
+            program=name,
+            source=source,
+            max_evals=_MAX_EVALS,
+        )
+        for name, source in sorted(example_sources().items())
+    ]
+
+
+def _wcet_programs():
+    from repro.bench.wcet import by_size
+
+    return by_size()
+
+
+def _wcet_jobs(quick: bool) -> List[JobSpec]:
+    programs = _wcet_programs()
+    if quick:
+        programs = programs[:_QUICK_WCET]
+    return [
+        JobSpec(
+            id=f"wcet/{p.name}/warrow",
+            family="wcet",
+            program=p.name,
+            source=p.source,
+            max_evals=_MAX_EVALS,
+        )
+        for p in programs
+    ]
+
+
+def _fig7_jobs(quick: bool) -> List[JobSpec]:
+    programs = _wcet_programs()
+    if quick:
+        programs = programs[:_QUICK_FIG7]
+    return [
+        JobSpec(
+            id=f"fig7/{p.name}/widen",
+            family="fig7",
+            program=p.name,
+            source=p.source,
+            op="widen",
+            max_evals=_MAX_EVALS,
+        )
+        for p in programs
+    ]
+
+
+def _table1_jobs(quick: bool) -> List[JobSpec]:
+    from repro.bench.spec import PROGRAMS
+
+    programs = list(PROGRAMS)
+    if quick:
+        programs = programs[:_QUICK_TABLE1]
+    jobs = []
+    for prog in programs:
+        source = prog.source
+        for context in ("insensitive", "sign"):
+            for op in ("widen", "warrow"):
+                jobs.append(
+                    JobSpec(
+                        id=f"table1/{prog.name}/{context}/{op}",
+                        family="table1",
+                        program=prog.name,
+                        source=source,
+                        context=context,
+                        op=op,
+                        max_evals=10_000_000,
+                    )
+                )
+    return jobs
+
+
+_BUILDERS = {
+    "examples": _examples_jobs,
+    "wcet": _wcet_jobs,
+    "fig7": _fig7_jobs,
+    "table1": _table1_jobs,
+}
+
+
+def family_names() -> List[str]:
+    """All family names, in enumeration order."""
+    return list(FAMILIES)
+
+
+def corpus_jobs(
+    families: Optional[Iterable[str]] = None,
+    *,
+    quick: bool = False,
+    deadline: Optional[float] = None,
+) -> List[JobSpec]:
+    """Enumerate the corpus, deterministically.
+
+    :param families: restrict to these families (any order; enumeration
+        order stays fixed).  ``None``: all of them.
+    :param quick: the CI gate subset (smallest programs per family).
+    :param deadline: per-job wall-clock deadline to stamp on every job.
+    :raises ValueError: for unknown family names.
+    """
+    wanted: Sequence[str]
+    if families is None:
+        wanted = FAMILIES
+    else:
+        wanted = list(families)
+        unknown = sorted(set(wanted) - set(FAMILIES))
+        if unknown:
+            raise ValueError(
+                f"unknown families {unknown}; known: {list(FAMILIES)}"
+            )
+    jobs: List[JobSpec] = []
+    for family in FAMILIES:
+        if family not in wanted:
+            continue
+        jobs.extend(_BUILDERS[family](quick))
+    if deadline is not None:
+        jobs = [job.with_deadline(deadline) for job in jobs]
+    return jobs

@@ -1,0 +1,200 @@
+"""The work-stealing process farm: solve many jobs concurrently.
+
+Analysis runs are embarrassingly independent, so the farm is a pull-based
+process pool: every worker process draws the next job index from one
+shared queue the moment it goes idle (work stealing by construction --
+a slow job never blocks the rest of the corpus), executes it with
+:func:`~repro.batch.jobs.execute_job`, and streams the structured result
+back.  Three properties the bench layer builds on:
+
+* **Determinism.**  Jobs are self-contained and executed in isolated
+  processes, results are re-ordered to the submission order before being
+  returned, and nothing about a result's deterministic core depends on
+  which worker ran it -- ``--workers 1`` and ``--workers 8`` produce
+  byte-identical deterministic fields.
+* **Failure isolation.**  :func:`~repro.batch.jobs.execute_job` already
+  maps in-band failures (divergence, faults, bad inputs) onto per-job
+  codes; the farm additionally survives a worker process *dying* (a
+  segfault, an ``os._exit``, the OOM killer): the killed worker's
+  claimed job is recorded as a ``crash`` result (code 4) and a
+  replacement worker is spawned, so sibling jobs are unaffected.
+* **Timeouts.**  Per-job deadlines ride on the supervision layer's
+  :class:`~repro.supervise.watchdog.DeadlineWatchdog` (in-band, so the
+  partial work is accounted before the job reports code 3).
+
+With ``workers=1`` the farm degrades to an inline sequential loop with
+identical semantics (and no multiprocessing dependency at all).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.batch.jobs import EXIT_FAULT, JobResult, JobSpec, execute_job
+
+#: How long the collector waits on the result queue between liveness
+#: checks of the worker processes, in seconds.
+_POLL_SECONDS = 0.1
+
+
+def _worker(worker_id: int, task_queue, result_queue) -> None:
+    """Worker loop: pull job indices until the ``None`` sentinel.
+
+    Every claim is announced as ``("start", idx, worker_id)`` before
+    execution, so the parent can attribute the in-flight job when this
+    process dies mid-run.
+    """
+    while True:
+        item = task_queue.get()
+        if item is None:
+            break
+        idx, job = item
+        result_queue.put(("start", idx, worker_id, None))
+        result = execute_job(job)
+        result_queue.put(("done", idx, worker_id, result.to_json()))
+
+
+def _crash_result(job: JobSpec, exitcode) -> JobResult:
+    return JobResult(
+        job=job.id,
+        family=job.family,
+        program=job.program,
+        status="crash",
+        code=EXIT_FAULT,
+        error=f"worker process died (exitcode {exitcode})",
+    )
+
+
+def run_jobs(
+    jobs: Sequence[JobSpec],
+    *,
+    workers: Optional[int] = None,
+    on_result: Optional[Callable[[JobResult], None]] = None,
+) -> List[JobResult]:
+    """Execute ``jobs`` and return their results in submission order.
+
+    :param workers: worker process count; ``None`` picks the CPU count
+        (capped at 8), ``1`` or fewer runs inline without subprocesses.
+    :param on_result: optional progress callback, invoked once per
+        finished job *in completion order* (which is scheduling-dependent
+        -- only the returned list is deterministic).
+    """
+    if workers is None:
+        workers = min(multiprocessing.cpu_count(), 8)
+    workers = max(1, min(int(workers), len(jobs) or 1))
+
+    if workers == 1:
+        results = []
+        for job in jobs:
+            result = execute_job(job)
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return results
+    return _run_farm(jobs, workers, on_result)
+
+
+def _run_farm(
+    jobs: Sequence[JobSpec],
+    workers: int,
+    on_result: Optional[Callable[[JobResult], None]],
+) -> List[JobResult]:
+    methods = multiprocessing.get_all_start_methods()
+    method = "fork" if "fork" in methods else "spawn"
+    ctx = multiprocessing.get_context(method)
+
+    task_queue = ctx.Queue()
+    result_queue = ctx.Queue()
+    for idx, job in enumerate(jobs):
+        task_queue.put((idx, job))
+    for _ in range(workers):
+        task_queue.put(None)
+
+    next_id = 0
+    pool: Dict[int, multiprocessing.process.BaseProcess] = {}
+
+    def spawn() -> None:
+        nonlocal next_id
+        wid = next_id
+        next_id += 1
+        proc = ctx.Process(
+            target=_worker, args=(wid, task_queue, result_queue), daemon=True
+        )
+        proc.start()
+        pool[wid] = proc
+
+    for _ in range(workers):
+        spawn()
+
+    #: worker id -> job index it announced and has not finished yet.
+    claims: Dict[int, int] = {}
+    results: Dict[int, JobResult] = {}
+    pending = len(jobs)
+
+    def record(idx: int, result: JobResult) -> None:
+        nonlocal pending
+        if idx in results:  # pragma: no cover - defensive
+            return
+        results[idx] = result
+        pending -= 1
+        if on_result is not None:
+            on_result(result)
+
+    try:
+        while pending:
+            try:
+                kind, idx, wid, payload = result_queue.get(
+                    timeout=_POLL_SECONDS
+                )
+            except queue_mod.Empty:
+                # Liveness sweep: a dead worker with an unfinished claim
+                # crashed mid-job.  Record the crash, spawn a replacement
+                # (its unconsumed sentinel is still queued for it).
+                for wid in [
+                    w for w, p in pool.items() if p.exitcode is not None
+                ]:
+                    proc = pool.pop(wid)
+                    claimed = claims.pop(wid, None)
+                    if claimed is not None and claimed not in results:
+                        record(
+                            claimed,
+                            _crash_result(jobs[claimed], proc.exitcode),
+                        )
+                        if pending:
+                            spawn()
+                if pending and not pool:
+                    # Every worker is gone.  Give in-flight messages a
+                    # grace drain (queue feeder threads flush lazily),
+                    # then account whatever never arrived as crashes
+                    # rather than spinning forever.
+                    while pending:
+                        try:
+                            kind, idx, wid, payload = result_queue.get(
+                                timeout=1.0
+                            )
+                        except queue_mod.Empty:
+                            break
+                        if kind == "done":
+                            record(idx, JobResult.from_json(payload))
+                    for i in range(len(jobs)):
+                        if i not in results:
+                            record(i, _crash_result(jobs[i], "unknown"))
+                continue
+            if kind == "start":
+                claims[wid] = idx
+            else:
+                claims.pop(wid, None)
+                record(idx, JobResult.from_json(payload))
+    finally:
+        for proc in pool.values():
+            if proc.exitcode is None:
+                proc.join(timeout=2.0)
+            if proc.exitcode is None:
+                proc.terminate()
+                proc.join(timeout=2.0)
+        task_queue.close()
+        result_queue.close()
+
+    return [results[i] for i in range(len(jobs))]

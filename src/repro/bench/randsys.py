@@ -36,7 +36,9 @@ class RandomSystemConfig:
 # Monotone expression terms over N | {oo}.                              #
 # --------------------------------------------------------------------- #
 
-def _nat_term(rng: random.Random, unknowns: Sequence[str]) -> Tuple[Callable, List[str]]:
+def _nat_term(
+    rng: random.Random, unknowns: Sequence[str]
+) -> Tuple[Callable, List[str]]:
     """One random monotone term: returns (rhs, deps)."""
     kind = rng.choice(["const", "var", "inc", "max", "min"])
     if kind == "const":

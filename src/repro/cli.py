@@ -12,6 +12,7 @@ Usage (also via ``python -m repro``)::
     repro solvers                           list the registered solvers
     repro fig7 [BENCH ...]                  regenerate Figure 7
     repro table1 [PROGRAM ...]              regenerate Table 1
+    repro bench [options]                   batch-solve the corpus, gate CI
 
 Exit codes distinguish failure classes (see ``repro --help``): ``0``
 success, ``1`` incomplete verification, ``2`` input errors (including
@@ -26,18 +27,12 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import (
-    CongruenceDomain,
-    FullValueContext,
-    InsensitiveContext,
-    IntervalCongruenceDomain,
-    IntervalDomain,
-    SignDomain,
     analyze_program,
     check_assertions,
     collect_thresholds,
     summarize,
 )
-from repro.analysis.inter import analyze_program_twophase, sign_context
+from repro.analysis.inter import analyze_program_twophase
 from repro.analysis.verify import Verdict
 from repro.lang import Interpreter, compile_program
 from repro.lattices.lifted import LiftedBottom
@@ -49,29 +44,24 @@ def _read_source(path: str) -> str:
 
 
 def _policy(name: str, domain):
-    if name == "insensitive":
-        return InsensitiveContext()
-    if name == "sign":
-        return sign_context(domain)
-    if name == "full":
-        return FullValueContext()
-    raise SystemExit(f"unknown context policy {name!r}")
+    from repro.batch.jobs import build_policy
+
+    try:
+        return build_policy(name, domain)
+    except ValueError as err:
+        raise SystemExit(str(err))
 
 
 def _domain(args, cfg):
+    from repro.batch.jobs import build_domain
+
     thresholds = ()
     if getattr(args, "thresholds", False):
         thresholds = collect_thresholds(cfg)
-    name = getattr(args, "domain", "interval")
-    if name == "interval":
-        return IntervalDomain(thresholds=thresholds)
-    if name == "interval-congruence":
-        return IntervalCongruenceDomain(thresholds=thresholds)
-    if name == "sign":
-        return SignDomain()
-    if name == "congruence":
-        return CongruenceDomain()
-    raise SystemExit(f"unknown domain {name!r}")
+    try:
+        return build_domain(getattr(args, "domain", "interval"), thresholds)
+    except ValueError as err:
+        raise SystemExit(str(err))
 
 
 def _analyze(args):
@@ -268,8 +258,6 @@ def cmd_dump_cfg(args) -> int:
 
 
 def cmd_incr(args) -> int:
-    import json
-
     from repro.incremental import (
         SolverState,
         analyze_and_snapshot,
@@ -366,6 +354,92 @@ def cmd_table1(args) -> int:
     rows = run_table1(names=args.names or None)
     print(render_table1(rows))
     return 0
+
+
+def cmd_bench(args) -> int:
+    import json
+
+    from repro.batch import (
+        compare_benches,
+        corpus_jobs,
+        git_revision,
+        load_bench,
+        run_bench,
+        validate_bench,
+        write_bench,
+    )
+
+    try:
+        jobs = corpus_jobs(
+            args.families or None, quick=args.quick, deadline=args.deadline
+        )
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    if args.list:
+        for job in jobs:
+            print(job.id)
+        return 0
+    if not jobs:
+        print("error: the selected corpus is empty", file=sys.stderr)
+        return 2
+
+    repeats = args.repeats
+    if repeats is None:
+        repeats = 2 if args.quick else 3
+    revision = git_revision()
+    doc = run_bench(
+        jobs,
+        repeats=repeats,
+        workers=args.workers,
+        quick=args.quick,
+        revision=revision,
+    )
+    problems = validate_bench(doc)
+    if problems:  # pragma: no cover - internal schema drift
+        print(
+            f"internal fault: invalid document: {problems}", file=sys.stderr
+        )
+        return 4
+
+    totals = doc["totals"]
+    print(
+        f"bench: {totals['jobs']} jobs, {totals['ok']} ok, "
+        f"{totals['failed']} failed, {totals['evaluations']} evaluations, "
+        f"{totals['wall_time']:.2f}s (min-of-{repeats}, "
+        f"workers={args.workers or 'auto'})"
+    )
+    for entry in doc["jobs"]:
+        if entry["code"] != 0:
+            print(
+                f"  {entry['job']}: {entry['status']} (code {entry['code']})"
+                f" {entry['error']}"
+            )
+
+    out = args.out or f"BENCH_{revision}.json"
+    write_bench(doc, out)
+    print(f"wrote {out}")
+    if args.update_baseline:
+        write_bench(doc, args.update_baseline)
+        print(f"baseline refreshed: {args.update_baseline}")
+
+    worst = max((entry["code"] for entry in doc["jobs"]), default=0)
+    if args.compare:
+        try:
+            baseline = load_bench(args.compare)
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        report = compare_benches(
+            doc,
+            baseline,
+            eval_threshold=args.eval_threshold / 100.0,
+            time_threshold=args.time_threshold / 100.0,
+        )
+        print(report.render())
+        if not report.ok:
+            return 1
+    return worst
 
 
 # --------------------------------------------------------------------- #
@@ -579,6 +653,80 @@ def build_parser() -> argparse.ArgumentParser:
     p_table1 = sub.add_parser("table1", help="regenerate Table 1")
     p_table1.add_argument("names", nargs="*", help="program subset")
     p_table1.set_defaults(func=cmd_table1)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="solve the benchmark corpus and gate against a baseline",
+    )
+    p_bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="the CI subset (smallest programs per family)",
+    )
+    p_bench.add_argument(
+        "--families",
+        action="append",
+        metavar="FAMILY",
+        help="restrict to a workload family (repeatable): "
+        "examples, wcet, fig7, table1",
+    )
+    p_bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker process count (default: CPU count, capped at 8)",
+    )
+    p_bench.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="rounds for min-of-N timing (default: 2 quick, 3 full)",
+    )
+    p_bench.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock deadline (watchdog-enforced)",
+    )
+    p_bench.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="result document path (default: BENCH_<rev>.json)",
+    )
+    p_bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="compare against a baseline document; exit 1 on regression",
+    )
+    p_bench.add_argument(
+        "--eval-threshold",
+        type=float,
+        default=15.0,
+        metavar="PCT",
+        help="allowed RHS-evaluation growth over baseline (default 15%%)",
+    )
+    p_bench.add_argument(
+        "--time-threshold",
+        type=float,
+        default=30.0,
+        metavar="PCT",
+        help="allowed total wall-time growth over baseline (default 30%%)",
+    )
+    p_bench.add_argument(
+        "--update-baseline",
+        default=None,
+        metavar="PATH",
+        help="also write the document to PATH (baseline refresh)",
+    )
+    p_bench.add_argument(
+        "--list",
+        action="store_true",
+        help="print the selected job ids and exit",
+    )
+    p_bench.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -11,7 +11,16 @@ returns a value.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Collection, Dict, Generic, Hashable, Mapping, Sequence, TypeVar
+from typing import (
+    Callable,
+    Collection,
+    Dict,
+    Generic,
+    Hashable,
+    Mapping,
+    Sequence,
+    TypeVar,
+)
 
 from repro.lattices.base import Lattice
 

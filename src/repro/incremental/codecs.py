@@ -63,7 +63,9 @@ def _decode_bound(j) -> Any:
 class ValueCodec:
     """Encode/decode elements of one lattice to/from JSON-able data."""
 
-    def __init__(self, encode: Callable[[Any], Any], decode: Callable[[Any], Any]) -> None:
+    def __init__(
+        self, encode: Callable[[Any], Any], decode: Callable[[Any], Any]
+    ) -> None:
         self.encode = encode
         self.decode = decode
 

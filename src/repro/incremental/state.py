@@ -68,7 +68,9 @@ class SolverState:
     # Cross-version transfer.                                           #
     # ----------------------------------------------------------------- #
 
-    def transfer(self, rename: Callable[[Hashable], Optional[Hashable]]) -> "SolverState":
+    def transfer(
+        self, rename: Callable[[Hashable], Optional[Hashable]]
+    ) -> "SolverState":
         """Re-key the state along ``rename``; drop unmapped unknowns.
 
         ``rename(u)`` returns the unknown's name in the new version, or

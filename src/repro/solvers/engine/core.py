@@ -84,6 +84,9 @@ class SolverEngine:
         self.aux: dict = {}
         self._counter = 0
         self._inflight: list = []
+        #: Last committed direction per unknown (True = shrink); feeds the
+        #: cheap widen/narrow counters on :class:`SolverStats`.
+        self._direction: dict = {}
         stats_observer = StatsObserver()
         #: The classic counters, accumulated by the built-in observer.
         self.stats: SolverStats = stats_observer.stats
@@ -203,6 +206,13 @@ class SolverEngine:
     def commit(self, x: Hashable, new) -> bool:
         """Store ``new`` for ``x`` if it differs; report the change.
 
+        Besides the ``on_update`` event, the commit classifies the move's
+        direction (one ``leq`` per *changed* value, which is rare next to
+        evaluations): shrinks count as narrowing steps, everything else
+        as widening steps, and per-unknown reversals accumulate into
+        ``stats.direction_switches`` -- the cheap always-on counters the
+        batch/bench layer reports per job.
+
         :returns: whether the value changed.
         """
         old = self.sigma[x]
@@ -210,6 +220,16 @@ class SolverEngine:
             return False
         self.sigma[x] = new
         self.versions[x] = self.versions.get(x, 0) + 1
+        shrank = self.lattice.leq(new, old)
+        stats = self.stats
+        if shrank:
+            stats.narrow_updates += 1
+        else:
+            stats.widen_updates += 1
+        previous = self._direction.get(x)
+        if previous is not None and previous is not shrank:
+            stats.direction_switches += 1
+        self._direction[x] = shrank
         self.bus.emit_update(x, old, new)
         return True
 

@@ -19,7 +19,7 @@ genericity in the paper's sense, or memoization support, and raises
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 

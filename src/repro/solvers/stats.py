@@ -52,6 +52,18 @@ class SolverStats:
     evaluations: int = 0
     #: Number of evaluations whose combined value changed the mapping.
     updates: int = 0
+    #: Committed updates that grew the value (widening direction, or an
+    #: incomparable move -- anything that is not a shrink).
+    widen_updates: int = 0
+    #: Committed updates that strictly shrank the value (narrowing
+    #: direction under the combined operator).
+    narrow_updates: int = 0
+    #: Per-unknown direction reversals (widen -> narrow or back), summed
+    #: over the run.  The narrow-to-widen half of these is the paper's
+    #: Section 4 divergence symptom; the batch/bench layer records the
+    #: counter per job so regressions in solver behaviour show up as
+    #: corpus-level drift.
+    direction_switches: int = 0
     #: Per-unknown evaluation counts.
     per_unknown: Dict[Hashable, int] = field(default_factory=dict)
     #: Largest size reached by the worklist / queue (where applicable).

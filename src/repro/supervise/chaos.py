@@ -29,8 +29,8 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
-from typing import Hashable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence
 
 #: The fault kinds the harness can inject.
 KINDS = ("raise", "delay", "perturb")

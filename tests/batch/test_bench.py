@@ -1,0 +1,190 @@
+"""Benchmark documents: schema, persistence, and the regression gate."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.batch import (
+    BENCH_FORMAT,
+    JobSpec,
+    compare_benches,
+    load_bench,
+    run_bench,
+    validate_bench,
+    write_bench,
+)
+
+LOOP = """
+int g = 0;
+int main() {
+    int i = 0;
+    while (i < %d) { i = i + 1; }
+    g = i;
+    return g;
+}
+"""
+
+
+def tiny_jobs(n: int = 3) -> list:
+    return [
+        JobSpec(
+            id=f"t/loop{i}/warrow",
+            family="t",
+            program=f"loop{i}",
+            source=LOOP % (10 + i),
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return run_bench(tiny_jobs(), repeats=2, workers=1, revision="test")
+
+
+class TestRunBench:
+    def test_document_is_schema_valid(self, doc):
+        assert validate_bench(doc) == []
+        assert doc["format"] == BENCH_FORMAT
+        assert doc["revision"] == "test"
+        assert doc["repeats"] == 2
+        assert doc["deterministic"] is True
+
+    def test_totals_are_consistent(self, doc):
+        assert doc["totals"]["jobs"] == 3
+        assert doc["totals"]["ok"] == 3
+        assert doc["totals"]["failed"] == 0
+        assert doc["totals"]["evaluations"] == sum(
+            entry["evaluations"] for entry in doc["jobs"]
+        )
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            run_bench(tiny_jobs(1), repeats=0, workers=1)
+
+    def test_write_load_round_trip(self, doc, tmp_path):
+        path = write_bench(doc, tmp_path / "bench.json")
+        assert load_bench(path) == doc
+
+    def test_load_rejects_invalid_documents(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "other/1"}')
+        with pytest.raises(ValueError, match="not a valid"):
+            load_bench(path)
+
+
+class TestValidate:
+    def test_flags_missing_job_fields(self, doc):
+        broken = copy.deepcopy(doc)
+        del broken["jobs"][0]["evaluations"]
+        assert any("evaluations" in p for p in validate_bench(broken))
+
+    def test_flags_duplicate_ids(self, doc):
+        broken = copy.deepcopy(doc)
+        broken["jobs"].append(broken["jobs"][0])
+        broken["totals"]["jobs"] += 1
+        assert any("duplicate" in p for p in validate_bench(broken))
+
+    def test_flags_ok_without_hash(self, doc):
+        broken = copy.deepcopy(doc)
+        broken["jobs"][0]["hash"] = ""
+        assert any("hash" in p for p in validate_bench(broken))
+
+    def test_flags_totals_mismatch(self, doc):
+        broken = copy.deepcopy(doc)
+        broken["totals"]["jobs"] += 1
+        assert any("totals.jobs" in p for p in validate_bench(broken))
+
+
+class TestCompare:
+    def test_identical_documents_pass(self, doc):
+        report = compare_benches(doc, copy.deepcopy(doc))
+        assert report.ok
+        assert report.regressions == []
+
+    def test_doctored_baseline_fails_the_gate(self, doc):
+        # The acceptance check: deflate a baseline job's eval count so
+        # the current (unchanged) run looks inflated past the threshold.
+        baseline = copy.deepcopy(doc)
+        baseline["jobs"][0]["evaluations"] = max(
+            1, baseline["jobs"][0]["evaluations"] // 2
+        )
+        report = compare_benches(doc, baseline)
+        assert not report.ok
+        assert any("evaluations" in r for r in report.regressions)
+        assert "REGRESSION" in report.render()
+
+    def test_small_drift_within_threshold_passes(self, doc):
+        baseline = copy.deepcopy(doc)
+        entry = baseline["jobs"][0]
+        entry["evaluations"] = int(entry["evaluations"] / 1.10)
+        report = compare_benches(doc, baseline, eval_threshold=0.15)
+        assert report.ok
+
+    def test_total_eval_inflation_fails_even_per_job_ok(self, doc):
+        baseline = copy.deepcopy(doc)
+        baseline["totals"]["evaluations"] = int(
+            baseline["totals"]["evaluations"] / 1.5
+        )
+        report = compare_benches(doc, baseline)
+        assert any("total evaluations" in r for r in report.regressions)
+
+    def test_total_wall_time_inflation_fails(self, doc):
+        baseline = copy.deepcopy(doc)
+        baseline["totals"]["wall_time"] = doc["totals"]["wall_time"] / 2.0
+        report = compare_benches(doc, baseline, time_threshold=0.30)
+        assert any("wall time" in r for r in report.regressions)
+
+    def test_wall_time_gate_stands_down_across_worker_counts(self, doc):
+        baseline = copy.deepcopy(doc)
+        baseline["totals"]["wall_time"] = doc["totals"]["wall_time"] / 2.0
+        baseline["workers"] = 4
+        report = compare_benches(doc, baseline, time_threshold=0.30)
+        assert report.ok
+        assert any("worker counts differ" in n for n in report.notes)
+
+    def test_missing_job_is_a_regression(self, doc):
+        baseline = copy.deepcopy(doc)
+        baseline["jobs"].append(dict(doc["jobs"][0], job="t/ghost/warrow"))
+        report = compare_benches(doc, baseline)
+        assert any("missing" in r for r in report.regressions)
+
+    def test_new_failure_is_a_regression(self, doc):
+        current = copy.deepcopy(doc)
+        current["jobs"][1].update(
+            code=3, status="divergence", hash="", error="boom"
+        )
+        report = compare_benches(current, doc)
+        assert any("was ok" in r for r in report.regressions)
+
+    def test_nondeterministic_run_is_a_regression(self, doc):
+        current = copy.deepcopy(doc)
+        current["deterministic"] = False
+        current["nondeterministic"] = ["t/loop0/warrow"]
+        report = compare_benches(current, doc)
+        assert any("nondeterministic" in r for r in report.regressions)
+
+    def test_improvement_is_a_note_not_a_regression(self, doc):
+        baseline = copy.deepcopy(doc)
+        baseline["jobs"][0]["evaluations"] *= 3
+        baseline["totals"]["evaluations"] *= 3
+        report = compare_benches(doc, baseline)
+        assert report.ok
+        assert any("improved" in n for n in report.notes)
+
+    def test_hash_change_is_a_note(self, doc):
+        baseline = copy.deepcopy(doc)
+        baseline["jobs"][0]["hash"] = "0" * 64
+        report = compare_benches(doc, baseline)
+        assert report.ok
+        assert any("hash changed" in n for n in report.notes)
+
+    def test_new_job_is_a_note(self, doc):
+        current = copy.deepcopy(doc)
+        current["jobs"].append(dict(doc["jobs"][0], job="t/new/warrow"))
+        current["totals"]["jobs"] += 1
+        report = compare_benches(current, doc)
+        assert report.ok
+        assert any("new job" in n for n in report.notes)

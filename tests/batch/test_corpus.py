@@ -1,0 +1,84 @@
+"""Corpus enumeration: deterministic, stable ids, honest subsets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch import corpus_jobs, example_sources, family_names
+from repro.batch.corpus import FAMILIES
+
+
+class TestEnumeration:
+    def test_enumeration_is_deterministic(self):
+        assert corpus_jobs() == corpus_jobs()
+        assert corpus_jobs(quick=True) == corpus_jobs(quick=True)
+
+    def test_job_ids_are_unique(self):
+        ids = [job.id for job in corpus_jobs()]
+        assert len(ids) == len(set(ids))
+
+    def test_quick_is_a_subset_of_full(self):
+        full = {job.id for job in corpus_jobs()}
+        quick = {job.id for job in corpus_jobs(quick=True)}
+        assert quick < full
+
+    def test_every_family_is_represented(self):
+        families = {job.family for job in corpus_jobs(quick=True)}
+        assert families == set(FAMILIES)
+
+    def test_family_order_is_fixed(self):
+        jobs = corpus_jobs()
+        order = [job.family for job in jobs]
+        # Families appear as contiguous runs in declaration order.
+        seen = sorted(set(order), key=order.index)
+        assert seen == list(FAMILIES)
+
+    def test_family_filter(self):
+        jobs = corpus_jobs(["wcet"])
+        assert jobs
+        assert all(job.family == "wcet" for job in jobs)
+
+    def test_filter_order_is_irrelevant(self):
+        assert corpus_jobs(["table1", "wcet"]) == corpus_jobs(
+            ["wcet", "table1"]
+        )
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ValueError, match="unknown families"):
+            corpus_jobs(["wcet", "nope"])
+
+    def test_deadline_is_stamped_on_every_job(self):
+        jobs = corpus_jobs(["wcet"], quick=True, deadline=2.5)
+        assert all(job.deadline == 2.5 for job in jobs)
+
+    def test_family_names_helper(self):
+        assert family_names() == list(FAMILIES)
+
+
+class TestFamilies:
+    def test_examples_extracts_sources_without_executing(self):
+        sources = example_sources()
+        assert sources
+        assert all("int main" in src for src in sources.values())
+
+    def test_fig7_runs_plain_widening(self):
+        assert all(job.op == "widen" for job in corpus_jobs(["fig7"]))
+
+    def test_wcet_runs_the_combined_operator(self):
+        assert all(job.op == "warrow" for job in corpus_jobs(["wcet"]))
+
+    def test_table1_covers_all_four_configurations(self):
+        jobs = corpus_jobs(["table1"])
+        programs = {job.program for job in jobs}
+        for program in programs:
+            configs = {
+                (job.context, job.op)
+                for job in jobs
+                if job.program == program
+            }
+            assert configs == {
+                ("insensitive", "widen"),
+                ("insensitive", "warrow"),
+                ("sign", "widen"),
+                ("sign", "warrow"),
+            }

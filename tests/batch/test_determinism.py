@@ -1,0 +1,18 @@
+"""The acceptance property: worker count never changes corpus results."""
+
+from __future__ import annotations
+
+from repro.batch import corpus_jobs, run_jobs
+
+
+def test_quick_corpus_is_identical_across_worker_counts():
+    jobs = corpus_jobs(quick=True)
+    solo = run_jobs(jobs, workers=1)
+    quad = run_jobs(jobs, workers=4)
+    assert [r.deterministic() for r in solo] == [
+        r.deterministic() for r in quad
+    ]
+    # Spelled out for the two fields the bench gate depends on most:
+    assert [r.hash for r in solo] == [r.hash for r in quad]
+    assert [r.evaluations for r in solo] == [r.evaluations for r in quad]
+    assert all(r.code == 0 for r in solo)

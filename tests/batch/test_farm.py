@@ -1,0 +1,134 @@
+"""The process farm: ordering, determinism, and failure isolation."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.batch import JobSpec, run_jobs
+from repro.batch.farm import _worker
+
+LOOP = """
+int g = 0;
+int main() {
+    int i = 0;
+    while (i < %d) { i = i + 1; }
+    g = i;
+    return g;
+}
+"""
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def make_jobs(n: int) -> list:
+    return [
+        JobSpec(
+            id=f"t/loop{i}/warrow",
+            family="t",
+            program=f"loop{i}",
+            source=LOOP % (10 + i),
+        )
+        for i in range(n)
+    ]
+
+
+class TestOrderingAndDeterminism:
+    def test_results_come_back_in_submission_order(self):
+        jobs = make_jobs(5)
+        results = run_jobs(jobs, workers=2)
+        assert [r.job for r in results] == [j.id for j in jobs]
+        assert all(r.code == 0 for r in results)
+
+    def test_worker_count_does_not_change_deterministic_fields(self):
+        jobs = make_jobs(6)
+        solo = run_jobs(jobs, workers=1)
+        quad = run_jobs(jobs, workers=4)
+        assert [r.deterministic() for r in solo] == [
+            r.deterministic() for r in quad
+        ]
+
+    def test_on_result_sees_every_job_once(self):
+        jobs = make_jobs(4)
+        seen = []
+        run_jobs(jobs, workers=2, on_result=lambda r: seen.append(r.job))
+        assert sorted(seen) == sorted(j.id for j in jobs)
+
+    def test_single_job_runs_inline(self):
+        (result,) = run_jobs(make_jobs(1), workers=8)
+        assert result.code == 0
+
+
+class TestFailureIsolation:
+    def test_divergent_job_does_not_poison_siblings(self):
+        # The satellite regression test: a chaos-injected divergence in
+        # the middle of a batch yields per-job code 3 for that job and
+        # leaves its siblings at 0.
+        jobs = make_jobs(3)
+        jobs[1] = JobSpec(
+            id="t/diverge/warrow",
+            family="t",
+            program="diverge",
+            source=LOOP % 10,
+            chaos_rate=1.0,
+            chaos_kinds=("delay",),
+            chaos_max_faults=10**9,
+            deadline=0.02,
+        )
+        results = run_jobs(jobs, workers=2)
+        assert [r.code for r in results] == [0, 3, 0]
+        assert results[1].status == "divergence"
+
+    def test_faulting_job_does_not_poison_siblings(self):
+        jobs = make_jobs(3)
+        jobs[0] = JobSpec(
+            id="t/fault/warrow",
+            family="t",
+            program="fault",
+            source=LOOP % 10,
+            chaos_fail_at=1,
+        )
+        results = run_jobs(jobs, workers=2)
+        assert [r.code for r in results] == [4, 0, 0]
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs the fork start method")
+    def test_worker_death_is_recorded_as_crash(self, monkeypatch):
+        # Kill the worker process outright (bypassing Python teardown)
+        # on one specific job; the farm must record a crash result for
+        # it, respawn, and still finish the siblings.
+        import repro.batch.farm as farm_mod
+
+        real_execute = farm_mod.execute_job
+
+        def lethal_execute(job):
+            if job.program == "loop1":
+                os._exit(13)
+            return real_execute(job)
+
+        monkeypatch.setattr(farm_mod, "execute_job", lethal_execute)
+        jobs = make_jobs(3)
+        results = run_jobs(jobs, workers=2)
+        assert [r.code for r in results] == [0, 4, 0]
+        assert results[1].status == "crash"
+        assert "died" in results[1].error
+
+
+class TestWorkerLoop:
+    def test_worker_announces_claims_before_executing(self):
+        # Drive the worker function directly with plain queues: the
+        # "start" message must precede "done" for crash attribution.
+        import queue
+
+        tasks: "queue.Queue" = queue.Queue()
+        out: "queue.Queue" = queue.Queue()
+        (job,) = make_jobs(1)
+        tasks.put((0, job))
+        tasks.put(None)
+        _worker(7, tasks, out)
+        kind, idx, wid, payload = out.get_nowait()
+        assert (kind, idx, wid, payload) == ("start", 0, 7, None)
+        kind, idx, wid, payload = out.get_nowait()
+        assert (kind, idx, wid) == ("done", 0, 7)
+        assert payload["code"] == 0

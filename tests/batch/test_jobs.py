@@ -1,0 +1,152 @@
+"""Job execution: classification, fingerprints, failure isolation."""
+
+from __future__ import annotations
+
+from repro.batch import (
+    EXIT_DIVERGENCE,
+    EXIT_FAULT,
+    EXIT_INPUT,
+    EXIT_OK,
+    EXIT_UNKNOWN,
+    JobResult,
+    JobSpec,
+    execute_job,
+)
+
+LOOP = """
+int g = 0;
+int main() {
+    int i = 0;
+    while (i < 10) { i = i + 1; }
+    g = i;
+    return g;
+}
+"""
+
+VIOLATED = "int main() { int x = 1; assert(x == 2); return 0; }"
+
+
+def loop_job(**overrides) -> JobSpec:
+    fields = dict(id="t/loop/warrow", family="t", program="loop", source=LOOP)
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+class TestExecuteJob:
+    def test_ok_job_carries_stats_and_hash(self):
+        result = execute_job(loop_job())
+        assert result.status == "ok"
+        assert result.code == EXIT_OK
+        assert result.evaluations > 0
+        assert result.updates > 0
+        assert result.unknowns > 0
+        assert len(result.hash) == 64
+        assert result.wall_time > 0
+        assert result.error == ""
+
+    def test_fingerprint_is_stable_across_executions(self):
+        first = execute_job(loop_job())
+        second = execute_job(loop_job())
+        assert first.hash == second.hash
+        assert first.deterministic() == second.deterministic()
+
+    def test_direction_counters_are_populated(self):
+        result = execute_job(loop_job())
+        # A widening/narrowing loop must commit in both directions.
+        assert result.widen_updates > 0
+        assert result.narrow_updates > 0
+
+    def test_budget_divergence_maps_to_code_three(self):
+        result = execute_job(loop_job(max_evals=3))
+        assert result.status == "divergence"
+        assert result.code == EXIT_DIVERGENCE
+        assert result.hash == ""
+        assert "DivergenceError" in result.error
+
+    def test_deadline_divergence_maps_to_code_three(self):
+        result = execute_job(loop_job(deadline=1e-6))
+        assert result.status == "divergence"
+        assert result.code == EXIT_DIVERGENCE
+        assert "Deadline" in result.error
+
+    def test_invalid_deadline_maps_to_code_two(self):
+        result = execute_job(loop_job(deadline=0.0))
+        assert result.status == "input-error"
+        assert result.code == EXIT_INPUT
+
+    def test_parse_error_maps_to_code_two(self):
+        result = execute_job(loop_job(source="int main( {"))
+        assert result.status == "input-error"
+        assert result.code == EXIT_INPUT
+
+    def test_unknown_solver_maps_to_code_two(self):
+        result = execute_job(loop_job(solver="no-such-solver"))
+        assert result.code == EXIT_INPUT
+
+    def test_unknown_operator_maps_to_code_two(self):
+        result = execute_job(loop_job(op="wobble"))
+        assert result.code == EXIT_INPUT
+
+    def test_chaos_raise_maps_to_code_four(self):
+        result = execute_job(loop_job(chaos_fail_at=1))
+        assert result.status == "fault"
+        assert result.code == EXIT_FAULT
+        assert result.error
+
+    def test_chaos_delay_storm_diverges_not_faults(self):
+        # The satellite recipe: a chaos delay on every evaluation plus a
+        # watchdog deadline makes the run exceed its wall budget -- the
+        # job reports divergence (3), never an unhandled fault.
+        result = execute_job(
+            loop_job(
+                chaos_rate=1.0,
+                chaos_kinds=("delay",),
+                chaos_max_faults=10**9,
+                deadline=0.02,
+            )
+        )
+        assert result.status == "divergence"
+        assert result.code == EXIT_DIVERGENCE
+        assert "Deadline" in result.error
+
+    def test_never_raises_on_arbitrary_garbage(self):
+        result = execute_job(loop_job(domain="no-such-domain"))
+        assert result.code == EXIT_INPUT
+
+
+class TestVerifyJobs:
+    def test_proved_assertions_stay_ok(self):
+        src = LOOP.replace("return g;", "assert(g <= 10); return g;")
+        result = execute_job(loop_job(source=src, verify=True))
+        assert result.status == "ok"
+        assert result.code == EXIT_OK
+        assert result.proved == 1
+        assert result.unproved == 0
+
+    def test_violated_assertion_maps_to_code_two(self):
+        result = execute_job(loop_job(source=VIOLATED, verify=True))
+        assert result.status == "violated"
+        assert result.code == EXIT_INPUT
+        assert result.unproved == 1
+
+    def test_unknown_assertion_maps_to_code_one(self):
+        # Plain widening overshoots to +oo without narrowing back under
+        # the two-phase solver; here an interval the analysis cannot
+        # bound: an unconstrained parameter.
+        src = "int main(int a) { assert(a <= 5); return 0; }"
+        result = execute_job(loop_job(source=src, verify=True))
+        assert result.status == "unknown"
+        assert result.code == EXIT_UNKNOWN
+
+
+class TestRoundTrip:
+    def test_result_json_round_trip(self):
+        result = execute_job(loop_job())
+        assert JobResult.from_json(result.to_json()) == result
+
+    def test_with_deadline_copies(self):
+        job = loop_job()
+        stamped = job.with_deadline(1.5)
+        assert stamped.deadline == 1.5
+        assert job.deadline is None
+        assert stamped.id == job.id

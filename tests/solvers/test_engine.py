@@ -203,3 +203,30 @@ class TestMemoization:
         # Skipped evaluations still feed the operator the same value
         # sequence, so the update history is identical.
         assert memo.stats.updates == plain.stats.updates
+
+
+class TestDirectionCounters:
+    """Widen/narrow commit counters maintained by the engine itself."""
+
+    def test_every_changed_commit_is_classified(self):
+        system = interval_system()
+        result = solve_sw(system, WarrowCombine(system.lattice))
+        stats = result.stats
+        assert stats.widen_updates + stats.narrow_updates == stats.updates
+        assert stats.widen_updates > 0
+
+    def test_warrow_run_switches_direction(self):
+        # The combined operator grows values past the fixpoint, then
+        # shrinks them back: at least one unknown reverses direction.
+        system = interval_system()
+        result = solve_sw(system, WarrowCombine(system.lattice))
+        assert result.stats.narrow_updates > 0
+        assert result.stats.direction_switches > 0
+
+    def test_example1_classification_is_exhaustive(self):
+        # Example 1 at x1 ascends to oo; every changed commit is counted
+        # in exactly one direction, and the ascent dominates.
+        result = solve_slr(example1_system(), WarrowCombine(nat), "x1")
+        stats = result.stats
+        assert stats.widen_updates + stats.narrow_updates == stats.updates
+        assert stats.widen_updates > stats.narrow_updates

@@ -349,3 +349,108 @@ class TestErrorHandling:
         path.write_text("int main() { assert(0); return 0; }")
         assert main(["run", str(path)]) == 2
         assert "assertion failed" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_list_prints_stable_job_ids(self, capsys):
+        assert main(["bench", "--list", "--quick"]) == 0
+        out = capsys.readouterr().out
+        first = out.splitlines()
+        assert first == sorted(set(first), key=first.index)
+        assert any(line.startswith("examples/") for line in first)
+        assert any(line.startswith("table1/") for line in first)
+
+    def test_unknown_family_exits_two(self, capsys):
+        assert main(["bench", "--families", "nope", "--list"]) == 2
+        assert "unknown families" in capsys.readouterr().err
+
+    def test_quick_family_run_writes_document(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--families",
+                "examples",
+                "--workers",
+                "1",
+                "--repeats",
+                "1",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_compare_gates_on_doctored_baseline(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        args = [
+            "bench",
+            "--quick",
+            "--families",
+            "examples",
+            "--workers",
+            "1",
+            "--repeats",
+            "1",
+            "--out",
+            str(tmp_path / "run.json"),
+        ]
+        assert main(args + ["--update-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+        # Identical baseline: the gate passes.
+        assert main(args + ["--compare", str(baseline)]) == 0
+        assert "bench gate: ok" in capsys.readouterr().out
+
+        # Doctored baseline (deflated eval counts): the gate fails.
+        doc = json.loads(baseline.read_text())
+        for entry in doc["jobs"]:
+            entry["evaluations"] = max(1, entry["evaluations"] // 2)
+        doc["totals"]["evaluations"] = sum(
+            entry["evaluations"] for entry in doc["jobs"]
+        )
+        baseline.write_text(json.dumps(doc))
+        assert main(args + ["--compare", str(baseline)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_compare_with_missing_baseline_exits_two(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--families",
+                "examples",
+                "--workers",
+                "1",
+                "--repeats",
+                "1",
+                "--out",
+                str(tmp_path / "run.json"),
+                "--compare",
+                str(tmp_path / "no-such-baseline.json"),
+            ]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_committed_baseline_is_schema_valid(self):
+        from pathlib import Path
+
+        from repro.batch import load_bench
+
+        root = Path(__file__).resolve().parents[1]
+        doc = load_bench(root / "benchmarks" / "baseline.json")
+        assert doc["quick"] is True
+        assert doc["totals"]["failed"] == 0
