@@ -40,7 +40,9 @@ from repro.batch.jobs import (
     JobResult,
     JobSpec,
     execute_job,
+    options_fingerprint,
     solution_fingerprint,
+    spec_fingerprint,
 )
 
 __all__ = [
@@ -62,9 +64,11 @@ __all__ = [
     "family_names",
     "git_revision",
     "load_bench",
+    "options_fingerprint",
     "run_bench",
     "run_jobs",
     "solution_fingerprint",
+    "spec_fingerprint",
     "validate_bench",
     "write_bench",
 ]

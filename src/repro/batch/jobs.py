@@ -125,6 +125,60 @@ class JobSpec:
         return replace(self, deadline=deadline)
 
 
+#: JobSpec fields that determine the *result content* of a job.  The
+#: service cache keys on exactly these: labels (``id``/``family``/
+#: ``program``) name a job but do not change its answer, the ``deadline``
+#: only schedules it, and chaos options disqualify a job from caching
+#: altogether (see :func:`spec_fingerprint`).
+CACHE_KEY_FIELDS = (
+    "source",
+    "domain",
+    "context",
+    "solver",
+    "op",
+    "widen_delay",
+    "thresholds",
+    "max_evals",
+    "verify",
+)
+
+
+def _config_blob(job: JobSpec, fields: Tuple[str, ...]) -> bytes:
+    payload = {name: getattr(job, name) for name in fields}
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+
+
+def spec_fingerprint(job: JobSpec) -> str:
+    """SHA-256 content address of a job's *semantic* configuration.
+
+    Covers the program text **and** every option that can change the
+    result (:data:`CACHE_KEY_FIELDS`) -- two jobs differing only in
+    solver, domain, context, operator, delay, thresholds, budget or
+    verification mode hash differently, so a result cache keyed on this
+    digest can never serve one configuration's answer for another.
+
+    :raises ValueError: for chaos-injecting jobs, whose outcomes are
+        deliberately non-reproducible analysis results; they must never
+        be content-addressed.
+    """
+    if job.chaos_rate or job.chaos_fail_at:
+        raise ValueError("chaos-injecting jobs cannot be content-addressed")
+    return hashlib.sha256(_config_blob(job, CACHE_KEY_FIELDS)).hexdigest()
+
+
+def options_fingerprint(job: JobSpec) -> str:
+    """SHA-256 over the configuration *without* the program text.
+
+    Two jobs share this digest exactly when they run the same analysis
+    configuration on (possibly) different programs -- the candidate
+    criterion for warm-starting one from the other's solver snapshot.
+    """
+    fields = tuple(f for f in CACHE_KEY_FIELDS if f != "source")
+    return hashlib.sha256(_config_blob(job, fields)).hexdigest()
+
+
 #: JobResult fields that vary run-to-run (excluded from determinism
 #: comparisons and from the byte-stability guarantee).
 NONDETERMINISTIC_FIELDS = ("wall_time", "peak_rss_kb")
@@ -142,6 +196,15 @@ class JobResult:
     status: str
     #: Exit code under the CLI taxonomy (0/1/2/3/4).
     code: int
+    #: Echo of the analysis configuration that produced this result.
+    #: Results are routinely stored detached from their spec (bench
+    #: documents, the service's content-addressed cache), and a result
+    #: that does not say *which* solver/domain/context/operator produced
+    #: it invites exactly the collision the cache key exists to prevent.
+    solver: str = ""
+    domain: str = ""
+    context: str = ""
+    op: str = ""
     #: SHA-256 fingerprint of the post solution (empty on failure).
     hash: str = ""
     #: Right-hand-side evaluations performed.
@@ -242,6 +305,10 @@ def _failure(job: JobSpec, status: str, err, started: float) -> JobResult:
         program=job.program,
         status=status,
         code=STATUS_CODES[status],
+        solver=job.solver,
+        domain=job.domain,
+        context=job.context,
+        op=job.op,
         evaluations=stats.evaluations if stats is not None else 0,
         updates=stats.updates if stats is not None else 0,
         wall_time=time.perf_counter() - started,
@@ -341,6 +408,10 @@ def execute_job(job: JobSpec) -> JobResult:
         program=job.program,
         status=status,
         code=code,
+        solver=job.solver,
+        domain=job.domain,
+        context=job.context,
+        op=job.op,
         hash=solution_fingerprint(result.sigma, analysis.lattice),
         evaluations=stats.evaluations,
         updates=stats.updates,

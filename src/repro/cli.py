@@ -9,10 +9,14 @@ Usage (also via ``python -m repro``)::
     repro solve program.mc [options]        supervised analysis run
     repro incr old.mc new.mc [options]      warm re-analysis after an edit
     repro dump-cfg program.mc               print the control-flow graphs
-    repro solvers                           list the registered solvers
+    repro solvers [--json]                  list the registered solvers
     repro fig7 [BENCH ...]                  regenerate Figure 7
     repro table1 [PROGRAM ...]              regenerate Table 1
     repro bench [options]                   batch-solve the corpus, gate CI
+    repro serve [options]                   run the analysis daemon
+    repro submit program.mc [options]       analyse via a running daemon
+    repro status [options]                  daemon counters and cache stats
+    repro shutdown [options]                drain and stop a daemon
 
 Exit codes distinguish failure classes (see ``repro --help``): ``0``
 success, ``1`` incomplete verification, ``2`` input errors (including
@@ -206,6 +210,16 @@ def cmd_solve(args) -> int:
         verify=not args.no_verify,
     )
     print(report.render())
+    if args.stats and report.result is not None:
+        stats = report.result.stats
+        print("\nsolver statistics:")
+        print(f"  evaluations:        {stats.evaluations}")
+        print(f"  updates:            {stats.updates}")
+        print(f"  widen updates:      {stats.widen_updates}")
+        print(f"  narrow updates:     {stats.narrow_updates}")
+        print(f"  direction switches: {stats.direction_switches}")
+        print(f"  unknowns:           {stats.unknowns}")
+        print(f"  max queue:          {stats.max_queue}")
     if report.ok:
         return 0
     last = report.attempts[-1].outcome if report.attempts else "trip"
@@ -217,6 +231,13 @@ def cmd_solve(args) -> int:
 def cmd_solvers(args) -> int:
     from repro.solvers.registry import all_specs
 
+    if getattr(args, "json", False):
+        import json
+
+        from repro.solvers.registry import capability_listing
+
+        print(json.dumps(capability_listing(), indent=2, sort_keys=True))
+        return 0
     for spec in all_specs():
         caps = [spec.scope]
         if spec.side_effecting:
@@ -443,6 +464,192 @@ def cmd_bench(args) -> int:
 
 
 # --------------------------------------------------------------------- #
+# Service subcommands.                                                  #
+# --------------------------------------------------------------------- #
+
+def _service_client(args):
+    """A connected-on-demand client, or ``None`` (after an error print)."""
+    from repro.service import ServiceClient
+
+    if args.socket is None and args.port is None:
+        print(
+            "error: need --socket PATH or --port PORT to reach the daemon",
+            file=sys.stderr,
+        )
+        return None
+    return ServiceClient(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        timeout=args.timeout,
+    )
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.service import AnalysisDaemon, ServiceConfig
+
+    if args.socket is None and args.port is None:
+        print(
+            "error: serve needs --socket PATH or --port PORT (0: ephemeral)",
+            file=sys.stderr,
+        )
+        return 2
+    config = ServiceConfig(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port or 0,
+        workers=args.workers,
+        cache_entries=args.cache_entries,
+        cache_ttl=args.cache_ttl,
+        cache_path=args.cache_file,
+        default_deadline=args.deadline,
+        warm_ratio=args.warm_ratio,
+        log_path=args.log_file,
+    )
+    daemon = AnalysisDaemon(config)
+
+    async def _serve() -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, daemon.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-UNIX loops; Ctrl-C still raises KeyboardInterrupt
+        await daemon.start()
+        address = daemon.address
+        if address[0] == "unix":
+            print(f"listening on unix socket {address[1]}", flush=True)
+        else:
+            print(f"listening on {address[1]}:{address[2]}", flush=True)
+        if daemon.cache_loaded:
+            print(
+                f"cache index restored: {daemon.cache_loaded} entries",
+                flush=True,
+            )
+        await daemon.serve_until_shutdown()
+
+    asyncio.run(_serve())
+    print("daemon stopped")
+    return 0
+
+
+def cmd_submit(args) -> int:
+    import json
+    import os
+
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    if client is None:
+        return 2
+    source = _read_source(args.file)
+    request = {
+        "solver": args.solver,
+        "domain": args.domain,
+        "context": args.context,
+        "update_op": args.op,
+        "widen_delay": args.widen_delay,
+        "thresholds": args.thresholds,
+        "max_evals": args.max_evals,
+        "verify": args.verify,
+        "label": args.label or os.path.basename(args.file),
+    }
+    if args.deadline is not None:
+        request["deadline"] = args.deadline
+    if args.fresh:
+        request["fresh"] = True
+    try:
+        with client:
+            reply = client.solve(source, **request)
+    except ServiceError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    result = reply["result"]
+    if args.json:
+        print(json.dumps(reply, indent=2, sort_keys=True))
+    else:
+        print(
+            f"request {reply['request']}: cache {reply['cache']}, "
+            f"status {result['status']} (code {result['code']})"
+        )
+        print(
+            f"  solver {result['solver']}, domain {result['domain']}, "
+            f"{reply['served_evaluations']} evaluations served, "
+            f"{reply['wall_ms']:.1f} ms"
+        )
+        if reply.get("warm_donor"):
+            print(
+                f"  warm-started from {reply['warm_donor'][:12]} "
+                f"({reply['dirty_nodes']} dirty nodes)"
+            )
+        if result.get("error"):
+            print(f"  error: {result['error']}")
+    return int(result["code"])
+
+
+def cmd_service_status(args) -> int:
+    import json
+
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    if client is None:
+        return 2
+    try:
+        with client:
+            reply = client.status()
+    except ServiceError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(reply, indent=2, sort_keys=True))
+        return 0
+    requests = reply["requests"]
+    cache = reply["cache"]
+    print(
+        f"daemon pid {reply['pid']}, up {reply['uptime_s']:.1f}s, "
+        f"{reply['workers']} workers, {reply['in_flight']} in flight"
+        f"{', draining' if reply['draining'] else ''}"
+    )
+    print(
+        f"requests: {requests['total']} total -- {requests['hit']} hit, "
+        f"{requests['warm']} warm, {requests['miss']} miss, "
+        f"{requests['bypass']} bypass, {requests['coalesced']} coalesced, "
+        f"{requests['errors']} errors"
+    )
+    print(
+        f"cache: {cache['entries']}/{cache['max_entries']} entries, "
+        f"{cache['hits']} hits, {cache['misses']} misses, "
+        f"{cache['evictions']} evictions, {cache['expirations']} expired"
+    )
+    if reply.get("cache_loaded"):
+        print(f"cache index restored at start: {reply['cache_loaded']} entries")
+    return 0
+
+
+def cmd_service_shutdown(args) -> int:
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    if client is None:
+        return 2
+    try:
+        with client:
+            reply = client.shutdown()
+    except ServiceError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    print(
+        f"daemon drained; {reply['persisted_entries']} cache entries "
+        "persisted"
+    )
+    return 0
+
+
+# --------------------------------------------------------------------- #
 # Argument parsing.                                                     #
 # --------------------------------------------------------------------- #
 
@@ -594,6 +801,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="schedule a raise fault on exactly the K-th evaluation",
     )
+    p_solve.add_argument(
+        "--stats",
+        action="store_true",
+        help="print solver statistics (evaluations, widen/narrow updates, "
+        "direction switches)",
+    )
     p_solve.set_defaults(func=cmd_solve)
 
     p_incr = sub.add_parser(
@@ -643,6 +856,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_solvers = sub.add_parser(
         "solvers", help="list the registered solvers and their capabilities"
+    )
+    p_solvers.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable capability listing instead of the table",
     )
     p_solvers.set_defaults(func=cmd_solvers)
 
@@ -727,6 +945,183 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the selected job ids and exit",
     )
     p_bench.set_defaults(func=cmd_bench)
+
+    def _add_connection(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--socket",
+            default=None,
+            metavar="PATH",
+            help="daemon UNIX socket path (wins over --host/--port)",
+        )
+        p.add_argument(
+            "--host", default="127.0.0.1", help="daemon TCP host"
+        )
+        p.add_argument(
+            "--port", type=int, default=None, help="daemon TCP port"
+        )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the persistent analysis daemon (content-addressed "
+        "result cache, warm-start scheduling, graceful drain)",
+    )
+    _add_connection(p_serve)
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="maximum concurrently executing solve requests",
+    )
+    p_serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=256,
+        help="LRU bound of the result cache",
+    )
+    p_serve.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="result time-to-live (default: no expiry)",
+    )
+    p_serve.add_argument(
+        "--cache-file",
+        default=None,
+        metavar="PATH",
+        help="persist the cache index here on drain; restore it on start",
+    )
+    p_serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request deadline (requests may override)",
+    )
+    p_serve.add_argument(
+        "--warm-ratio",
+        type=float,
+        default=0.5,
+        metavar="FRACTION",
+        help="warm-start only when at most this fraction of nodes changed",
+    )
+    p_serve.add_argument(
+        "--log-file",
+        default=None,
+        metavar="PATH",
+        help="append one JSON record per request to this file",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a program to a running analysis daemon"
+    )
+    p_submit.add_argument("file", help="mini-C source file")
+    _add_connection(p_submit)
+    p_submit.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="client I/O timeout in seconds",
+    )
+    p_submit.add_argument(
+        "--solver",
+        default="slr+",
+        help="registry name of the side-effecting local solver",
+    )
+    p_submit.add_argument(
+        "--domain",
+        choices=["interval", "interval-congruence", "sign", "congruence"],
+        default="interval",
+        help="numeric value domain",
+    )
+    p_submit.add_argument(
+        "--context",
+        choices=["insensitive", "sign", "full"],
+        default="insensitive",
+        help="context policy for the interprocedural analysis",
+    )
+    p_submit.add_argument(
+        "--op",
+        choices=["warrow", "widen"],
+        default="warrow",
+        help="update operator: combined warrow (paper) or pure widening",
+    )
+    p_submit.add_argument(
+        "--widen-delay",
+        type=int,
+        default=1,
+        help="delayed-widening threshold of the update operator",
+    )
+    p_submit.add_argument(
+        "--thresholds",
+        action="store_true",
+        help="collect widening thresholds from the program's constants",
+    )
+    p_submit.add_argument(
+        "--max-evals",
+        type=int,
+        default=5_000_000,
+        help="evaluation budget (divergence guard)",
+    )
+    p_submit.add_argument(
+        "--verify",
+        action="store_true",
+        help="also check assert() statements",
+    )
+    p_submit.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request wall-clock deadline",
+    )
+    p_submit.add_argument(
+        "--fresh",
+        action="store_true",
+        help="bypass the result cache and force a fresh solve",
+    )
+    p_submit.add_argument(
+        "--label",
+        default=None,
+        help="request label for logs (default: the file name)",
+    )
+    p_submit.add_argument(
+        "--json",
+        action="store_true",
+        help="print the daemon's full JSON reply",
+    )
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_status = sub.add_parser(
+        "status", help="query a running daemon's counters and cache stats"
+    )
+    _add_connection(p_status)
+    p_status.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="client I/O timeout in seconds",
+    )
+    p_status.add_argument(
+        "--json",
+        action="store_true",
+        help="print the daemon's full JSON reply",
+    )
+    p_status.set_defaults(func=cmd_service_status)
+
+    p_shutdown = sub.add_parser(
+        "shutdown",
+        help="gracefully drain and stop a running daemon",
+    )
+    _add_connection(p_shutdown)
+    p_shutdown.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="client I/O timeout in seconds (drain can take a while)",
+    )
+    p_shutdown.set_defaults(func=cmd_service_shutdown)
 
     return parser
 

@@ -1,0 +1,55 @@
+"""Persistent analysis service: daemon, result cache, warm scheduling.
+
+This package turns the one-shot solver pipeline into a long-running
+local service.  A daemon (:mod:`.daemon`) listens on a UNIX or TCP
+socket speaking newline-delimited JSON (:mod:`.protocol`); requests are
+normalized into the batch layer's job shape and answered from a
+content-addressed result cache (:mod:`.cache`) when possible, resumed
+warm from a near miss's stored solver snapshot (:mod:`.executor`) when
+profitable, and solved cold under full supervision otherwise.  The
+synchronous :class:`.client.ServiceClient` and the ``repro serve`` /
+``submit`` / ``status`` CLI subcommands are the front doors.
+
+See ``docs/service.md`` for the protocol and operational story.
+"""
+
+from repro.service.cache import CacheEntry, ResultCache
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import AnalysisDaemon, ServiceConfig
+from repro.service.executor import (
+    DEFAULT_WARM_RATIO,
+    ServiceExecution,
+    execute_service_job,
+    should_warm,
+)
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    OPERATIONS,
+    PROTOCOL,
+    ProtocolError,
+    decode,
+    encode,
+    solve_request_to_jobspec,
+)
+from repro.service.reqlog import RequestLog
+
+__all__ = [
+    "AnalysisDaemon",
+    "CacheEntry",
+    "DEFAULT_WARM_RATIO",
+    "MAX_LINE_BYTES",
+    "OPERATIONS",
+    "PROTOCOL",
+    "ProtocolError",
+    "RequestLog",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceExecution",
+    "decode",
+    "encode",
+    "execute_service_job",
+    "should_warm",
+    "solve_request_to_jobspec",
+]

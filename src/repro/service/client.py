@@ -1,0 +1,154 @@
+"""Synchronous client for the analysis daemon.
+
+:class:`ServiceClient` speaks the NDJSON protocol over a UNIX or TCP
+socket with plain blocking sockets -- no asyncio required on the client
+side, so the CLI, tests and third-party scripts stay trivial::
+
+    with ServiceClient(socket_path="/tmp/repro.sock") as client:
+        reply = client.solve("int main() { return 0; }")
+        assert reply["cache"] in ("hit", "warm", "miss")
+
+One request maps to one response line; the connection is reusable for
+any number of requests.  Transport and daemon-side failures surface as
+:class:`ServiceError` with the daemon's message when one was sent.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional
+
+from repro.service.protocol import MAX_LINE_BYTES, decode, encode
+
+
+class ServiceError(RuntimeError):
+    """A transport failure or an ``ok: false`` reply from the daemon."""
+
+    def __init__(self, message: str, response: Optional[dict] = None) -> None:
+        super().__init__(message)
+        #: The daemon's full error reply, when one was received.
+        self.response = response
+
+
+class ServiceClient:
+    """A blocking connection to one analysis daemon.
+
+    :param socket_path: UNIX socket path (wins over host/port).
+    :param host: TCP host (with ``port``) when no socket path is given.
+    :param port: TCP port.
+    :param timeout: per-request socket timeout in seconds (``None``:
+        block indefinitely -- solves can legitimately take a while).
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        timeout: Optional[float] = 60.0,
+    ) -> None:
+        if socket_path is None and port is None:
+            raise ValueError("need a socket path or a TCP port")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._buffer = b""
+
+    # ----------------------------------------------------------------- #
+    # Connection plumbing.                                              #
+    # ----------------------------------------------------------------- #
+
+    def connect(self) -> "ServiceClient":
+        if self._sock is not None:
+            return self
+        try:
+            if self.socket_path is not None:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                sock.connect(self.socket_path)
+            else:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+        except OSError as err:
+            raise ServiceError(f"cannot reach the daemon: {err}") from err
+        self._sock = sock
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+                self._buffer = b""
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _read_line(self) -> bytes:
+        while b"\n" not in self._buffer:
+            if len(self._buffer) > MAX_LINE_BYTES:
+                raise ServiceError("response line too long")
+            try:
+                chunk = self._sock.recv(65536)
+            except socket.timeout as err:
+                raise ServiceError(
+                    f"timed out after {self.timeout}s waiting for the daemon"
+                ) from err
+            except OSError as err:
+                raise ServiceError(f"connection failed: {err}") from err
+            if not chunk:
+                raise ServiceError("daemon closed the connection")
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return line
+
+    def request(self, message: dict) -> dict:
+        """Send one request and return its (``ok: true``) reply.
+
+        :raises ServiceError: on transport problems or error replies.
+        """
+        self.connect()
+        try:
+            self._sock.sendall(encode(message))
+        except OSError as err:
+            raise ServiceError(f"connection failed: {err}") from err
+        reply = decode(self._read_line())
+        if not reply.get("ok"):
+            raise ServiceError(
+                reply.get("error", "daemon reported an error"), reply
+            )
+        return reply
+
+    # ----------------------------------------------------------------- #
+    # Operations.                                                       #
+    # ----------------------------------------------------------------- #
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def solve(self, source: str, **options) -> dict:
+        """Submit a program; options mirror the protocol's solve fields
+        (``solver``, ``domain``, ``context``, ``update_op``,
+        ``widen_delay``, ``thresholds``, ``max_evals``, ``verify``,
+        ``deadline``, ``fresh``, ``label``, ``id``)."""
+        return self.request({"op": "solve", "source": source, **options})
+
+    def status(self) -> dict:
+        return self.request({"op": "status"})
+
+    def solvers(self) -> list:
+        """The daemon's solver capability listing."""
+        return self.request({"op": "solvers"})["solvers"]
+
+    def shutdown(self) -> dict:
+        """Ask for a graceful drain; the daemon exits after replying."""
+        reply = self.request({"op": "shutdown"})
+        self.close()
+        return reply

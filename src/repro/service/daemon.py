@@ -1,0 +1,460 @@
+"""The long-running analysis daemon: asyncio server over TCP or UNIX.
+
+:class:`AnalysisDaemon` is the composition layer the ROADMAP's
+"serve heavy traffic" line has been building toward: requests arrive
+over a local socket in the NDJSON protocol (:mod:`.protocol`), are
+normalized into batch :class:`~repro.batch.jobs.JobSpec` values, and
+are answered in cache-outcome order of preference:
+
+1. **hit** -- the content-addressed cache (:mod:`.cache`) already holds
+   a verified result for this exact (program, options) fingerprint:
+   answer immediately, zero solver work;
+2. **warm** -- a donor entry with the same options and a *small* CFG
+   diff exists: resume SLR+ from its stored snapshot
+   (:mod:`.executor`), re-verify, answer;
+3. **miss** -- solve cold under full supervision (deadline watchdog,
+   escalation ladder, independent verification), then cache the result
+   together with its resume snapshot.
+
+Identical requests arriving concurrently are **coalesced**: the second
+awaits the first's execution instead of repeating it.  Execution runs
+on a bounded worker pool off the event loop, so slow solves never block
+protocol handling.  ``shutdown`` drains in-flight work, persists the
+cache index for a warm restart, and only then stops the loop; every
+request is recorded in the structured JSON request log (:mod:`.reqlog`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.batch.jobs import JobSpec, options_fingerprint, spec_fingerprint
+from repro.service.cache import CacheEntry, ResultCache
+from repro.service.executor import (
+    DEFAULT_WARM_RATIO,
+    ServiceExecution,
+    execute_service_job,
+)
+from repro.service.protocol import (
+    PROTOCOL,
+    ProtocolError,
+    decode,
+    encode,
+    error_response,
+    program_sha,
+    request_operation,
+    solve_request_to_jobspec,
+)
+from repro.service.reqlog import RequestLog
+from repro.solvers.registry import capability_listing
+
+#: Result statuses worth caching: complete, independently verified
+#: analyses.  Failures (input errors, divergence, faults) are never
+#: cached -- a retry must re-attempt them.
+_CACHEABLE = ("ok", "unknown", "violated")
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one daemon instance."""
+
+    #: UNIX socket path; when set, wins over TCP.
+    socket_path: Optional[str] = None
+    #: TCP bind address (``port=0``: ephemeral, read it back off
+    #: :attr:`AnalysisDaemon.address`).
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Executor threads = maximum concurrently solving requests.
+    workers: int = 2
+    #: Cache bound, TTL (seconds; ``None`` = no expiry) and persistence
+    #: path (loaded at start when present, written on drain).
+    cache_entries: int = 256
+    cache_ttl: Optional[float] = None
+    cache_path: Optional[str] = None
+    #: Default per-request deadline (seconds), overridable per request.
+    default_deadline: Optional[float] = None
+    #: Warm-start threshold (see :func:`.executor.should_warm`).
+    warm_ratio: float = DEFAULT_WARM_RATIO
+    #: Request-log file (NDJSON); ``None`` disables logging.
+    log_path: Optional[str] = None
+
+
+class AnalysisDaemon:
+    """One persistent analysis service instance."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        *,
+        cache: Optional[ResultCache] = None,
+        log: Optional[RequestLog] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.cache = cache or ResultCache(
+            max_entries=self.config.cache_entries,
+            ttl=self.config.cache_ttl,
+        )
+        self.log = log or RequestLog(path=self.config.log_path)
+        self.started_at = time.time()
+        #: Request counters by outcome, served via ``status``.
+        self.counters: Dict[str, int] = {
+            "total": 0,
+            "solve": 0,
+            "hit": 0,
+            "warm": 0,
+            "miss": 0,
+            "bypass": 0,
+            "coalesced": 0,
+            "errors": 0,
+            "rejected": 0,
+        }
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, self.config.workers),
+            thread_name_prefix="repro-service",
+        )
+        self._seq = 0
+        self._draining = False
+        self._done = asyncio.Event()
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        #: spec fingerprint -> in-flight execution (single-flight).
+        self._singleflight: Dict[str, asyncio.Future] = {}
+        self.cache_loaded = 0
+
+    # ----------------------------------------------------------------- #
+    # Lifecycle.                                                        #
+    # ----------------------------------------------------------------- #
+
+    @property
+    def address(self) -> Tuple:
+        """``("unix", path)`` or ``("tcp", host, port)`` once started."""
+        if self.config.socket_path is not None:
+            return ("unix", self.config.socket_path)
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return ("tcp", host, port)
+
+    async def start(self) -> None:
+        """Bind the socket and restore the persisted cache index."""
+        cfg = self.config
+        if cfg.cache_path and os.path.exists(cfg.cache_path):
+            self.cache_loaded = self.cache.load(cfg.cache_path)
+        if cfg.socket_path is not None:
+            if os.path.exists(cfg.socket_path):
+                os.unlink(cfg.socket_path)
+            self._server = await asyncio.start_unix_server(
+                self._handle_client, path=cfg.socket_path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_client, host=cfg.host, port=cfg.port
+            )
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a ``shutdown`` request (or :meth:`request_shutdown`)."""
+        await self._done.wait()
+        await self._close()
+
+    async def run(self) -> None:
+        """Start and serve; the CLI's whole daemon lifetime."""
+        await self.start()
+        await self.serve_until_shutdown()
+
+    def request_shutdown(self) -> None:
+        """Trigger a graceful drain from outside the protocol (signals)."""
+        self._draining = True
+        self._done.set()
+
+    async def _close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._drain()
+        self._persist()
+        self._pool.shutdown(wait=True)
+        if (
+            self.config.socket_path is not None
+            and os.path.exists(self.config.socket_path)
+        ):
+            os.unlink(self.config.socket_path)
+        self.log.close()
+
+    async def _drain(self) -> None:
+        """Wait until no request is executing."""
+        while self._inflight:
+            self._idle.clear()
+            await self._idle.wait()
+
+    def _persist(self) -> int:
+        if not self.config.cache_path:
+            return 0
+        return self.cache.save(self.config.cache_path)
+
+    # ----------------------------------------------------------------- #
+    # Connection handling.                                              #
+    # ----------------------------------------------------------------- #
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername") or "unix"
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(
+                        encode(error_response(None, "request line too long"))
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response, close = await self._dispatch(line, peer)
+                writer.write(encode(response))
+                await writer.drain()
+                if close:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):
+                # Peer went away, or the loop is tearing down around us
+                # after a drain -- either way the connection is gone.
+                pass
+
+    async def _dispatch(self, line: bytes, peer) -> Tuple[dict, bool]:
+        """Route one request line; returns (response, close-connection)."""
+        self._seq += 1
+        rid = f"r{self._seq:06d}"
+        self.counters["total"] += 1
+        try:
+            message = decode(line)
+            op = request_operation(message)
+        except ProtocolError as err:
+            self.counters["errors"] += 1
+            self.log.log(request=rid, op="?", outcome="error", error=str(err))
+            return error_response(None, str(err), request=rid), False
+
+        if op == "ping":
+            return {
+                "ok": True,
+                "op": "ping",
+                "protocol": PROTOCOL,
+                "request": rid,
+            }, False
+        if op == "solvers":
+            return {
+                "ok": True,
+                "op": "solvers",
+                "request": rid,
+                "solvers": capability_listing(),
+            }, False
+        if op == "status":
+            return self._status(rid), False
+        if op == "shutdown":
+            return await self._shutdown(rid), True
+        return await self._solve(message, rid, peer), False
+
+    # ----------------------------------------------------------------- #
+    # Operations.                                                       #
+    # ----------------------------------------------------------------- #
+
+    def _status(self, rid: str) -> dict:
+        return {
+            "ok": True,
+            "op": "status",
+            "request": rid,
+            "protocol": PROTOCOL,
+            "pid": os.getpid(),
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "workers": self.config.workers,
+            "draining": self._draining,
+            "in_flight": self._inflight,
+            "requests": dict(self.counters),
+            "cache": self.cache.stats(),
+            "cache_loaded": self.cache_loaded,
+        }
+
+    async def _shutdown(self, rid: str) -> dict:
+        """Drain in-flight work, persist the cache, then stop the loop."""
+        self._draining = True
+        await self._drain()
+        persisted = self._persist()
+        self.log.log(request=rid, op="shutdown", outcome="drained")
+        self._done.set()
+        return {
+            "ok": True,
+            "op": "shutdown",
+            "request": rid,
+            "drained": True,
+            "persisted_entries": persisted,
+        }
+
+    async def _solve(self, message: dict, rid: str, peer) -> dict:
+        started = time.perf_counter()
+        self.counters["solve"] += 1
+        if self._draining:
+            self.counters["rejected"] += 1
+            return error_response(
+                "solve", "daemon is draining; resubmit elsewhere", request=rid
+            )
+        try:
+            spec, fresh = solve_request_to_jobspec(
+                message, default_deadline=self.config.default_deadline
+            )
+        except ProtocolError as err:
+            self.counters["errors"] += 1
+            self.log.log(
+                request=rid, op="solve", outcome="error", error=str(err)
+            )
+            return error_response("solve", str(err), request=rid)
+
+        key = spec_fingerprint(spec)
+        if not fresh:
+            entry = self.cache.get(key)
+            if entry is not None:
+                self.counters["hit"] += 1
+                return self._respond(
+                    rid, message, spec, key, "hit", entry.result, 0, started
+                )
+        else:
+            self.counters["bypass"] += 1
+
+        execution, coalesced = await self._execute(spec, key, fresh)
+        outcome = "warm" if execution.mode == "warm" else "miss"
+        if fresh:
+            outcome = "bypass"
+        if coalesced:
+            self.counters["coalesced"] += 1
+        elif outcome == "warm":
+            self.counters["warm"] += 1
+            self.cache.warm_hits += 1
+        elif outcome == "miss":
+            self.counters["miss"] += 1
+        result = execution.result
+        return self._respond(
+            rid,
+            message,
+            spec,
+            key,
+            outcome,
+            result.to_json(),
+            result.evaluations,
+            started,
+            warm_donor=execution.warm_donor,
+            dirty_nodes=execution.dirty_nodes,
+        )
+
+    async def _execute(
+        self, spec: JobSpec, key: str, fresh: bool
+    ) -> Tuple[ServiceExecution, bool]:
+        """Run a request on the worker pool, single-flighted per key."""
+        pending = self._singleflight.get(key)
+        if pending is not None and not fresh:
+            return await asyncio.shield(pending), True
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._singleflight[key] = future
+        self._inflight += 1
+        try:
+            donors = [
+                (e.key, e.source, e.state)
+                for e in self.cache.warm_candidates(
+                    options_fingerprint(spec), exclude=key
+                )
+            ]
+            execution = await loop.run_in_executor(
+                self._pool,
+                lambda: execute_service_job(
+                    spec, donors, max_dirty_ratio=self.config.warm_ratio
+                ),
+            )
+            if (
+                execution.result.status in _CACHEABLE
+                and execution.verified
+            ):
+                self.cache.put(
+                    CacheEntry(
+                        key=key,
+                        options=options_fingerprint(spec),
+                        source=spec.source,
+                        result=execution.result.to_json(),
+                        state=execution.state,
+                    )
+                )
+            future.set_result(execution)
+            return execution, False
+        except BaseException as err:  # pragma: no cover - defensive
+            future.set_exception(err)
+            raise
+        finally:
+            self._singleflight.pop(key, None)
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+
+    def _respond(
+        self,
+        rid: str,
+        message: dict,
+        spec: JobSpec,
+        key: str,
+        outcome: str,
+        result: dict,
+        served_evaluations: int,
+        started: float,
+        warm_donor: Optional[str] = None,
+        dirty_nodes: int = 0,
+    ) -> dict:
+        wall_ms = round((time.perf_counter() - started) * 1000.0, 3)
+        self.log.log(
+            request=rid,
+            op="solve",
+            outcome=outcome,
+            program=program_sha(spec.source),
+            key=key,
+            status=result["status"],
+            code=result["code"],
+            evaluations=served_evaluations,
+            solver=spec.solver,
+            domain=spec.domain,
+            context=spec.context,
+            update_op=spec.op,
+            warm_donor=warm_donor,
+            dirty_nodes=dirty_nodes,
+            wall_ms=wall_ms,
+        )
+        response = {
+            "ok": True,
+            "op": "solve",
+            "request": rid,
+            "cache": outcome,
+            "key": key,
+            "served_evaluations": served_evaluations,
+            "result": result,
+            "wall_ms": wall_ms,
+        }
+        if "id" in message:
+            response["id"] = message["id"]
+        if warm_donor is not None:
+            response["warm_donor"] = warm_donor
+            response["dirty_nodes"] = dirty_nodes
+        return response

@@ -1,0 +1,193 @@
+"""The analysis service wire protocol: newline-delimited JSON.
+
+One request per line, one response line per request, UTF-8 both ways --
+trivially speakable from any language (``nc``, a shell script, another
+Python) and trivially debuggable on the wire.  Every message is a JSON
+object; requests carry an ``op`` and responses echo it together with
+``ok`` and either the operation's payload or an ``error``.
+
+Operations (see ``docs/service.md`` for the full field tables):
+
+``ping``
+    Liveness probe; answers the protocol version.
+``solve``
+    Analyse a program.  The request is *normalized* into the batch
+    layer's :class:`~repro.batch.jobs.JobSpec` -- the same shape the
+    process farm executes -- so the service, the farm and the CLI agree
+    on what an analysis configuration is, byte for byte.
+``status``
+    Daemon counters: uptime, requests by cache outcome, cache
+    hit/miss/eviction counters, in-flight count.
+``solvers``
+    The registry's machine-readable capability listing
+    (:func:`repro.solvers.registry.capability_listing`), so clients can
+    discover and validate solver choices without a local install.
+``shutdown``
+    Graceful drain: stop accepting work, finish in-flight jobs, persist
+    the cache index, then exit.
+
+Malformed lines never kill a connection: the daemon answers a
+structured error response (``ok: false``) and keeps reading.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional, Tuple
+
+from repro.batch.jobs import JobSpec
+from repro.solvers.registry import (
+    SolverCapabilityError,
+    UnknownSolverError,
+    get_solver,
+)
+
+#: Protocol identifier, answered by ``ping`` and stamped into errors.
+PROTOCOL = "repro-service/1"
+
+#: Hard cap on one request line, in bytes.  Programs the corpus solves
+#: are a few KiB; 8 MiB leaves three orders of magnitude of headroom
+#: while bounding a malicious or broken client's memory impact.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: The operations a daemon understands.
+OPERATIONS = ("ping", "solve", "status", "solvers", "shutdown")
+
+#: ``solve`` request fields that map onto :class:`JobSpec` options, with
+#: their expected types and defaults (= the JobSpec defaults).  The
+#: update operator travels as ``update_op`` on the wire because ``op``
+#: already names the protocol operation.
+_SOLVE_OPTIONS = (
+    ("solver", str, "slr+"),
+    ("domain", str, "interval"),
+    ("context", str, "insensitive"),
+    ("update_op", str, "warrow"),
+    ("widen_delay", int, 1),
+    ("thresholds", bool, False),
+    ("max_evals", int, 5_000_000),
+    ("verify", bool, False),
+)
+
+
+class ProtocolError(ValueError):
+    """A malformed or invalid request (maps to an ``ok: false`` reply)."""
+
+
+def encode(message: dict) -> bytes:
+    """One message as a single NDJSON line (compact, sorted keys)."""
+    return (
+        json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode(line: bytes) -> dict:
+    """Parse one request line into a message dict.
+
+    :raises ProtocolError: for oversized lines, invalid JSON, or
+        non-object payloads.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"request line exceeds {MAX_LINE_BYTES} bytes"
+        )
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+        raise ProtocolError(f"invalid JSON: {err}") from err
+    if not isinstance(message, dict):
+        raise ProtocolError("request must be a JSON object")
+    return message
+
+
+def error_response(op: Optional[str], message: str, **extra) -> dict:
+    """A structured failure reply."""
+    reply = {"ok": False, "error": str(message), "protocol": PROTOCOL}
+    if op is not None:
+        reply["op"] = op
+    reply.update(extra)
+    return reply
+
+
+def program_sha(source: str) -> str:
+    """Short content digest of a program text (for ids and logs)."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:12]
+
+
+def request_operation(message: dict) -> str:
+    """The validated ``op`` of a request message."""
+    op = message.get("op")
+    if not isinstance(op, str) or op not in OPERATIONS:
+        known = ", ".join(OPERATIONS)
+        raise ProtocolError(f"unknown op {op!r}; known ops: {known}")
+    return op
+
+
+def solve_request_to_jobspec(
+    message: dict, *, default_deadline: Optional[float] = None
+) -> Tuple[JobSpec, bool]:
+    """Normalize a ``solve`` request into a batch :class:`JobSpec`.
+
+    Returns ``(spec, fresh)`` where ``fresh`` is the client's cache
+    bypass flag.  Validation is strict and *early* -- unknown solvers,
+    wrong scopes and mistyped options are rejected here, before any
+    work is queued, using the same registry capability checks the batch
+    executor applies (side-effecting local solver, supervisable).
+
+    :raises ProtocolError: with a client-facing message on any problem.
+    """
+    source = message.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise ProtocolError("solve requires a non-empty 'source' string")
+    options = {}
+    for name, kind, default in _SOLVE_OPTIONS:
+        value = message.get(name, default)
+        if kind is int and isinstance(value, bool):
+            raise ProtocolError(f"field {name!r} must be {kind.__name__}")
+        if not isinstance(value, kind):
+            raise ProtocolError(f"field {name!r} must be {kind.__name__}")
+        options[name] = value
+    options["op"] = options.pop("update_op")
+    if options["op"] not in ("warrow", "widen"):
+        raise ProtocolError("field 'update_op' must be 'warrow' or 'widen'")
+    if options["widen_delay"] < 0:
+        raise ProtocolError("field 'widen_delay' must be non-negative")
+    if options["max_evals"] < 1:
+        raise ProtocolError("field 'max_evals' must be positive")
+    try:
+        spec = get_solver(
+            options["solver"],
+            side_effecting=True,
+            scope="local",
+            supervisable=True,
+        )
+    except (UnknownSolverError, SolverCapabilityError) as err:
+        raise ProtocolError(str(err)) from err
+    options["solver"] = spec.name
+
+    deadline = message.get("deadline", default_deadline)
+    if deadline is not None:
+        if isinstance(deadline, bool) or not isinstance(
+            deadline, (int, float)
+        ):
+            raise ProtocolError("field 'deadline' must be a number")
+        if deadline <= 0:
+            raise ProtocolError("field 'deadline' must be positive")
+        deadline = float(deadline)
+    fresh = message.get("fresh", False)
+    if not isinstance(fresh, bool):
+        raise ProtocolError("field 'fresh' must be a boolean")
+    label = message.get("label", "")
+    if not isinstance(label, str):
+        raise ProtocolError("field 'label' must be a string")
+
+    sha = program_sha(source)
+    job = JobSpec(
+        id=f"service/{sha}/{options['op']}",
+        family="service",
+        program=label or sha,
+        source=source,
+        deadline=deadline,
+        **options,
+    )
+    return job, fresh

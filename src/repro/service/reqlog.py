@@ -1,0 +1,59 @@
+"""Structured request logging: one JSON object per served request.
+
+The daemon appends a single compact JSON line per request to a file (or
+any writable stream), carrying the operational facts a service operator
+grieves for when they are missing: the request id, the cache outcome
+(``hit``/``warm``/``miss``/``bypass``/``error``), the exit-code taxonomy
+classification, evaluation counts and wall time.  Lines are
+self-contained and append-only, so the log is ``jq``-able and safe to
+rotate externally.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import IO, Optional
+
+
+class RequestLog:
+    """Append-only NDJSON request log.
+
+    :param path: target file, opened in append mode (created if
+        missing).  Mutually exclusive with ``stream``.
+    :param stream: an already-open writable text stream (tests, stderr).
+        With neither, the log swallows records (a disabled log object is
+        simpler for callers than ``if log is not None`` everywhere).
+    """
+
+    def __init__(
+        self, path: Optional[str] = None, stream: Optional[IO] = None
+    ) -> None:
+        if path is not None and stream is not None:
+            raise ValueError("pass either path or stream, not both")
+        self._owned = path is not None
+        self._stream: Optional[IO] = stream
+        if path is not None:
+            self._stream = open(path, "a", encoding="utf-8")
+        #: Records written over the log's lifetime.
+        self.records = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._stream is not None
+
+    def log(self, **fields) -> None:
+        """Write one record; a ``ts`` wall-clock field is added."""
+        self.records += 1
+        if self._stream is None:
+            return
+        record = {"ts": round(time.time(), 3), **fields}
+        self._stream.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._owned and self._stream is not None:
+            self._stream.close()
+            self._stream = None

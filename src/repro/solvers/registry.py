@@ -264,3 +264,31 @@ def all_specs() -> List[SolverSpec]:
     """All registered solver specs, in registration order."""
     _ensure_loaded()
     return [_REGISTRY[name] for name in _CANONICAL]
+
+
+def capability_listing() -> List[dict]:
+    """Machine-readable capability records for every registered solver.
+
+    One plain-data dict per solver, in registration order -- the payload
+    behind ``repro solvers --json`` and the analysis service's
+    ``solvers`` operation, which advertises (and validates) solver
+    choices to remote clients.  Keys are stable API: downstream tooling
+    may rely on them.
+    """
+    return [
+        {
+            "name": spec.name,
+            "aliases": list(spec.aliases),
+            "scope": spec.scope,
+            "side_effecting": spec.side_effecting,
+            "takes_op": spec.takes_op,
+            "generic": spec.generic,
+            "memoizable": spec.memoizable,
+            "takes_order": spec.takes_order,
+            "supports_warm_start": spec.supports_warm_start,
+            "supervisable": spec.supervisable,
+            "paper_ref": spec.paper_ref,
+            "summary": spec.summary,
+        }
+        for spec in all_specs()
+    ]

@@ -150,3 +150,81 @@ class TestRoundTrip:
         assert stamped.deadline == 1.5
         assert job.deadline is None
         assert stamped.id == job.id
+
+
+class TestOptionEcho:
+    """Results must echo the configuration that produced them -- cache
+    keys and stored documents would otherwise conflate distinct runs."""
+
+    def test_success_echoes_solver_and_domain_options(self):
+        result = execute_job(loop_job(domain="sign", op="widen"))
+        assert result.solver == "slr+"
+        assert result.domain == "sign"
+        assert result.context == "insensitive"
+        assert result.op == "widen"
+
+    def test_failures_echo_options_too(self):
+        result = execute_job(loop_job(source="int main( {", domain="sign"))
+        assert result.status == "input-error"
+        assert result.domain == "sign"
+        assert result.solver == "slr+"
+
+    def test_echo_round_trips_through_json(self):
+        result = execute_job(loop_job(op="widen"))
+        assert JobResult.from_json(result.to_json()).op == "widen"
+
+
+class TestFingerprints:
+    def test_same_request_same_fingerprint(self):
+        from repro.batch import spec_fingerprint
+
+        assert spec_fingerprint(loop_job()) == spec_fingerprint(loop_job())
+
+    def test_every_semantic_option_is_covered(self):
+        """Regression: the content address must change when ANY
+        result-relevant option changes, not just the program text."""
+        from repro.batch import spec_fingerprint
+
+        base = spec_fingerprint(loop_job())
+        variants = dict(
+            source=LOOP + "\n// trailing comment",
+            domain="sign",
+            context="full",
+            solver="slr",
+            op="widen",
+            widen_delay=3,
+            thresholds=True,
+            max_evals=99,
+            verify=True,
+        )
+        prints = {name: spec_fingerprint(loop_job(**{name: value}))
+                  for name, value in variants.items()}
+        assert base not in prints.values()
+        assert len(set(prints.values())) == len(prints)
+
+    def test_identity_fields_do_not_perturb_the_key(self):
+        """Job id / family / program label are routing metadata, not
+        analysis configuration -- two submissions of the same analysis
+        under different labels must share a cache entry."""
+        from repro.batch import spec_fingerprint
+
+        a = loop_job(id="x/1", family="x", program="first")
+        b = loop_job(id="y/2", family="y", program="second")
+        assert spec_fingerprint(a) == spec_fingerprint(b)
+
+    def test_options_fingerprint_ignores_source(self):
+        from repro.batch import options_fingerprint
+
+        edited = loop_job(source=LOOP.replace("i < 10", "i < 12"))
+        assert options_fingerprint(loop_job()) == options_fingerprint(edited)
+        assert options_fingerprint(loop_job()) != options_fingerprint(
+            loop_job(domain="sign")
+        )
+
+    def test_chaos_jobs_cannot_be_content_addressed(self):
+        import pytest
+
+        from repro.batch import spec_fingerprint
+
+        with pytest.raises(ValueError):
+            spec_fingerprint(loop_job(chaos_rate=0.5))

@@ -1,0 +1,213 @@
+"""Result cache: LRU bounds, TTL, counters, warm index, persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.cache import FORMAT, CacheEntry, ResultCache
+
+
+def entry(key, options="opt", state=None, **overrides):
+    fields = dict(
+        key=key,
+        options=options,
+        source=f"int main() {{ return {key!r} != 0; }}",
+        result={"status": "ok", "code": 0},
+        state=state,
+    )
+    fields.update(overrides)
+    return CacheEntry(**fields)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestBasicOperations:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.get("k") is None
+        cache.put(entry("k"))
+        got = cache.get("k")
+        assert got is not None and got.key == "k"
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.stores == 1
+        assert got.hits == 1
+
+    def test_peek_touches_nothing(self):
+        cache = ResultCache()
+        cache.put(entry("k"))
+        assert cache.peek("k") is not None
+        assert cache.peek("missing") is None
+        assert cache.hits == 0
+        assert cache.misses == 0
+
+    def test_replace_keeps_size(self):
+        cache = ResultCache()
+        cache.put(entry("k"))
+        cache.put(entry("k", state="snapshot"))
+        assert len(cache) == 1
+        assert cache.get("k").state == "snapshot"
+
+    def test_contains(self):
+        cache = ResultCache()
+        cache.put(entry("k"))
+        assert "k" in cache
+        assert "other" not in cache
+
+
+class TestLru:
+    def test_eviction_beyond_bound(self):
+        cache = ResultCache(max_entries=2)
+        cache.put(entry("a"))
+        cache.put(entry("b"))
+        cache.put(entry("c"))
+        assert len(cache) == 2
+        assert "a" not in cache
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        cache.put(entry("a"))
+        cache.put(entry("b"))
+        cache.get("a")
+        cache.put(entry("c"))
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+        with pytest.raises(ValueError):
+            ResultCache(ttl=0)
+
+
+class TestTtl:
+    def test_lapse_is_a_miss_and_an_expiration(self):
+        clock = FakeClock()
+        cache = ResultCache(ttl=10, clock=clock)
+        cache.put(entry("k", created=clock.now))
+        clock.now += 11
+        assert cache.get("k") is None
+        assert cache.expirations == 1
+        assert cache.misses == 1
+        assert "k" not in cache
+
+    def test_live_entry_survives(self):
+        clock = FakeClock()
+        cache = ResultCache(ttl=10, clock=clock)
+        cache.put(entry("k", created=clock.now))
+        clock.now += 9
+        assert cache.get("k") is not None
+
+    def test_sweep_drops_all_dead(self):
+        clock = FakeClock()
+        cache = ResultCache(ttl=10, clock=clock)
+        cache.put(entry("a", created=clock.now))
+        clock.now += 5
+        cache.put(entry("b", created=clock.now))
+        clock.now += 6
+        assert cache.sweep() == 1
+        assert "a" not in cache and "b" in cache
+
+
+class TestWarmCandidates:
+    def test_only_matching_options_with_state(self):
+        cache = ResultCache()
+        cache.put(entry("a", options="o1", state="s1"))
+        cache.put(entry("b", options="o1"))  # no snapshot: useless donor
+        cache.put(entry("c", options="o2", state="s3"))
+        keys = [e.key for e in cache.warm_candidates("o1")]
+        assert keys == ["a"]
+
+    def test_most_recent_first_and_exclude(self):
+        cache = ResultCache()
+        cache.put(entry("a", options="o", state="s"))
+        cache.put(entry("b", options="o", state="s"))
+        cache.get("a")  # now most recently used
+        keys = [e.key for e in cache.warm_candidates("o")]
+        assert keys == ["a", "b"]
+        keys = [e.key for e in cache.warm_candidates("o", exclude="a")]
+        assert keys == ["b"]
+
+    def test_expired_donors_skipped(self):
+        clock = FakeClock()
+        cache = ResultCache(ttl=10, clock=clock)
+        cache.put(entry("a", options="o", state="s", created=clock.now))
+        clock.now += 11
+        assert cache.warm_candidates("o") == []
+
+    def test_eviction_prunes_the_index(self):
+        cache = ResultCache(max_entries=1)
+        cache.put(entry("a", options="o", state="s"))
+        cache.put(entry("b", options="o", state="s"))
+        keys = [e.key for e in cache.warm_candidates("o")]
+        assert keys == ["b"]
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = ResultCache()
+        cache.put(entry("a", options="o", state="snapshot"))
+        cache.put(entry("b"))
+        assert cache.save(path) == 2
+
+        restored = ResultCache()
+        assert restored.load(path) == 2
+        assert restored.get("a").state == "snapshot"
+        assert [e.key for e in restored.warm_candidates("o")] == ["a"]
+        # Loading is not storing: lifetime counters describe one daemon.
+        assert restored.stores == 0
+
+    def test_load_skips_entries_dead_at_load_time(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        clock = FakeClock()
+        cache = ResultCache(ttl=100, clock=clock)
+        cache.put(entry("old", created=clock.now - 200))
+        cache.put(entry("new", created=clock.now))
+        cache.save(path)
+
+        restored = ResultCache(ttl=100, clock=clock)
+        assert restored.load(path) == 1
+        assert "new" in restored and "old" not in restored
+        assert restored.expirations == 0
+
+    def test_load_rejects_foreign_documents(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "something-else/9"}))
+        with pytest.raises(ValueError):
+            ResultCache().load(str(path))
+
+    def test_save_is_atomic_no_temp_debris(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = ResultCache()
+        cache.put(entry("a"))
+        cache.save(str(path))
+        cache.save(str(path))
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["cache.json"]
+        doc = json.loads(path.read_text())
+        assert doc["format"] == FORMAT
+
+    def test_stats_shape(self):
+        cache = ResultCache(max_entries=7, ttl=60)
+        stats = cache.stats()
+        assert stats["max_entries"] == 7
+        assert stats["ttl"] == 60
+        for field in (
+            "entries",
+            "hits",
+            "misses",
+            "warm_hits",
+            "evictions",
+            "expirations",
+            "stores",
+        ):
+            assert field in stats

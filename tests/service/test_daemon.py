@@ -1,0 +1,306 @@
+"""Daemon end-to-end over a real UNIX socket.
+
+Each test boots an :class:`AnalysisDaemon` inside ``asyncio.run``, runs
+a synchronous :class:`ServiceClient` scenario on a worker thread, and
+lets the daemon drain and exit.  This exercises the full stack the CI
+smoke job relies on: protocol framing, cache hits with zero served
+evaluations, warm-started near misses, persistence across restarts and
+graceful shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import (
+    AnalysisDaemon,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+)
+
+PROGRAM = """
+int main() {
+  int i;
+  int s;
+  i = 0;
+  s = 0;
+  while (i < 10) {
+    s = s + 2;
+    i = i + 1;
+  }
+  return s;
+}
+"""
+EDITED = PROGRAM.replace("i < 10", "i < 12")
+
+
+def run_scenario(config: ServiceConfig, scenario):
+    """Boot a daemon, run ``scenario(address)`` on a thread, shut down.
+
+    The scenario is responsible for sending ``shutdown`` (or the daemon
+    is asked to stop after it returns).  Returns the daemon, post-exit,
+    for counter inspection.
+    """
+    daemon = AnalysisDaemon(config)
+
+    async def main():
+        await daemon.start()
+        loop = asyncio.get_running_loop()
+        server = asyncio.ensure_future(daemon.serve_until_shutdown())
+        try:
+            await loop.run_in_executor(None, scenario, daemon.address)
+        finally:
+            daemon.request_shutdown()
+            await server
+
+    asyncio.run(main())
+    return daemon
+
+
+def unix_config(tmp_path, **overrides) -> ServiceConfig:
+    fields = dict(socket_path=str(tmp_path / "daemon.sock"), workers=2)
+    fields.update(overrides)
+    return ServiceConfig(**fields)
+
+
+class TestCacheOutcomes:
+    def test_miss_hit_warm_sequence(self, tmp_path):
+        replies = {}
+
+        def scenario(address):
+            with ServiceClient(socket_path=address[1]) as client:
+                replies["cold"] = client.solve(PROGRAM)
+                replies["hit"] = client.solve(PROGRAM)
+                replies["warm"] = client.solve(EDITED)
+                replies["status"] = client.status()
+
+        daemon = run_scenario(unix_config(tmp_path), scenario)
+
+        cold, hit, warm = replies["cold"], replies["hit"], replies["warm"]
+        assert cold["cache"] == "miss"
+        assert cold["result"]["status"] == "ok"
+        assert cold["served_evaluations"] > 0
+
+        # Identical resubmission: answered from the cache, *zero* solver
+        # work, same solution fingerprint.
+        assert hit["cache"] == "hit"
+        assert hit["served_evaluations"] == 0
+        assert hit["key"] == cold["key"]
+        assert hit["result"]["hash"] == cold["result"]["hash"]
+
+        # Single-statement edit: warm-started from the cold run's
+        # snapshot, measurably cheaper than the cold solve.
+        assert warm["cache"] == "warm"
+        assert warm["warm_donor"] == cold["key"]
+        assert warm["dirty_nodes"] > 0
+        assert 0 < warm["served_evaluations"] < cold["served_evaluations"]
+        assert warm["result"]["status"] == "ok"
+
+        status = replies["status"]
+        assert status["requests"]["hit"] == 1
+        assert status["requests"]["warm"] == 1
+        assert status["requests"]["miss"] == 1
+        assert status["cache"]["entries"] == 2
+        assert daemon.counters["hit"] == 1
+
+    def test_fresh_bypasses_the_cache(self, tmp_path):
+        replies = {}
+
+        def scenario(address):
+            with ServiceClient(socket_path=address[1]) as client:
+                replies["first"] = client.solve(PROGRAM)
+                replies["fresh"] = client.solve(PROGRAM, fresh=True)
+
+        daemon = run_scenario(unix_config(tmp_path), scenario)
+        assert replies["first"]["cache"] == "miss"
+        assert replies["fresh"]["cache"] == "bypass"
+        assert replies["fresh"]["served_evaluations"] > 0
+        assert daemon.counters["bypass"] == 1
+
+    def test_failures_are_not_cached(self, tmp_path):
+        replies = {}
+
+        def scenario(address):
+            with ServiceClient(socket_path=address[1]) as client:
+                replies["a"] = client.solve(PROGRAM, max_evals=2)
+                replies["b"] = client.solve(PROGRAM, max_evals=2)
+
+        run_scenario(unix_config(tmp_path), scenario)
+        assert replies["a"]["result"]["status"] == "divergence"
+        assert replies["a"]["result"]["code"] == 3
+        # A retry re-attempts instead of replaying the failure.
+        assert replies["b"]["cache"] == "miss"
+
+
+class TestProtocolSurface:
+    def test_ping_status_solvers(self, tmp_path):
+        replies = {}
+
+        def scenario(address):
+            with ServiceClient(socket_path=address[1]) as client:
+                replies["ping"] = client.ping()
+                replies["solvers"] = client.solvers()
+                replies["status"] = client.status()
+
+        run_scenario(unix_config(tmp_path), scenario)
+        assert replies["ping"]["protocol"] == "repro-service/1"
+        names = {spec["name"] for spec in replies["solvers"]}
+        assert "slr+" in names
+        for spec in replies["solvers"]:
+            assert "supports_warm_start" in spec
+            assert "supervisable" in spec
+        assert replies["status"]["in_flight"] == 0
+        assert replies["status"]["requests"]["total"] >= 2
+
+    def test_malformed_requests_answer_errors_not_disconnects(
+        self, tmp_path
+    ):
+        replies = {}
+
+        def scenario(address):
+            client = ServiceClient(socket_path=address[1])
+            with client:
+                client.connect()
+                client._sock.sendall(b"this is not json\n")
+                raw = json.loads(client._read_line())
+                replies["garbage"] = raw
+                with pytest.raises(ServiceError):
+                    client.solve(PROGRAM, solver="no-such-solver")
+                # The connection survived both errors.
+                replies["ping"] = client.ping()
+
+        daemon = run_scenario(unix_config(tmp_path), scenario)
+        assert replies["garbage"]["ok"] is False
+        assert replies["ping"]["ok"] is True
+        assert daemon.counters["errors"] == 2
+
+    def test_request_id_echo(self, tmp_path):
+        replies = {}
+
+        def scenario(address):
+            with ServiceClient(socket_path=address[1]) as client:
+                replies["r"] = client.solve(PROGRAM, id="client-chosen-7")
+
+        run_scenario(unix_config(tmp_path), scenario)
+        assert replies["r"]["id"] == "client-chosen-7"
+
+    def test_tcp_transport_works_too(self, tmp_path):
+        replies = {}
+
+        def scenario(address):
+            assert address[0] == "tcp"
+            with ServiceClient(host=address[1], port=address[2]) as client:
+                replies["r"] = client.solve(PROGRAM)
+
+        run_scenario(
+            ServiceConfig(host="127.0.0.1", port=0, workers=1), scenario
+        )
+        assert replies["r"]["cache"] == "miss"
+        assert replies["r"]["result"]["status"] == "ok"
+
+
+class TestShutdownAndPersistence:
+    def test_shutdown_drains_and_persists(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        replies = {}
+
+        def scenario(address):
+            with ServiceClient(socket_path=address[1]) as client:
+                client.solve(PROGRAM)
+                replies["bye"] = client.shutdown()
+
+        run_scenario(
+            unix_config(tmp_path, cache_path=str(cache_path)), scenario
+        )
+        assert replies["bye"]["drained"] is True
+        assert replies["bye"]["persisted_entries"] == 1
+        assert cache_path.exists()
+
+    def test_restart_answers_hit_from_restored_index(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+
+        def first(address):
+            with ServiceClient(socket_path=address[1]) as client:
+                client.solve(PROGRAM)
+                client.shutdown()
+
+        run_scenario(
+            unix_config(tmp_path, cache_path=str(cache_path)), first
+        )
+
+        replies = {}
+
+        def second(address):
+            with ServiceClient(socket_path=address[1]) as client:
+                replies["hit"] = client.solve(PROGRAM)
+                replies["warm"] = client.solve(EDITED)
+
+        daemon = run_scenario(
+            unix_config(tmp_path, cache_path=str(cache_path)), second
+        )
+        assert daemon.cache_loaded == 1
+        assert replies["hit"]["cache"] == "hit"
+        assert replies["hit"]["served_evaluations"] == 0
+        # Even warm starts survive the restart: the snapshot rode along.
+        assert replies["warm"]["cache"] == "warm"
+
+    def test_socket_file_removed_on_exit(self, tmp_path):
+        config = unix_config(tmp_path)
+
+        def scenario(address):
+            with ServiceClient(socket_path=address[1]) as client:
+                client.ping()
+
+        run_scenario(config, scenario)
+        import os
+
+        assert not os.path.exists(config.socket_path)
+
+    def test_draining_daemon_rejects_new_solves(self, tmp_path):
+        replies = {}
+
+        def scenario(address):
+            with ServiceClient(socket_path=address[1]) as client:
+                client.solve(PROGRAM)
+                client.shutdown()
+            # New connection after shutdown: the socket is gone or
+            # refuses -- either way the client reports a ServiceError.
+            try:
+                with ServiceClient(socket_path=address[1]) as late:
+                    late.ping()
+                replies["late"] = "accepted"
+            except ServiceError:
+                replies["late"] = "refused"
+
+        run_scenario(unix_config(tmp_path), scenario)
+        assert replies["late"] == "refused"
+
+
+class TestRequestLog:
+    def test_log_records_cache_outcomes(self, tmp_path):
+        log_path = tmp_path / "requests.ndjson"
+
+        def scenario(address):
+            with ServiceClient(socket_path=address[1]) as client:
+                client.solve(PROGRAM)
+                client.solve(PROGRAM)
+
+        run_scenario(
+            unix_config(tmp_path, log_path=str(log_path)), scenario
+        )
+        records = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+            if line
+        ]
+        solves = [r for r in records if r.get("op") == "solve"]
+        assert [r["outcome"] for r in solves] == ["miss", "hit"]
+        for record in solves:
+            assert record["request"].startswith("r")
+            assert "wall_ms" in record
+            assert record["status"] == "ok"
+        assert solves[1]["evaluations"] == 0

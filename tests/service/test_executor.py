@@ -1,0 +1,173 @@
+"""Service execution: cold supervision, warm resumption, fallbacks."""
+
+from __future__ import annotations
+
+from repro.batch.jobs import (
+    EXIT_DIVERGENCE,
+    EXIT_INPUT,
+    EXIT_OK,
+    JobSpec,
+    spec_fingerprint,
+)
+from repro.lang import compile_program
+from repro.lang.diff import diff_cfg
+from repro.service.executor import execute_service_job, should_warm
+
+PROGRAM = """
+int main() {
+  int i;
+  int s;
+  i = 0;
+  s = 0;
+  while (i < 10) {
+    s = s + 2;
+    i = i + 1;
+  }
+  return s;
+}
+"""
+EDITED = PROGRAM.replace("i < 10", "i < 12")
+REWRITTEN = """
+int other(int a) { return a + 1; }
+int main() { return other(41); }
+"""
+
+
+def job(source=PROGRAM, **overrides) -> JobSpec:
+    fields = dict(
+        id="svc/test/warrow", family="service", program="t", source=source
+    )
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+class TestColdPath:
+    def test_ok_run_is_verified_and_snapshotted(self):
+        execution = execute_service_job(job())
+        assert execution.mode == "cold"
+        assert execution.verified is True
+        assert execution.result.status == "ok"
+        assert execution.result.code == EXIT_OK
+        assert execution.result.evaluations > 0
+        assert execution.result.hash
+        assert execution.state, "slr+ runs must capture a resume snapshot"
+        assert execution.warm_donor is None
+
+    def test_option_echo_present(self):
+        execution = execute_service_job(job())
+        result = execution.result
+        assert result.solver == "slr+"
+        assert result.domain == "interval"
+        assert result.context == "insensitive"
+        assert result.op == "warrow"
+
+    def test_parse_error_classified_not_raised(self):
+        execution = execute_service_job(job(source="int main( {"))
+        assert execution.result.status == "input-error"
+        assert execution.result.code == EXIT_INPUT
+        assert execution.state is None
+        assert execution.verified is False
+
+    def test_budget_exhaustion_is_divergence(self):
+        execution = execute_service_job(job(max_evals=3))
+        assert execution.result.status == "divergence"
+        assert execution.result.code == EXIT_DIVERGENCE
+
+    def test_verify_folds_assertion_verdicts(self):
+        violated = "int main() { int x = 1; assert(x == 2); return 0; }"
+        execution = execute_service_job(job(source=violated, verify=True))
+        assert execution.result.status == "violated"
+        assert execution.result.code == EXIT_INPUT
+        # A violated-assertion analysis is still a complete, verified
+        # solver run -- the daemon may cache it.
+        assert execution.verified is True
+
+
+class TestWarmPath:
+    def _donor(self):
+        cold = execute_service_job(job())
+        return (
+            spec_fingerprint(job()),
+            PROGRAM,
+            cold.state,
+            cold.result.evaluations,
+        )
+
+    def test_small_edit_resumes_warm_with_fewer_evaluations(self):
+        key, source, state, cold_evals = self._donor()
+        edited = job(source=EDITED)
+        cold_edited = execute_service_job(edited)
+
+        warm = execute_service_job(edited, donors=[(key, source, state)])
+        assert warm.mode == "warm"
+        assert warm.warm_donor == key
+        assert warm.dirty_nodes > 0
+        assert warm.verified is True
+        assert warm.result.status == "ok"
+        assert warm.result.evaluations < cold_edited.result.evaluations
+
+    def test_warm_solution_is_independently_verified(self):
+        # A warm resume may land on a *different* (even tighter) warrow
+        # fixpoint than a cold solve -- both are sound.  What the service
+        # guarantees is that every warm result passed the independent
+        # post-solution verifier before being served.
+        key, source, state, _ = self._donor()
+        edited = job(source=EDITED)
+        warm = execute_service_job(edited, donors=[(key, source, state)])
+        assert warm.mode == "warm"
+        assert warm.verified is True
+        assert warm.result.hash
+        assert warm.state, "a verified warm run re-captures its snapshot"
+
+    def test_large_diff_falls_back_to_cold(self):
+        key, source, state, _ = self._donor()
+        execution = execute_service_job(
+            job(source=REWRITTEN), donors=[(key, source, state)]
+        )
+        assert execution.mode == "cold"
+        assert execution.warm_donor is None
+        assert execution.result.status == "ok"
+
+    def test_corrupt_snapshot_falls_back_to_cold(self):
+        key, source, _, _ = self._donor()
+        execution = execute_service_job(
+            job(source=EDITED), donors=[(key, source, "{not json")]
+        )
+        assert execution.mode == "cold"
+        assert execution.result.status == "ok"
+
+    def test_unparsable_donor_source_falls_back_to_cold(self):
+        key, _, state, _ = self._donor()
+        execution = execute_service_job(
+            job(source=EDITED), donors=[(key, "int main( {", state)]
+        )
+        assert execution.mode == "cold"
+        assert execution.result.status == "ok"
+
+    def test_first_viable_donor_wins(self):
+        key, source, state, _ = self._donor()
+        execution = execute_service_job(
+            job(source=EDITED),
+            donors=[("bad", source, "{corrupt"), (key, source, state)],
+        )
+        assert execution.mode == "warm"
+        assert execution.warm_donor == key
+
+
+class TestShouldWarm:
+    def test_identical_programs_warm(self):
+        old = compile_program(PROGRAM)
+        new = compile_program(PROGRAM)
+        assert should_warm(diff_cfg(old, new), new)
+
+    def test_disjoint_programs_do_not(self):
+        old = compile_program(PROGRAM)
+        new = compile_program(REWRITTEN)
+        assert not should_warm(diff_cfg(old, new), new)
+
+    def test_ratio_knob(self):
+        old = compile_program(PROGRAM)
+        new = compile_program(EDITED)
+        diff = diff_cfg(old, new)
+        assert should_warm(diff, new, max_dirty_ratio=0.5)
+        assert not should_warm(diff, new, max_dirty_ratio=0.0)

@@ -1,0 +1,199 @@
+"""Wire protocol: framing, validation, request normalization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.batch.jobs import spec_fingerprint
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL,
+    ProtocolError,
+    decode,
+    encode,
+    error_response,
+    program_sha,
+    request_operation,
+    solve_request_to_jobspec,
+)
+
+PROGRAM = "int main() { int i = 0; while (i < 3) { i = i + 1; } return i; }"
+
+
+class TestFraming:
+    def test_encode_is_one_compact_line(self):
+        line = encode({"b": 1, "a": [2, 3]})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+        assert b" " not in line
+
+    def test_roundtrip(self):
+        message = {"op": "solve", "source": PROGRAM, "widen_delay": 2}
+        assert decode(encode(message)) == message
+
+    def test_oversized_line_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode(b"x" * (MAX_LINE_BYTES + 1))
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode(b"{nope}")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode(b"[1,2,3]")
+
+    def test_error_response_shape(self):
+        reply = error_response("solve", "boom", request="r1")
+        assert reply["ok"] is False
+        assert reply["error"] == "boom"
+        assert reply["op"] == "solve"
+        assert reply["request"] == "r1"
+        assert reply["protocol"] == PROTOCOL
+
+
+class TestOperationRouting:
+    def test_known_ops_pass(self):
+        for op in ("ping", "solve", "status", "solvers", "shutdown"):
+            assert request_operation({"op": op}) == op
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError):
+            request_operation({"op": "reboot"})
+
+    def test_missing_op_rejected(self):
+        with pytest.raises(ProtocolError):
+            request_operation({"source": PROGRAM})
+
+
+class TestSolveNormalization:
+    def test_defaults_match_jobspec(self):
+        spec, fresh = solve_request_to_jobspec(
+            {"op": "solve", "source": PROGRAM}
+        )
+        assert spec.solver == "slr+"
+        assert spec.domain == "interval"
+        assert spec.context == "insensitive"
+        assert spec.op == "warrow"
+        assert spec.widen_delay == 1
+        assert spec.thresholds is False
+        assert spec.verify is False
+        assert spec.family == "service"
+        assert spec.id == f"service/{program_sha(PROGRAM)}/warrow"
+        assert fresh is False
+
+    def test_update_op_travels_separately_from_protocol_op(self):
+        spec, _ = solve_request_to_jobspec(
+            {"op": "solve", "source": PROGRAM, "update_op": "widen"}
+        )
+        assert spec.op == "widen"
+
+    def test_bad_update_op_rejected(self):
+        with pytest.raises(ProtocolError, match="update_op"):
+            solve_request_to_jobspec(
+                {"op": "solve", "source": PROGRAM, "update_op": "narrow"}
+            )
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(ProtocolError):
+            solve_request_to_jobspec({"op": "solve", "source": "  "})
+        with pytest.raises(ProtocolError):
+            solve_request_to_jobspec({"op": "solve"})
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(ProtocolError, match="widen_delay"):
+            solve_request_to_jobspec(
+                {"op": "solve", "source": PROGRAM, "widen_delay": True}
+            )
+
+    def test_mistyped_option_rejected(self):
+        with pytest.raises(ProtocolError, match="max_evals"):
+            solve_request_to_jobspec(
+                {"op": "solve", "source": PROGRAM, "max_evals": "lots"}
+            )
+
+    def test_unknown_solver_rejected_early(self):
+        with pytest.raises(ProtocolError):
+            solve_request_to_jobspec(
+                {"op": "solve", "source": PROGRAM, "solver": "nope"}
+            )
+
+    def test_non_warmstartable_but_supervisable_scope_checked(self):
+        # "sw" is a global solver: it cannot serve local program
+        # analyses, so the protocol rejects it before any queueing.
+        with pytest.raises(ProtocolError):
+            solve_request_to_jobspec(
+                {"op": "solve", "source": PROGRAM, "solver": "sw"}
+            )
+
+    def test_solver_alias_resolves_to_canonical_name(self):
+        spec, _ = solve_request_to_jobspec(
+            {"op": "solve", "source": PROGRAM, "solver": "slr-side"}
+        )
+        assert spec.solver == "slr+"
+
+    def test_alias_and_canonical_share_a_fingerprint(self):
+        """Cache keys must not depend on how the client spelled the
+        solver -- aliases normalize before fingerprinting."""
+        a, _ = solve_request_to_jobspec(
+            {"op": "solve", "source": PROGRAM, "solver": "slr-side"}
+        )
+        b, _ = solve_request_to_jobspec(
+            {"op": "solve", "source": PROGRAM, "solver": "slr+"}
+        )
+        assert spec_fingerprint(a) == spec_fingerprint(b)
+
+    def test_deadline_validation(self):
+        spec, _ = solve_request_to_jobspec(
+            {"op": "solve", "source": PROGRAM, "deadline": 2}
+        )
+        assert spec.deadline == 2.0
+        with pytest.raises(ProtocolError):
+            solve_request_to_jobspec(
+                {"op": "solve", "source": PROGRAM, "deadline": 0}
+            )
+        with pytest.raises(ProtocolError):
+            solve_request_to_jobspec(
+                {"op": "solve", "source": PROGRAM, "deadline": True}
+            )
+
+    def test_default_deadline_applies_when_absent(self):
+        spec, _ = solve_request_to_jobspec(
+            {"op": "solve", "source": PROGRAM}, default_deadline=30.0
+        )
+        assert spec.deadline == 30.0
+        spec, _ = solve_request_to_jobspec(
+            {"op": "solve", "source": PROGRAM, "deadline": 5},
+            default_deadline=30.0,
+        )
+        assert spec.deadline == 5.0
+
+    def test_fresh_flag(self):
+        _, fresh = solve_request_to_jobspec(
+            {"op": "solve", "source": PROGRAM, "fresh": True}
+        )
+        assert fresh is True
+        with pytest.raises(ProtocolError):
+            solve_request_to_jobspec(
+                {"op": "solve", "source": PROGRAM, "fresh": 1}
+            )
+
+    def test_label_becomes_program_name(self):
+        spec, _ = solve_request_to_jobspec(
+            {"op": "solve", "source": PROGRAM, "label": "loop.mc"}
+        )
+        assert spec.program == "loop.mc"
+        with pytest.raises(ProtocolError):
+            solve_request_to_jobspec(
+                {"op": "solve", "source": PROGRAM, "label": 7}
+            )
+
+    def test_normalized_spec_is_json_clean(self):
+        import dataclasses
+
+        spec, _ = solve_request_to_jobspec(
+            {"op": "solve", "source": PROGRAM, "verify": True}
+        )
+        json.dumps(dataclasses.asdict(spec))

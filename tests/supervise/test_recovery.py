@@ -1,0 +1,150 @@
+"""Checkpoint-to-restart recovery of a supervised program analysis.
+
+The scenario the supervision layer exists for: a supervised solve is
+killed mid-run (chaos delays every evaluation until the deadline
+watchdog trips), leaving nothing behind but the crash-safe checkpoint
+file.  A fresh "process" -- a fresh compile, a fresh analysis instance
+-- loads the file and resumes.  The resumed run must produce a
+verifier-clean post solution that is bit-identical (same solution
+fingerprint) to an undisturbed cold solve.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.inter import InterAnalysis
+from repro.batch.jobs import build_domain, build_policy, solution_fingerprint
+from repro.incremental import check_post_solution, resume_dirty, warm_solve
+from repro.lang import compile_program
+from repro.solvers import WarrowCombine, solve_slr_side
+from repro.supervise import ChaosPolicy, load_checkpoint, supervised_solve
+
+# Two sequential loops: enough evaluations (~50 cold) for the delayed
+# run to die mid-flight with checkpoints on disk, and -- verified across
+# every kill point -- a warrow fixpoint the warm resume reproduces
+# exactly, so the bit-identity assertion is robust to where the deadline
+# happens to trip.
+SOURCE = """
+int main() {
+  int i;
+  int s;
+  i = 0;
+  s = 0;
+  while (i < 10) {
+    s = s + 2;
+    i = i + 1;
+  }
+  while (s > 0) {
+    s = s - 1;
+  }
+  return s;
+}
+"""
+
+
+def _fresh_analysis():
+    cfg = compile_program(SOURCE)
+    domain = build_domain("interval")
+    return InterAnalysis(cfg, domain, build_policy("insensitive", domain))
+
+
+class TestCheckpointRestartRecovery:
+    def test_killed_supervised_solve_resumes_from_checkpoint_file(
+        self, tmp_path
+    ):
+        target = tmp_path / "recovery.ckpt"
+
+        # The undisturbed reference: what the analysis should compute.
+        cold = _fresh_analysis()
+        cold_result = solve_slr_side(
+            cold.system(),
+            WarrowCombine(cold.lattice, delay=1),
+            cold.root(),
+            max_evals=100_000,
+        )
+        cold_print = solution_fingerprint(cold_result.sigma, cold.lattice)
+
+        # Kill a supervised run mid-flight: every evaluation is delayed
+        # by chaos, so the deadline watchdog trips long before the solve
+        # can finish.  No escalation, no fallback -- the run just dies,
+        # persisting periodic checkpoints on its way down.
+        doomed = _fresh_analysis()
+        report = supervised_solve(
+            doomed.system(),
+            WarrowCombine(doomed.lattice, delay=1),
+            doomed.root(),
+            solver="slr+",
+            deadline=0.2,
+            max_evals=100_000,
+            escalate=False,
+            fault_retries=0,
+            checkpoint_every=5,
+            checkpoint_path=str(target),
+            chaos=ChaosPolicy(
+                seed=7, rate=1.0, kinds=("delay",), delay_seconds=0.005,
+                max_faults=10**9,
+            ),
+        )
+        assert not report.ok, "the delayed run must trip its deadline"
+        assert target.exists(), "the checkpoint must survive the kill"
+
+        # Restart: fresh compile, fresh analysis, only the file survives.
+        fresh = _fresh_analysis()
+        state = load_checkpoint(str(target), fresh.lattice)
+        assert state.solver == "slr+"
+        system = fresh.system()
+        resumed = warm_solve(
+            system,
+            WarrowCombine(fresh.lattice, delay=1),
+            state,
+            resume_dirty(state),
+            x0=fresh.root(),
+            max_evals=100_000,
+        )
+
+        # Verifier-clean, and bit-identical to the undisturbed solve.
+        assert check_post_solution(system, resumed.sigma) == []
+        resumed_print = solution_fingerprint(resumed.sigma, fresh.lattice)
+        assert resumed_print == cold_print
+
+    def test_resumed_run_spends_fewer_evaluations_than_cold(self, tmp_path):
+        """The checkpoint carries real progress: resuming must cost less
+        than the cold solve (otherwise recovery is restart in disguise)."""
+        target = tmp_path / "progress.ckpt"
+        cold = _fresh_analysis()
+        cold_result = solve_slr_side(
+            cold.system(),
+            WarrowCombine(cold.lattice, delay=1),
+            cold.root(),
+            max_evals=100_000,
+        )
+
+        doomed = _fresh_analysis()
+        report = supervised_solve(
+            doomed.system(),
+            WarrowCombine(doomed.lattice, delay=1),
+            doomed.root(),
+            solver="slr+",
+            deadline=0.12,
+            max_evals=100_000,
+            escalate=False,
+            fault_retries=0,
+            checkpoint_every=5,
+            checkpoint_path=str(target),
+            chaos=ChaosPolicy(
+                seed=11, rate=1.0, kinds=("delay",), delay_seconds=0.005,
+                max_faults=10**9,
+            ),
+        )
+        assert not report.ok
+
+        fresh = _fresh_analysis()
+        state = load_checkpoint(str(target), fresh.lattice)
+        resumed = warm_solve(
+            fresh.system(),
+            WarrowCombine(fresh.lattice, delay=1),
+            state,
+            resume_dirty(state),
+            x0=fresh.root(),
+            max_evals=100_000,
+        )
+        assert resumed.stats.evaluations < cold_result.stats.evaluations

@@ -454,3 +454,78 @@ class TestBench:
         doc = load_bench(root / "benchmarks" / "baseline.json")
         assert doc["quick"] is True
         assert doc["totals"]["failed"] == 0
+
+
+class TestSolversJson:
+    def test_json_listing_is_machine_readable(self, capsys):
+        import json
+
+        assert main(["solvers", "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert isinstance(listing, list) and listing
+        by_name = {spec["name"]: spec for spec in listing}
+        assert by_name["slr+"]["supports_warm_start"] is True
+        assert by_name["slr+"]["supervisable"] is True
+        assert by_name["slr+"]["side_effecting"] is True
+        for spec in listing:
+            for field in (
+                "name",
+                "aliases",
+                "scope",
+                "supports_warm_start",
+                "supervisable",
+                "summary",
+            ):
+                assert field in spec
+
+    def test_default_output_is_still_the_table(self, capsys):
+        assert main(["solvers"]) == 0
+        out = capsys.readouterr().out
+        assert "slr+" in out
+        assert "supports-warm-start" in out
+        assert not out.lstrip().startswith("[")
+
+
+class TestSolveStats:
+    def test_stats_flag_prints_direction_switches(self, loop_file, capsys):
+        assert main(["solve", loop_file, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "solver statistics:" in out
+        assert "direction switches:" in out
+        assert "widen updates:" in out
+        assert "narrow updates:" in out
+
+    def test_without_flag_no_stats_block(self, loop_file, capsys):
+        assert main(["solve", loop_file]) == 0
+        assert "solver statistics:" not in capsys.readouterr().out
+
+
+class TestServiceCommands:
+    def test_serve_requires_an_address(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--socket" in capsys.readouterr().err
+
+    def test_submit_requires_an_address(self, program_file, capsys):
+        assert main(["submit", program_file]) == 2
+        assert "--socket" in capsys.readouterr().err
+
+    def test_submit_unreachable_daemon_is_an_input_error(
+        self, program_file, tmp_path, capsys
+    ):
+        missing = str(tmp_path / "no-daemon.sock")
+        assert main(["submit", program_file, "--socket", missing]) == 2
+        assert "cannot reach the daemon" in capsys.readouterr().err
+
+    def test_status_unreachable_daemon_is_an_input_error(
+        self, tmp_path, capsys
+    ):
+        missing = str(tmp_path / "no-daemon.sock")
+        assert main(["status", "--socket", missing]) == 2
+        assert "cannot reach the daemon" in capsys.readouterr().err
+
+    def test_shutdown_unreachable_daemon_is_an_input_error(
+        self, tmp_path, capsys
+    ):
+        missing = str(tmp_path / "no-daemon.sock")
+        assert main(["shutdown", "--socket", missing]) == 2
+        assert "cannot reach the daemon" in capsys.readouterr().err
