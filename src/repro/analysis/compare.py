@@ -40,7 +40,8 @@ class PrecisionComparison:
     worse: int = 0
     equal: int = 0
     incomparable: int = 0
-    #: Points where exactly one analysis proves unreachability.
+    #: The (function, node) keys of the strictly improved points -- one
+    #: entry per point counted in :attr:`better`, in comparison order.
     better_points: List[Tuple[str, object]] = field(default_factory=list)
 
     @property

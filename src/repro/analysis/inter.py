@@ -452,25 +452,49 @@ def analyze_program(
     max_evals: Optional[int] = None,
     widen_delay: int = 1,
     solver="slr+",
+    op_spec: Optional[str] = None,
+    observers=(),
 ) -> AnalysisResult:
     """Run the interprocedural analysis with a single solver pass.
 
     :param op: the update operator (default: the combined operator over
         the analysis' union lattice -- the paper's recommended setup).
+    :param op_spec: alternatively, a strategy spec string
+        (:mod:`repro.strategies`) resolved against the analysis' own
+        lattice and CFG, e.g. ``"warrow:delay=2"`` or ``"wpoint"``.
+        Mutually exclusive with ``op``; phased specs are rejected here
+        (use :func:`analyze_program_twophase`).
     :param widen_delay: how many growing updates per unknown use plain
         join before widening kicks in (applies to the default operator
-        only; matched by :func:`analyze_program_twophase` so that
+        and to specs that take a ``delay`` the spec itself does not
+        set; matched by :func:`analyze_program_twophase` so that
         precision comparisons isolate the *operator*, not the widening
         schedule).
     :param solver: a side-effecting local solver, as a callable or a
         registry name (default: ``"slr+"``).
+    :param observers: extra engine observers threaded into the solve.
     """
     solve = resolve_solver(solver, side_effecting=True, scope="local")
     analysis = InterAnalysis(cfg, domain, policy, entry_fn)
+    if op_spec is not None:
+        if op is not None:
+            raise ValueError("pass either op or op_spec, not both")
+        from repro.strategies.registry import BuildContext, build_combine
+
+        op = build_combine(
+            op_spec,
+            analysis.lattice,
+            ctx=BuildContext(cfg=cfg),
+            widen_delay=widen_delay,
+        )
     if op is None:
         op = WarrowCombine(analysis.lattice, delay=widen_delay)
     result = solve(
-        analysis.system(), op, analysis.root(), max_evals=max_evals
+        analysis.system(),
+        op,
+        analysis.root(),
+        max_evals=max_evals,
+        observers=observers,
     )
     return _collect(analysis, result)
 
@@ -484,6 +508,7 @@ def analyze_program_twophase(
     track_contributions: bool = False,
     widen_delay: int = 1,
     solver="slr+",
+    observers=(),
 ) -> AnalysisResult:
     """The classic baseline: a complete widening pass, then a narrowing pass.
 
@@ -509,6 +534,7 @@ def analyze_program_twophase(
         root,
         max_evals=max_evals,
         track_contributions=track_contributions,
+        observers=observers,
     )
 
     frozen = dict(phase1.sigma)
@@ -524,6 +550,7 @@ def analyze_program_twophase(
         max_evals=max_evals,
         track_contributions=track_contributions,
         protect=phase1.accumulated,
+        observers=observers,
     )
     # Merge statistics so reported evaluation counts cover both phases.
     phase2.stats.evaluations += phase1.stats.evaluations

@@ -12,7 +12,11 @@ benchmark suites -- so this package solves *corpora*, not programs:
   examples/WCET/fig7/table1 workload families;
 * :mod:`repro.batch.bench`  -- min-of-N interleaved measurement, the
   ``BENCH_<rev>.json`` schema, and baseline regression gating (the
-  ``repro bench`` subcommand and the CI bench gate).
+  ``repro bench`` subcommand and the CI bench gate);
+* :mod:`repro.batch.matrix` -- the precision x cost strategy matrix
+  (``repro bench --matrix``): every corpus program under every
+  registered combine strategy, compared point-by-point against a
+  baseline strategy (Figure 7 at corpus scale).
 
 See ``docs/batch.md`` for the architecture tour.
 """
@@ -29,7 +33,13 @@ from repro.batch.bench import (
     validate_bench,
     write_bench,
 )
-from repro.batch.corpus import corpus_jobs, example_sources, family_names
+from repro.batch.corpus import (
+    MATRIX_FAMILIES,
+    corpus_jobs,
+    example_sources,
+    family_names,
+    matrix_programs,
+)
 from repro.batch.farm import run_jobs
 from repro.batch.jobs import (
     EXIT_DIVERGENCE,
@@ -44,9 +54,21 @@ from repro.batch.jobs import (
     solution_fingerprint,
     spec_fingerprint,
 )
+from repro.batch.matrix import (
+    DEFAULT_MATRIX_STRATEGIES,
+    MATRIX_FORMAT,
+    load_matrix,
+    render_matrix,
+    run_matrix,
+    validate_matrix,
+    write_matrix,
+)
 
 __all__ = [
     "BENCH_FORMAT",
+    "DEFAULT_MATRIX_STRATEGIES",
+    "MATRIX_FAMILIES",
+    "MATRIX_FORMAT",
     "EVAL_THRESHOLD",
     "TIME_THRESHOLD",
     "BenchComparison",
@@ -64,11 +86,17 @@ __all__ = [
     "family_names",
     "git_revision",
     "load_bench",
+    "load_matrix",
+    "matrix_programs",
     "options_fingerprint",
+    "render_matrix",
     "run_bench",
     "run_jobs",
+    "run_matrix",
     "solution_fingerprint",
     "spec_fingerprint",
     "validate_bench",
+    "validate_matrix",
     "write_bench",
+    "write_matrix",
 ]

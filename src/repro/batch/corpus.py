@@ -161,6 +161,62 @@ _BUILDERS = {
     "table1": _table1_jobs,
 }
 
+#: Program families the strategy matrix enumerates.  ``fig7`` is absent
+#: by design: it is the wcet suite under a fixed baseline operator, and
+#: the matrix varies the operator itself.
+MATRIX_FAMILIES = ("examples", "wcet", "table1")
+
+#: WCET benchmarks in the quick matrix subset (smallest by LoC).
+_QUICK_MATRIX_WCET = 6
+#: Example programs in the quick matrix subset (alphabetically first).
+_QUICK_MATRIX_EXAMPLES = 4
+
+
+def matrix_programs(
+    families: Optional[Iterable[str]] = None, *, quick: bool = False
+) -> List[tuple]:
+    """Deterministic ``(family, name, source)`` rows for the matrix.
+
+    Every program is solved once per strategy by
+    :func:`repro.batch.matrix.run_matrix`; enumeration order is fixed
+    (family order of :data:`MATRIX_FAMILIES`, programs sorted within a
+    family) so two matrices compare cell for cell.
+
+    :param families: restrict to these families; ``None``: all of
+        :data:`MATRIX_FAMILIES`.
+    :param quick: the CI smoke subset (smallest programs per family).
+    :raises ValueError: for unknown family names.
+    """
+    if families is None:
+        wanted = MATRIX_FAMILIES
+    else:
+        wanted = list(families)
+        unknown = sorted(set(wanted) - set(MATRIX_FAMILIES))
+        if unknown:
+            raise ValueError(
+                f"unknown matrix families {unknown}; "
+                f"known: {list(MATRIX_FAMILIES)}"
+            )
+    programs: List[tuple] = []
+    if "examples" in wanted:
+        rows = sorted(example_sources().items())
+        if quick:
+            rows = rows[:_QUICK_MATRIX_EXAMPLES]
+        programs.extend(("examples", name, source) for name, source in rows)
+    if "wcet" in wanted:
+        rows = _wcet_programs()
+        if quick:
+            rows = rows[:_QUICK_MATRIX_WCET]
+        programs.extend(("wcet", p.name, p.source) for p in rows)
+    if "table1" in wanted:
+        from repro.bench.spec import PROGRAMS
+
+        rows = list(PROGRAMS)
+        if quick:
+            rows = rows[:_QUICK_TABLE1]
+        programs.extend(("table1", p.name, p.source) for p in rows)
+    return programs
+
 
 def family_names() -> List[str]:
     """All family names, in enumeration order."""

@@ -98,9 +98,13 @@ class JobSpec:
     context: str = "insensitive"
     #: Registry name of the side-effecting local solver.
     solver: str = "slr+"
-    #: Update operator: ``"warrow"`` (the paper's ⌴) or ``"widen"``.
+    #: Update-strategy spec string (:mod:`repro.strategies`), e.g.
+    #: ``"warrow"``, ``"widen:delay=2"``, ``"warrow-k:k=3"``,
+    #: ``"twophase"``.  The raw client string is preserved verbatim in
+    #: results and cache keys.
     op: str = "warrow"
-    #: Widening delay of the update operator.
+    #: Widening delay of the update operator; seeds the strategy's
+    #: ``delay`` parameter when the spec does not set one itself.
     widen_delay: int = 1
     #: Collect widening thresholds from the program's constants.
     thresholds: bool = False
@@ -328,38 +332,63 @@ def execute_job(job: JobSpec) -> JobResult:
     ``repro verify`` subcommand.
     """
     from repro.analysis import check_assertions, collect_thresholds, summarize
-    from repro.analysis.inter import InterAnalysis, collect_analysis
+    from repro.analysis.inter import (
+        InterAnalysis,
+        analyze_program_twophase,
+        collect_analysis,
+    )
     from repro.analysis.verify import Verdict
     from repro.lang import LexError, ParseError, SemanticError, compile_program
-    from repro.solvers import WarrowCombine, WidenCombine
     from repro.solvers.registry import (
         SolverCapabilityError,
         UnknownSolverError,
         get_solver,
     )
     from repro.solvers.stats import DivergenceError
+    from repro.strategies import (
+        BuildContext,
+        UnknownStrategyError,
+        build_combine,
+        get_strategy,
+        parse_spec,
+        resolve_spec,
+    )
     from repro.supervise import ChaosSystem
     from repro.supervise.watchdog import DeadlineWatchdog
 
     started = time.perf_counter()
     try:
         cfg = compile_program(job.source)
-        thresholds = collect_thresholds(cfg) if job.thresholds else ()
+        strategy = get_strategy(parse_spec(job.op).name)
+        phased = strategy.kind == "phased"
+        resolved = resolve_spec(job.op, widen_delay=job.widen_delay)
+        need_thresholds = job.thresholds or strategy.needs_thresholds
+        thresholds = collect_thresholds(cfg) if need_thresholds else ()
         domain = build_domain(job.domain, thresholds)
         policy = build_policy(job.context, domain)
         analysis = InterAnalysis(cfg, domain, policy)
-        spec = get_solver(job.solver, side_effecting=True, scope="local")
-        if job.op == "warrow":
-            op = WarrowCombine(analysis.lattice, delay=job.widen_delay)
-        elif job.op == "widen":
-            op = WidenCombine(analysis.lattice, delay=job.widen_delay)
+        op = None
+        if phased:
+            spec = get_solver(job.solver, side_effecting=True, scope="local")
+            if job.chaos_rate or job.chaos_fail_at:
+                raise ValueError(
+                    "chaos injection is not supported for phased strategies"
+                )
         else:
-            raise ValueError(f"unknown update operator {job.op!r}")
+            spec = get_solver(
+                job.solver, side_effecting=True, scope="local", takes_op=True
+            )
+            op = build_combine(
+                resolved,
+                analysis.lattice,
+                ctx=BuildContext(cfg=cfg, thresholds=tuple(thresholds)),
+            )
     except (
         LexError,
         ParseError,
         SemanticError,
         UnknownSolverError,
+        UnknownStrategyError,
         SolverCapabilityError,
         ValueError,
     ) as err:
@@ -376,14 +405,28 @@ def execute_job(job: JobSpec) -> JobResult:
     except ValueError as err:  # bad deadline or chaos spec
         return _failure(job, "input-error", err, started)
 
+    analysis_result = None
     try:
-        result = spec(
-            system,
-            op,
-            analysis.root(),
-            max_evals=job.max_evals,
-            observers=observers,
-        )
+        if phased:
+            analysis_result = analyze_program_twophase(
+                cfg,
+                domain,
+                policy,
+                max_evals=job.max_evals,
+                track_contributions=(resolved.name == "decoupled"),
+                widen_delay=resolved.get("delay", job.widen_delay),
+                solver=job.solver,
+                observers=observers,
+            )
+            result = analysis_result.solver_result
+        else:
+            result = spec(
+                system,
+                op,
+                analysis.root(),
+                max_evals=job.max_evals,
+                observers=observers,
+            )
     except DivergenceError as err:
         return _failure(job, "divergence", err, started)
     except Exception as err:
@@ -392,7 +435,9 @@ def execute_job(job: JobSpec) -> JobResult:
     status, code = "ok", EXIT_OK
     proved = unproved = 0
     if job.verify:
-        reports = check_assertions(cfg, collect_analysis(analysis, result))
+        if analysis_result is None:
+            analysis_result = collect_analysis(analysis, result)
+        reports = check_assertions(cfg, analysis_result)
         counts = summarize(reports)
         proved = counts[Verdict.PROVED]
         unproved = counts[Verdict.UNKNOWN] + counts[Verdict.VIOLATED]

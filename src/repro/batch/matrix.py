@@ -1,0 +1,411 @@
+"""The precision x cost strategy matrix: Figure 7 at corpus scale.
+
+The paper's headline claim is a *relative* one: solving with the
+combined operator ⌴ instead of plain widening/narrowing improves the
+abstract value at roughly 39% of program points on the Malardalen WCET
+suite (Figure 7), at a bounded evaluation-count cost.  The matrix
+generalizes that measurement to *every* registered combine strategy
+(:mod:`repro.strategies`): each corpus program is solved once per
+strategy, every solution is compared point-by-point against the
+baseline strategy's solution (:func:`repro.analysis.compare_results`),
+and the per-cell precision counts plus solver costs are packaged in a
+stable, machine-readable document -- ``repro bench --matrix``.
+
+Schema (``format: repro-strategy-matrix/1``)::
+
+    {
+      "format":   "repro-strategy-matrix/1",
+      "revision": "<git short rev or 'local'>",
+      "python":   "3.12.1",
+      "quick":    true,
+      "baseline": "widen:delay=1",       # canonical baseline spec
+      "strategies": ["widen:delay=1", "warrow:delay=1", ...],
+      "cells": [        # one entry per (program, strategy), fixed order
+        {
+          "family": "wcet", "program": "bs",
+          "strategy": "warrow:delay=1",
+          "status": "ok", "code": 0,
+          "hash": "<sha256 of the post solution>",
+          "evaluations": 275, "updates": 144,
+          "wall_time": 0.0104,
+          "better": 9, "worse": 0, "equal": 24, "incomparable": 0,
+          "total": 33,       # vs the baseline cell of the same program
+          "error": ""
+        }, ...
+      ],
+      "totals": {
+        "cells": 42, "ok": 42, "failed": 0,
+        "strategies": [    # aggregated over ok cells, strategy order
+          {
+            "strategy": "warrow:delay=1", "ok": 14, "failed": 0,
+            "evaluations": 12345, "wall_time": 0.61,
+            "improved_points": 123, "regressed_points": 0,
+            "compared_points": 456, "improved_fraction": 0.2697,
+            "programs_improved": 9
+          }, ...
+        ]
+      }
+    }
+
+Precision counts are byte-stable across machines; wall times are not
+and exist for trend plots only.  The Fig. 7 reproduction reads off the
+``warrow`` row: a nonzero ``improved_fraction`` over the ``widen``
+baseline with ``regressed_points == 0``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.batch.bench import git_revision
+from repro.batch.jobs import build_domain, build_policy, solution_fingerprint
+from repro.lang import LexError, ParseError, SemanticError, compile_program
+from repro.solvers.stats import DivergenceError
+
+#: Format marker of the strategy-matrix document schema.
+MATRIX_FORMAT = "repro-strategy-matrix/1"
+
+#: Strategy column set of a default matrix run: the Fig. 7 comparison
+#: (widening baseline vs ⌴) plus the classical two-phase schedule.
+DEFAULT_MATRIX_STRATEGIES = ("widen", "warrow", "twophase")
+
+#: Evaluation budget per matrix cell.
+_MAX_EVALS = 5_000_000
+
+#: Per-cell fields persisted in a document's ``cells`` entries, in
+#: schema order.
+_CELL_FIELDS = (
+    "family",
+    "program",
+    "strategy",
+    "status",
+    "code",
+    "hash",
+    "evaluations",
+    "updates",
+    "wall_time",
+    "better",
+    "worse",
+    "equal",
+    "incomparable",
+    "total",
+    "error",
+)
+
+_INT_CELL_FIELDS = (
+    "code",
+    "evaluations",
+    "updates",
+    "better",
+    "worse",
+    "equal",
+    "incomparable",
+    "total",
+)
+
+
+def _run_cell(source: str, spec: str, *, context: str, max_evals: int):
+    """One (program, strategy) solve; returns (AnalysisResult, seconds).
+
+    Phased strategies run the two-pass schedule, combine strategies a
+    single generic solve -- both seeded with the CLI's default widening
+    delay of 1 so the matrix isolates the *operator*, not the schedule.
+    """
+    from repro.analysis import analyze_program, collect_thresholds
+    from repro.analysis.inter import analyze_program_twophase
+    from repro.strategies import is_phased, resolve_spec, spec_needs_thresholds
+
+    cfg = compile_program(source)
+    thresholds = collect_thresholds(cfg) if spec_needs_thresholds(spec) else ()
+    domain = build_domain("interval", thresholds)
+    policy = build_policy(context, domain)
+    started = time.perf_counter()
+    if is_phased(spec):
+        resolved = resolve_spec(spec, widen_delay=1)
+        result = analyze_program_twophase(
+            cfg,
+            domain,
+            policy=policy,
+            max_evals=max_evals,
+            widen_delay=resolved.get("delay", 1),
+            track_contributions=(resolved.name == "decoupled"),
+        )
+    else:
+        result = analyze_program(
+            cfg,
+            domain,
+            policy=policy,
+            max_evals=max_evals,
+            op_spec=spec,
+            widen_delay=1,
+        )
+    return result, time.perf_counter() - started
+
+
+def _blank_cell(family: str, program: str, strategy: str) -> dict:
+    return {
+        "family": family,
+        "program": program,
+        "strategy": strategy,
+        "status": "ok",
+        "code": 0,
+        "hash": "",
+        "evaluations": 0,
+        "updates": 0,
+        "wall_time": 0.0,
+        "better": 0,
+        "worse": 0,
+        "equal": 0,
+        "incomparable": 0,
+        "total": 0,
+        "error": "",
+    }
+
+
+def resolve_matrix_strategies(
+    strategies: Sequence[str], baseline: str
+) -> Tuple[List[str], str]:
+    """Canonicalize and dedupe the strategy columns; baseline first.
+
+    :returns: ``(canonical specs, canonical baseline)``; the baseline
+        is prepended when the column list does not already contain it.
+    :raises SpecError, UnknownStrategyError: for invalid specs.
+    """
+    from repro.strategies import canonical_spec
+
+    base = canonical_spec(baseline, widen_delay=1)
+    columns: List[str] = [base]
+    for spec in strategies:
+        canon = canonical_spec(spec, widen_delay=1)
+        if canon not in columns:
+            columns.append(canon)
+    return columns, base
+
+
+def run_matrix(
+    programs: Sequence[Tuple[str, str, str]],
+    strategies: Sequence[str] = DEFAULT_MATRIX_STRATEGIES,
+    *,
+    baseline: str = "widen",
+    context: str = "insensitive",
+    max_evals: int = _MAX_EVALS,
+    quick: bool = False,
+    revision: Optional[str] = None,
+) -> dict:
+    """Solve every program under every strategy; build the document.
+
+    :param programs: ``(family, name, source)`` rows, e.g. from
+        :func:`repro.batch.corpus.matrix_programs`.
+    :param strategies: strategy specs forming the columns; canonicalized
+        and deduplicated, with ``baseline`` always included.
+    :param baseline: the column every other cell's precision counts are
+        measured against (the paper's is pure widening).
+    :raises SpecError, UnknownStrategyError: for invalid strategy specs
+        (before any solving starts).
+    """
+    columns, base = resolve_matrix_strategies(strategies, baseline)
+    cells: List[dict] = []
+    for family, program, source in programs:
+        results: Dict[str, object] = {}
+        for spec in columns:
+            cell = _blank_cell(family, program, spec)
+            try:
+                result, seconds = _run_cell(
+                    source, spec, context=context, max_evals=max_evals
+                )
+            except DivergenceError as err:
+                cell.update(status="divergence", code=3, error=str(err))
+            except (LexError, ParseError, SemanticError) as err:
+                cell.update(status="input-error", code=2, error=str(err))
+            except Exception as err:  # pragma: no cover - defensive
+                cell.update(status="fault", code=4, error=repr(err))
+            else:
+                results[spec] = result
+                stats = result.solver_result.stats
+                cell.update(
+                    hash=solution_fingerprint(
+                        result.solver_result.sigma, result.lattice
+                    ),
+                    evaluations=stats.evaluations,
+                    updates=stats.updates,
+                    wall_time=round(seconds, 6),
+                )
+            cells.append(cell)
+        baseline_result = results.get(base)
+        if baseline_result is None:
+            continue  # baseline failed: cost columns stand, precision empty
+        from repro.analysis.compare import compare_results
+
+        for cell in cells[-len(columns):]:
+            result = results.get(cell["strategy"])
+            if result is None:
+                continue
+            cmp_ = compare_results(result, baseline_result)
+            cell.update(
+                better=cmp_.better,
+                worse=cmp_.worse,
+                equal=cmp_.equal,
+                incomparable=cmp_.incomparable,
+                total=cmp_.total,
+            )
+
+    failed = sum(1 for cell in cells if cell["code"] != 0)
+    per_strategy = []
+    for spec in columns:
+        mine = [c for c in cells if c["strategy"] == spec]
+        ok = [c for c in mine if c["code"] == 0]
+        compared = sum(c["total"] for c in ok)
+        improved = sum(c["better"] for c in ok)
+        per_strategy.append(
+            {
+                "strategy": spec,
+                "ok": len(ok),
+                "failed": len(mine) - len(ok),
+                "evaluations": sum(c["evaluations"] for c in ok),
+                "wall_time": round(sum(c["wall_time"] for c in ok), 6),
+                "improved_points": improved,
+                "regressed_points": sum(c["worse"] for c in ok),
+                "compared_points": compared,
+                "improved_fraction": (
+                    round(improved / compared, 4) if compared else 0.0
+                ),
+                "programs_improved": sum(1 for c in ok if c["better"]),
+            }
+        )
+    return {
+        "format": MATRIX_FORMAT,
+        "revision": revision if revision is not None else git_revision(),
+        "python": platform.python_version(),
+        "quick": bool(quick),
+        "baseline": base,
+        "strategies": columns,
+        "cells": cells,
+        "totals": {
+            "cells": len(cells),
+            "ok": len(cells) - failed,
+            "failed": failed,
+            "strategies": per_strategy,
+        },
+    }
+
+
+def validate_matrix(doc: dict) -> List[str]:
+    """Schema problems of a matrix document; empty when valid."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("format") != MATRIX_FORMAT:
+        problems.append(
+            f"format must be {MATRIX_FORMAT!r}, got {doc.get('format')!r}"
+        )
+    for key, kind in (
+        ("revision", str),
+        ("python", str),
+        ("quick", bool),
+        ("baseline", str),
+        ("strategies", list),
+        ("cells", list),
+        ("totals", dict),
+    ):
+        if not isinstance(doc.get(key), kind):
+            problems.append(f"missing or mistyped field {key!r}")
+    strategies = doc.get("strategies")
+    if isinstance(strategies, list) and doc.get("baseline") not in strategies:
+        problems.append("baseline is not among the strategies")
+    cells = doc.get("cells")
+    if not isinstance(cells, list):
+        return problems
+    seen = set()
+    for pos, cell in enumerate(cells):
+        where = f"cells[{pos}]"
+        if not isinstance(cell, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        for name in _CELL_FIELDS:
+            if name not in cell:
+                problems.append(f"{where} lacks field {name!r}")
+        for name in _INT_CELL_FIELDS:
+            if name in cell and not isinstance(cell[name], int):
+                problems.append(f"{where}.{name} is not an integer")
+        if "wall_time" in cell and not isinstance(
+            cell["wall_time"], (int, float)
+        ):
+            problems.append(f"{where}.wall_time is not a number")
+        key = (cell.get("family"), cell.get("program"), cell.get("strategy"))
+        if key in seen:
+            problems.append(f"duplicate cell {key!r}")
+        seen.add(key)
+        if cell.get("status") == "ok" and not cell.get("hash"):
+            problems.append(f"{where} is ok but lacks a post-solution hash")
+    totals = doc.get("totals")
+    if isinstance(totals, dict):
+        if totals.get("cells") != len(cells):
+            problems.append("totals.cells does not match the cell count")
+        rows = totals.get("strategies")
+        if not isinstance(rows, list):
+            problems.append("totals.strategies is not a list")
+        elif isinstance(strategies, list) and [
+            row.get("strategy") for row in rows if isinstance(row, dict)
+        ] != list(strategies):
+            problems.append("totals.strategies does not match the columns")
+    return problems
+
+
+def write_matrix(doc: dict, path) -> Path:
+    """Write a document as stable, human-diffable JSON; returns the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(doc, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_matrix(path) -> dict:
+    """Load and validate a matrix document.
+
+    :raises ValueError: when the file is not a schema-valid document.
+    """
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    problems = validate_matrix(doc)
+    if problems:
+        raise ValueError(
+            f"{path}: not a valid {MATRIX_FORMAT} document: "
+            + "; ".join(problems[:5])
+        )
+    return doc
+
+
+def render_matrix(doc: dict) -> str:
+    """The human-readable summary table of a matrix document."""
+    lines = [
+        f"strategy matrix vs baseline {doc['baseline']} "
+        f"({doc['totals']['cells']} cells, {doc['totals']['failed']} failed)"
+    ]
+    width = max(len(row["strategy"]) for row in doc["totals"]["strategies"])
+    header = (
+        f"  {'strategy'.ljust(width)}  {'ok':>4}  {'evals':>10}  "
+        f"{'improved':>16}  {'worse':>6}  {'time':>8}"
+    )
+    lines.append(header)
+    for row in doc["totals"]["strategies"]:
+        improved = (
+            f"{row['improved_points']}/{row['compared_points']} "
+            f"({100.0 * row['improved_fraction']:.1f}%)"
+        )
+        lines.append(
+            f"  {row['strategy'].ljust(width)}  {row['ok']:>4}  "
+            f"{row['evaluations']:>10}  {improved:>16}  "
+            f"{row['regressed_points']:>6}  {row['wall_time']:>7.2f}s"
+        )
+    for cell in doc["cells"]:
+        if cell["code"] != 0:
+            lines.append(
+                f"  FAILED {cell['family']}/{cell['program']}/"
+                f"{cell['strategy']}: {cell['status']} (code "
+                f"{cell['code']}) {cell['error']}"
+            )
+    return "\n".join(lines)

@@ -10,9 +10,11 @@ Usage (also via ``python -m repro``)::
     repro incr old.mc new.mc [options]      warm re-analysis after an edit
     repro dump-cfg program.mc               print the control-flow graphs
     repro solvers [--json]                  list the registered solvers
+    repro strategies [--json]               list the combine strategies
     repro fig7 [BENCH ...]                  regenerate Figure 7
     repro table1 [PROGRAM ...]              regenerate Table 1
     repro bench [options]                   batch-solve the corpus, gate CI
+    repro bench --matrix [options]          precision x cost strategy matrix
     repro serve [options]                   run the analysis daemon
     repro submit program.mc [options]       analyse via a running daemon
     repro status [options]                  daemon counters and cache stats
@@ -68,17 +70,48 @@ def _domain(args, cfg):
         raise SystemExit(str(err))
 
 
+def _effective_spec(args) -> Optional[str]:
+    """The strategy spec an analysis command should run.
+
+    ``--op SPEC`` wins; the legacy ``--solver twophase`` shorthand maps
+    onto the ``twophase`` strategy; otherwise ``None`` (the default
+    combined-operator path, bit-identical to the pre-strategy CLI).
+    """
+    spec = getattr(args, "op", None)
+    if spec is not None:
+        return spec
+    if getattr(args, "solver", "combined") == "twophase":
+        return "twophase"
+    return None
+
+
 def _analyze(args):
     cfg = compile_program(_read_source(args.file))
     domain = _domain(args, cfg)
     policy = _policy(args.context, domain)
-    if args.solver == "twophase":
+    spec = _effective_spec(args)
+    if spec is None:
+        result = analyze_program(
+            cfg,
+            domain,
+            policy=policy,
+            max_evals=args.max_evals,
+            solver=args.local_solver,
+        )
+        return cfg, result, domain
+
+    from repro.strategies import is_phased, resolve_spec
+
+    if is_phased(spec):
+        resolved = resolve_spec(spec, widen_delay=1)
         result = analyze_program_twophase(
             cfg,
             domain,
             policy=policy,
             max_evals=args.max_evals,
             solver=args.local_solver,
+            widen_delay=resolved.get("delay", 1),
+            track_contributions=(resolved.name == "decoupled"),
         )
     else:
         result = analyze_program(
@@ -87,6 +120,7 @@ def _analyze(args):
             policy=policy,
             max_evals=args.max_evals,
             solver=args.local_solver,
+            op_spec=spec,
         )
     return cfg, result, domain
 
@@ -173,14 +207,36 @@ def cmd_verify(args) -> int:
 
 def cmd_solve(args) -> int:
     from repro.analysis.inter import InterAnalysis
-    from repro.solvers.combine import WarrowCombine
+    from repro.strategies import (
+        BuildContext,
+        build_combine,
+        is_phased,
+        spec_needs_thresholds,
+    )
     from repro.supervise import ChaosPolicy, FaultSpec, supervised_solve
 
+    spec = _effective_spec(args) or "warrow:delay=1"
+    if is_phased(spec):
+        print(
+            f"error: strategy {spec!r} is phased (two solver passes) and "
+            "cannot run under the single-pass supervision layer; use "
+            "`repro analyze --op ...` instead",
+            file=sys.stderr,
+        )
+        return 2
     cfg = compile_program(_read_source(args.file))
     domain = _domain(args, cfg)
     policy = _policy(args.context, domain)
     analysis = InterAnalysis(cfg, domain, policy)
-    op = WarrowCombine(analysis.lattice, delay=1)
+    thresholds = ()
+    if args.thresholds or spec_needs_thresholds(spec):
+        thresholds = tuple(collect_thresholds(cfg))
+    op = build_combine(
+        spec,
+        analysis.lattice,
+        ctx=BuildContext(cfg=cfg, thresholds=thresholds),
+        widen_delay=1,
+    )
 
     chaos = None
     if args.chaos_rate or args.chaos_fail_at:
@@ -264,6 +320,38 @@ def cmd_solvers(args) -> int:
     return 0
 
 
+def cmd_strategies(args) -> int:
+    from repro.strategies import all_strategies, format_spec, resolve_spec
+
+    if getattr(args, "json", False):
+        import json
+
+        from repro.strategies import strategy_listing
+
+        print(json.dumps(strategy_listing(), indent=2, sort_keys=True))
+        return 0
+    for info in all_strategies():
+        caps = [info.kind]
+        if info.solve_ready:
+            caps.append("solve-ready")
+        if info.idempotent:
+            caps.append("idempotent")
+        if info.needs_thresholds:
+            caps.append("needs-thresholds")
+        if info.needs_cfg:
+            caps.append("needs-cfg")
+        names = info.name
+        if info.aliases:
+            names += f" ({', '.join(info.aliases)})"
+        ref = f" [{info.paper_ref}]" if info.paper_ref else ""
+        print(f"{names}: {', '.join(caps)}{ref}")
+        if info.params:
+            print(f"    canonical: {format_spec(resolve_spec(info.name))}")
+        if info.summary:
+            print(f"    {info.summary}")
+    return 0
+
+
 def cmd_dump_cfg(args) -> int:
     cfg = compile_program(_read_source(args.file))
     for fn_name, fn in cfg.functions.items():
@@ -289,9 +377,10 @@ def cmd_incr(args) -> int:
     new_cfg = compile_program(_read_source(args.edited))
     domain = _domain(args, old_cfg)
     policy = _policy(args.context, domain)
+    spec = _effective_spec(args)
 
     result, state = analyze_and_snapshot(
-        old_cfg, domain, policy=policy, max_evals=args.max_evals
+        old_cfg, domain, policy=policy, max_evals=args.max_evals, op_spec=spec
     )
     cold_evals = result.solver_result.stats.evaluations
     print(
@@ -319,6 +408,7 @@ def cmd_incr(args) -> int:
         closure=args.closure,
         reset=args.reset,
         compare_scratch=not args.no_compare,
+        op_spec=spec,
     )
     diff = report.diff
     print(
@@ -377,6 +467,58 @@ def cmd_table1(args) -> int:
     return 0
 
 
+def _bench_matrix(args) -> int:
+    from repro.batch import (
+        DEFAULT_MATRIX_STRATEGIES,
+        git_revision,
+        matrix_programs,
+        render_matrix,
+        run_matrix,
+        validate_matrix,
+        write_matrix,
+    )
+
+    try:
+        programs = matrix_programs(args.families or None, quick=args.quick)
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    if not programs:
+        print("error: the selected corpus is empty", file=sys.stderr)
+        return 2
+    strategies = args.strategies or list(DEFAULT_MATRIX_STRATEGIES)
+    if args.list:
+        from repro.batch.matrix import resolve_matrix_strategies
+
+        columns, _ = resolve_matrix_strategies(
+            strategies, args.baseline_strategy
+        )
+        for family, program, _source in programs:
+            for spec in columns:
+                print(f"{family}/{program}/{spec}")
+        return 0
+
+    revision = git_revision()
+    doc = run_matrix(
+        programs,
+        strategies,
+        baseline=args.baseline_strategy,
+        quick=args.quick,
+        revision=revision,
+    )
+    problems = validate_matrix(doc)
+    if problems:  # pragma: no cover - internal schema drift
+        print(
+            f"internal fault: invalid document: {problems}", file=sys.stderr
+        )
+        return 4
+    print(render_matrix(doc))
+    out = args.out or f"MATRIX_{revision}.json"
+    write_matrix(doc, out)
+    print(f"wrote {out}")
+    return 0 if doc["totals"]["failed"] == 0 else 1
+
+
 def cmd_bench(args) -> int:
     import json
 
@@ -390,6 +532,8 @@ def cmd_bench(args) -> int:
         write_bench,
     )
 
+    if args.matrix:
+        return _bench_matrix(args)
     try:
         jobs = corpus_jobs(
             args.families or None, quick=args.quick, deadline=args.deadline
@@ -665,7 +809,16 @@ def _add_analysis_options(parser: argparse.ArgumentParser) -> None:
         "--solver",
         choices=["combined", "twophase"],
         default="combined",
-        help="combined operator (paper) or classical two-phase baseline",
+        help="combined operator (paper) or classical two-phase baseline "
+        "(shorthand; --op subsumes this)",
+    )
+    parser.add_argument(
+        "--op",
+        default=None,
+        metavar="SPEC",
+        help="combine-strategy spec driving the solve, e.g. 'warrow', "
+        "'warrow:delay=2', 'widen', 'wpoint', 'twophase' "
+        "(see `repro strategies`; default: the paper's combined operator)",
     )
     parser.add_argument(
         "--local-solver",
@@ -864,6 +1017,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_solvers.set_defaults(func=cmd_solvers)
 
+    p_strategies = sub.add_parser(
+        "strategies",
+        help="list the registered combine strategies and their specs",
+    )
+    p_strategies.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable strategy listing instead of the table",
+    )
+    p_strategies.set_defaults(func=cmd_strategies)
+
     p_fig7 = sub.add_parser("fig7", help="regenerate Figure 7")
     p_fig7.add_argument("names", nargs="*", help="benchmark subset")
     p_fig7.set_defaults(func=cmd_fig7)
@@ -943,6 +1107,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--list",
         action="store_true",
         help="print the selected job ids and exit",
+    )
+    p_bench.add_argument(
+        "--matrix",
+        action="store_true",
+        help="precision x cost strategy matrix: solve every corpus "
+        "program under every --strategies spec and compare each "
+        "solution point-by-point against --baseline-strategy",
+    )
+    p_bench.add_argument(
+        "--strategies",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="matrix strategy column (repeatable; default: widen, "
+        "warrow, twophase -- the Fig. 7 comparison)",
+    )
+    p_bench.add_argument(
+        "--baseline-strategy",
+        default="widen",
+        metavar="SPEC",
+        help="strategy the matrix precision counts compare against "
+        "(default: widen, the paper's baseline)",
     )
     p_bench.set_defaults(func=cmd_bench)
 
@@ -1043,9 +1229,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_submit.add_argument(
         "--op",
-        choices=["warrow", "widen"],
         default="warrow",
-        help="update operator: combined warrow (paper) or pure widening",
+        metavar="SPEC",
+        help="combine-strategy spec for the update operator, e.g. "
+        "'warrow', 'warrow:delay=2', 'widen' (see `repro strategies`; "
+        "the daemon only accepts solve-ready combine strategies)",
     )
     p_submit.add_argument(
         "--widen-delay",
@@ -1142,6 +1330,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         SolverCapabilityError,
         UnknownSolverError,
     )
+    from repro.strategies import SpecError, UnknownStrategyError
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -1159,7 +1348,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except DivergenceError as err:
         print(f"error: solver diverged: {err}", file=sys.stderr)
         return 3
-    except (UnknownSolverError, SolverCapabilityError) as err:
+    except (
+        UnknownSolverError,
+        SolverCapabilityError,
+        UnknownStrategyError,
+        SpecError,
+    ) as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
     except Exception as err:  # pragma: no cover - defensive catch-all

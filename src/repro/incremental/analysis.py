@@ -150,9 +150,14 @@ def analyze_and_snapshot(
     entry_fn: str = "main",
     max_evals: Optional[int] = None,
     widen_delay: int = 1,
+    op_spec: Optional[str] = None,
 ):
     """Cold analysis plus a resumable snapshot of its solver state.
 
+    :param op_spec: optional combine-strategy spec (see
+        :mod:`repro.strategies`) driving the cold solve; the default is
+        the combined operator.  Phased specs are rejected -- the
+        snapshot must come from a single resumable solver pass.
     :returns: ``(AnalysisResult, SolverState)``.
     """
     result = analyze_program(
@@ -163,6 +168,7 @@ def analyze_and_snapshot(
         max_evals=max_evals,
         widen_delay=widen_delay,
         solver="slr+",
+        op_spec=op_spec,
     )
     return result, capture(result.solver_result, "slr+")
 
@@ -268,11 +274,17 @@ def reanalyze_program(
     closure: str = "transitive",
     reset: str = "none",
     compare_scratch: bool = False,
+    op_spec: Optional[str] = None,
 ) -> IncrementalReport:
     """Warm re-analysis of ``new_cfg`` from a snapshot taken on ``old_cfg``.
 
     The snapshot must come from an SLR+ run with the *same* domain,
     policy and entry function (e.g. via :func:`analyze_and_snapshot`).
+    The update operator may be given directly (``op``) or as a strategy
+    spec string (``op_spec``, resolved against the new program's
+    analysis lattice and CFG); the warm re-solve and the optional
+    from-scratch comparison run the same strategy, so the comparison
+    isolates warm-starting, not the operator.
     With ``compare_scratch`` the new version is additionally analysed
     from scratch and the report carries the per-point precision
     comparison -- the correctness bar of the paper's robustness claim for
@@ -280,8 +292,19 @@ def reanalyze_program(
     trades re-evaluations of the destabilized region for from-scratch
     precision (see :func:`repro.incremental.warmstart.warm_solve_slr`).
     """
+    if op is not None and op_spec is not None:
+        raise ValueError("pass either op or op_spec, not both")
     diff = diff_cfg(old_cfg, new_cfg)
     analysis = InterAnalysis(new_cfg, domain, policy, entry_fn)
+    if op_spec is not None:
+        from repro.strategies.registry import BuildContext, build_combine
+
+        op = build_combine(
+            op_spec,
+            analysis.lattice,
+            ctx=BuildContext(cfg=new_cfg),
+            widen_delay=widen_delay,
+        )
     if op is None:
         op = WarrowCombine(analysis.lattice, delay=widen_delay)
     transferred, dirty = transfer_state(state, diff, new_cfg, entry_fn)
@@ -313,6 +336,7 @@ def reanalyze_program(
             max_evals=max_evals,
             widen_delay=widen_delay,
             solver="slr+",
+            op_spec=op_spec,
         )
         report.scratch = scratch
         report.precision = compare_results(report.result, scratch)

@@ -63,6 +63,12 @@ class SolverState:
     contributors: Dict[Hashable, Set[Hashable]] = field(default_factory=dict)
     #: SLR+ classical mode only: targets of accumulated side effects.
     accumulated: Set[Hashable] = field(default_factory=set)
+    #: Optional snapshot of the update operator's per-unknown state
+    #: (:func:`repro.strategies.export_combine_state`): delayed
+    #: widening's grow counts, ⌴ₖ's switch counters, ...  ``None`` for
+    #: stateless operators and legacy snapshots; serialized only when
+    #: present, so existing payloads stay byte-identical.
+    combine: Optional[Dict[str, Any]] = None
 
     # ----------------------------------------------------------------- #
     # Cross-version transfer.                                           #
@@ -79,6 +85,9 @@ class SolverState:
         shedding edges into dropped unknowns.  Priority keys and the
         counter are preserved, so unknowns discovered during the warm run
         receive fresh keys strictly smaller than all restored ones.
+        The combine-operator snapshot is dropped: its counters describe
+        the *old* version's trajectory, and starting the operator cold is
+        always sound (it can only delay acceleration, never skip it).
         """
         cache: Dict[Hashable, Optional[Hashable]] = {}
 
@@ -142,7 +151,12 @@ class SolverState:
         values: ValueCodec,
         unknowns: Optional[UnknownCodec] = None,
     ) -> Dict[str, Any]:
-        """Serialize to a JSON-able dict with deterministic ordering."""
+        """Serialize to a JSON-able dict with deterministic ordering.
+
+        The ``combine`` key is emitted only when a combine-operator
+        snapshot is present, so snapshots without one (every snapshot
+        predating the strategies subsystem) keep their exact bytes.
+        """
         uc = unknowns if unknowns is not None else UnknownCodec()
 
         def skey(pair):
@@ -157,7 +171,7 @@ class SolverState:
         def enc_set(s):
             return sorted((uc.encode(u) for u in s), key=lambda e: json.dumps(e))
 
-        return {
+        out = {
             "format": FORMAT,
             "solver": self.solver,
             "counter": self.counter,
@@ -177,6 +191,9 @@ class SolverState:
             "contributors": enc_pairs(self.contributors, enc_set),
             "accumulated": enc_set(self.accumulated),
         }
+        if self.combine:
+            out["combine"] = self.combine
+        return out
 
     @classmethod
     def from_json(
@@ -213,6 +230,7 @@ class SolverState:
             },
             contributors=dec_pairs(data["contributors"], dec_set),
             accumulated=dec_set(data["accumulated"]),
+            combine=data.get("combine"),
         )
 
     def dumps(self, lattice, unknowns: Optional[UnknownCodec] = None) -> str:
@@ -235,7 +253,22 @@ class SolverState:
 # Capture from solver results.                                          #
 # --------------------------------------------------------------------- #
 
-def capture(result, solver: str, wpoints: Set[Hashable] = frozenset()) -> SolverState:
+def _export_op(op) -> Optional[Dict[str, Any]]:
+    """``op``'s combine-state snapshot, or ``None`` when stateless."""
+    if op is None:
+        return None
+    from repro.strategies.state import export_combine_state
+
+    return export_combine_state(op) or None
+
+
+def capture(
+    result,
+    solver: str,
+    wpoints: Set[Hashable] = frozenset(),
+    *,
+    op=None,
+) -> SolverState:
     """Snapshot a terminated solver result as a :class:`SolverState`.
 
     Works for all three warm-startable solvers: ``SolverResult`` (SW),
@@ -244,6 +277,11 @@ def capture(result, solver: str, wpoints: Set[Hashable] = frozenset()) -> Solver
     can dispatch.  For local solves the stability set is the encountered
     domain (every unknown is stable at termination) and the discovery
     counter is reconstructed from the smallest priority key.
+
+    :param op: when given, the run's update operator; its per-unknown
+        state (:func:`repro.strategies.export_combine_state`) rides
+        along in :attr:`SolverState.combine` so a resume can restore
+        widening delays and ⌴ₖ budgets exactly.
     """
     keys = dict(getattr(result, "keys", {}) or {})
     infl = {x: set(s) for x, s in (getattr(result, "infl", {}) or {}).items()}
@@ -265,11 +303,16 @@ def capture(result, solver: str, wpoints: Set[Hashable] = frozenset()) -> Solver
             for z, s in (getattr(result, "contributors", {}) or {}).items()
         },
         accumulated=set(getattr(result, "accumulated", ()) or ()),
+        combine=_export_op(op),
     )
 
 
 def capture_engine(
-    engine, solver: str, wpoints: Set[Hashable] = frozenset()
+    engine,
+    solver: str,
+    wpoints: Set[Hashable] = frozenset(),
+    *,
+    include_combine: bool = False,
 ) -> SolverState:
     """Snapshot a *running* :class:`~repro.solvers.engine.SolverEngine`.
 
@@ -283,7 +326,11 @@ def capture_engine(
       resumed run must re-solve them;
     * strategy-private state that lives outside the engine (SLR+'s
       contribution maps) is read from ``engine.aux``, where the solver
-      registers it.
+      registers it;
+    * with ``include_combine`` the update operator's own per-unknown
+      state (widening delays, ⌴ₖ budgets) is snapshotted from
+      ``engine.op`` into :attr:`SolverState.combine` -- opt-in, so
+      existing checkpoint payloads stay byte-identical.
 
     A crash-recovery resume destabilizes ``state.dom - state.stable``
     (see :func:`resume_dirty`); for SW, whose loop does not maintain the
@@ -308,6 +355,11 @@ def capture_engine(
             z: set(s) for z, s in aux.get("contributors", {}).items()
         },
         accumulated=set(aux.get("accumulated", ())),
+        combine=(
+            _export_op(getattr(engine, "op", None))
+            if include_combine
+            else None
+        ),
     )
 
 

@@ -148,6 +148,7 @@ def warm_solve_sw(
     eng = SolverEngine(
         system, op, max_evals=max_evals, observers=observers, memoize=memoize
     )
+    op = eng.op  # the engine's per-run fresh instance
     xs = list(order) if order is not None else list(system.unknowns)
     key = {x: i for i, x in enumerate(xs)}
     sigma = eng.sigma
@@ -228,6 +229,7 @@ def warm_solve_slr(
     eng = SolverEngine(
         system, op, max_evals=max_evals, observers=observers, memoize=memoize
     )
+    op = eng.op  # the engine's per-run fresh instance
     _restore_engine(eng, state)
     sigma, keys = eng.sigma, eng.keys
     queue = eng.make_queue(lambda x: keys[x])
@@ -294,6 +296,7 @@ def warm_solve_slr_side(
     """
     _check_reset(reset, closure)
     eng = SolverEngine(system, op, max_evals=max_evals, observers=observers)
+    op = eng.op  # the engine's per-run fresh instance
     _restore_engine(eng, state)
     lat = eng.lattice
     sigma, keys, dom, stable = eng.sigma, eng.keys, eng.dom, eng.stable

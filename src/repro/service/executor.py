@@ -51,13 +51,18 @@ from repro.incremental import (
 from repro.incremental.warmstart import warm_solve_slr_side
 from repro.lang import LexError, ParseError, SemanticError, compile_program
 from repro.lang.diff import CfgDiff, diff_cfg
-from repro.solvers.combine import WarrowCombine, WidenCombine
 from repro.solvers.registry import (
     SolverCapabilityError,
     UnknownSolverError,
     get_solver,
 )
 from repro.solvers.stats import DivergenceError
+from repro.strategies import (
+    BuildContext,
+    UnknownStrategyError,
+    build_combine,
+    spec_needs_thresholds,
+)
 from repro.supervise import supervised_solve
 from repro.supervise.watchdog import DeadlineWatchdog
 
@@ -110,17 +115,18 @@ def _setup(job: JobSpec):
     from repro.analysis.inter import InterAnalysis
 
     cfg = compile_program(job.source)
-    thresholds = collect_thresholds(cfg) if job.thresholds else ()
+    need_thresholds = job.thresholds or spec_needs_thresholds(job.op)
+    thresholds = collect_thresholds(cfg) if need_thresholds else ()
     domain = build_domain(job.domain, thresholds)
     policy = build_policy(job.context, domain)
     analysis = InterAnalysis(cfg, domain, policy)
-    get_solver(job.solver, side_effecting=True, scope="local")
-    if job.op == "warrow":
-        op = WarrowCombine(analysis.lattice, delay=job.widen_delay)
-    elif job.op == "widen":
-        op = WidenCombine(analysis.lattice, delay=job.widen_delay)
-    else:
-        raise ValueError(f"unknown update operator {job.op!r}")
+    get_solver(job.solver, side_effecting=True, scope="local", takes_op=True)
+    op = build_combine(
+        job.op,
+        analysis.lattice,
+        ctx=BuildContext(cfg=cfg, thresholds=tuple(thresholds)),
+        widen_delay=job.widen_delay,
+    )
     return cfg, analysis, op
 
 
@@ -197,6 +203,7 @@ def _execute_cold(job: JobSpec, started: float) -> ServiceExecution:
         ParseError,
         SemanticError,
         UnknownSolverError,
+        UnknownStrategyError,
         SolverCapabilityError,
         ValueError,
     ) as err:
@@ -270,7 +277,13 @@ def _execute_warm(
     try:
         cfg, analysis, op = _setup(job)
         old_cfg = compile_program(donor_source)
-    except (LexError, ParseError, SemanticError, ValueError):
+    except (
+        LexError,
+        ParseError,
+        SemanticError,
+        UnknownStrategyError,
+        ValueError,
+    ):
         return None  # cold path re-raises for proper classification
 
     diff = diff_cfg(old_cfg, cfg)

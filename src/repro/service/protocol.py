@@ -74,6 +74,14 @@ class ProtocolError(ValueError):
     """A malformed or invalid request (maps to an ``ok: false`` reply)."""
 
 
+def _strategies():
+    # Deferred: the strategies registry pulls in the solver package, and
+    # protocol.py must stay importable from lightweight clients.
+    import repro.strategies as strategies
+
+    return strategies
+
+
 def encode(message: dict) -> bytes:
     """One message as a single NDJSON line (compact, sorted keys)."""
     return (
@@ -148,8 +156,22 @@ def solve_request_to_jobspec(
             raise ProtocolError(f"field {name!r} must be {kind.__name__}")
         options[name] = value
     options["op"] = options.pop("update_op")
-    if options["op"] not in ("warrow", "widen"):
-        raise ProtocolError("field 'update_op' must be 'warrow' or 'widen'")
+    try:
+        strategy = _strategies().get_strategy(
+            _strategies().parse_spec(options["op"]).name
+        )
+        _strategies().resolve_spec(options["op"])
+    except (LookupError, ValueError) as err:
+        raise ProtocolError(f"field 'update_op' is invalid: {err}") from err
+    # The service runs one generic solver pass per request, so only
+    # solve-ready combine strategies are admissible: phased schedules
+    # need two passes, and the building blocks (join/meet/narrow/
+    # override) do not terminate with a sound post solution on their own.
+    if strategy.kind != "combine" or not strategy.solve_ready:
+        raise ProtocolError(
+            f"field 'update_op' must name a solve-ready combine strategy "
+            f"({strategy.name!r} is not); e.g. 'warrow' or 'widen'"
+        )
     if options["widen_delay"] < 0:
         raise ProtocolError("field 'widen_delay' must be non-negative")
     if options["max_evals"] < 1:

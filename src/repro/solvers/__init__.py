@@ -31,6 +31,8 @@ re-evaluations whose dependencies are unchanged.
 """
 
 from repro.solvers.combine import (
+    BoundedJoinNarrowCombine,
+    BoundedNarrowCombine,
     BoundedWarrowCombine,
     Combine,
     JoinCombine,
@@ -88,6 +90,8 @@ from repro.solvers.wpoints import (
 )
 
 __all__ = [
+    "BoundedJoinNarrowCombine",
+    "BoundedNarrowCombine",
     "BoundedWarrowCombine",
     "Combine",
     "JoinCombine",

@@ -31,6 +31,12 @@ class Combine(ABC):
     #: exploit idempotence; the combined operator is *not* idempotent.
     idempotent: bool = False
 
+    #: The resolved :class:`~repro.strategies.spec.StrategySpec` this
+    #: operator was built from, when it came out of the strategy registry
+    #: (``None`` for directly constructed operators).  Carried across
+    #: :meth:`fresh` so engines can stamp the strategy into their stats.
+    spec = None
+
     @abstractmethod
     def __call__(self, x: Hashable, old, new):
         """Combine the ``old`` value of ``x`` with the ``new`` contribution."""
@@ -39,13 +45,46 @@ class Combine(ABC):
         """Clear any per-unknown state (called at the start of a solve)."""
 
     def fresh(self) -> "Combine":
-        """Return an equivalent operator with cleared state.
+        """Return an equivalent operator with cleared, *unshared* state.
 
-        The default resets in place and returns ``self``; stateless
-        operators need not override this.
+        Stateless operators may return ``self``; every operator with
+        per-unknown state must return a **new instance** -- two solver
+        runs handed the same operator object (e.g. by the service's
+        thread pool) must never share ``_grow_counts``/``_switches``
+        maps.  Subclasses with constructor state override :meth:`_clone`;
+        this wrapper carries the ``spec`` attribute across.
         """
-        self.reset()
+        clone = self._clone()
+        if clone is not self:
+            clone.spec = self.spec
+        return clone
+
+    def _clone(self) -> "Combine":
+        """A new equivalent instance with cleared state (see :meth:`fresh`)."""
         return self
+
+    # ----------------------------------------------------------------- #
+    # Serializable per-unknown state (incremental/checkpoint resume).    #
+    # ----------------------------------------------------------------- #
+
+    def state_parts(self) -> Dict[str, Dict[Hashable, object]]:
+        """The operator's per-unknown state as ``field -> {unknown: scalar}``.
+
+        Scalars must be JSON-able (ints or short strings); the nested
+        export/import over wrapper operators lives in
+        :mod:`repro.strategies.state`.  Stateless operators return ``{}``.
+        """
+        return {}
+
+    def load_state_parts(
+        self, parts: Dict[str, Dict[Hashable, object]]
+    ) -> None:
+        """Restore state exported by :meth:`state_parts` (missing keys
+        reset to empty)."""
+
+    def children(self) -> Dict[str, "Combine"]:
+        """Named member operators of a wrapper strategy (``{}`` for leaves)."""
+        return {}
 
 
 class OverrideCombine(Combine):
@@ -99,6 +138,15 @@ class WidenCombine(Combine):
     def reset(self) -> None:
         self._grow_counts.clear()
 
+    def _clone(self) -> "WidenCombine":
+        return type(self)(self.lattice, self.delay)
+
+    def state_parts(self):
+        return {"grow": dict(self._grow_counts)}
+
+    def load_state_parts(self, parts) -> None:
+        self._grow_counts = dict(parts.get("grow", {}))
+
     def __call__(self, x, old, new):
         if self.delay and not self.lattice.leq(new, old):
             seen = self._grow_counts.get(x, 0)
@@ -145,6 +193,15 @@ class WarrowCombine(Combine):
     def reset(self) -> None:
         self._grow_counts.clear()
 
+    def _clone(self) -> "WarrowCombine":
+        return type(self)(self.lattice, self.delay)
+
+    def state_parts(self):
+        return {"grow": dict(self._grow_counts)}
+
+    def load_state_parts(self, parts) -> None:
+        self._grow_counts = dict(parts.get("grow", {}))
+
     def __call__(self, x, old, new):
         if self.lattice.leq(new, old):
             return self.lattice.narrow(old, new)
@@ -183,6 +240,16 @@ class BoundedWarrowCombine(Combine):
         self._switches.clear()
         self._mode.clear()
 
+    def _clone(self) -> "BoundedWarrowCombine":
+        return type(self)(self.lattice, self.k)
+
+    def state_parts(self):
+        return {"switches": dict(self._switches), "mode": dict(self._mode)}
+
+    def load_state_parts(self, parts) -> None:
+        self._switches = dict(parts.get("switches", {}))
+        self._mode = dict(parts.get("mode", {}))
+
     def __call__(self, x, old, new):
         if self.lattice.leq(new, old):
             if self._switches.get(x, 0) >= self.k:
@@ -198,6 +265,99 @@ class BoundedWarrowCombine(Combine):
             self._switches[x] = self._switches.get(x, 0) + 1
         self._mode[x] = "widen"
         return self.lattice.widen(old, new)
+
+
+class BoundedNarrowCombine(Combine):
+    """Widen on growth; narrow on shrink, at most ``cap`` times per unknown.
+
+    The degraded member of the supervision layer's escalation ladder
+    (:mod:`repro.supervise.escalate`): each unknown may take up to
+    ``cap`` strictly improving narrow steps, after which a shrinking
+    contribution keeps the old value -- sound, because ``b <= a`` in that
+    branch, so keeping ``a`` preserves ``sigma[x] >= f_x(sigma)``.  With
+    ``cap=0`` this is ascending-only iteration (⌴ → ▽, the Goblint
+    ``NarrowOption`` with narrowing off): the paper's Theorem 1/2 regime
+    where termination needs no monotonicity at all.
+    """
+
+    def __init__(self, lattice: Lattice, cap: int = 0) -> None:
+        if cap < 0:
+            raise ValueError("narrow cap must be non-negative")
+        self.lattice = lattice
+        self.cap = cap
+        self._descents: Dict[Hashable, int] = {}
+
+    def reset(self) -> None:
+        self._descents.clear()
+
+    def _clone(self) -> "BoundedNarrowCombine":
+        return type(self)(self.lattice, self.cap)
+
+    def state_parts(self):
+        return {"descents": dict(self._descents)}
+
+    def load_state_parts(self, parts) -> None:
+        self._descents = dict(parts.get("descents", {}))
+
+    def __call__(self, x, old, new):
+        if self.lattice.leq(new, old):
+            if self._descents.get(x, 0) >= self.cap:
+                return old
+            result = self.lattice.narrow(old, new)
+            if not self.lattice.equal(result, old):
+                self._descents[x] = self._descents.get(x, 0) + 1
+            return result
+        return self.lattice.widen(old, new)
+
+
+class BoundedJoinNarrowCombine(Combine):
+    """Join on growth; narrow on shrink, frozen after ``bound`` switches.
+
+    The non-accelerated member of the selective widening-point operator
+    (:class:`~repro.solvers.wpoints.SelectiveWarrowCombine`): values grow
+    by plain join -- so no precision is lost at harmless merge points --
+    but may still shrink when an accelerated neighbour narrows.
+    Unrestricted, that combination re-creates the oscillations of the
+    paper's Examples 1--2 through the non-points, so the Section 4
+    safeguard applies: after ``bound`` narrow-to-grow switches per
+    unknown, narrowing is given up and only bounded join growth remains.
+    """
+
+    def __init__(self, lattice: Lattice, bound: int = 3) -> None:
+        if bound < 0:
+            raise ValueError("switch bound must be non-negative")
+        self.lattice = lattice
+        self.bound = bound
+        self._switches: Dict[Hashable, int] = {}
+        self._mode: Dict[Hashable, str] = {}
+
+    def reset(self) -> None:
+        self._switches.clear()
+        self._mode.clear()
+
+    def _clone(self) -> "BoundedJoinNarrowCombine":
+        return type(self)(self.lattice, self.bound)
+
+    def state_parts(self):
+        return {"switches": dict(self._switches), "mode": dict(self._mode)}
+
+    def load_state_parts(self, parts) -> None:
+        self._switches = dict(parts.get("switches", {}))
+        self._mode = dict(parts.get("mode", {}))
+
+    def __call__(self, x, old, new):
+        if self.lattice.leq(new, old):
+            if self._switches.get(x, 0) >= self.bound:
+                return old
+            result = self.lattice.narrow(old, new)
+            # Stable re-evaluations must not arm the detector.
+            if not self.lattice.equal(result, old):
+                self._mode[x] = "narrow"
+            return result
+        if self._mode.get(x) == "narrow":
+            self._switches[x] = self._switches.get(x, 0) + 1
+        self._mode[x] = "grow"
+        return self.lattice.join(old, new)
 
 
 def warrow(lattice: Lattice, a, b):

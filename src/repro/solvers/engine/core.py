@@ -64,7 +64,12 @@ class SolverEngine:
         :param memoize: enable the RHS memoization cache.
         """
         self.system = system
-        self.op = op
+        # A *fresh* operator instance per run: stateful operators handed
+        # to several engines (e.g. by the service's thread pool) must
+        # never share their per-unknown maps.  Solvers therefore read
+        # the operator back from ``engine.op`` instead of closing over
+        # the argument.
+        self.op = op.fresh() if op is not None else None
         self.lattice = system.lattice
         #: The mapping under construction.
         self.sigma: dict = {}
@@ -95,8 +100,10 @@ class SolverEngine:
         self.bus = EventBus([stats_observer, *observers])
         self.max_evals = max_evals
         self.memo: Optional[MemoCache] = MemoCache() if memoize else None
-        if op is not None:
-            op.reset()
+        if self.op is not None:
+            self.op.reset()
+            if self.op.spec is not None:
+                self.stats.strategy = str(self.op.spec)
         self.bus.emit_start(self)
 
     # ----------------------------------------------------------------- #

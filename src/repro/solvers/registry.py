@@ -193,6 +193,7 @@ def get_solver(
     generic: Optional[bool] = None,
     memoize: Optional[bool] = None,
     supervisable: Optional[bool] = None,
+    takes_op: Optional[bool] = None,
 ) -> SolverSpec:
     """Look up a solver by name, optionally enforcing capabilities.
 
@@ -204,6 +205,9 @@ def get_solver(
     :param memoize: when ``True``, require RHS-memoization support.
     :param supervisable: when ``True``, require support for the
         supervision layer (watchdog observers, checkpointing, salvage).
+    :param takes_op: when ``True``, require the solver to accept a
+        :class:`Combine` operator (a resolved ``--op`` strategy spec is
+        meaningless to the fixed-operator baselines).
     :raises UnknownSolverError: for unregistered names.
     :raises SolverCapabilityError: when a requirement is not met.
     """
@@ -238,6 +242,11 @@ def get_solver(
         raise SolverCapabilityError(
             f"solver {spec.name!r} cannot run under supervision "
             f"(it must accept observers and evaluate through the engine)"
+        )
+    if takes_op and not spec.takes_op:
+        raise SolverCapabilityError(
+            f"solver {spec.name!r} fixes its update operator internally "
+            f"and cannot run a combine strategy"
         )
     return spec
 

@@ -48,6 +48,7 @@ def solve_rld(
     :returns: the mapping over all encountered unknowns.
     """
     eng = SolverEngine(system, op, max_evals=max_evals, observers=observers)
+    op = eng.op  # the engine's per-run fresh instance
     sigma = eng.sigma
 
     # The engine's ``infl`` holds insertion-ordered sets (dicts with

@@ -54,6 +54,7 @@ def solve_rr(
     eng = SolverEngine(
         system, op, max_evals=max_evals, observers=observers, memoize=memoize
     )
+    op = eng.op  # the engine's per-run fresh instance
     xs = list(order) if order is not None else list(system.unknowns)
     sigma = eng.seed_finite(xs)
 

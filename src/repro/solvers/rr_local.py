@@ -54,6 +54,7 @@ def solve_rr_local(
         is closed under the dynamically discovered dependencies.
     """
     eng = SolverEngine(system, op, max_evals=max_evals, observers=observers)
+    op = eng.op  # the engine's per-run fresh instance
     sigma = eng.sigma
     sigma[x0] = system.init(x0)
     worklist = [x0]  # insertion-ordered domain

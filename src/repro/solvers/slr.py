@@ -82,6 +82,7 @@ def solve_slr(
     eng = SolverEngine(
         system, op, max_evals=max_evals, observers=observers, memoize=memoize
     )
+    op = eng.op  # the engine's per-run fresh instance
     sigma, keys = eng.sigma, eng.keys
     queue = eng.make_queue(lambda x: keys[x])
 

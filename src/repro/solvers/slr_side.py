@@ -99,6 +99,7 @@ def solve_slr_side(
         including all side-effect targets.
     """
     eng = SolverEngine(system, op, max_evals=max_evals, observers=observers)
+    op = eng.op  # the engine's per-run fresh instance
     lat = eng.lattice
     sigma, keys, dom, stable = eng.sigma, eng.keys, eng.dom, eng.stable
     contribs: Dict[Tuple[Hashable, Hashable], object] = {}

@@ -74,6 +74,10 @@ class SolverStats:
     memo_hits: int = 0
     #: RHS memoization cache misses (0 unless memoization is enabled).
     memo_misses: int = 0
+    #: Canonical spec string of the update strategy the run was driven
+    #: by (empty when the operator carries no spec, e.g. when it was
+    #: constructed directly instead of via the strategy registry).
+    strategy: str = ""
 
     def count_eval(self, x: Hashable) -> None:
         """Record one evaluation of the right-hand side of ``x``."""

@@ -55,6 +55,7 @@ def solve_td(
     :returns: the mapping over all encountered unknowns.
     """
     eng = SolverEngine(system, op, max_evals=max_evals, observers=observers)
+    op = eng.op  # the engine's per-run fresh instance
     sigma, infl, stable = eng.sigma, eng.infl, eng.stable
     #: Unknowns whose local iteration is currently running (call stack).
     called: Set[Hashable] = set()

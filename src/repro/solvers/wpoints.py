@@ -99,6 +99,17 @@ class SelectiveCombine(Combine):
         self.accelerated.reset()
         self.otherwise.reset()
 
+    def _clone(self) -> "SelectiveCombine":
+        return SelectiveCombine(
+            self.lattice,
+            self.points,
+            accelerated=self.accelerated.fresh(),
+            otherwise=self.otherwise.fresh(),
+        )
+
+    def children(self):
+        return {"accelerated": self.accelerated, "otherwise": self.otherwise}
+
     def __call__(self, x, old, new):
         if x in self.points:
             return self.accelerated(x, old, new)
@@ -130,31 +141,13 @@ class SelectiveWarrowCombine(SelectiveCombine):
         delay: int = 0,
         switch_bound: int = 3,
     ) -> None:
-        class _BoundedJoinOrNarrow(Combine):
-            def __init__(self) -> None:
-                self._switches: dict = {}
-                self._mode: dict = {}
+        from repro.solvers.combine import (
+            BoundedJoinNarrowCombine,
+            BoundedWarrowCombine,
+        )
 
-            def reset(self) -> None:
-                self._switches.clear()
-                self._mode.clear()
-
-            def __call__(self, x, old, new):
-                if lattice.leq(new, old):
-                    if self._switches.get(x, 0) >= switch_bound:
-                        return old
-                    result = lattice.narrow(old, new)
-                    # Stable re-evaluations must not arm the detector.
-                    if not lattice.equal(result, old):
-                        self._mode[x] = "narrow"
-                    return result
-                if self._mode.get(x) == "narrow":
-                    self._switches[x] = self._switches.get(x, 0) + 1
-                self._mode[x] = "grow"
-                return lattice.join(old, new)
-
-        from repro.solvers.combine import BoundedWarrowCombine
-
+        self.delay = delay
+        self.switch_bound = switch_bound
         accelerated: Combine
         if delay:
             accelerated = WarrowCombine(lattice, delay=delay)
@@ -164,5 +157,10 @@ class SelectiveWarrowCombine(SelectiveCombine):
             lattice,
             points,
             accelerated=accelerated,
-            otherwise=_BoundedJoinOrNarrow(),
+            otherwise=BoundedJoinNarrowCombine(lattice, bound=switch_bound),
+        )
+
+    def _clone(self) -> "SelectiveWarrowCombine":
+        return type(self)(
+            self.lattice, self.points, self.delay, self.switch_bound
         )

@@ -1,0 +1,72 @@
+"""Pluggable combine strategies: the registry behind ``--op <spec>``.
+
+The subsystem has four parts:
+
+* :mod:`repro.strategies.spec` -- the ``name[:key=value,...]`` spec
+  codec (:func:`parse_spec` / :func:`format_spec`);
+* :mod:`repro.strategies.registry` -- the catalog of named strategies
+  and the :func:`build_combine` factory every layer calls;
+* :mod:`repro.strategies.pervar` -- per-variable strategy maps (⌴ at
+  widening points, join elsewhere: the Goblint idiom);
+* :mod:`repro.strategies.state` -- deterministic export/import of
+  stateful operators for warm starts and checkpoint resume.
+
+See ``docs/strategies.md`` for the strategy catalog and spec grammar.
+"""
+
+from repro.strategies.pervar import (
+    PerVariableCombine,
+    node_widening_points,
+    widening_point_combine,
+)
+from repro.strategies.registry import (
+    BuildContext,
+    EscalationRung,
+    StrategyInfo,
+    UnknownStrategyError,
+    all_strategies,
+    build_combine,
+    canonical_spec,
+    escalation_ladder,
+    get_strategy,
+    is_phased,
+    register_strategy,
+    resolve_spec,
+    spec_needs_thresholds,
+    strategy_listing,
+    strategy_names,
+)
+from repro.strategies.spec import (
+    SpecError,
+    StrategySpec,
+    format_spec,
+    parse_spec,
+)
+from repro.strategies.state import export_combine_state, import_combine_state
+
+__all__ = [
+    "BuildContext",
+    "EscalationRung",
+    "PerVariableCombine",
+    "SpecError",
+    "StrategyInfo",
+    "StrategySpec",
+    "UnknownStrategyError",
+    "all_strategies",
+    "build_combine",
+    "canonical_spec",
+    "escalation_ladder",
+    "export_combine_state",
+    "format_spec",
+    "get_strategy",
+    "import_combine_state",
+    "is_phased",
+    "node_widening_points",
+    "parse_spec",
+    "register_strategy",
+    "resolve_spec",
+    "spec_needs_thresholds",
+    "strategy_listing",
+    "strategy_names",
+    "widening_point_combine",
+]

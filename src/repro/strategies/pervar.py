@@ -1,0 +1,132 @@
+"""Per-variable strategy maps: different operators for different unknowns.
+
+Goblint's ``solverBox.ml`` chooses the box operator per solve *and per
+variable* -- classically, widening points get the accelerated operator
+while every other unknown is combined with plain join.
+:class:`PerVariableCombine` is the generic router behind that idiom:
+a chooser function labels each unknown, and the label selects one of
+several named member operators.  Member state stays per-member, so the
+router composes with any stateful strategy.
+
+:func:`widening_point_combine` instantiates the classic map for the
+interprocedural analysis: loop-head program points (computed per
+function from the CFG's successor graph by
+:func:`~repro.solvers.wpoints.widening_points`) and flow-insensitive
+globals get the paper's ⌴, everything else the bounded join-or-narrow
+safeguard (or, with ``safeguard=False``, plain join -- the textbook
+idiom, which is only terminating for monotone systems).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Hashable
+
+from repro.solvers.combine import (
+    BoundedJoinNarrowCombine,
+    Combine,
+    JoinCombine,
+    WarrowCombine,
+)
+from repro.solvers.wpoints import widening_points
+
+
+class PerVariableCombine(Combine):
+    """Route each unknown to a named member strategy via a chooser.
+
+    :param chooser: maps an unknown to a member label; unlisted labels
+        fall back to ``default``.
+    :param members: label -> member operator.
+    :param default: the label used for unknowns whose chosen label is
+        not in ``members``.
+    """
+
+    def __init__(
+        self,
+        chooser: Callable[[Hashable], str],
+        members: Dict[str, Combine],
+        default: str,
+    ) -> None:
+        if default not in members:
+            raise ValueError(f"default label {default!r} not in members")
+        self.chooser = chooser
+        self.members = dict(members)
+        self.default = default
+
+    def reset(self) -> None:
+        for member in self.members.values():
+            member.reset()
+
+    def _clone(self) -> "PerVariableCombine":
+        return PerVariableCombine(
+            self.chooser,
+            {label: member.fresh() for label, member in self.members.items()},
+            self.default,
+        )
+
+    def children(self) -> Dict[str, Combine]:
+        return dict(self.members)
+
+    def __call__(self, x, old, new):
+        label = self.chooser(x)
+        member = self.members.get(label)
+        if member is None:
+            member = self.members[self.default]
+        return member(x, old, new)
+
+
+def node_widening_points(cfg) -> FrozenSet:
+    """Loop-head nodes of every function in ``cfg``.
+
+    Computed as the back-edge targets of a DFS over each function's
+    successor graph -- the node-level projection of the unknown-level
+    :func:`~repro.solvers.wpoints.widening_points` (a ``PP`` unknown is
+    a (function, context, node) triple; contexts are discovered
+    dynamically, so the points are selected at node granularity).
+    """
+    points = set()
+    for fn in cfg.functions.values():
+        succs = {node: [] for node in fn.nodes}
+        for edge in fn.edges:
+            succs[edge.src].append(edge.dst)
+        points.update(widening_points([fn.entry], lambda n: succs.get(n, ())))
+    return frozenset(points)
+
+
+def widening_point_combine(
+    lattice,
+    cfg,
+    *,
+    delay: int = 0,
+    switch_bound: int = 3,
+    safeguard: bool = True,
+) -> PerVariableCombine:
+    """The classic per-variable map: ⌴ at widening points, join elsewhere.
+
+    Program points whose CFG node heads a loop -- and every non-point
+    unknown (flow-insensitive globals, which close the interprocedural
+    cycles) -- get the combined operator; the remaining program points
+    get plain join (``safeguard=False``) or the bounded join-or-narrow
+    variant (default), which keeps the Section 4 termination guarantee
+    on non-monotonic systems.
+    """
+    points = node_widening_points(cfg)
+
+    def chooser(x) -> str:
+        node = getattr(x, "node", None)
+        if node is None or node in points:
+            return "accelerated"
+        return "rest"
+
+    rest: Combine
+    if safeguard:
+        rest = BoundedJoinNarrowCombine(lattice, bound=switch_bound)
+    else:
+        rest = JoinCombine(lattice)
+    return PerVariableCombine(
+        chooser,
+        {
+            "accelerated": WarrowCombine(lattice, delay=delay),
+            "rest": rest,
+        },
+        default="rest",
+    )

@@ -1,0 +1,132 @@
+"""Spec strings for combine strategies: the ``name[:key=value,...]`` codec.
+
+A strategy spec is the one-line, shell-safe form in which an update
+strategy travels through every layer of the stack -- CLI flags
+(``--op warrow:delay=2``), batch :class:`~repro.batch.jobs.JobSpec`
+fields, the service protocol's ``update_op``, and bench matrix column
+headers.  The grammar is deliberately tiny::
+
+    spec   := name [ ':' params ]
+    name   := [a-z][a-z0-9-]*
+    params := param ( (',' | ':') param )*
+    param  := key '=' int
+    key    := [a-z][a-z0-9_-]*
+
+All parameter values are non-negative integers (delays, caps, bounds);
+that keeps the codec total and the round-trip byte-exact.  Parsing is
+purely syntactic -- whether ``name`` exists and which keys it accepts is
+the registry's job (:func:`repro.strategies.registry.resolve_spec`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9-]*$")
+_KEY_RE = re.compile(r"^[a-z][a-z0-9_-]*$")
+
+
+class SpecError(ValueError):
+    """A malformed strategy spec string (or invalid parameters)."""
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """A parsed strategy spec: canonical name plus sorted int parameters."""
+
+    #: Strategy name (registry key, lower-case).
+    name: str
+    #: Parameters as a sorted tuple of ``(key, value)`` pairs, so two
+    #: equal specs compare and hash equal regardless of spelling order.
+    params: Tuple[Tuple[str, int], ...] = field(default=())
+
+    def get(self, key: str, default: Optional[int] = None) -> Optional[int]:
+        """The value of parameter ``key``, or ``default``."""
+        for k, v in self.params:
+            if k == key:
+                return v
+        return default
+
+    def as_dict(self) -> Dict[str, int]:
+        """The parameters as a plain dict."""
+        return dict(self.params)
+
+    def with_param(self, key: str, value: int) -> "StrategySpec":
+        """A copy with ``key`` set (replacing any existing value)."""
+        params = dict(self.params)
+        params[int_key(key)] = _int_value(key, value)
+        return StrategySpec(self.name, tuple(sorted(params.items())))
+
+    def __str__(self) -> str:
+        return format_spec(self)
+
+
+def int_key(key: str) -> str:
+    """Validate and normalise a parameter key."""
+    key = key.strip().lower()
+    if not _KEY_RE.match(key):
+        raise SpecError(f"invalid parameter key {key!r}")
+    return key
+
+
+def _int_value(key: str, raw) -> int:
+    try:
+        value = int(raw)
+    except (TypeError, ValueError) as err:
+        raise SpecError(
+            f"parameter {key!r} must be an integer, got {raw!r}"
+        ) from err
+    if value < 0:
+        raise SpecError(f"parameter {key!r} must be non-negative, got {value}")
+    return value
+
+
+def parse_spec(text) -> StrategySpec:
+    """Parse a spec string into a :class:`StrategySpec`.
+
+    Accepts both ``,`` and ``:`` as parameter separators
+    (``warrow:delay=1,k=2`` == ``warrow:delay=1:k=2``).  Idempotent on
+    already-parsed specs.
+
+    :raises SpecError: for anything the grammar rejects.
+    """
+    if isinstance(text, StrategySpec):
+        return text
+    if not isinstance(text, str) or not text.strip():
+        raise SpecError(f"strategy spec must be a non-empty string, got {text!r}")
+    parts = text.strip().lower().split(":")
+    name = parts[0].strip()
+    if not _NAME_RE.match(name):
+        raise SpecError(
+            f"invalid strategy name {name!r} (expected [a-z][a-z0-9-]*)"
+        )
+    params: Dict[str, int] = {}
+    for chunk in parts[1:]:
+        for item in chunk.split(","):
+            item = item.strip()
+            if not item:
+                raise SpecError(f"empty parameter in spec {text!r}")
+            if "=" not in item:
+                raise SpecError(
+                    f"parameter {item!r} in spec {text!r} is not key=value"
+                )
+            key, _, raw = item.partition("=")
+            key = int_key(key)
+            if key in params:
+                raise SpecError(f"duplicate parameter {key!r} in spec {text!r}")
+            params[key] = _int_value(key, raw.strip())
+    return StrategySpec(name, tuple(sorted(params.items())))
+
+
+def format_spec(spec: StrategySpec) -> str:
+    """The canonical string form: name, then sorted ``key=value`` pairs.
+
+    ``parse_spec(format_spec(s)) == s`` for every spec -- the round-trip
+    the codec test pins.
+    """
+    if not spec.params:
+        return spec.name
+    rendered = ",".join(f"{k}={v}" for k, v in sorted(spec.params))
+    return f"{spec.name}:{rendered}"

@@ -1,0 +1,102 @@
+"""Serializable combine-operator state, for warm starts and checkpoints.
+
+Stateful strategies (delayed widening's grow counts, ⌴ₖ's switch
+counters, bounded narrowing's descent counts) carry per-unknown state
+that a warm-started or checkpoint-resumed solve wants back: without it,
+a resumed ⌴ₖ run re-earns its narrowing budget and may diverge from the
+interrupted run's trajectory.  This module walks an operator tree --
+leaves expose :meth:`~repro.solvers.combine.Combine.state_parts`,
+wrappers expose :meth:`~repro.solvers.combine.Combine.children` -- and
+produces a deterministic JSON-able snapshot keyed by the same
+:class:`~repro.incremental.codecs.UnknownCodec` encoding the solver
+state uses.
+
+Export is sorted on the JSON rendering of the encoded unknown, so two
+snapshots of equal state are byte-identical (the same discipline as
+:mod:`repro.incremental.state`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.incremental.codecs import UnknownCodec
+from repro.solvers.combine import Combine
+
+
+def export_combine_state(
+    op: Combine, unknowns: Optional[UnknownCodec] = None
+) -> Dict[str, Any]:
+    """Snapshot ``op``'s per-unknown state (recursively) as a JSON-able dict.
+
+    Returns ``{}`` for fully stateless operators *and* for stateful
+    operators that have not accumulated any state yet, so callers can
+    elide the key entirely and keep old serialized payloads
+    byte-identical.
+    """
+    uc = unknowns if unknowns is not None else UnknownCodec()
+
+    def walk(node: Combine) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        parts = {
+            field: mapping
+            for field, mapping in node.state_parts().items()
+            if mapping  # empty per-unknown maps are the cold state: elide
+        }
+        if parts:
+            out["parts"] = {
+                field: sorted(
+                    ([uc.encode(u), value] for u, value in mapping.items()),
+                    key=lambda pair: json.dumps(pair[0], sort_keys=True),
+                )
+                for field, mapping in sorted(parts.items())
+            }
+        kids = node.children()
+        if kids:
+            child_out = {
+                label: walk(child) for label, child in sorted(kids.items())
+            }
+            child_out = {k: v for k, v in child_out.items() if v}
+            if child_out:
+                out["children"] = child_out
+        return out
+
+    snapshot = walk(op)
+    if snapshot:
+        snapshot["spec"] = str(op.spec) if op.spec is not None else None
+    return snapshot
+
+
+def import_combine_state(
+    op: Combine,
+    data: Dict[str, Any],
+    unknowns: Optional[UnknownCodec] = None,
+) -> Combine:
+    """Restore a snapshot produced by :func:`export_combine_state`.
+
+    Loads in place and returns ``op``.  Children absent from the
+    snapshot (or snapshot entries for children the operator does not
+    have) are ignored -- the operator simply starts those parts cold,
+    which is always sound (it can only delay acceleration, not skip it).
+    """
+    uc = unknowns if unknowns is not None else UnknownCodec()
+
+    def walk(node: Combine, payload: Dict[str, Any]) -> None:
+        parts = payload.get("parts")
+        if parts:
+            node.load_state_parts(
+                {
+                    field: {uc.decode(u): value for u, value in pairs}
+                    for field, pairs in parts.items()
+                }
+            )
+        kids = node.children()
+        for label, child_payload in (payload.get("children") or {}).items():
+            child = kids.get(label)
+            if child is not None:
+                walk(child, child_payload)
+
+    if data:
+        walk(op, data)
+    return op

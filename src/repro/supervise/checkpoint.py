@@ -37,6 +37,10 @@ class Checkpointer(SolverObserver):
         file (atomic replace; see :meth:`write`).
     :param keep: how many snapshots to retain in memory (older ones are
         dropped); the newest is always :attr:`latest`.
+    :param include_combine: also snapshot the update operator's
+        per-unknown state (widening delays, ⌴ₖ budgets) into
+        :attr:`SolverState.combine`, so a resume can restore the
+        operator with :func:`repro.strategies.import_combine_state`.
     """
 
     def __init__(
@@ -45,6 +49,7 @@ class Checkpointer(SolverObserver):
         every: int = 1000,
         path: Optional[str] = None,
         keep: int = 2,
+        include_combine: bool = False,
     ) -> None:
         if every < 1:
             raise ValueError("checkpoint interval must be at least 1")
@@ -54,6 +59,7 @@ class Checkpointer(SolverObserver):
         self.every = every
         self.path = path
         self.keep = keep
+        self.include_combine = include_combine
         #: Retained snapshots, oldest first; the last one is the newest.
         self.states: List[SolverState] = []
         #: Total snapshots taken over the observer's lifetime.
@@ -80,7 +86,9 @@ class Checkpointer(SolverObserver):
         """Capture the bound engine now (also called on the interval)."""
         if self.engine is None:
             raise RuntimeError("checkpointer is not bound to an engine")
-        state = capture_engine(self.engine, self.solver)
+        state = capture_engine(
+            self.engine, self.solver, include_combine=self.include_combine
+        )
         self.states.append(state)
         del self.states[: -self.keep]
         self.taken += 1

@@ -5,7 +5,11 @@ typically only a few unknowns oscillate (the flip-flop mode of
 non-monotonic systems, end of the paper's Section 4) while the rest of
 the system is fine.  :class:`EscalatingCombine` degrades *selectively*:
 unescalated unknowns keep the caller's operator (usually the paper's ⌴),
-while escalated unknowns get a bounded-narrowing variant -- at most
+while escalated unknowns are routed to a *degraded* member strategy.
+
+The degraded member comes from the strategy registry's escalation
+ladder (:func:`repro.strategies.registry.escalation_ladder`): by default
+:class:`~repro.solvers.combine.BoundedNarrowCombine` -- at most
 ``descent_cap`` improving narrow steps, after which the value can only
 grow by widening and hence stabilises.  With ``descent_cap=0`` an
 escalated unknown is on pure widening (⌴ → ▽): ascending-only iteration,
@@ -24,7 +28,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterable, Optional, Set
 
 from repro.lattices.base import Lattice
-from repro.solvers.combine import Combine
+from repro.solvers.combine import BoundedNarrowCombine, Combine
 
 
 class EscalatingCombine(Combine):
@@ -35,6 +39,10 @@ class EscalatingCombine(Combine):
     flagged); :meth:`reset` clears the per-unknown descent counters but
     deliberately *keeps* the escalated set -- that is accumulated
     diagnosis, not per-run state.
+
+    :param degraded: the strategy escalated unknowns switch to; defaults
+        to :class:`~repro.solvers.combine.BoundedNarrowCombine` with the
+        given ``descent_cap`` (the registry's ``bounded-narrow`` rung).
     """
 
     def __init__(
@@ -43,18 +51,62 @@ class EscalatingCombine(Combine):
         base: Combine,
         escalated: Iterable[Hashable] = (),
         descent_cap: int = 0,
+        degraded: Optional[Combine] = None,
     ) -> None:
         if descent_cap < 0:
             raise ValueError("descent_cap must be non-negative")
         self.lattice = lattice
         self.base = base
         self.escalated: Set[Hashable] = set(escalated)
-        self.descent_cap = descent_cap
-        self._descents: Dict[Hashable, int] = {}
+        self._descent_cap = descent_cap
+        self.degraded: Combine = (
+            degraded
+            if degraded is not None
+            else BoundedNarrowCombine(lattice, cap=descent_cap)
+        )
+
+    @property
+    def descent_cap(self) -> int:
+        return self._descent_cap
+
+    @descent_cap.setter
+    def descent_cap(self, cap: int) -> None:
+        """Tighten the cap: rebuilds the default degraded member.
+
+        The supervisor's final rung sets ``descent_cap = 0`` (pure
+        widening for everything escalated); rebuilding drops the
+        already-spent descent counters, which only *forbids* further
+        descents -- monotone in the degradation direction.
+        """
+        if cap < 0:
+            raise ValueError("descent_cap must be non-negative")
+        self._descent_cap = cap
+        self.degraded = BoundedNarrowCombine(self.lattice, cap=cap)
+
+    def set_degraded(self, degraded: Combine) -> None:
+        """Replace the degraded member (the next ladder rung).
+
+        Keeps ``descent_cap`` in sync when the new member exposes a
+        ``cap`` (the registry's ``bounded-narrow`` strategies do).
+        """
+        self.degraded = degraded
+        self._descent_cap = getattr(degraded, "cap", self._descent_cap)
 
     def reset(self) -> None:
         self.base.reset()
-        self._descents.clear()
+        self.degraded.reset()
+
+    def _clone(self) -> "EscalatingCombine":
+        return EscalatingCombine(
+            self.lattice,
+            self.base.fresh(),
+            escalated=self.escalated,
+            descent_cap=self._descent_cap,
+            degraded=self.degraded.fresh(),
+        )
+
+    def children(self) -> Dict[str, Combine]:
+        return {"base": self.base, "degraded": self.degraded}
 
     def escalate(self, unknowns: Iterable[Hashable]) -> None:
         """Add ``unknowns`` to the escalated set."""
@@ -63,14 +115,7 @@ class EscalatingCombine(Combine):
     def __call__(self, x, old, new):
         if x not in self.escalated:
             return self.base(x, old, new)
-        if self.lattice.leq(new, old):
-            if self._descents.get(x, 0) >= self.descent_cap:
-                return old
-            result = self.lattice.narrow(old, new)
-            if not self.lattice.equal(result, old):
-                self._descents[x] = self._descents.get(x, 0) + 1
-            return result
-        return self.lattice.widen(old, new)
+        return self.degraded(x, old, new)
 
 
 def escalation_targets(

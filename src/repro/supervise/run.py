@@ -49,6 +49,7 @@ from repro.supervise.chaos import (
     check_engine_invariants,
 )
 from repro.supervise.checkpoint import Checkpointer
+from repro.strategies.registry import build_combine, escalation_ladder
 from repro.supervise.escalate import EscalatingCombine, escalation_targets
 from repro.supervise.report import Attempt, Degradation, SupervisionReport
 from repro.supervise.watchdog import (
@@ -167,6 +168,7 @@ def supervised_solve(
     )
 
     rung = 0
+    ladder = escalation_ladder(descent_cap)
     esc: Optional[EscalatingCombine] = None
     faults_left = fault_retries
     spec = primary
@@ -247,29 +249,36 @@ def supervised_solve(
                 if checkpointer.latest is not None:
                     state = checkpointer.latest
             if escalate and spec.takes_op and rung < _MAX_ESCALATIONS:
+                # Walk the strategy registry's escalation ladder: each
+                # rung names the registered degraded strategy and the
+                # scope of unknowns that switch to it.
+                step = ladder[rung]
                 rung += 1
-                if rung == 1:
+                degraded = build_combine(step.spec, lattice)
+                if step.scope == "targeted":
                     targets = escalation_targets(
                         oscillation.flagged, err, oscillation.update_counts
                     )
-                    esc = EscalatingCombine(lattice, op, targets, descent_cap)
+                    esc = EscalatingCombine(
+                        lattice, op, targets, descent_cap, degraded=degraded
+                    )
                     report.degradations.append(
                         Degradation(
                             "escalate",
-                            f"bounded narrowing (cap {descent_cap}) for "
-                            f"{len(targets)} oscillating unknowns",
+                            f"{step.label} for {len(targets)} "
+                            f"oscillating unknowns [{step.spec}]",
                             tuple(sorted(targets, key=repr)),
                         )
                     )
                 else:
                     targets = set(err.sigma)
                     esc.escalate(targets)
-                    esc.descent_cap = 0
+                    esc.set_degraded(degraded)
                     report.degradations.append(
                         Degradation(
                             "escalate",
-                            "pure widening (⌴ → ▽) for every encountered "
-                            "unknown",
+                            f"{step.label} for every encountered "
+                            f"unknown [{step.spec}]",
                         )
                     )
                 report.escalated.update(esc.escalated)

@@ -211,3 +211,54 @@ class TestPersistence:
             "stores",
         ):
             assert field in stats
+
+
+class TestStrategyKeyHonesty:
+    """The cache key must cover the full operator spec, params included.
+
+    Two requests differing only in ``update_op`` parameters solve to
+    different post solutions (a longer widening delay is strictly more
+    precise on delay-sensitive loops), so they must hash to distinct
+    fingerprints and can never share a cache entry.
+    """
+
+    @staticmethod
+    def job(op):
+        from repro.batch.jobs import JobSpec
+
+        return JobSpec(
+            id=f"t/p/{op}",
+            family="t",
+            program="p",
+            source="int main() { return 0; }",
+            op=op,
+        )
+
+    def test_op_params_change_the_fingerprint(self):
+        from repro.batch.jobs import spec_fingerprint
+
+        keys = {
+            spec_fingerprint(self.job(op))
+            for op in ("warrow", "warrow:delay=1", "warrow:delay=2", "widen")
+        }
+        assert len(keys) == 4
+
+    def test_distinct_specs_never_share_an_entry(self):
+        from repro.batch.jobs import spec_fingerprint
+
+        one = spec_fingerprint(self.job("warrow:delay=1"))
+        two = spec_fingerprint(self.job("warrow:delay=2"))
+        cache = ResultCache()
+        cache.put(entry(one, result={"status": "ok", "code": 0}))
+        assert cache.get(two) is None
+        assert cache.get(one) is not None
+
+    def test_op_params_change_the_warm_index_too(self):
+        # Different operator params must not warm-start off each other:
+        # the donor snapshot's combine counters describe a different
+        # operator trajectory.
+        from repro.batch.jobs import options_fingerprint
+
+        assert options_fingerprint(
+            self.job("warrow:delay=1")
+        ) != options_fingerprint(self.job("warrow:delay=2"))

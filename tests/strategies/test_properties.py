@@ -1,0 +1,181 @@
+"""Property suite for the strategy catalog's behavioural contracts.
+
+Four contracts ride on registry metadata and operator state handling:
+
+* the ``idempotent`` capability flag is honest;
+* the degraded branch of the bounded operators (⌴ₖ, bounded narrowing)
+  preserves the post-solution inequality -- the Section 4 safeguard;
+* a delayed operator joins for exactly ``delay`` growing updates per
+  unknown, then widens (the exhaustion contract both the paper's
+  termination argument and the bench matrix lean on);
+* :meth:`~repro.solvers.combine.Combine.fresh` returns cleared,
+  *unshared* state (the service thread-pool aliasing hazard).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lattices import INF, IntervalLattice, NatInf
+from repro.solvers.combine import WarrowCombine, WidenCombine
+from repro.strategies import all_strategies, build_combine
+from tests.conftest import interval_elements
+
+nat = NatInf()
+iv = IntervalLattice()
+
+
+def _cfg_free_combines():
+    return [
+        info
+        for info in all_strategies()
+        if info.kind == "combine" and not info.needs_cfg
+    ]
+
+
+class TestIdempotenceHonesty:
+    """``info.idempotent`` promises ``(a op b) op b == a op b``."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [info.name for info in _cfg_free_combines() if info.idempotent],
+    )
+    @given(a=interval_elements(), b=interval_elements())
+    def test_flagged_idempotent_strategies_are(self, name, a, b):
+        op = build_combine(name, iv)
+        once = op.fresh()("x", a, b)
+        twice = op.fresh()("x", once, b)
+        assert iv.equal(once, twice)
+
+    def test_flag_matches_operator_attribute(self):
+        for info in _cfg_free_combines():
+            op = build_combine(info.name, iv)
+            assert op.idempotent == info.idempotent, info.name
+
+    def test_warrow_is_honestly_not_idempotent(self):
+        # The known counterexample: widening then narrowing differ.
+        from repro.lattices import Interval
+
+        op = build_combine("warrow", iv)
+        a, b = Interval(0, 1), Interval(0, 2)
+        once = op("x", a, b)
+        assert not iv.equal(op("x", once, b), once)
+
+
+class TestDegradedBranchSoundness:
+    """Exhausted bounded operators still satisfy ``out >= new`` on shrink.
+
+    Keeping ``old`` when ``new <= old`` preserves ``sigma[x] >=
+    f_x(sigma)`` -- the paper's post-solution inequality (Section 4's
+    termination safeguard argument).
+    """
+
+    @pytest.mark.parametrize("spec", ["warrow-k:k=0", "bounded-narrow:cap=0"])
+    @given(values=st.lists(interval_elements(), min_size=1, max_size=8))
+    def test_exhausted_budget_keeps_old_on_shrink(self, spec, values):
+        op = build_combine(spec, iv)
+        old = values[0]
+        for new in values[1:]:
+            out = op("x", old, new)
+            if iv.leq(new, old):
+                # Budget 0: the degraded branch must keep the old value.
+                assert iv.equal(out, old)
+            old = out
+
+    @pytest.mark.parametrize(
+        "spec", ["warrow-k:k=1", "warrow-k:k=3", "bounded-narrow:cap=2"]
+    )
+    @given(values=st.lists(interval_elements(), min_size=1, max_size=10))
+    def test_shrinking_update_never_drops_below_new(self, spec, values):
+        op = build_combine(spec, iv)
+        old = values[0]
+        for new in values[1:]:
+            out = op("x", old, new)
+            if iv.leq(new, old):
+                assert iv.leq(new, out)  # post-solution shape survives
+                assert iv.leq(out, old)  # and never grows on a shrink
+            old = out
+
+
+class TestDelayExhaustion:
+    """delay=N joins exactly N growing updates per unknown, then widens."""
+
+    @pytest.mark.parametrize("cls", [WarrowCombine, WidenCombine])
+    @pytest.mark.parametrize("delay", [0, 1, 3])
+    def test_join_then_widen_on_nat_chain(self, cls, delay):
+        op = cls(nat, delay=delay)
+        value = 0
+        for step in range(delay):
+            out = op("x", value, value + 1)
+            assert out == value + 1  # join: still exact
+            value = out
+        assert op("x", value, value + 1) == INF  # budget gone: widen
+
+    @pytest.mark.parametrize("delay", [1, 2])
+    def test_budget_is_per_unknown(self, delay):
+        op = WarrowCombine(nat, delay=delay)
+        for _ in range(delay):
+            op("x", 0, 1)
+        assert op("x", 1, 2) == INF  # x exhausted
+        assert op("y", 0, 1) == 1  # y untouched
+
+    @given(a=interval_elements(), b=interval_elements())
+    def test_shrinking_updates_never_consume_delay(self, a, b):
+        op = WarrowCombine(iv, delay=1)
+        if iv.leq(b, a):
+            op("x", a, b)  # narrow branch: budget must survive
+            assert op.state_parts()["grow"] == {}
+
+
+class TestFreshIsolation:
+    """fresh() clones must not share per-unknown state (thread-pool hazard)."""
+
+    def test_fresh_instances_have_independent_budgets(self):
+        op = WarrowCombine(nat, delay=1)
+        a, b = op.fresh(), op.fresh()
+        assert a is not b
+        a("x", 0, 1)  # consume a's budget for x
+        assert b("x", 0, 1) == 1  # b still joins
+
+    def test_fresh_clears_used_state(self):
+        for info in _cfg_free_combines():
+            op = build_combine(info.name, iv)
+            op("x", iv.bottom, iv.top)  # exercise any per-unknown state
+            clone = op.fresh()
+            for field, mapping in clone.state_parts().items():
+                assert not mapping, (info.name, field)
+
+    def test_fresh_preserves_spec_across_clones(self):
+        for info in _cfg_free_combines():
+            op = build_combine(info.name, iv)
+            assert op.fresh().spec == op.spec, info.name
+
+    def test_engine_runs_never_mutate_the_given_operator(self):
+        from repro.analysis import analyze_program
+        from repro.batch.jobs import build_domain, solution_fingerprint
+        from repro.lang import compile_program
+
+        source = """
+        int main() {
+          int i;
+          i = 0;
+          while (i < 8) { i = i + 1; }
+          return i;
+        }
+        """
+        cfg = compile_program(source)
+        domain = build_domain("interval", ())
+        first = analyze_program(cfg, domain, op_spec="warrow:delay=1")
+        # Re-running with the same spec must be bit-identical: the engine
+        # works on fresh() clones, never on a shared stateful instance.
+        second = analyze_program(cfg, domain, op_spec="warrow:delay=1")
+        assert solution_fingerprint(
+            first.solver_result.sigma, first.lattice
+        ) == solution_fingerprint(second.solver_result.sigma, second.lattice)
+        assert (
+            first.solver_result.stats.evaluations
+            == second.solver_result.stats.evaluations
+        )
+        assert first.solver_result.stats.strategy == "warrow:delay=1"

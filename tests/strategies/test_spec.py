@@ -1,0 +1,107 @@
+"""Tests for the strategy-spec codec: grammar, canonical form, round-trip."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.strategies import SpecError, StrategySpec, format_spec, parse_spec
+
+names = st.from_regex(r"[a-z][a-z0-9-]{0,11}", fullmatch=True)
+keys = st.from_regex(r"[a-z][a-z0-9_-]{0,7}", fullmatch=True)
+values = st.integers(min_value=0, max_value=10**9)
+
+
+class TestParse:
+    def test_bare_name(self):
+        assert parse_spec("warrow") == StrategySpec("warrow")
+
+    def test_single_param(self):
+        assert parse_spec("warrow:delay=2") == StrategySpec(
+            "warrow", (("delay", 2),)
+        )
+
+    def test_comma_and_colon_separators_agree(self):
+        assert parse_spec("wpoint:delay=1,bound=3") == parse_spec(
+            "wpoint:delay=1:bound=3"
+        )
+
+    def test_params_are_sorted(self):
+        spec = parse_spec("wpoint:delay=1,bound=3")
+        assert spec.params == (("bound", 3), ("delay", 1))
+
+    def test_whitespace_and_case_normalised(self):
+        assert parse_spec("  Warrow:DELAY=2 ") == parse_spec("warrow:delay=2")
+
+    def test_idempotent_on_parsed_specs(self):
+        spec = parse_spec("warrow:delay=2")
+        assert parse_spec(spec) is spec
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "9lives",
+            "warr!ow",
+            "warrow:delay",
+            "warrow:delay=",
+            "warrow:delay=x",
+            "warrow:delay=-1",
+            "warrow:delay=1,delay=2",
+            "warrow::",
+            "warrow:,",
+            None,
+            7,
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(SpecError):
+            parse_spec(bad)
+
+    def test_spec_error_is_value_error(self):
+        assert issubclass(SpecError, ValueError)
+
+
+class TestSpecObject:
+    def test_get_and_default(self):
+        spec = parse_spec("warrow:delay=2")
+        assert spec.get("delay") == 2
+        assert spec.get("missing") is None
+        assert spec.get("missing", 9) == 9
+
+    def test_with_param_replaces(self):
+        spec = parse_spec("warrow:delay=2").with_param("delay", 5)
+        assert spec.get("delay") == 5
+
+    def test_with_param_validates(self):
+        with pytest.raises(SpecError):
+            parse_spec("warrow").with_param("delay", -1)
+
+    def test_equal_specs_hash_equal(self):
+        a = parse_spec("wpoint:delay=1,bound=3")
+        b = parse_spec("wpoint:bound=3,delay=1")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_str_is_canonical(self):
+        assert str(parse_spec("wpoint:delay=1,bound=3")) == (
+            "wpoint:bound=3,delay=1"
+        )
+
+
+class TestRoundTrip:
+    @given(
+        names,
+        st.dictionaries(keys, values, max_size=4),
+    )
+    def test_format_parse_round_trip(self, name, params):
+        spec = StrategySpec(name, tuple(sorted(params.items())))
+        assert parse_spec(format_spec(spec)) == spec
+
+    @given(names, st.dictionaries(keys, values, max_size=4))
+    def test_canonical_form_is_fixed_point(self, name, params):
+        spec = StrategySpec(name, tuple(sorted(params.items())))
+        text = format_spec(spec)
+        assert format_spec(parse_spec(text)) == text

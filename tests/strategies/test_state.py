@@ -1,0 +1,137 @@
+"""Serialization tests for combine-operator state.
+
+Covers the export/import round-trip (a restored operator must continue
+exactly like the interrupted one -- otherwise a resumed ⌴ₖ run re-earns
+its narrowing budget and diverges from the original trajectory), export
+determinism, and the opt-in ``combine`` field of
+:class:`~repro.incremental.state.SolverState`, which must stay *absent*
+from serialized payloads whenever no operator snapshot was requested so
+pre-existing state files remain byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.eqs import DictSystem
+from repro.incremental import SolverState, capture
+from repro.lattices import IntervalLattice, NatInf
+from repro.solvers import WarrowCombine, solve_slr
+from repro.solvers.combine import (
+    BoundedWarrowCombine,
+    JoinCombine,
+    OverrideCombine,
+)
+from repro.strategies import (
+    build_combine,
+    export_combine_state,
+    import_combine_state,
+)
+
+nat = NatInf()
+iv = IntervalLattice()
+
+
+def _driven_warrow(delay: int = 2) -> WarrowCombine:
+    op = WarrowCombine(nat, delay=delay)
+    op("x", 0, 1)  # grow["x"] = 1
+    op("y", 3, 7)  # grow["y"] = 1
+    return op
+
+
+class TestExport:
+    def test_stateless_operators_export_empty(self):
+        assert export_combine_state(OverrideCombine()) == {}
+        assert export_combine_state(JoinCombine(nat)) == {}
+
+    def test_unused_stateful_operator_exports_empty(self):
+        assert export_combine_state(WarrowCombine(nat, delay=2)) == {}
+
+    def test_snapshot_records_the_spec(self):
+        op = build_combine("warrow:delay=2", nat)
+        op("x", 0, 1)
+        assert export_combine_state(op)["spec"] == "warrow:delay=2"
+
+    def test_export_is_deterministic(self):
+        a = export_combine_state(_driven_warrow())
+        b = export_combine_state(_driven_warrow())
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_export_is_json_serializable(self):
+        snapshot = export_combine_state(_driven_warrow())
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+
+class TestRoundTrip:
+    def test_restored_warrow_continues_identically(self):
+        op = _driven_warrow(delay=2)
+        clone = import_combine_state(op.fresh(), export_combine_state(op))
+        # Both have one growth left on x before widening kicks in.
+        assert clone("x", 1, 2) == op("x", 1, 2) == 2
+        assert clone("x", 2, 3) == op("x", 2, 3) == nat.top
+
+    def test_restored_bounded_warrow_keeps_its_budget(self):
+        from repro.lattices import INF
+
+        op = BoundedWarrowCombine(nat, k=1)
+        assert op("x", 0, 1) == INF  # growth: widen
+        assert op("x", INF, 2) == 2  # narrow (arms the switch counter)
+        clone = import_combine_state(op.fresh(), export_combine_state(op))
+        # One switch spent: the next shrink after a growth must freeze
+        # in the clone exactly as in the original.
+        for x in (op, clone):
+            assert x("x", 2, 3) == INF
+            assert x("x", INF, 4) == INF  # budget exhausted: keeps old
+
+    def test_import_empty_snapshot_is_a_noop(self):
+        op = WarrowCombine(nat, delay=1)
+        import_combine_state(op, {})
+        assert op("x", 0, 1) == 1  # delay budget untouched
+
+    def test_import_ignores_unknown_parts(self):
+        # Snapshot fields the operator does not carry start cold.
+        op = WarrowCombine(nat, delay=1)
+        import_combine_state(op, {"spec": "warrow:delay=1", "children": {}})
+        assert op("x", 0, 1) == 1
+
+
+class TestSolverStateCombineField:
+    def _solved(self):
+        system = DictSystem(
+            nat,
+            {
+                "x1": (lambda get: get("x2"), ["x2"]),
+                "x2": (lambda get: get("x3") + 1, ["x3"]),
+                "x3": (lambda get: get("x1"), ["x1"]),
+            },
+        )
+        return solve_slr(system, WarrowCombine(nat), "x1")
+
+    def test_payload_without_combine_is_byte_stable(self):
+        state = capture(self._solved(), "slr")
+        assert state.combine is None
+        assert '"combine"' not in state.dumps(nat)
+
+    def test_capture_with_op_embeds_the_snapshot(self):
+        op = _driven_warrow()
+        state = capture(self._solved(), "slr", op=op)
+        assert state.combine == export_combine_state(op)
+
+    def test_capture_with_stateless_op_elides_the_field(self):
+        state = capture(self._solved(), "slr", op=JoinCombine(nat))
+        assert state.combine is None
+        assert '"combine"' not in state.dumps(nat)
+
+    def test_combine_survives_the_json_round_trip(self):
+        op = _driven_warrow()
+        state = capture(self._solved(), "slr", op=op)
+        restored = SolverState.loads(state.dumps(nat), nat)
+        assert restored.combine == state.combine
+        clone = import_combine_state(op.fresh(), restored.combine)
+        assert clone("x", 1, 2) == op("x", 1, 2)
+
+    def test_transfer_drops_combine(self):
+        # The counters describe the old version's trajectory; a
+        # transferred state starts the operator cold (always sound).
+        state = capture(self._solved(), "slr", op=_driven_warrow())
+        assert state.transfer(lambda u: u).combine is None

@@ -529,3 +529,98 @@ class TestServiceCommands:
         missing = str(tmp_path / "no-daemon.sock")
         assert main(["shutdown", "--socket", missing]) == 2
         assert "cannot reach the daemon" in capsys.readouterr().err
+
+
+class TestStrategies:
+    def test_table_lists_the_catalog(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("warrow", "warrow-k", "widen", "twophase", "wpoint"):
+            assert name in out
+
+    def test_json_listing_is_machine_readable(self, capsys):
+        import json
+
+        assert main(["strategies", "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        rows = {row["name"]: row for row in listing}
+        assert rows["warrow"]["aliases"] == ["box", "combined"]
+        assert rows["warrow"]["solve_ready"] is True
+
+
+class TestOpFlag:
+    def test_analyze_accepts_an_op_spec(self, loop_file, capsys):
+        assert main(["analyze", loop_file, "--op", "warrow:delay=2"]) == 0
+        assert "g = [0,10]" in capsys.readouterr().out
+
+    def test_analyze_pure_widening_loses_precision(self, loop_file, capsys):
+        assert main(["analyze", loop_file, "--op", "no-narrow"]) == 0
+        assert "g = [0,+oo]" in capsys.readouterr().out
+
+    def test_analyze_phased_spec_routes_to_twophase(self, loop_file, capsys):
+        assert main(["analyze", loop_file, "--op", "twophase"]) == 0
+        capsys.readouterr()
+        assert main(["analyze", loop_file, "--solver", "twophase"]) == 0
+
+    def test_solve_accepts_an_op_spec(self, loop_file, capsys):
+        assert main(["solve", loop_file, "--op", "warrow-k:k=1"]) == 0
+        assert "post solution confirmed" in capsys.readouterr().out
+
+    def test_solve_rejects_phased_specs(self, loop_file, capsys):
+        assert main(["solve", loop_file, "--op", "twophase"]) == 2
+        assert "phased" in capsys.readouterr().err
+
+    def test_bad_spec_is_an_input_error(self, loop_file, capsys):
+        assert main(["analyze", loop_file, "--op", "warrow:delay=x"]) == 2
+        assert main(["analyze", loop_file, "--op", "bogus"]) == 2
+
+
+class TestBenchMatrix:
+    def test_quick_matrix_runs_and_writes_the_document(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        out = tmp_path / "matrix.json"
+        code = main(
+            [
+                "bench",
+                "--matrix",
+                "--quick",
+                "--families",
+                "examples",
+                "--strategies",
+                "widen",
+                "--strategies",
+                "warrow",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "strategy matrix vs baseline widen:delay=1" in text
+        doc = json.loads(out.read_text())
+        assert doc["format"] == "repro-strategy-matrix/1"
+        assert doc["strategies"] == ["widen:delay=1", "warrow:delay=1"]
+
+    def test_matrix_list_prints_cells_without_solving(self, capsys):
+        assert (
+            main(
+                [
+                    "bench",
+                    "--matrix",
+                    "--quick",
+                    "--families",
+                    "examples",
+                    "--list",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "/widen:delay=1" in out
+
+    def test_matrix_rejects_unknown_family(self, capsys):
+        assert main(["bench", "--matrix", "--families", "nope"]) == 2
