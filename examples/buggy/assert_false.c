@@ -1,0 +1,7 @@
+// Seeded bug: the asserted equality contradicts the preceding
+// assignment -- the assertion fails on every execution reaching it.
+int main(int n) {
+    int x = 1;
+    assert(x == 2);
+    return x;
+}

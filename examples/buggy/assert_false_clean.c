@@ -1,0 +1,7 @@
+// Clean twin of assert_false.c: asserting against the unconstrained
+// input is neither provably false nor provably true -- no finding.
+int main(int n) {
+    int x = 1;
+    assert(x == n);
+    return x;
+}

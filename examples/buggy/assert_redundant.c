@@ -1,0 +1,12 @@
+// Seeded smell: both assertions are provably true after the loop
+// (i is exactly 10), so they are redundant.  Pure widening can only
+// prove the first one (i stays [10,+inf]).
+int main(int n) {
+    int i = 0;
+    while (i < 10) {
+        i = i + 1;
+    }
+    assert(i >= 0);
+    assert(i <= 10);
+    return i;
+}

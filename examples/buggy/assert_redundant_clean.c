@@ -1,0 +1,10 @@
+// Clean twin of assert_redundant.c: the loop bound is the input, so the
+// assertion verdict is genuinely unknown -- no finding.
+int main(int n) {
+    int i = 0;
+    while (i < n) {
+        i = i + 1;
+    }
+    assert(i <= 10);
+    return i;
+}

@@ -1,0 +1,9 @@
+// Seeded bug: the condition compares a constant against a larger
+// constant, so the then-branch can never execute.
+int main(int n) {
+    int x = 3;
+    if (x > 5) {
+        return 1;
+    }
+    return 0;
+}

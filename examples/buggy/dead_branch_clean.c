@@ -1,0 +1,8 @@
+// Clean twin of dead_branch.c: branching on the unconstrained input
+// keeps both outcomes possible.
+int main(int n) {
+    if (n > 5) {
+        return 1;
+    }
+    return 0;
+}

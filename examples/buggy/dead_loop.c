@@ -1,0 +1,13 @@
+// Seeded bug: the loop exits with i exactly 5, so the following branch
+// is dead.  Only the combined operator sees this: pure widening leaves
+// i at [5,+inf] after the loop and misses the dead branch entirely.
+int main(int n) {
+    int i = 0;
+    while (i < 5) {
+        i = i + 1;
+    }
+    if (i > 5) {
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,12 @@
+// Clean twin of dead_loop.c: the loop bound is the unconstrained input,
+// so the exit value of i genuinely may exceed 5.
+int main(int n) {
+    int i = 0;
+    while (i < n) {
+        i = i + 1;
+    }
+    if (i > 5) {
+        return 1;
+    }
+    return 0;
+}

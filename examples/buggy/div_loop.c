@@ -1,0 +1,12 @@
+// Seeded bug: after the loop the counter is exactly 10, so the divisor
+// (10 - i) is exactly zero -- a definite division by zero, and the code
+// after it is unreachable.  The combined operator pins i to [10,10];
+// pure widening only narrows it to [10,+inf] and reports "may be 0".
+int main(int n) {
+    int i = 0;
+    while (i < 10) {
+        i = i + 1;
+    }
+    int x = 100 / (10 - i);
+    return x;
+}

@@ -1,0 +1,12 @@
+// Clean twin of div_loop.c: the divisor (11 - i) is exactly 1 after the
+// loop.  The combined operator proves it (zero findings); pure widening
+// leaves i at [10,+inf], making (11 - i) straddle zero -- the canonical
+// false positive the paper's operator eliminates.
+int main(int n) {
+    int i = 0;
+    while (i < 10) {
+        i = i + 1;
+    }
+    int x = 100 / (11 - i);
+    return x;
+}

@@ -1,0 +1,7 @@
+// Seeded bug: the input is used as an index unchecked -- it may be
+// negative or past the end.
+int main(int n) {
+    int a[5];
+    a[n] = 1;
+    return a[0];
+}

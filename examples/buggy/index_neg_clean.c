@@ -1,0 +1,11 @@
+// Clean twin of index_neg.c: the index is range-checked before use and
+// guard refinement proves the access in bounds.
+int main(int n) {
+    int a[5];
+    if (n >= 0) {
+        if (n <= 4) {
+            a[n] = 1;
+        }
+    }
+    return a[0];
+}

@@ -1,0 +1,11 @@
+// Seeded bug: the classic off-by-one -- the loop runs i up to 10
+// inclusive, but the array has valid indices 0..9 only.
+int main(int n) {
+    int a[10];
+    int i = 0;
+    while (i <= 10) {
+        a[i] = i;
+        i = i + 1;
+    }
+    return a[0];
+}

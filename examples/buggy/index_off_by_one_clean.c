@@ -1,0 +1,13 @@
+// Clean twin of index_off_by_one.c: the loop stays strictly below 10,
+// and the final read a[i - 1] is a[9].  The combined operator proves
+// i == 10 after the loop; pure widening keeps [10,+inf] and flags the
+// read as a false positive.
+int main(int n) {
+    int a[10];
+    int i = 0;
+    while (i < 10) {
+        a[i] = i;
+        i = i + 1;
+    }
+    return a[i - 1];
+}

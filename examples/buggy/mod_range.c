@@ -1,0 +1,9 @@
+// Seeded bug: the absolute value of an unconstrained input still
+// includes zero, so the modulo may divide by zero (n == 0).
+int main(int n) {
+    int d = n;
+    if (d < 0) {
+        d = -d;
+    }
+    return 100 % d;
+}

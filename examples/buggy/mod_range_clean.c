@@ -1,0 +1,9 @@
+// Clean twin of mod_range.c: clamping the divisor to at least 1 makes
+// the modulo safe, and guard refinement proves it.
+int main(int n) {
+    int d = n;
+    if (d < 1) {
+        d = 1;
+    }
+    return 100 % d;
+}

@@ -1,0 +1,9 @@
+// Seeded bug: x is only assigned on one branch, so the return may read
+// it uninitialised (mini-C zero-fills, but the intent is a bug).
+int main(int n) {
+    int x;
+    if (n > 0) {
+        x = 1;
+    }
+    return x;
+}

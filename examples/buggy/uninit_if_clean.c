@@ -1,0 +1,8 @@
+// Clean twin of uninit_if.c: x is initialised at declaration.
+int main(int n) {
+    int x = 0;
+    if (n > 0) {
+        x = 1;
+    }
+    return x;
+}

@@ -1,0 +1,11 @@
+// Seeded bug: s is only assigned inside the loop body, which runs zero
+// times when n <= 0 -- the return may read s uninitialised.
+int main(int n) {
+    int s;
+    int i = 0;
+    while (i < n) {
+        s = i;
+        i = i + 1;
+    }
+    return s;
+}

@@ -1,0 +1,11 @@
+// Clean twin of uninit_loop.c: the accumulator starts at a defined
+// value, so the zero-iteration exit is safe.
+int main(int n) {
+    int s = 0;
+    int i = 0;
+    while (i < n) {
+        s = i;
+        i = i + 1;
+    }
+    return s;
+}

@@ -1,0 +1,61 @@
+"""Finding bugs with the checkers: precision as false-positive count.
+
+The diagnostics layer (:mod:`repro.checkers`) turns the solver's
+abstract values into bug reports -- and that makes the paper's precision
+story *visible*: a less precise operator does not just widen intervals
+somewhere in a table, it emits concrete false alarms on clean code.
+
+This example checks one program twice:
+
+* the program counts ``i`` up to exactly 10 and then divides by
+  ``11 - i`` -- which is always 1, so the division is safe;
+* under the combined operator ⌴ (``warrow``) the analysis proves
+  ``i = [10, 10]`` after the loop and the checker stays silent;
+* under pure widening the loop head never narrows back from
+  ``[0, +oo]``, the divisor may be 0 as far as the analysis knows, and
+  the very same rule raises a (false) division-by-zero warning.
+
+Run:  python examples/find_bugs.py
+"""
+
+from repro.checkers import run_check
+
+SOURCE = """
+int main(int n) {
+  int i = 0;
+  while (i < 10) {
+    i = i + 1;
+  }
+  int safe = 100 / (11 - i);
+  return safe;
+}
+"""
+
+
+def describe(report) -> None:
+    print(f"  operator {report.op!r}: {report.findings} finding(s)")
+    for diag in report.diagnostics:
+        print(f"    line {diag.line}: [{diag.rule}] {diag.message}")
+        for fact in diag.witness:
+            print(f"      {fact}")
+
+
+def main() -> None:
+    print("checking with the combined operator (warrow):")
+    combined = run_check(SOURCE, op="warrow:delay=1")
+    describe(combined)
+
+    print("\nchecking with pure widening:")
+    widened = run_check(SOURCE, op="widen")
+    describe(widened)
+
+    assert combined.findings == 0, "warrow must prove the division safe"
+    assert widened.findings > 0, "pure widening must raise the false alarm"
+    print(
+        "\nSame program, same rules: the combined operator's extra "
+        "precision\nis exactly one false positive fewer."
+    )
+
+
+if __name__ == "__main__":
+    main()

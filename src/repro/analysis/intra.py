@@ -43,8 +43,27 @@ class IntraResult:
     env_lattice: Lifted
 
     def env_at(self, node: Node):
-        """The abstract state at ``node`` (``LiftedBottom`` if unreachable)."""
-        return self.envs[node]
+        """The abstract state at ``node`` (``LiftedBottom`` if unreachable).
+
+        Unreachable program points come in two shapes and both answer
+        bottom: nodes the solver visited and mapped to ``LiftedBottom``,
+        and unknowns a demand-driven solver never evaluated at all (so
+        they have no ``envs`` entry, but are still points of the
+        system).  A node that is *not* an unknown of the analysed system
+        -- a node of some other function, or a stale reference after
+        recompilation -- is a caller bug, and claiming "unreachable" for
+        it would silently mask that; it raises :class:`KeyError` naming
+        the node instead.
+        """
+        try:
+            return self.envs[node]
+        except KeyError:
+            pass
+        if node in set(self.system.unknowns):
+            return LiftedBottom
+        raise KeyError(
+            f"node {node!r} is not a program point of the analysed system"
+        )
 
 
 def build_intra_system(

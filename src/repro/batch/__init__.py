@@ -35,6 +35,7 @@ from repro.batch.bench import (
 )
 from repro.batch.corpus import (
     MATRIX_FAMILIES,
+    buggy_sources,
     corpus_jobs,
     example_sources,
     family_names,
@@ -57,6 +58,8 @@ from repro.batch.jobs import (
 from repro.batch.matrix import (
     DEFAULT_MATRIX_STRATEGIES,
     MATRIX_FORMAT,
+    MatrixComparison,
+    compare_matrices,
     load_matrix,
     render_matrix,
     run_matrix,
@@ -72,6 +75,7 @@ __all__ = [
     "EVAL_THRESHOLD",
     "TIME_THRESHOLD",
     "BenchComparison",
+    "MatrixComparison",
     "EXIT_DIVERGENCE",
     "EXIT_FAULT",
     "EXIT_INPUT",
@@ -79,7 +83,9 @@ __all__ = [
     "EXIT_UNKNOWN",
     "JobResult",
     "JobSpec",
+    "buggy_sources",
     "compare_benches",
+    "compare_matrices",
     "corpus_jobs",
     "example_sources",
     "execute_job",

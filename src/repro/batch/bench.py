@@ -22,11 +22,13 @@ Schema (``format: repro-bench/1``)::
       "jobs": [            # one entry per corpus job, corpus order
         {
           "job": "wcet/bs/warrow", "family": "wcet", "program": "bs",
+          "kind": "solve",           # or "check" for checker jobs
           "status": "ok", "code": 0,
           "hash": "<sha256 of the post solution>",
           "evaluations": 275, "updates": 144, "unknowns": 33,
           "max_queue": 7, "widen_updates": 120, "narrow_updates": 24,
           "direction_switches": 9, "proved": 0, "unproved": 0,
+          "findings": 0,             # diagnostics count of check jobs
           "wall_time": 0.0104,       # min over rounds, seconds
           "peak_rss_kb": 34816, "error": ""
         }, ...
@@ -70,6 +72,7 @@ _JOB_FIELDS = (
     "job",
     "family",
     "program",
+    "kind",
     "status",
     "code",
     "hash",
@@ -82,6 +85,7 @@ _JOB_FIELDS = (
     "direction_switches",
     "proved",
     "unproved",
+    "findings",
     "wall_time",
     "peak_rss_kb",
     "error",
@@ -98,6 +102,7 @@ _INT_FIELDS = (
     "direction_switches",
     "proved",
     "unproved",
+    "findings",
     "peak_rss_kb",
 )
 
@@ -158,7 +163,10 @@ def run_bench(
         {name: getattr(result, name) for name in _JOB_FIELDS}
         for result in merged
     ]
-    failed = sum(1 for r in merged if r.code != 0)
+    # ``findings`` is the expected outcome of the buggy check corpus, not
+    # a job failure; drift in the findings themselves is gated per job by
+    # :func:`compare_benches`.
+    failed = sum(1 for r in merged if r.code != 0 and r.status != "findings")
     doc = {
         "format": BENCH_FORMAT,
         "revision": revision if revision is not None else git_revision(),
@@ -296,6 +304,10 @@ def compare_benches(
 
     * a baseline job missing from the current run;
     * a job ok in the baseline but failing now (or crashing either way);
+    * a check job's findings count differing from the baseline -- checker
+      behaviour is deterministic, so any drift (new false positives on a
+      clean twin, a lost detection on a seeded bug) is a regression until
+      the baseline is deliberately refreshed;
     * a job's evaluation count above ``baseline * (1 + eval_threshold)``;
     * the corpus-total evaluation count above the same factor;
     * the corpus-total wall time above ``baseline * (1 + time_threshold)``
@@ -327,6 +339,14 @@ def compare_benches(
                 f"(code {cur['code']}): {cur['error'] or 'no detail'}"
             )
             continue
+        if cur.get("findings", 0) != base.get("findings", 0):
+            cmp_.regressions.append(
+                f"{job_id}: {cur.get('findings', 0)} findings vs baseline "
+                f"{base.get('findings', 0)} (checker behaviour changed; "
+                f"refresh the baseline if intended)"
+            )
+        if cur["code"] != 0 and cur.get("status") == "findings":
+            continue  # expected checker outcome; findings drift gated above
         if cur["code"] != 0:
             continue  # failing in both: not a regression, visible in totals
         allowed = base["evaluations"] * (1.0 + eval_threshold)

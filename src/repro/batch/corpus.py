@@ -1,10 +1,14 @@
 """The benchmark corpus: every program the repo can throw at a solver.
 
-Four deterministic workload families, mirroring the paper's evaluation
+Five deterministic workload families, mirroring the paper's evaluation
 (Section 8) plus the repo's own worked examples:
 
 * ``examples`` -- the mini-C programs embedded in ``examples/*.py``
   (extracted textually, so the corpus never executes example scripts);
+* ``buggy``    -- the seeded-bug corpus under ``examples/buggy/*.c``,
+  run as checker jobs (``kind="check"``): every program through all the
+  :mod:`repro.checkers` rules, exercising the diagnostics path at batch
+  scale;
 * ``wcet``     -- the Malardalen WCET renditions behind Figure 7, solved
   with the paper's combined operator ⌴;
 * ``fig7``     -- the same suite under plain widening: together with
@@ -32,7 +36,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.batch.jobs import JobSpec
 
 #: Family enumeration order (also the display order).
-FAMILIES = ("examples", "wcet", "fig7", "table1")
+FAMILIES = ("examples", "buggy", "wcet", "fig7", "table1")
 
 #: WCET benchmarks in the quick subset (the smallest by LoC).
 _QUICK_WCET = 12
@@ -87,6 +91,35 @@ def _examples_jobs(quick: bool) -> List[JobSpec]:
             max_evals=_MAX_EVALS,
         )
         for name, source in sorted(example_sources().items())
+    ]
+
+
+def buggy_sources() -> Dict[str, str]:
+    """The seeded-bug corpus: ``examples/buggy/*.c`` (buggy programs and
+    their clean twins).  Empty for bare package installs."""
+    root = repo_root()
+    if root is None:
+        return {}
+    return {
+        path.stem: path.read_text(encoding="utf-8")
+        for path in sorted((root / "examples" / "buggy").glob("*.c"))
+    }
+
+
+def _buggy_jobs(quick: bool) -> List[JobSpec]:
+    # The buggy corpus is part of the quick subset in full: the programs
+    # are tiny, and the CI checkers job wants every golden covered.
+    return [
+        JobSpec(
+            id=f"buggy/{name}/check",
+            family="buggy",
+            program=name,
+            source=source,
+            op="warrow:delay=1",
+            kind="check",
+            max_evals=_MAX_EVALS,
+        )
+        for name, source in sorted(buggy_sources().items())
     ]
 
 
@@ -156,6 +189,7 @@ def _table1_jobs(quick: bool) -> List[JobSpec]:
 
 _BUILDERS = {
     "examples": _examples_jobs,
+    "buggy": _buggy_jobs,
     "wcet": _wcet_jobs,
     "fig7": _fig7_jobs,
     "table1": _table1_jobs,
@@ -163,13 +197,18 @@ _BUILDERS = {
 
 #: Program families the strategy matrix enumerates.  ``fig7`` is absent
 #: by design: it is the wcet suite under a fixed baseline operator, and
-#: the matrix varies the operator itself.
-MATRIX_FAMILIES = ("examples", "wcet", "table1")
+#: the matrix varies the operator itself.  ``buggy`` programs join as
+#: plain solve rows: they are small, loop-heavy, and written so that the
+#: operators genuinely disagree -- prime precision-matrix material.
+MATRIX_FAMILIES = ("examples", "buggy", "wcet", "table1")
 
 #: WCET benchmarks in the quick matrix subset (smallest by LoC).
 _QUICK_MATRIX_WCET = 6
 #: Example programs in the quick matrix subset (alphabetically first).
 _QUICK_MATRIX_EXAMPLES = 4
+#: Buggy-corpus programs in the quick matrix subset (alphabetically
+#: first; the full family rides in the bench quick subset instead).
+_QUICK_MATRIX_BUGGY = 4
 
 
 def matrix_programs(
@@ -203,6 +242,11 @@ def matrix_programs(
         if quick:
             rows = rows[:_QUICK_MATRIX_EXAMPLES]
         programs.extend(("examples", name, source) for name, source in rows)
+    if "buggy" in wanted:
+        rows = sorted(buggy_sources().items())
+        if quick:
+            rows = rows[:_QUICK_MATRIX_BUGGY]
+        programs.extend(("buggy", name, source) for name, source in rows)
     if "wcet" in wanted:
         rows = _wcet_programs()
         if quick:

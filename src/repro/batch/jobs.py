@@ -34,6 +34,7 @@ EXIT_FAULT = 4
 STATUS_CODES = {
     "ok": EXIT_OK,
     "unknown": EXIT_UNKNOWN,
+    "findings": EXIT_UNKNOWN,
     "input-error": EXIT_INPUT,
     "violated": EXIT_INPUT,
     "divergence": EXIT_DIVERGENCE,
@@ -116,6 +117,16 @@ class JobSpec:
     #: Also check ``assert()`` statements and fold the verdict into the
     #: job code (``1`` unknown, ``2`` violated).
     verify: bool = False
+    #: What to do with the solution: ``"solve"`` fingerprints it,
+    #: ``"check"`` additionally runs the :mod:`repro.checkers` rules and
+    #: reports diagnostics (status ``findings``/code 1 when any fire).
+    #: Check jobs require a solve-ready combine strategy and ignore
+    #: ``verify`` (the assertion rules subsume it).
+    kind: str = "solve"
+    #: Checker rule selection for ``kind="check"`` (empty: all rules).
+    #: Stored canonically (registry order, deduplicated) so equal
+    #: selections produce equal cache keys.
+    rules: Tuple[str, ...] = ()
     #: Deterministic chaos injection (testing the farm itself): per-eval
     #: fault rate, kinds, optional exact fail index, fault cap, seed.
     chaos_rate: float = 0.0
@@ -144,6 +155,8 @@ CACHE_KEY_FIELDS = (
     "thresholds",
     "max_evals",
     "verify",
+    "kind",
+    "rules",
 )
 
 
@@ -228,6 +241,14 @@ class JobResult:
     #: Assertion verdict counts, only for ``verify`` jobs.
     proved: int = 0
     unproved: int = 0
+    #: Job kind echo (``solve`` or ``check``).
+    kind: str = "solve"
+    #: Number of checker diagnostics, only for ``check`` jobs.
+    findings: int = 0
+    #: The diagnostics themselves, as plain JSON dicts (picklable across
+    #: the farm's process boundary, serialisable in the service cache).
+    #: Deterministic and canonically sorted; see :mod:`repro.checkers`.
+    diagnostics: Tuple[dict, ...] = ()
     #: Wall-clock seconds for this execution (nondeterministic).
     wall_time: float = 0.0
     #: Process RSS high-water mark in KiB at job end (nondeterministic;
@@ -249,6 +270,9 @@ class JobResult:
 
     @classmethod
     def from_json(cls, data: dict) -> "JobResult":
+        data = dict(data)
+        if "diagnostics" in data:
+            data["diagnostics"] = tuple(data["diagnostics"])
         return cls(**data)
 
 
@@ -313,6 +337,7 @@ def _failure(job: JobSpec, status: str, err, started: float) -> JobResult:
         domain=job.domain,
         context=job.context,
         op=job.op,
+        kind=job.kind,
         evaluations=stats.evaluations if stats is not None else 0,
         updates=stats.updates if stats is not None else 0,
         wall_time=time.perf_counter() - started,
@@ -338,6 +363,7 @@ def execute_job(job: JobSpec) -> JobResult:
         collect_analysis,
     )
     from repro.analysis.verify import Verdict
+    from repro.checkers import UnknownRuleError
     from repro.lang import LexError, ParseError, SemanticError, compile_program
     from repro.solvers.registry import (
         SolverCapabilityError,
@@ -358,9 +384,21 @@ def execute_job(job: JobSpec) -> JobResult:
 
     started = time.perf_counter()
     try:
+        if job.kind not in ("solve", "check"):
+            raise ValueError(f"unknown job kind {job.kind!r}")
+        check_rules = None
+        if job.kind == "check":
+            from repro.checkers import resolve_rules
+
+            check_rules = resolve_rules(job.rules or None)
         cfg = compile_program(job.source)
         strategy = get_strategy(parse_spec(job.op).name)
         phased = strategy.kind == "phased"
+        if phased and job.kind == "check":
+            raise ValueError(
+                "check jobs require a solve-ready combine strategy; "
+                f"{job.op!r} is phased"
+            )
         resolved = resolve_spec(job.op, widen_delay=job.widen_delay)
         need_thresholds = job.thresholds or strategy.needs_thresholds
         thresholds = collect_thresholds(cfg) if need_thresholds else ()
@@ -389,6 +427,7 @@ def execute_job(job: JobSpec) -> JobResult:
         SemanticError,
         UnknownSolverError,
         UnknownStrategyError,
+        UnknownRuleError,
         SolverCapabilityError,
         ValueError,
     ) as err:
@@ -434,7 +473,18 @@ def execute_job(job: JobSpec) -> JobResult:
 
     status, code = "ok", EXIT_OK
     proved = unproved = 0
-    if job.verify:
+    findings = 0
+    diagnostics: Tuple[dict, ...] = ()
+    if job.kind == "check":
+        from repro.checkers import apply_rules
+
+        analysis_result = collect_analysis(analysis, result)
+        diags = apply_rules(cfg, analysis_result, check_rules)
+        findings = len(diags)
+        diagnostics = tuple(d.to_json() for d in diags)
+        if findings:
+            status, code = "findings", EXIT_UNKNOWN
+    elif job.verify:
         if analysis_result is None:
             analysis_result = collect_analysis(analysis, result)
         reports = check_assertions(cfg, analysis_result)
@@ -467,6 +517,9 @@ def execute_job(job: JobSpec) -> JobResult:
         direction_switches=stats.direction_switches,
         proved=proved,
         unproved=unproved,
+        kind=job.kind,
+        findings=findings,
+        diagnostics=diagnostics,
         wall_time=time.perf_counter() - started,
         peak_rss_kb=_peak_rss_kb(),
     )

@@ -58,6 +58,7 @@ from __future__ import annotations
 import json
 import platform
 import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -377,6 +378,140 @@ def load_matrix(path) -> dict:
             + "; ".join(problems[:5])
         )
     return doc
+
+
+@dataclass
+class MatrixComparison:
+    """The verdict of gating a matrix document against a baseline."""
+
+    #: Gate-failing findings, human-readable.
+    regressions: List[str] = field(default_factory=list)
+    #: Noteworthy non-failing findings (improvements, new cells).
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = []
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        for regression in self.regressions:
+            lines.append(f"REGRESSION: {regression}")
+        lines.append(
+            "matrix gate: "
+            + ("ok" if self.ok else f"{len(self.regressions)} regression(s)")
+        )
+        return "\n".join(lines)
+
+
+def compare_matrices(current: dict, baseline: dict) -> MatrixComparison:
+    """Gate ``current`` against a committed baseline matrix.
+
+    Precision counts are byte-stable across machines, so the gate is
+    exact -- no thresholds.  Regressions (any fails the gate):
+
+    * the two documents measure against different baseline strategies
+      (the precision counts would be apples to oranges);
+    * a baseline strategy column missing from the current document;
+    * a baseline cell missing from the current document;
+    * a cell ok in the baseline but failing now;
+    * a cell proving *fewer* points better than the widening baseline,
+      or *more* points worse, than it did in the committed baseline --
+      i.e. any precision loss anywhere in the matrix;
+    * per-strategy aggregate ``improved_points`` dropping or
+      ``regressed_points`` rising (belts and braces: catches doctored
+      totals even when every cell agrees).
+
+    Precision *gains*, hash changes, and new strategies/cells are notes:
+    ``repro bench --matrix --update-baseline`` refreshes the baseline
+    when a gain is intended.
+    """
+    cmp_ = MatrixComparison()
+    if current.get("baseline") != baseline.get("baseline"):
+        cmp_.regressions.append(
+            f"baseline strategy differs: current {current.get('baseline')!r} "
+            f"vs committed {baseline.get('baseline')!r}"
+        )
+        return cmp_
+
+    missing = [
+        spec
+        for spec in baseline.get("strategies", [])
+        if spec not in current.get("strategies", [])
+    ]
+    for spec in missing:
+        cmp_.regressions.append(
+            f"strategy {spec!r} missing from the current matrix"
+        )
+    for spec in current.get("strategies", []):
+        if spec not in baseline.get("strategies", []):
+            cmp_.notes.append(f"strategy {spec!r}: new, not in the baseline")
+
+    def key(cell):
+        return (cell["family"], cell["program"], cell["strategy"])
+
+    base_cells = {key(c): c for c in baseline.get("cells", [])}
+    cur_cells = {key(c): c for c in current.get("cells", [])}
+    for cell_key, base in base_cells.items():
+        where = "/".join(cell_key)
+        if base["strategy"] in missing:
+            continue  # already reported at strategy granularity
+        cur = cur_cells.get(cell_key)
+        if cur is None:
+            cmp_.regressions.append(f"{where}: missing from the current matrix")
+            continue
+        if cur["code"] != 0 and base["code"] == 0:
+            cmp_.regressions.append(
+                f"{where}: was ok, now {cur['status']} "
+                f"(code {cur['code']}): {cur['error'] or 'no detail'}"
+            )
+            continue
+        if cur["code"] != 0:
+            continue  # failing in both: visible in totals, not a regression
+        if cur["better"] < base["better"] or cur["worse"] > base["worse"]:
+            cmp_.regressions.append(
+                f"{where}: precision regressed to better={cur['better']} "
+                f"worse={cur['worse']} from baseline "
+                f"better={base['better']} worse={base['worse']}"
+            )
+        elif cur["better"] > base["better"] or cur["worse"] < base["worse"]:
+            cmp_.notes.append(
+                f"{where}: precision improved to better={cur['better']} "
+                f"worse={cur['worse']} (refresh the baseline to lock it in)"
+            )
+        if cur["hash"] != base["hash"]:
+            cmp_.notes.append(f"{where}: post-solution hash changed")
+    for cell_key in cur_cells:
+        if cell_key not in base_cells:
+            cmp_.notes.append(
+                f"{'/'.join(cell_key)}: new cell, not in the baseline"
+            )
+
+    base_rows = {
+        row["strategy"]: row
+        for row in baseline.get("totals", {}).get("strategies", [])
+    }
+    cur_rows = {
+        row["strategy"]: row
+        for row in current.get("totals", {}).get("strategies", [])
+    }
+    for spec, base in base_rows.items():
+        cur = cur_rows.get(spec)
+        if cur is None:
+            continue  # missing strategies already reported above
+        if cur["improved_points"] < base["improved_points"]:
+            cmp_.regressions.append(
+                f"{spec}: improved_points fell to {cur['improved_points']} "
+                f"from baseline {base['improved_points']}"
+            )
+        if cur["regressed_points"] > base["regressed_points"]:
+            cmp_.regressions.append(
+                f"{spec}: regressed_points rose to {cur['regressed_points']} "
+                f"from baseline {base['regressed_points']}"
+            )
+    return cmp_
 
 
 def render_matrix(doc: dict) -> str:

@@ -1,0 +1,273 @@
+"""Deterministic, schema-validated diagnostic records.
+
+A :class:`Diagnostic` is the unit of checker output: rule id, severity,
+source location, a one-line message, and a *witness* -- the abstract
+values that justify the finding, rendered human-readably.  Everything is
+plain data with a total order, so a set of diagnostics serialises to
+byte-identical JSON regardless of rule evaluation order, worker count, or
+process -- the property the golden-file tests and the service's
+content-addressed cache both rely on.
+
+The JSON document schema is versioned (``repro-diagnostics/1``) and kept
+free of machine-varying fields (no timestamps, revisions, or wall times):
+the committed goldens under ``examples/buggy/expected/`` must reproduce
+byte-for-byte on every machine.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+#: Version marker of the diagnostics document schema.
+DIAGNOSTICS_FORMAT = "repro-diagnostics/1"
+
+#: Allowed severities, most severe first.
+SEVERITIES = ("error", "warning", "info")
+
+#: SARIF ``level`` per severity (SARIF has no "info" result level).
+_SARIF_LEVEL = {"error": "error", "warning": "warning", "info": "note"}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One checker finding, anchored to a program point."""
+
+    #: Rule identifier (registry name, e.g. ``div-zero``).
+    rule: str
+    #: One of :data:`SEVERITIES`.  ``error`` means the bug fires on
+    #: every represented execution reaching the point; ``warning`` means
+    #: some represented execution triggers it; ``info`` is advisory
+    #: (e.g. a redundant assertion).
+    severity: str
+    #: Enclosing function name.
+    fn: str
+    #: 1-based source line of the offending construct.
+    line: int
+    #: CFG node index of the program point the witness state belongs to.
+    node: int
+    #: One-line human-readable description.
+    message: str
+    #: Abstract-value trace justifying the finding, one fact per line.
+    witness: Tuple[str, ...] = ()
+
+    def sort_key(self) -> tuple:
+        """Total order: by location, then rule, then message."""
+        return (self.fn, self.line, self.node, self.rule, self.message)
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "fn": self.fn,
+            "line": self.line,
+            "node": self.node,
+            "message": self.message,
+            "witness": list(self.witness),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Diagnostic":
+        return cls(
+            rule=data["rule"],
+            severity=data["severity"],
+            fn=data["fn"],
+            line=data["line"],
+            node=data["node"],
+            message=data["message"],
+            witness=tuple(data.get("witness", ())),
+        )
+
+
+def diagnostics_document(
+    *,
+    program: str,
+    op: str,
+    domain: str,
+    context: str,
+    rules: Iterable[str],
+    diagnostics: Iterable[Diagnostic],
+) -> dict:
+    """Package diagnostics as a ``repro-diagnostics/1`` document.
+
+    The document echoes the full analysis configuration (operator spec,
+    domain, context, rule set) because a diagnostic set detached from the
+    precision settings that produced it is meaningless -- the same
+    program yields different findings under ``widen`` and ``warrow``.
+    """
+    diags = sorted(diagnostics, key=Diagnostic.sort_key)
+    summary: Dict[str, int] = {"total": len(diags)}
+    for severity in SEVERITIES:
+        summary[severity] = sum(1 for d in diags if d.severity == severity)
+    return {
+        "format": DIAGNOSTICS_FORMAT,
+        "program": program,
+        "op": op,
+        "domain": domain,
+        "context": context,
+        "rules": list(rules),
+        "diagnostics": [d.to_json() for d in diags],
+        "summary": summary,
+    }
+
+
+_DIAG_FIELDS = {
+    "rule": str,
+    "severity": str,
+    "fn": str,
+    "line": int,
+    "node": int,
+    "message": str,
+    "witness": list,
+}
+
+_DOC_FIELDS = {
+    "format": str,
+    "program": str,
+    "op": str,
+    "domain": str,
+    "context": str,
+    "rules": list,
+    "diagnostics": list,
+    "summary": dict,
+}
+
+
+def validate_diagnostics(doc) -> List[str]:
+    """Schema-check a diagnostics document; a list of problems (empty
+    when valid).  Checks structure, types, severity vocabulary, rule
+    attribution, canonical sort order, and summary consistency."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("format") != DIAGNOSTICS_FORMAT:
+        problems.append(
+            f"format is {doc.get('format')!r}, expected {DIAGNOSTICS_FORMAT!r}"
+        )
+    for field, typ in _DOC_FIELDS.items():
+        if field not in doc:
+            problems.append(f"missing field {field!r}")
+        elif not isinstance(doc[field], typ):
+            problems.append(f"field {field!r} is not a {typ.__name__}")
+    if problems:
+        return problems
+    rules = doc["rules"]
+    if any(not isinstance(r, str) for r in rules):
+        problems.append("rules must be strings")
+    diags = doc["diagnostics"]
+    parsed: List[Diagnostic] = []
+    for i, entry in enumerate(diags):
+        if not isinstance(entry, dict):
+            problems.append(f"diagnostics[{i}] is not an object")
+            continue
+        ok = True
+        for field, typ in _DIAG_FIELDS.items():
+            if field not in entry:
+                problems.append(f"diagnostics[{i}] missing field {field!r}")
+                ok = False
+            elif not isinstance(entry[field], typ) or (
+                typ is int and isinstance(entry[field], bool)
+            ):
+                problems.append(
+                    f"diagnostics[{i}].{field} is not a {typ.__name__}"
+                )
+                ok = False
+        if not ok:
+            continue
+        if entry["severity"] not in SEVERITIES:
+            problems.append(
+                f"diagnostics[{i}].severity {entry['severity']!r} not in "
+                f"{SEVERITIES}"
+            )
+        if entry["rule"] not in rules:
+            problems.append(
+                f"diagnostics[{i}].rule {entry['rule']!r} is not in the "
+                "document's rule set"
+            )
+        if any(not isinstance(w, str) for w in entry["witness"]):
+            problems.append(f"diagnostics[{i}].witness must be strings")
+        parsed.append(Diagnostic.from_json(entry))
+    keys = [d.sort_key() for d in parsed]
+    if keys != sorted(keys):
+        problems.append("diagnostics are not in canonical sort order")
+    summary = doc["summary"]
+    expected = {"total": len(parsed)}
+    for severity in SEVERITIES:
+        expected[severity] = sum(1 for d in parsed if d.severity == severity)
+    if not problems and summary != expected:
+        problems.append(f"summary {summary} does not match counts {expected}")
+    return problems
+
+
+def render_diagnostics_json(doc: dict) -> str:
+    """The canonical byte encoding of a diagnostics document."""
+    return json.dumps(doc, indent=1, sort_keys=True) + "\n"
+
+
+def render_diagnostics_text(doc: dict) -> str:
+    """Human-readable rendering (the CLI's default output)."""
+    lines: List[str] = []
+    summary = doc["summary"]
+    lines.append(
+        f"{doc['program']}: {summary['total']} finding(s) "
+        f"({summary['error']} error, {summary['warning']} warning, "
+        f"{summary['info']} info) under op {doc['op']}, "
+        f"domain {doc['domain']}"
+    )
+    for entry in doc["diagnostics"]:
+        lines.append(
+            f"{doc['program']}:{entry['line']}: {entry['severity']}: "
+            f"{entry['message']} [{entry['rule']}] (in {entry['fn']})"
+        )
+        for fact in entry["witness"]:
+            lines.append(f"    {fact}")
+    return "\n".join(lines) + "\n"
+
+
+def sarif_lite(doc: dict) -> dict:
+    """A minimal SARIF 2.1.0 projection of a diagnostics document.
+
+    "Lite": one run, one artifact, logical locations only -- enough for
+    SARIF-consuming viewers to list and jump to findings, without the
+    full physical-artifact plumbing.
+    """
+    results = []
+    for entry in doc["diagnostics"]:
+        results.append(
+            {
+                "ruleId": entry["rule"],
+                "level": _SARIF_LEVEL[entry["severity"]],
+                "message": {"text": entry["message"]},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": doc["program"]},
+                            "region": {"startLine": max(entry["line"], 1)},
+                        },
+                        "logicalLocations": [
+                            {"name": entry["fn"], "kind": "function"}
+                        ],
+                    }
+                ],
+            }
+        )
+    return {
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "rules": [{"id": name} for name in doc["rules"]],
+                        "properties": {
+                            "op": doc["op"],
+                            "domain": doc["domain"],
+                            "context": doc["context"],
+                        },
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

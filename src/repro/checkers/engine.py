@@ -1,0 +1,168 @@
+"""The checker engine: solve, then interrogate the invariants.
+
+:func:`run_check` is the one entry point behind every serving layer --
+the ``repro check`` CLI, the batch farm's ``kind="check"`` jobs, and the
+service daemon's ``check`` requests all funnel through
+:func:`apply_rules` over an analysis produced with *exactly* the solver
+construction of :func:`repro.batch.jobs.execute_job`, so the three
+transports can never disagree about a program's diagnostics.
+
+The operator spec is part of a check's identity: rules read the computed
+abstract states, so a less precise operator (pure widening) produces
+*more* findings -- false positives the combined ⌴ operator eliminates.
+Phased strategies (``twophase``, ``decoupled``) are rejected: a check is
+one demand-driven solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.checkers.diagnostics import Diagnostic, diagnostics_document
+from repro.checkers.rules import CheckContext, CheckerRule, resolve_rules
+
+#: The default operator for checks: the paper's combined operator with
+#: the standard delay -- precise enough to keep the clean corpus free of
+#: false positives (the golden tests pin this).
+DEFAULT_CHECK_OP = "warrow:delay=1"
+
+
+@dataclass(frozen=True)
+class CheckReport:
+    """The outcome of checking one program."""
+
+    #: Display name of the program (the CLI uses the file's basename so
+    #: golden documents are path-independent).
+    program: str
+    #: Canonical operator spec the analysis ran with.
+    op: str
+    domain: str
+    context: str
+    #: Names of the rules that ran, in registry order.
+    rules: Tuple[str, ...]
+    diagnostics: Tuple[Diagnostic, ...]
+    #: Solver cost of the underlying analysis.
+    evaluations: int = 0
+    unknowns: int = 0
+
+    @property
+    def findings(self) -> int:
+        return len(self.diagnostics)
+
+    def exit_code(self) -> int:
+        """CLI taxonomy: 0 clean, 1 findings (input/divergence/internal
+        failures raise before a report exists)."""
+        return 1 if self.diagnostics else 0
+
+    def document(self) -> dict:
+        """The ``repro-diagnostics/1`` document for this report."""
+        return diagnostics_document(
+            program=self.program,
+            op=self.op,
+            domain=self.domain,
+            context=self.context,
+            rules=self.rules,
+            diagnostics=self.diagnostics,
+        )
+
+
+def apply_rules(
+    cfg, result, rules: Tuple[CheckerRule, ...]
+) -> Tuple[Diagnostic, ...]:
+    """Run ``rules`` over an analysis result; the deduplicated,
+    canonically sorted diagnostics.
+
+    Deduplication is by sort key: a guard condition, say, appears on
+    both the assume-true and assume-false edge of the same source node,
+    and must not be reported twice.
+    """
+    ctx = CheckContext(cfg=cfg, result=result)
+    seen = set()
+    out = []
+    for rule in rules:
+        for diag in rule.run(ctx):
+            key = diag.sort_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(diag)
+    return tuple(sorted(out, key=Diagnostic.sort_key))
+
+
+def run_check(
+    source: str,
+    *,
+    program: str = "<input>",
+    rules=None,
+    op: str = DEFAULT_CHECK_OP,
+    domain: str = "interval",
+    context: str = "insensitive",
+    solver: str = "slr+",
+    widen_delay: int = 1,
+    thresholds: bool = False,
+    max_evals: Optional[int] = 5_000_000,
+    observers=(),
+) -> CheckReport:
+    """Check one mini-C program end to end.
+
+    Raises exactly the exception classes the CLI taxonomy maps: parse or
+    semantic errors, unknown rules/strategies/solvers/domains (exit 2),
+    :class:`~repro.solvers.stats.DivergenceError` (exit 3).  Anything
+    else is an internal fault (exit 4).
+    """
+    from repro.analysis import collect_thresholds
+    from repro.analysis.inter import InterAnalysis, collect_analysis
+    from repro.batch.jobs import build_domain, build_policy
+    from repro.lang import compile_program
+    from repro.solvers.registry import get_solver
+    from repro.strategies import (
+        BuildContext,
+        SpecError,
+        build_combine,
+        format_spec,
+        get_strategy,
+        resolve_spec,
+    )
+
+    selected = resolve_rules(rules)
+    resolved = resolve_spec(op, widen_delay=widen_delay)
+    strategy = get_strategy(resolved.name)
+    if strategy.kind != "combine":
+        raise SpecError(
+            f"check requires a solve-ready combine strategy; "
+            f"{strategy.name!r} is {strategy.kind} "
+            "(try e.g. 'warrow:delay=1' or 'widen')"
+        )
+    canonical = format_spec(resolved)
+    cfg = compile_program(source)
+    need_thresholds = thresholds or strategy.needs_thresholds
+    collected = collect_thresholds(cfg) if need_thresholds else ()
+    dom = build_domain(domain, collected)
+    policy = build_policy(context, dom)
+    analysis = InterAnalysis(cfg, dom, policy)
+    solve = get_solver(solver, side_effecting=True, scope="local", takes_op=True)
+    combine = build_combine(
+        resolved,
+        analysis.lattice,
+        ctx=BuildContext(cfg=cfg, thresholds=tuple(collected)),
+    )
+    solver_result = solve(
+        analysis.system(),
+        combine,
+        analysis.root(),
+        max_evals=max_evals,
+        observers=observers,
+    )
+    result = collect_analysis(analysis, solver_result)
+    diagnostics = apply_rules(cfg, result, selected)
+    return CheckReport(
+        program=program,
+        op=canonical,
+        domain=domain,
+        context=context,
+        rules=tuple(rule.name for rule in selected),
+        diagnostics=diagnostics,
+        evaluations=solver_result.stats.evaluations,
+        unknowns=solver_result.stats.unknowns,
+    )

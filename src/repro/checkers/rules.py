@@ -1,0 +1,649 @@
+"""The checker rules: from abstract invariants to diagnostics.
+
+Every rule is a pure function from a :class:`CheckContext` (CFG plus the
+joined per-point abstract states of an interprocedural analysis run) to a
+stream of :class:`~repro.checkers.diagnostics.Diagnostic` records.  Five
+of the six rules read the analysis results -- their findings therefore
+depend directly on the precision of the update operator, which is the
+point: the combined ⌴ operator of the paper strictly reduces the false
+positives of pure widening on the golden corpus (``examples/buggy/``).
+The sixth (``uninit-read``) is deliberately syntactic, because mini-C
+defines uninitialised storage to be zero -- the abstract semantics cannot
+distinguish ``int x;`` from ``int x = 0;``, but the programmer's intent
+can.
+
+Severity vocabulary:
+
+* ``error``   -- fires on *every* represented execution reaching the
+  point (division by an interval that *is* ``[0,0]``, an assertion that
+  always fails, an index provably outside the array);
+* ``warning`` -- fires on *some* represented execution (possibly-zero
+  divisor, possibly out-of-bounds index, dead code, uninitialised read);
+* ``info``    -- advisory (a provably-true, hence redundant, assertion).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.analysis.inter import AnalysisResult
+from repro.analysis.transfer import (
+    GlobalsAccess,
+    TransferContext,
+    eval_expr,
+    refine,
+)
+from repro.checkers.diagnostics import Diagnostic
+from repro.lang import astnodes as ast
+from repro.lang.cfg import (
+    AssertInstr,
+    CallInstr,
+    ControlFlowGraph,
+    Edge,
+    FunctionCFG,
+    Guard,
+    SetLocal,
+    StoreArray,
+)
+from repro.lang.pretty import pretty_expr
+from repro.lattices.lifted import LiftedBottom
+
+
+class UnknownRuleError(LookupError):
+    """Raised when a requested rule name is not registered."""
+
+
+# --------------------------------------------------------------------- #
+# The context rules run in.                                             #
+# --------------------------------------------------------------------- #
+
+@dataclass
+class CheckContext:
+    """Everything a rule needs: the CFG, the analysis result, and cached
+    per-function transfer contexts for re-evaluating expressions over
+    the computed abstract states."""
+
+    cfg: ControlFlowGraph
+    result: AnalysisResult
+    _tcs: Dict[str, TransferContext] = field(default_factory=dict)
+
+    @property
+    def domain(self):
+        return self.result.domain
+
+    @property
+    def program(self) -> ast.Program:
+        return self.cfg.program
+
+    def tc(self, fn_name: str) -> TransferContext:
+        """The transfer context of ``fn_name`` (globals read from the
+        final flow-insensitive values, writes discarded)."""
+        tc = self._tcs.get(fn_name)
+        if tc is None:
+            fn = self.cfg.functions[fn_name]
+            dom = self.result.domain
+            tc = TransferContext(
+                domain=dom,
+                scalars=frozenset(fn.locals),
+                arrays=frozenset(fn.arrays),
+                globals=GlobalsAccess(
+                    read=lambda name: self.result.globals.get(
+                        name, dom.bottom
+                    ),
+                    write=lambda name, value: None,
+                ),
+            )
+            self._tcs[fn_name] = tc
+        return tc
+
+    def env(self, fn_name: str, node):
+        """Joined abstract state at ``node`` (``LiftedBottom`` when the
+        analysis proves the point unreachable)."""
+        return self.result.env_at(fn_name, node)
+
+    def array_size(self, fn: FunctionCFG, name: str) -> Optional[int]:
+        """Declared size of array ``name`` seen from ``fn`` (local first,
+        then global), or ``None`` for undeclared names."""
+        if name in fn.arrays:
+            return fn.arrays[name]
+        return self.cfg.global_arrays.get(name)
+
+
+# --------------------------------------------------------------------- #
+# Shared helpers.                                                       #
+# --------------------------------------------------------------------- #
+
+#: The CFG builder suffixes shadowed locals with ``$<n>``; strip that for
+#: user-facing text (diagnostics talk about source names).
+_RENAME_SUFFIX = re.compile(r"\$\d+")
+
+
+def display_name(name: str) -> str:
+    """Source-level spelling of a (possibly renamed) local."""
+    return name.split("$", 1)[0]
+
+
+def display_expr(expr: ast.Expr) -> str:
+    """Source-level rendering of a (possibly renamed) expression."""
+    return _RENAME_SUFFIX.sub("", pretty_expr(expr))
+
+
+def _subexprs(expr: ast.Expr) -> Iterator[ast.Expr]:
+    """Pre-order traversal of an expression tree."""
+    yield expr
+    if isinstance(expr, ast.ArrayRef):
+        yield from _subexprs(expr.index)
+    elif isinstance(expr, ast.Unary):
+        yield from _subexprs(expr.operand)
+    elif isinstance(expr, ast.Binary):
+        yield from _subexprs(expr.left)
+        yield from _subexprs(expr.right)
+    elif isinstance(expr, ast.Call):
+        for arg in expr.args:
+            yield from _subexprs(arg)
+
+
+def _edge_exprs(edge: Edge) -> Iterator[ast.Expr]:
+    """The call-free expressions evaluated along an edge."""
+    instr = edge.instr
+    if isinstance(instr, SetLocal):
+        yield instr.expr
+    elif isinstance(instr, StoreArray):
+        yield instr.index
+        yield instr.value
+    elif isinstance(instr, (Guard, AssertInstr)):
+        yield instr.cond
+    elif isinstance(instr, CallInstr):
+        yield from instr.args
+
+
+def _expr_vars(expr: ast.Expr) -> List[str]:
+    """All variable (and array) names read by an expression."""
+    names = []
+    for sub in _subexprs(expr):
+        if isinstance(sub, (ast.Var, ast.ArrayRef)):
+            names.append(sub.name)
+    return names
+
+
+def _env_facts(tc: TransferContext, env, expr: ast.Expr) -> List[str]:
+    """Witness lines: the abstract value of every variable ``expr``
+    reads, in sorted order."""
+    dom = tc.domain
+    facts = []
+    for name in sorted(set(_expr_vars(expr))):
+        if name in tc.scalars or name in tc.arrays:
+            value = env[name]
+        else:
+            value = tc.globals.read(name)
+        facts.append(f"{display_name(name)} = {dom.format(value)}")
+    return facts
+
+
+def _expr_line(expr: ast.Expr, edge: Edge) -> int:
+    return getattr(expr, "line", 0) or edge.src.line
+
+
+def _reachable_edges(
+    ctx: CheckContext,
+) -> Iterator[Tuple[str, FunctionCFG, Edge, object]]:
+    """Every edge whose source the analysis reaches, with its state."""
+    for fn_name, fn in ctx.cfg.functions.items():
+        for edge in fn.edges:
+            env = ctx.env(fn_name, edge.src)
+            if env is LiftedBottom:
+                continue
+            yield fn_name, fn, edge, env
+
+
+# --------------------------------------------------------------------- #
+# Rule: division / modulo by (possibly) zero.                           #
+# --------------------------------------------------------------------- #
+
+def _run_div_zero(ctx: CheckContext) -> Iterator[Diagnostic]:
+    dom = ctx.domain
+    zero = dom.from_const(0)
+    for fn_name, fn, edge, env in _reachable_edges(ctx):
+        tc = ctx.tc(fn_name)
+        for top in _edge_exprs(edge):
+            for expr in _subexprs(top):
+                if not (
+                    isinstance(expr, ast.Binary) and expr.op in ("/", "%")
+                ):
+                    continue
+                divisor = eval_expr(tc, env, expr.right)
+                if dom.is_bottom(divisor) or not dom.contains(divisor, 0):
+                    continue
+                nonzero, _ = dom.refine_cmp("!=", divisor, zero, True)
+                definite = dom.is_bottom(nonzero)
+                what = "division" if expr.op == "/" else "modulo"
+                verb = "is always" if definite else "may be"
+                witness = _env_facts(tc, env, expr.right)
+                witness.append(
+                    f"divisor {display_expr(expr.right)} = "
+                    f"{dom.format(divisor)}"
+                )
+                yield Diagnostic(
+                    rule="div-zero",
+                    severity="error" if definite else "warning",
+                    fn=fn_name,
+                    line=_expr_line(expr, edge),
+                    node=edge.src.index,
+                    message=(
+                        f"{what} by zero: divisor "
+                        f"`{display_expr(expr.right)}` {verb} 0"
+                    ),
+                    witness=tuple(witness),
+                )
+
+
+# --------------------------------------------------------------------- #
+# Rule: array index out of declared bounds.                             #
+# --------------------------------------------------------------------- #
+
+def _run_array_bounds(ctx: CheckContext) -> Iterator[Diagnostic]:
+    dom = ctx.domain
+    zero = dom.from_const(0)
+    for fn_name, fn, edge, env in _reachable_edges(ctx):
+        tc = ctx.tc(fn_name)
+        accesses: List[Tuple[str, ast.Expr, int]] = []
+        if isinstance(edge.instr, StoreArray):
+            accesses.append(
+                (
+                    edge.instr.name,
+                    edge.instr.index,
+                    _expr_line(edge.instr.index, edge),
+                )
+            )
+        for top in _edge_exprs(edge):
+            for expr in _subexprs(top):
+                if isinstance(expr, ast.ArrayRef):
+                    accesses.append(
+                        (expr.name, expr.index, _expr_line(expr, edge))
+                    )
+        for name, index_expr, line in accesses:
+            size = ctx.array_size(fn, name)
+            if size is None:
+                continue
+            index = eval_expr(tc, env, index_expr)
+            if dom.is_bottom(index):
+                continue
+            may_low, _ = dom.truthiness(dom.binop("<", index, zero))
+            may_high, _ = dom.truthiness(
+                dom.binop(">=", index, dom.from_const(size))
+            )
+            if not (may_low or may_high):
+                continue
+            in_low, _ = dom.refine_cmp(">=", index, zero, True)
+            if dom.is_bottom(in_low):
+                definite = True
+            else:
+                in_both, _ = dom.refine_cmp(
+                    "<=", in_low, dom.from_const(size - 1), True
+                )
+                definite = dom.is_bottom(in_both)
+            verb = "is always" if definite else "may be"
+            witness = _env_facts(tc, env, index_expr)
+            witness.append(
+                f"index {display_expr(index_expr)} = {dom.format(index)}"
+            )
+            witness.append(f"declared bounds: [0, {size - 1}]")
+            yield Diagnostic(
+                rule="array-bounds",
+                severity="error" if definite else "warning",
+                fn=fn_name,
+                line=line,
+                node=edge.src.index,
+                message=(
+                    f"array index {verb} out of bounds: "
+                    f"`{display_name(name)}[{display_expr(index_expr)}]` "
+                    f"with size {size}"
+                ),
+                witness=tuple(witness),
+            )
+
+
+# --------------------------------------------------------------------- #
+# Rule: dead branches and unreachable code.                             #
+# --------------------------------------------------------------------- #
+
+def _run_dead_code(ctx: CheckContext) -> Iterator[Diagnostic]:
+    dom = ctx.domain
+    # Part 1: branch conditions with a statically impossible outcome.
+    for fn_name, fn, edge, env in _reachable_edges(ctx):
+        if not isinstance(edge.instr, Guard):
+            continue
+        tc = ctx.tc(fn_name)
+        if refine(tc, env, edge.instr.cond, edge.instr.assume) is LiftedBottom:
+            which = "true" if edge.instr.assume else "false"
+            cond = display_expr(edge.instr.cond)
+            witness = _env_facts(tc, env, edge.instr.cond)
+            value = eval_expr(tc, env, edge.instr.cond)
+            witness.append(f"condition {cond} = {dom.format(value)}")
+            yield Diagnostic(
+                rule="dead-code",
+                severity="warning",
+                fn=fn_name,
+                line=_expr_line(edge.instr.cond, edge),
+                node=edge.src.index,
+                message=f"dead branch: condition `{cond}` is never {which}",
+                witness=tuple(witness),
+            )
+    # Part 2: program points the analysis proves unreachable although an
+    # immediate predecessor is reached over a non-branching edge (the
+    # transfer itself produced bottom, e.g. a definite division by zero).
+    # Points downstream of a dead guard are *not* re-reported: their
+    # predecessors are unreachable too, so the guard finding covers them.
+    for fn_name, fn in ctx.cfg.functions.items():
+        for node in fn.nodes:
+            if node == fn.entry:
+                continue
+            in_edges = fn.in_edges(node)
+            if not in_edges:
+                continue  # dangling by construction (code after return)
+            if ctx.env(fn_name, node) is not LiftedBottom:
+                continue
+            culprits = [
+                e
+                for e in in_edges
+                if not isinstance(e.instr, (Guard, AssertInstr))
+                and ctx.env(fn_name, e.src) is not LiftedBottom
+            ]
+            if not culprits:
+                continue
+            yield Diagnostic(
+                rule="dead-code",
+                severity="warning",
+                fn=fn_name,
+                line=node.line,
+                node=node.index,
+                message=(
+                    "unreachable code: no represented execution reaches "
+                    "this point"
+                ),
+                witness=(
+                    "the incoming transfer maps every reaching state "
+                    "to bottom",
+                ),
+            )
+
+
+# --------------------------------------------------------------------- #
+# Rules: assertion verdicts.                                            #
+# --------------------------------------------------------------------- #
+
+def _assert_verdicts(
+    ctx: CheckContext,
+) -> Iterator[Tuple[str, Edge, object, bool, bool]]:
+    for fn_name, fn, edge, env in _reachable_edges(ctx):
+        if not isinstance(edge.instr, AssertInstr):
+            continue
+        tc = ctx.tc(fn_name)
+        value = eval_expr(tc, env, edge.instr.cond)
+        may_true, may_false = ctx.domain.truthiness(value)
+        yield fn_name, edge, env, may_true, may_false
+
+
+def _run_assert_violated(ctx: CheckContext) -> Iterator[Diagnostic]:
+    for fn_name, edge, env, may_true, may_false in _assert_verdicts(ctx):
+        if may_true or not may_false:
+            continue
+        tc = ctx.tc(fn_name)
+        cond = display_expr(edge.instr.cond)
+        yield Diagnostic(
+            rule="assert-violated",
+            severity="error",
+            fn=fn_name,
+            line=edge.instr.line,
+            node=edge.src.index,
+            message=f"assertion `{cond}` always fails when reached",
+            witness=tuple(_env_facts(tc, env, edge.instr.cond)),
+        )
+
+
+def _run_assert_redundant(ctx: CheckContext) -> Iterator[Diagnostic]:
+    for fn_name, edge, env, may_true, may_false in _assert_verdicts(ctx):
+        if may_false or not may_true:
+            continue
+        tc = ctx.tc(fn_name)
+        cond = display_expr(edge.instr.cond)
+        yield Diagnostic(
+            rule="assert-redundant",
+            severity="info",
+            fn=fn_name,
+            line=edge.instr.line,
+            node=edge.src.index,
+            message=f"redundant assertion: `{cond}` is provably true",
+            witness=tuple(_env_facts(tc, env, edge.instr.cond)),
+        )
+
+
+# --------------------------------------------------------------------- #
+# Rule: possibly-uninitialised variable use (syntactic).                #
+# --------------------------------------------------------------------- #
+
+_ABSENT = object()
+
+
+class _UninitWalker:
+    """Forward def-use walk over one function's AST.
+
+    Tracks the set of scalar locals declared without an initialiser that
+    are not definitely assigned yet.  Branches merge by union (a read is
+    flagged when *some* path leaves the variable unwritten); loop bodies
+    are checked against the pre-loop state (the body may run zero
+    times).  This is deliberately AST-level: mini-C zero-initialises
+    storage, so the abstract semantics cannot express "uninitialised".
+    """
+
+    def __init__(self, fn: ast.FuncDecl) -> None:
+        self.fn = fn
+        #: (name, read line) -> declaration line.
+        self.findings: Dict[Tuple[str, int], int] = {}
+
+    def run(self) -> Iterator[Diagnostic]:
+        maybe: Dict[str, int] = {}
+        self._block(self.fn.body, maybe)
+        for (name, line), decl_line in sorted(self.findings.items()):
+            yield Diagnostic(
+                rule="uninit-read",
+                severity="warning",
+                fn=self.fn.name,
+                line=line,
+                node=-1,  # syntactic rule: no CFG program point
+                message=f"variable `{name}` may be used uninitialised",
+                witness=(
+                    f"`{name}` declared without initialiser at line "
+                    f"{decl_line}",
+                    "no assignment dominates this read "
+                    "(syntactic def-use check)",
+                ),
+            )
+
+    # -- state threading ---------------------------------------------- #
+
+    def _block(self, block: ast.Block, maybe: Dict[str, int]) -> None:
+        saved: Dict[str, object] = {}
+        for stmt in block.stmts:
+            self._stmt(stmt, maybe, saved)
+        # Names declared in this block go out of scope: restore the
+        # status the (shadowed) outer binding had at its declaration.
+        for name, old in saved.items():
+            if old is _ABSENT:
+                maybe.pop(name, None)
+            else:
+                maybe[name] = old
+
+    def _stmt(
+        self, stmt: ast.Stmt, maybe: Dict[str, int], saved: Dict[str, object]
+    ) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                self._reads(stmt.init, maybe)
+            if stmt.name not in saved:
+                saved[stmt.name] = maybe.get(stmt.name, _ABSENT)
+            if stmt.array_size is None and stmt.init is None:
+                maybe[stmt.name] = stmt.line
+            else:
+                maybe.pop(stmt.name, None)
+        elif isinstance(stmt, ast.Assign):
+            self._reads(stmt.value, maybe)
+            maybe.pop(stmt.name, None)
+        elif isinstance(stmt, ast.ArrayAssign):
+            self._reads(stmt.index, maybe)
+            self._reads(stmt.value, maybe)
+        elif isinstance(stmt, ast.If):
+            self._reads(stmt.cond, maybe)
+            then_m = dict(maybe)
+            self._block(stmt.then_body, then_m)
+            else_m = dict(maybe)
+            if stmt.else_body is not None:
+                self._block(stmt.else_body, else_m)
+            maybe.clear()
+            maybe.update(else_m)
+            maybe.update(then_m)
+        elif isinstance(stmt, ast.While):
+            self._reads(stmt.cond, maybe)
+            body_m = dict(maybe)
+            self._block(stmt.body, body_m)
+            # Zero-iteration soundness: the post-loop state is the
+            # pre-loop state (body assignments may never happen).
+        elif isinstance(stmt, ast.For):
+            header_saved: Dict[str, object] = {}
+            if stmt.init is not None:
+                self._stmt(stmt.init, maybe, header_saved)
+            if stmt.cond is not None:
+                self._reads(stmt.cond, maybe)
+            body_m = dict(maybe)
+            self._block(stmt.body, body_m)
+            if stmt.step is not None:
+                self._stmt(stmt.step, body_m, {})
+            for name, old in header_saved.items():
+                if old is _ABSENT:
+                    maybe.pop(name, None)
+                else:
+                    maybe[name] = old
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._reads(stmt.value, maybe)
+        elif isinstance(stmt, ast.Assert):
+            self._reads(stmt.cond, maybe)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._reads(stmt.expr, maybe)
+        elif isinstance(stmt, ast.Block):
+            self._block(stmt, maybe)
+        # Break/Continue: no reads; the union-merge of the enclosing
+        # constructs already over-approximates the control transfer.
+
+    def _reads(self, expr: ast.Expr, maybe: Dict[str, int]) -> None:
+        for sub in _subexprs(expr):
+            if isinstance(sub, ast.Var) and sub.name in maybe:
+                self.findings.setdefault(
+                    (sub.name, sub.line), maybe[sub.name]
+                )
+
+
+def _run_uninit_read(ctx: CheckContext) -> Iterator[Diagnostic]:
+    for fn in ctx.program.functions:
+        yield from _UninitWalker(fn).run()
+
+
+# --------------------------------------------------------------------- #
+# The registry.                                                         #
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class CheckerRule:
+    """One registered rule: stable name, worst-case severity, summary."""
+
+    name: str
+    severity: str
+    summary: str
+    run: Callable[[CheckContext], Iterable[Diagnostic]]
+
+
+_RULES: Tuple[CheckerRule, ...] = (
+    CheckerRule(
+        "div-zero",
+        "error",
+        "division or modulo by a (possibly) zero divisor",
+        _run_div_zero,
+    ),
+    CheckerRule(
+        "array-bounds",
+        "error",
+        "array index (possibly) outside the declared bounds",
+        _run_array_bounds,
+    ),
+    CheckerRule(
+        "dead-code",
+        "warning",
+        "dead branches and unreachable program points",
+        _run_dead_code,
+    ),
+    CheckerRule(
+        "assert-violated",
+        "error",
+        "assertions that always fail when reached",
+        _run_assert_violated,
+    ),
+    CheckerRule(
+        "assert-redundant",
+        "info",
+        "assertions that are provably true (redundant)",
+        _run_assert_redundant,
+    ),
+    CheckerRule(
+        "uninit-read",
+        "warning",
+        "reads of scalars declared without an initialiser (syntactic)",
+        _run_uninit_read,
+    ),
+)
+
+_BY_NAME = {rule.name: rule for rule in _RULES}
+
+
+def all_rules() -> Tuple[CheckerRule, ...]:
+    """Every registered rule, in registry (reporting) order."""
+    return _RULES
+
+
+def rule_names() -> Tuple[str, ...]:
+    """The registered rule names, in registry order."""
+    return tuple(rule.name for rule in _RULES)
+
+
+def canonical_rule_names(names) -> Tuple[str, ...]:
+    """Normalise a rule selection: deduplicate and order by registry.
+
+    An empty selection (``None``, ``()``, ``[]``) canonicalises to the
+    empty tuple, which downstream layers read as "all rules".  Two
+    selections naming the same set are therefore byte-identical in cache
+    keys -- the fingerprint honesty the service tests assert.
+
+    :raises UnknownRuleError: for names not in the registry.
+    """
+    if not names:
+        return ()
+    wanted = set(names)
+    unknown = sorted(wanted - set(_BY_NAME))
+    if unknown:
+        known = ", ".join(rule_names())
+        raise UnknownRuleError(
+            f"unknown rule(s) {', '.join(unknown)}; known rules: {known}"
+        )
+    return tuple(name for name in rule_names() if name in wanted)
+
+
+def resolve_rules(names=None) -> Tuple[CheckerRule, ...]:
+    """The rule objects a selection denotes (empty selection: all).
+
+    :raises UnknownRuleError: for names not in the registry.
+    """
+    canonical = canonical_rule_names(names)
+    if not canonical:
+        return _RULES
+    return tuple(_BY_NAME[name] for name in canonical)

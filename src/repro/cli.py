@@ -6,6 +6,7 @@ Usage (also via ``python -m repro``)::
     repro run program.mc [-- ARGS...]       execute a program concretely
     repro analyze program.mc [options]      interval analysis report
     repro verify program.mc [options]       check assert() statements
+    repro check program.mc [options]        run the bug-finding checkers
     repro solve program.mc [options]        supervised analysis run
     repro incr old.mc new.mc [options]      warm re-analysis after an edit
     repro dump-cfg program.mc               print the control-flow graphs
@@ -21,9 +22,9 @@ Usage (also via ``python -m repro``)::
     repro shutdown [options]                drain and stop a daemon
 
 Exit codes distinguish failure classes (see ``repro --help``): ``0``
-success, ``1`` incomplete verification, ``2`` input errors (including
-violated assertions), ``3`` solver divergence (budget or watchdog),
-``4`` internal faults.
+success, ``1`` incomplete verification (for ``repro check``: diagnostics
+reported), ``2`` input errors (including violated assertions), ``3``
+solver divergence (budget or watchdog), ``4`` internal faults.
 """
 
 from __future__ import annotations
@@ -203,6 +204,44 @@ def cmd_verify(args) -> int:
     if counts[Verdict.UNKNOWN]:
         return 1
     return 0
+
+
+def cmd_check(args) -> int:
+    import json
+    import os
+
+    from repro.checkers import (
+        DEFAULT_CHECK_OP,
+        render_diagnostics_json,
+        render_diagnostics_text,
+        run_check,
+        sarif_lite,
+    )
+
+    rules: List[str] = []
+    for chunk in args.rules or ():
+        rules.extend(name.strip() for name in chunk.split(",") if name.strip())
+    spec = _effective_spec(args) or DEFAULT_CHECK_OP
+    report = run_check(
+        _read_source(args.file),
+        program=os.path.basename(args.file),
+        rules=rules or None,
+        op=spec,
+        domain=args.domain,
+        context=args.context,
+        solver=args.local_solver,
+        thresholds=args.thresholds,
+        max_evals=args.max_evals,
+    )
+    doc = report.document()
+    if args.json:
+        # The canonical byte encoding: goldens compare this exactly.
+        sys.stdout.write(render_diagnostics_json(doc))
+    elif args.sarif_lite:
+        print(json.dumps(sarif_lite(doc), indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(render_diagnostics_text(doc))
+    return report.exit_code()
 
 
 def cmd_solve(args) -> int:
@@ -516,7 +555,25 @@ def _bench_matrix(args) -> int:
     out = args.out or f"MATRIX_{revision}.json"
     write_matrix(doc, out)
     print(f"wrote {out}")
-    return 0 if doc["totals"]["failed"] == 0 else 1
+    if args.update_baseline:
+        write_matrix(doc, args.update_baseline)
+        print(f"baseline refreshed: {args.update_baseline}")
+    worst = 0 if doc["totals"]["failed"] == 0 else 1
+    if args.compare:
+        import json
+
+        from repro.batch import compare_matrices, load_matrix
+
+        try:
+            baseline = load_matrix(args.compare)
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        report = compare_matrices(doc, baseline)
+        print(report.render())
+        if not report.ok:
+            return 1
+    return worst
 
 
 def cmd_bench(args) -> int:
@@ -575,7 +632,7 @@ def cmd_bench(args) -> int:
         f"workers={args.workers or 'auto'})"
     )
     for entry in doc["jobs"]:
-        if entry["code"] != 0:
+        if entry["code"] != 0 and entry["status"] != "findings":
             print(
                 f"  {entry['job']}: {entry['status']} (code {entry['code']})"
                 f" {entry['error']}"
@@ -588,7 +645,17 @@ def cmd_bench(args) -> int:
         write_bench(doc, args.update_baseline)
         print(f"baseline refreshed: {args.update_baseline}")
 
-    worst = max((entry["code"] for entry in doc["jobs"]), default=0)
+    # ``findings`` is the expected outcome of the buggy check corpus, not
+    # a benchmark failure; drift in the findings is what ``--compare``
+    # gates on.
+    worst = max(
+        (
+            entry["code"]
+            for entry in doc["jobs"]
+            if entry["status"] != "findings"
+        ),
+        default=0,
+    )
     if args.compare:
         try:
             baseline = load_bench(args.compare)
@@ -856,10 +923,11 @@ def build_parser() -> argparse.ArgumentParser:
         ),
         epilog=(
             "exit codes:\n"
-            "  0  success\n"
-            "  1  verification incomplete (assertions with unknown verdict)\n"
+            "  0  success (for `repro check`: no findings)\n"
+            "  1  verification incomplete (assertions with unknown verdict);\n"
+            "     for `repro check`: diagnostics reported\n"
             "  2  input error (missing file, parse/semantic/runtime error,\n"
-            "     violated assertion, unknown solver or capability)\n"
+            "     violated assertion, unknown solver/strategy/rule)\n"
             "  3  solver divergence (evaluation budget or watchdog tripped)\n"
             "  4  internal fault (unexpected error; please report)\n"
         ),
@@ -883,6 +951,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify = sub.add_parser("verify", help="check assert() statements")
     _add_analysis_options(p_verify)
     p_verify.set_defaults(func=cmd_verify)
+
+    p_check = sub.add_parser(
+        "check",
+        help="run the bug-finding checkers over the analysis results "
+        "(exit 0 clean, 1 findings, 2 input, 3 divergence, 4 internal)",
+    )
+    _add_analysis_options(p_check)
+    p_check.add_argument(
+        "--rules",
+        action="append",
+        default=None,
+        metavar="RULE[,RULE...]",
+        help="restrict to these rules (repeatable or comma-separated; "
+        "default: all -- div-zero, array-bounds, dead-code, "
+        "assert-violated, assert-redundant, uninit-read)",
+    )
+    check_out = p_check.add_mutually_exclusive_group()
+    check_out.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the canonical repro-diagnostics/1 JSON document "
+        "(byte-stable; the golden tests compare it exactly)",
+    )
+    check_out.add_argument(
+        "--sarif-lite",
+        action="store_true",
+        help="emit a minimal SARIF 2.1.0 projection of the diagnostics",
+    )
+    p_check.set_defaults(func=cmd_check)
 
     p_solve = sub.add_parser(
         "solve",
@@ -1050,7 +1147,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="FAMILY",
         help="restrict to a workload family (repeatable): "
-        "examples, wcet, fig7, table1",
+        "examples, buggy, wcet, fig7, table1",
     )
     p_bench.add_argument(
         "--workers",
@@ -1081,7 +1178,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare",
         default=None,
         metavar="BASELINE",
-        help="compare against a baseline document; exit 1 on regression",
+        help="compare against a baseline document; exit 1 on regression "
+        "(with --matrix: gate the precision point counts instead)",
     )
     p_bench.add_argument(
         "--eval-threshold",
@@ -1323,6 +1421,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     or watchdog), ``4`` for internal faults; ``1`` is reserved for
     incomplete verification.
     """
+    from repro.checkers import UnknownRuleError
     from repro.lang import LexError, ParseError, SemanticError
     from repro.lang.interp import ExecutionError
     from repro.solvers import DivergenceError
@@ -1353,6 +1452,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         SolverCapabilityError,
         UnknownStrategyError,
         SpecError,
+        UnknownRuleError,
     ) as err:
         print(f"error: {err}", file=sys.stderr)
         return 2

@@ -27,6 +27,7 @@ from repro.service.protocol import (
     OPERATIONS,
     PROTOCOL,
     ProtocolError,
+    check_request_to_jobspec,
     decode,
     encode,
     solve_request_to_jobspec,
@@ -47,6 +48,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ServiceExecution",
+    "check_request_to_jobspec",
     "decode",
     "encode",
     "execute_service_job",

@@ -140,6 +140,19 @@ class ServiceClient:
         ``deadline``, ``fresh``, ``label``, ``id``)."""
         return self.request({"op": "solve", "source": source, **options})
 
+    def check(self, source: str, rules=None, **options) -> dict:
+        """Run the checker rules over a program.
+
+        Options mirror :meth:`solve` minus ``verify`` (rejected by the
+        protocol for checks); ``rules`` selects a rule subset (``None``:
+        all rules).  The reply's ``result`` carries ``findings`` and the
+        full ``diagnostics`` list.
+        """
+        message = {"op": "check", "source": source, **options}
+        if rules is not None:
+            message["rules"] = list(rules)
+        return self.request(message)
+
     def status(self) -> dict:
         return self.request({"op": "status"})
 

@@ -16,6 +16,12 @@ are answered in cache-outcome order of preference:
    escalation ladder, independent verification), then cache the result
    together with its resume snapshot.
 
+``check`` requests ride the same pipeline with a different normalizer
+(:func:`~repro.service.protocol.check_request_to_jobspec`): they are
+cached by the same content-addressed keys (the job ``kind`` and the
+canonical rule set are part of the fingerprint) but never warm-start --
+diagnostics are either exact cache hits or recomputed cold.
+
 Identical requests arriving concurrently are **coalesced**: the second
 awaits the first's execution instead of repeating it.  Execution runs
 on a bounded worker pool off the event loop, so slow solves never block
@@ -43,6 +49,7 @@ from repro.service.executor import (
 from repro.service.protocol import (
     PROTOCOL,
     ProtocolError,
+    check_request_to_jobspec,
     decode,
     encode,
     error_response,
@@ -54,9 +61,10 @@ from repro.service.reqlog import RequestLog
 from repro.solvers.registry import capability_listing
 
 #: Result statuses worth caching: complete, independently verified
-#: analyses.  Failures (input errors, divergence, faults) are never
-#: cached -- a retry must re-attempt them.
-_CACHEABLE = ("ok", "unknown", "violated")
+#: analyses, plus completed check runs (``findings`` is a *successful*
+#: check that found bugs, not a failure).  Failures (input errors,
+#: divergence, faults) are never cached -- a retry must re-attempt them.
+_CACHEABLE = ("ok", "unknown", "violated", "findings")
 
 
 @dataclass
@@ -105,6 +113,7 @@ class AnalysisDaemon:
         self.counters: Dict[str, int] = {
             "total": 0,
             "solve": 0,
+            "check": 0,
             "hit": 0,
             "warm": 0,
             "miss": 0,
@@ -270,7 +279,7 @@ class AnalysisDaemon:
             return self._status(rid), False
         if op == "shutdown":
             return await self._shutdown(rid), True
-        return await self._solve(message, rid, peer), False
+        return await self._solve(message, rid, peer, op), False
 
     # ----------------------------------------------------------------- #
     # Operations.                                                       #
@@ -307,24 +316,34 @@ class AnalysisDaemon:
             "persisted_entries": persisted,
         }
 
-    async def _solve(self, message: dict, rid: str, peer) -> dict:
+    async def _solve(self, message: dict, rid: str, peer, op: str) -> dict:
+        """``solve`` and ``check``: one pipeline, two normalizers.
+
+        The two operations differ only in request normalization (a
+        ``check`` adds the rule selection and lands in a ``kind="check"``
+        JobSpec) -- caching, single-flighting and the worker pool are
+        shared, and the spec fingerprint keys on ``kind`` and ``rules``
+        so the two can never serve each other's cache entries.
+        """
         started = time.perf_counter()
-        self.counters["solve"] += 1
+        self.counters[op] += 1
         if self._draining:
             self.counters["rejected"] += 1
             return error_response(
-                "solve", "daemon is draining; resubmit elsewhere", request=rid
+                op, "daemon is draining; resubmit elsewhere", request=rid
             )
+        normalize = (
+            check_request_to_jobspec if op == "check"
+            else solve_request_to_jobspec
+        )
         try:
-            spec, fresh = solve_request_to_jobspec(
+            spec, fresh = normalize(
                 message, default_deadline=self.config.default_deadline
             )
         except ProtocolError as err:
             self.counters["errors"] += 1
-            self.log.log(
-                request=rid, op="solve", outcome="error", error=str(err)
-            )
-            return error_response("solve", str(err), request=rid)
+            self.log.log(request=rid, op=op, outcome="error", error=str(err))
+            return error_response(op, str(err), request=rid)
 
         key = spec_fingerprint(spec)
         if not fresh:
@@ -332,7 +351,8 @@ class AnalysisDaemon:
             if entry is not None:
                 self.counters["hit"] += 1
                 return self._respond(
-                    rid, message, spec, key, "hit", entry.result, 0, started
+                    rid, message, spec, key, "hit", entry.result, 0, started,
+                    op=op,
                 )
         else:
             self.counters["bypass"] += 1
@@ -360,6 +380,7 @@ class AnalysisDaemon:
             started,
             warm_donor=execution.warm_donor,
             dirty_nodes=execution.dirty_nodes,
+            op=op,
         )
 
     async def _execute(
@@ -423,11 +444,18 @@ class AnalysisDaemon:
         started: float,
         warm_donor: Optional[str] = None,
         dirty_nodes: int = 0,
+        op: str = "solve",
     ) -> dict:
         wall_ms = round((time.perf_counter() - started) * 1000.0, 3)
+        extra = {}
+        if op == "check":
+            extra = {
+                "rules": list(spec.rules),
+                "findings": result.get("findings", 0),
+            }
         self.log.log(
             request=rid,
-            op="solve",
+            op=op,
             outcome=outcome,
             program=program_sha(spec.source),
             key=key,
@@ -441,10 +469,11 @@ class AnalysisDaemon:
             warm_donor=warm_donor,
             dirty_nodes=dirty_nodes,
             wall_ms=wall_ms,
+            **extra,
         )
         response = {
             "ok": True,
-            "op": "solve",
+            "op": op,
             "request": rid,
             "cache": outcome,
             "key": key,

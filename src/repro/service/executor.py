@@ -349,6 +349,35 @@ def _execute_warm(
 
 
 # --------------------------------------------------------------------- #
+# Check path: the batch executor, verbatim.                             #
+# --------------------------------------------------------------------- #
+
+def _execute_check(job: JobSpec) -> ServiceExecution:
+    """One ``kind="check"`` request; always the cold path.
+
+    Checks delegate to :func:`repro.batch.jobs.execute_job` -- the same
+    code path ``repro check`` and the farm run -- so the service can
+    never report different diagnostics than the CLI for the same
+    request.  There is no warm path: rules read *every* program point's
+    abstract value, so a resumed solve saves nothing the rule pass does
+    not immediately spend, and the deterministic result caches fine
+    without a snapshot (``state=None`` keeps check entries out of the
+    warm-donor pool).
+    """
+    from repro.batch.jobs import execute_job
+
+    result = execute_job(job)
+    return ServiceExecution(
+        result=result,
+        state=None,
+        mode="cold",
+        # Diagnostics documents are deterministic, so a completed check
+        # (clean or with findings) is cacheable as-is; failures are not.
+        verified=result.status in ("ok", "findings"),
+    )
+
+
+# --------------------------------------------------------------------- #
 # Entry point.                                                          #
 # --------------------------------------------------------------------- #
 
@@ -370,6 +399,8 @@ def execute_service_job(
         request is solved cold under full supervision.
     """
     started = time.perf_counter()
+    if job.kind == "check":
+        return _execute_check(job)
     for key, source, state in donors:
         execution = _execute_warm(
             job, key, source, state, started, max_dirty_ratio

@@ -15,6 +15,13 @@ Operations (see ``docs/service.md`` for the full field tables):
     layer's :class:`~repro.batch.jobs.JobSpec` -- the same shape the
     process farm executes -- so the service, the farm and the CLI agree
     on what an analysis configuration is, byte for byte.
+``check``
+    Run the :mod:`repro.checkers` diagnostics rules over a program.
+    Normalized exactly like ``solve`` (same options, same strictness)
+    into a ``kind="check"`` JobSpec; an optional ``rules`` list selects
+    a rule subset (canonicalized, so equal selections share cache
+    entries), and ``verify`` is rejected -- the assertion rules subsume
+    it.  The reply carries the full diagnostics in the job result.
 ``status``
     Daemon counters: uptime, requests by cache outcome, cache
     hit/miss/eviction counters, in-flight count.
@@ -52,7 +59,7 @@ PROTOCOL = "repro-service/1"
 MAX_LINE_BYTES = 8 * 1024 * 1024
 
 #: The operations a daemon understands.
-OPERATIONS = ("ping", "solve", "status", "solvers", "shutdown")
+OPERATIONS = ("ping", "solve", "check", "status", "solvers", "shutdown")
 
 #: ``solve`` request fields that map onto :class:`JobSpec` options, with
 #: their expected types and defaults (= the JobSpec defaults).  The
@@ -211,5 +218,61 @@ def solve_request_to_jobspec(
         source=source,
         deadline=deadline,
         **options,
+    )
+    return job, fresh
+
+
+def check_request_to_jobspec(
+    message: dict, *, default_deadline: Optional[float] = None
+) -> Tuple[JobSpec, bool]:
+    """Normalize a ``check`` request into a ``kind="check"`` JobSpec.
+
+    Shares the whole ``solve`` normalization (sources, solver
+    capability checks, solve-ready combine strategies, deadlines), then
+    layers the checker-specific contract on top:
+
+    * ``rules`` (optional) must be a list of rule-name strings; names
+      are canonicalized through
+      :func:`repro.checkers.canonical_rule_names` so order and
+      duplicates cannot split the cache, and unknown names are rejected
+      with the known-rule listing;
+    * ``verify`` is rejected outright -- assertion checking *is* a pair
+      of checker rules (``assert-violated``/``assert-redundant``), and a
+      silent ignore would let clients believe verdicts were folded into
+      the exit code.
+
+    :raises ProtocolError: with a client-facing message on any problem.
+    """
+    from dataclasses import replace
+
+    if "verify" in message:
+        raise ProtocolError(
+            "'check' requests do not accept 'verify': assertion verdicts "
+            "are diagnostics (rules 'assert-violated'/'assert-redundant')"
+        )
+    rules = message.get("rules", [])
+    if not isinstance(rules, list) or not all(
+        isinstance(name, str) for name in rules
+    ):
+        raise ProtocolError(
+            "field 'rules' must be a list of rule-name strings"
+        )
+    # Deferred: checkers pulls in the analysis stack, and protocol.py
+    # must stay importable from lightweight clients.
+    from repro.checkers import UnknownRuleError, canonical_rule_names
+
+    try:
+        canonical = canonical_rule_names(rules)
+    except UnknownRuleError as err:
+        raise ProtocolError(f"field 'rules' is invalid: {err}") from err
+
+    job, fresh = solve_request_to_jobspec(
+        message, default_deadline=default_deadline
+    )
+    job = replace(
+        job,
+        id=f"service/{program_sha(job.source)}/check/{job.op}",
+        kind="check",
+        rules=canonical,
     )
     return job, fresh

@@ -1,0 +1,92 @@
+"""Direct tests for result ``env_at`` edge cases.
+
+The contract: reachable nodes answer their abstract state, unreachable
+nodes -- whether the solver mapped them to bottom or (demand-driven)
+never touched them at all -- answer ``LiftedBottom``, and nodes that are
+not program points of the analysed system raise ``KeyError`` instead of
+silently claiming unreachability.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import IntervalDomain, analyze_function
+from repro.lang import compile_program
+from repro.lattices.lifted import LiftedBottom
+
+dom = IntervalDomain()
+
+DEAD_BRANCH = """
+int main() {
+  int x = 3;
+  int y = 0;
+  if (x > 5) {
+    y = 99;
+  }
+  return y;
+}
+"""
+
+
+def analyse(source: str):
+    cfg = compile_program(source)
+    return cfg, analyze_function(cfg, "main", dom)
+
+
+class TestReachable:
+    def test_exit_node_has_an_environment(self):
+        cfg, result = analyse(DEAD_BRANCH)
+        env = result.env_at(cfg.functions["main"].exit)
+        assert env is not LiftedBottom
+        assert env["y"] == dom.from_const(0)
+
+
+class TestUnreachable:
+    def test_dead_branch_node_is_bottom(self):
+        cfg, result = analyse(DEAD_BRANCH)
+        fn = cfg.functions["main"]
+        dead = [n for n in fn.nodes if result.env_at(n) is LiftedBottom]
+        assert dead, "the x > 5 branch must be unreachable"
+
+    def test_node_missing_from_envs_but_in_system_is_bottom(self):
+        # A demand-driven solver may never evaluate an unknown at all; a
+        # node the solver skipped has no envs entry yet is still a point
+        # of the system, and must read as unreachable -- not crash.
+        cfg, result = analyse(DEAD_BRANCH)
+        fn = cfg.functions["main"]
+        in_system = set(result.system.unknowns)
+        victim = next(n for n in fn.nodes if n in in_system)
+        del result.envs[victim]
+        assert result.env_at(victim) is LiftedBottom
+
+    def test_every_node_of_the_function_answers(self):
+        cfg, result = analyse(DEAD_BRANCH)
+        for node in cfg.functions["main"].nodes:
+            result.env_at(node)  # must not raise
+
+
+class TestForeignNodes:
+    def test_node_of_another_function_raises(self):
+        cfg, result = analyse(
+            """
+            int helper() { return 1; }
+            int main() { return 2; }
+            """
+        )
+        foreign = cfg.functions["helper"].exit
+        if foreign in set(result.system.unknowns):
+            pytest.skip("node identity is shared across functions")
+        with pytest.raises(KeyError):
+            result.env_at(foreign)
+
+    def test_node_absent_from_the_system_raises_with_context(self):
+        _cfg, result = analyse(DEAD_BRANCH)
+
+        class FakeNode:
+            def __repr__(self):
+                return "FakeNode()"
+
+        with pytest.raises(KeyError) as err:
+            result.env_at(FakeNode())
+        assert "program point" in str(err.value)

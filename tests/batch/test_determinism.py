@@ -15,4 +15,6 @@ def test_quick_corpus_is_identical_across_worker_counts():
     # Spelled out for the two fields the bench gate depends on most:
     assert [r.hash for r in solo] == [r.hash for r in quad]
     assert [r.evaluations for r in solo] == [r.evaluations for r in quad]
-    assert all(r.code == 0 for r in solo)
+    # Seeded-bug check jobs report findings (code 1) by design; nothing
+    # in the quick corpus may *fail*.
+    assert all(r.code == 0 or r.status == "findings" for r in solo)

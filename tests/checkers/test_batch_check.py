@@ -1,0 +1,178 @@
+"""Check jobs through the batch layer: specs, farm, corpus, bench."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch import (
+    JobSpec,
+    buggy_sources,
+    corpus_jobs,
+    execute_job,
+    run_jobs,
+    spec_fingerprint,
+)
+
+BUGGY = "int main() { int z = 0; return 10 / z; }"
+CLEAN = "int main() { return 0; }"
+
+
+def check_spec(source, **overrides):
+    base = dict(
+        id="t/check",
+        family="test",
+        program="t",
+        source=source,
+        kind="check",
+    )
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+class TestExecuteJob:
+    def test_check_with_findings(self):
+        result = execute_job(check_spec(BUGGY))
+        assert result.kind == "check"
+        assert result.status == "findings"
+        assert result.code == 1
+        assert result.findings == len(result.diagnostics) >= 1
+        assert all(isinstance(d, dict) for d in result.diagnostics)
+
+    def test_clean_check(self):
+        result = execute_job(check_spec(CLEAN))
+        assert result.status == "ok"
+        assert result.code == 0
+        assert result.findings == 0
+        assert result.diagnostics == ()
+
+    def test_rule_subset(self):
+        # array-bounds cannot fire (no arrays); div-zero and dead-code,
+        # which both fire on BUGGY under the full rule set, are excluded.
+        result = execute_job(check_spec(BUGGY, rules=("array-bounds",)))
+        assert result.findings == 0
+
+    def test_unknown_rule_is_input_error(self):
+        result = execute_job(check_spec(BUGGY, rules=("nope",)))
+        assert result.status == "input-error"
+        assert result.code == 2
+        assert "nope" in result.error
+
+    def test_phased_strategy_is_input_error(self):
+        result = execute_job(check_spec(BUGGY, op="twophase"))
+        assert result.status == "input-error"
+        assert result.code == 2
+
+    def test_unknown_kind_is_input_error(self):
+        result = execute_job(check_spec(BUGGY, kind="fuzz"))
+        assert result.status == "input-error"
+        assert result.code == 2
+
+    def test_check_never_raises_on_parse_error(self):
+        result = execute_job(check_spec("not a program"))
+        assert result.status == "input-error"
+
+    def test_diagnostics_round_trip_json(self):
+        from repro.batch.jobs import JobResult
+
+        result = execute_job(check_spec(BUGGY))
+        again = JobResult.from_json(result.to_json())
+        assert again == result
+        assert isinstance(again.diagnostics, tuple)
+
+
+class TestCacheKey:
+    def test_kind_changes_the_fingerprint(self):
+        solve = check_spec(BUGGY, kind="solve")
+        check = check_spec(BUGGY)
+        assert spec_fingerprint(solve) != spec_fingerprint(check)
+
+    def test_rules_change_the_fingerprint(self):
+        all_rules = check_spec(BUGGY)
+        subset = check_spec(BUGGY, rules=("div-zero",))
+        assert spec_fingerprint(all_rules) != spec_fingerprint(subset)
+
+    def test_identical_checks_share_a_fingerprint(self):
+        assert spec_fingerprint(check_spec(BUGGY)) == spec_fingerprint(
+            check_spec(BUGGY)
+        )
+
+
+class TestFarm:
+    def test_parallel_checks_in_submission_order(self):
+        jobs = corpus_jobs(families=["buggy"], quick=True)
+        assert len(jobs) == 20
+        results = run_jobs(jobs, workers=4)
+        assert [r.job for r in results] == [j.id for j in jobs]
+        by_program = {r.program: r for r in results}
+        for name in buggy_sources():
+            result = by_program[name]
+            if name.endswith("_clean"):
+                assert result.code == 0, (name, result.error)
+            else:
+                assert result.status == "findings", (name, result.status)
+
+    def test_farm_and_direct_execution_agree(self):
+        jobs = corpus_jobs(families=["buggy"], quick=True)[:4]
+        farmed = run_jobs(jobs, workers=2)
+        direct = [execute_job(job) for job in jobs]
+        for a, b in zip(farmed, direct):
+            assert a.deterministic() == b.deterministic()
+
+
+class TestCorpus:
+    def test_buggy_family_is_enumerated(self):
+        jobs = corpus_jobs(quick=True)
+        buggy = [j for j in jobs if j.family == "buggy"]
+        assert len(buggy) == 20
+        assert all(j.kind == "check" for j in buggy)
+        assert all(j.id.startswith("buggy/") for j in buggy)
+
+    def test_buggy_sources_cover_the_corpus(self):
+        sources = buggy_sources()
+        assert len(sources) == 20
+        assert "div_loop" in sources and "div_loop_clean" in sources
+
+    def test_matrix_includes_buggy_rows(self):
+        from repro.batch import matrix_programs
+
+        rows = matrix_programs(quick=True)
+        assert any(family == "buggy" for family, _, _ in rows)
+
+
+class TestBenchSchema:
+    @pytest.fixture(scope="class")
+    def doc(self):
+        from repro.batch import run_bench
+
+        jobs = corpus_jobs(families=["buggy"], quick=True)[:4]
+        return run_bench(jobs, repeats=2, workers=1, quick=True)
+
+    def test_bench_document_is_valid(self, doc):
+        from repro.batch import validate_bench
+
+        assert validate_bench(doc) == []
+
+    def test_entries_carry_kind_and_findings(self, doc):
+        for entry in doc["jobs"]:
+            assert entry["kind"] == "check"
+            assert isinstance(entry["findings"], int)
+
+    def test_findings_jobs_are_not_failures(self, doc):
+        assert doc["totals"]["failed"] == 0
+
+    def test_findings_drift_fails_the_gate(self, doc):
+        import copy
+
+        from repro.batch import compare_benches
+
+        assert compare_benches(doc, doc).ok
+        doctored = copy.deepcopy(doc)
+        for entry in doctored["jobs"]:
+            if entry["findings"]:
+                entry["findings"] += 1
+                break
+        else:
+            pytest.skip("sample had no findings job")
+        report = compare_benches(doc, doctored)
+        assert not report.ok
+        assert any("findings" in r for r in report.regressions)

@@ -1,0 +1,143 @@
+"""Tests for the diagnostics schema: records, documents, renderers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.checkers import (
+    DIAGNOSTICS_FORMAT,
+    Diagnostic,
+    diagnostics_document,
+    render_diagnostics_json,
+    render_diagnostics_text,
+    sarif_lite,
+    validate_diagnostics,
+)
+
+
+def diag(**overrides) -> Diagnostic:
+    base = dict(
+        rule="div-zero",
+        severity="error",
+        fn="main",
+        line=3,
+        node=5,
+        message="division by zero: divisor `x` is always 0",
+        witness=("x = [0,0]",),
+    )
+    base.update(overrides)
+    return Diagnostic(**base)
+
+
+def document(diags) -> dict:
+    return diagnostics_document(
+        program="prog.c",
+        op="warrow:delay=1",
+        domain="interval",
+        context="insensitive",
+        rules=("div-zero", "dead-code"),
+        diagnostics=diags,
+    )
+
+
+class TestDiagnostic:
+    def test_round_trip(self):
+        d = diag()
+        assert Diagnostic.from_json(d.to_json()) == d
+
+    def test_sort_key_orders_by_location(self):
+        early = diag(line=1)
+        late = diag(line=9)
+        assert sorted([late, early], key=Diagnostic.sort_key) == [early, late]
+
+
+class TestDocument:
+    def test_valid_document_has_no_problems(self):
+        doc = document([diag()])
+        assert validate_diagnostics(doc) == []
+        assert doc["format"] == DIAGNOSTICS_FORMAT
+
+    def test_summary_counts_by_severity(self):
+        doc = document(
+            [diag(line=1), diag(line=2, severity="warning"), diag(line=3)]
+        )
+        assert doc["summary"] == {
+            "total": 3,
+            "error": 2,
+            "warning": 1,
+            "info": 0,
+        }
+
+    def test_diagnostics_sorted_canonically(self):
+        doc = document([diag(line=9), diag(line=1)])
+        lines = [d["line"] for d in doc["diagnostics"]]
+        assert lines == sorted(lines)
+
+    def test_validation_rejects_bad_format(self):
+        doc = document([diag()])
+        doc["format"] = "nope/9"
+        assert any("format" in p for p in validate_diagnostics(doc))
+
+    def test_validation_rejects_unknown_severity(self):
+        doc = document([diag()])
+        doc["diagnostics"][0]["severity"] = "fatal"
+        assert validate_diagnostics(doc)
+
+    def test_validation_rejects_rule_not_in_rules(self):
+        doc = document([diag(rule="uninit-read")])
+        assert validate_diagnostics(doc)
+
+    def test_validation_rejects_unsorted(self):
+        doc = document([diag(line=1), diag(line=9)])
+        doc["diagnostics"].reverse()
+        assert validate_diagnostics(doc)
+
+    def test_validation_rejects_wrong_summary(self):
+        doc = document([diag()])
+        doc["summary"]["total"] = 7
+        assert validate_diagnostics(doc)
+
+
+class TestRenderers:
+    def test_json_render_is_canonical(self):
+        doc = document([diag()])
+        rendered = render_diagnostics_json(doc)
+        assert rendered.endswith("\n")
+        assert rendered == json.dumps(doc, indent=1, sort_keys=True) + "\n"
+
+    def test_json_render_is_deterministic(self):
+        doc = document([diag()])
+        assert render_diagnostics_json(doc) == render_diagnostics_json(
+            json.loads(json.dumps(doc))
+        )
+
+    def test_text_render_mentions_rule_and_line(self):
+        text = render_diagnostics_text(document([diag()]))
+        assert "div-zero" in text
+        assert "3" in text
+
+    def test_text_render_clean(self):
+        text = render_diagnostics_text(document([]))
+        assert "no findings" in text or "0 finding" in text
+
+
+class TestSarif:
+    def test_sarif_projection(self):
+        sarif = sarif_lite(document([diag(), diag(line=4, severity="info")]))
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-check"
+        results = run["results"]
+        assert [r["level"] for r in results] == ["error", "note"]
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 3
+
+    @pytest.mark.parametrize(
+        "severity,level",
+        [("error", "error"), ("warning", "warning"), ("info", "note")],
+    )
+    def test_severity_level_map(self, severity, level):
+        sarif = sarif_lite(document([diag(severity=severity)]))
+        assert sarif["runs"][0]["results"][0]["level"] == level

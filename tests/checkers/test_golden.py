@@ -1,0 +1,59 @@
+"""Golden tests: the buggy corpus reproduces its committed diagnostics
+byte for byte, through the same rendering path ``repro check --json``
+uses."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.checkers import (
+    render_diagnostics_json,
+    run_check,
+    validate_diagnostics,
+)
+
+BUGGY = Path(__file__).resolve().parent.parent.parent / "examples" / "buggy"
+PROGRAMS = sorted(BUGGY.glob("*.c"))
+SEEDED = [p for p in PROGRAMS if not p.stem.endswith("_clean")]
+CLEAN = [p for p in PROGRAMS if p.stem.endswith("_clean")]
+
+
+def report_for(path: Path):
+    return run_check(path.read_text(encoding="utf-8"), program=path.name)
+
+
+def test_corpus_shape():
+    assert len(SEEDED) >= 10, "ISSUE requires >= 10 seeded-bug programs"
+    assert len(CLEAN) == len(SEEDED), "every buggy program has a clean twin"
+    twins = {p.stem for p in CLEAN}
+    assert {f"{p.stem}_clean" for p in SEEDED} == twins
+
+
+@pytest.mark.parametrize("path", PROGRAMS, ids=lambda p: p.stem)
+def test_golden_byte_for_byte(path):
+    golden = (BUGGY / "expected" / f"{path.stem}.json").read_text(
+        encoding="utf-8"
+    )
+    report = report_for(path)
+    assert render_diagnostics_json(report.document()) == golden
+
+
+@pytest.mark.parametrize("path", PROGRAMS, ids=lambda p: p.stem)
+def test_documents_are_schema_valid(path):
+    assert validate_diagnostics(report_for(path).document()) == []
+
+
+@pytest.mark.parametrize("path", SEEDED, ids=lambda p: p.stem)
+def test_seeded_bugs_are_found(path):
+    report = report_for(path)
+    assert report.findings >= 1
+    assert report.exit_code() == 1
+
+
+@pytest.mark.parametrize("path", CLEAN, ids=lambda p: p.stem)
+def test_clean_twins_have_zero_findings(path):
+    report = report_for(path)
+    assert report.findings == 0, [d.message for d in report.diagnostics]
+    assert report.exit_code() == 0

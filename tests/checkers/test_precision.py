@@ -1,0 +1,75 @@
+"""The precision knob: ⌴ strictly reduces false positives vs widening.
+
+This is the checkers' rendition of the paper's claim.  The diagnostics
+layer consumes the solver's abstract values, so operator precision is
+directly observable as alarm counts: on clean programs the combined
+operator ⌴ (``warrow``) must stay silent where pure widening cries wolf,
+and on some seeded bugs only ⌴ is precise enough to *prove* the dead
+code dead.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.checkers import run_check
+
+BUGGY = Path(__file__).resolve().parent.parent.parent / "examples" / "buggy"
+
+
+def check(name: str, op: str):
+    return run_check((BUGGY / f"{name}.c").read_text(encoding="utf-8"), op=op)
+
+
+class TestFalsePositiveDelta:
+    def test_div_loop_clean_warrow_vs_widen(self):
+        """The golden FP-delta program of the ISSUE acceptance criteria:
+        after ``while (i < 10) i = i + 1`` the divisor ``11 - i`` is
+        provably 1 under ⌴ (``i = [10,10]``) but possibly 0 under pure
+        widening (``i = [10,+oo]``)."""
+        combined = check("div_loop_clean", "warrow:delay=1")
+        widened = check("div_loop_clean", "widen:delay=1")
+        assert combined.findings == 0
+        assert widened.findings >= 1
+        assert any(d.rule == "div-zero" for d in widened.diagnostics)
+
+    def test_index_off_by_one_clean_warrow_vs_widen(self):
+        combined = check("index_off_by_one_clean", "warrow:delay=1")
+        widened = check("index_off_by_one_clean", "widen:delay=1")
+        assert combined.findings == 0
+        assert widened.findings > combined.findings
+
+    def test_clean_corpus_total_strictly_improves(self):
+        """Corpus-wide: summed over every clean twin, ⌴ produces strictly
+        fewer alarms (zero) than pure widening (nonzero)."""
+        clean = sorted(
+            p.stem for p in BUGGY.glob("*_clean.c")
+        )
+        combined_total = sum(
+            check(name, "warrow:delay=1").findings for name in clean
+        )
+        widened_total = sum(
+            check(name, "widen:delay=1").findings for name in clean
+        )
+        assert combined_total == 0
+        assert widened_total > combined_total
+
+
+class TestDetectionDelta:
+    def test_dead_loop_needs_narrowing_to_detect(self):
+        """``while (i < 5) ...; if (i > 5)``: the dead branch is only
+        provably dead once narrowing pins ``i = [5,5]`` -- pure widening
+        keeps ``[0,+oo]`` and misses the bug entirely."""
+        combined = check("dead_loop", "warrow:delay=1")
+        widened = check("dead_loop", "widen:delay=1")
+        assert any(d.rule == "dead-code" for d in combined.diagnostics)
+        assert not any(d.rule == "dead-code" for d in widened.diagnostics)
+
+
+class TestOperatorIdentity:
+    def test_op_is_part_of_the_document(self):
+        combined = check("div_loop_clean", "warrow:delay=1").document()
+        widened = check("div_loop_clean", "widen:delay=1").document()
+        assert combined["op"] == "warrow:delay=1"
+        assert widened["op"] == "widen:delay=1"
+        assert combined != widened

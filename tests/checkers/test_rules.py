@@ -1,0 +1,251 @@
+"""Per-rule behaviour tests: each checker rule on targeted programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkers import (
+    UnknownRuleError,
+    canonical_rule_names,
+    resolve_rules,
+    rule_names,
+    run_check,
+)
+
+
+def findings(source, rules=None, **kwargs):
+    return run_check(source, rules=rules, **kwargs).diagnostics
+
+
+class TestRegistry:
+    def test_catalogue_is_complete(self):
+        assert set(rule_names()) == {
+            "div-zero",
+            "array-bounds",
+            "dead-code",
+            "assert-violated",
+            "assert-redundant",
+            "uninit-read",
+        }
+
+    def test_canonical_names_dedupe_and_order(self):
+        assert canonical_rule_names(
+            ["dead-code", "div-zero", "dead-code"]
+        ) == ("div-zero", "dead-code")
+
+    def test_unknown_rule_raises_with_catalogue(self):
+        with pytest.raises(UnknownRuleError) as err:
+            canonical_rule_names(["nope"])
+        assert "div-zero" in str(err.value)
+
+    def test_resolve_rules_none_means_all(self):
+        assert [r.name for r in resolve_rules(None)] == list(rule_names())
+
+
+class TestDivZero:
+    def test_definite_division_by_zero(self):
+        diags = findings(
+            "int main() { int z = 0; return 10 / z; }", rules=["div-zero"]
+        )
+        assert len(diags) == 1
+        assert diags[0].severity == "error"
+        assert "always" in diags[0].message
+
+    def test_possible_modulo_by_zero(self):
+        diags = findings(
+            "int main(int n) { return 10 % n; }", rules=["div-zero"]
+        )
+        assert len(diags) == 1
+        assert diags[0].severity == "warning"
+        assert "may be" in diags[0].message
+        assert "modulo" in diags[0].message
+
+    def test_nonzero_divisor_is_silent(self):
+        assert not findings(
+            "int main() { int z = 2; return 10 / z; }", rules=["div-zero"]
+        )
+
+    def test_guarded_divisor_is_silent(self):
+        # The guard must be interval-representable: `d != 0` cannot carve
+        # a hole out of [-oo,+oo], but a one-sided clamp refines cleanly.
+        source = """
+        int main(int n) {
+          int d = n;
+          if (d < 1) { d = 1; }
+          return 10 / d;
+        }
+        """
+        assert not findings(source, rules=["div-zero"])
+
+    def test_witness_names_the_divisor_interval(self):
+        diags = findings(
+            "int main() { int z = 0; return 10 / z; }", rules=["div-zero"]
+        )
+        assert any("z" in fact for fact in diags[0].witness)
+
+
+class TestArrayBounds:
+    def test_definite_overflow(self):
+        source = "int main() { int a[4]; a[4] = 1; return 0; }"
+        diags = findings(source, rules=["array-bounds"])
+        assert len(diags) == 1
+        assert diags[0].severity == "error"
+
+    def test_possible_overflow_unchecked_param(self):
+        source = "int main(int n) { int a[4]; a[n] = 1; return 0; }"
+        diags = findings(source, rules=["array-bounds"])
+        assert len(diags) == 1
+        assert diags[0].severity == "warning"
+
+    def test_in_bounds_loop_is_silent(self):
+        source = """
+        int main() {
+          int a[8];
+          int i = 0;
+          while (i < 8) { a[i] = i; i = i + 1; }
+          return a[7];
+        }
+        """
+        assert not findings(source, rules=["array-bounds"])
+
+    def test_witness_states_declared_bounds(self):
+        source = "int main() { int a[4]; a[4] = 1; return 0; }"
+        diags = findings(source, rules=["array-bounds"])
+        assert any("[0, 3]" in fact for fact in diags[0].witness)
+
+
+class TestDeadCode:
+    def test_constant_false_branch(self):
+        source = """
+        int main(int n) {
+          int x = 3;
+          if (x > 5) { n = 1; }
+          return n;
+        }
+        """
+        diags = findings(source, rules=["dead-code"])
+        assert diags
+        assert all(d.rule == "dead-code" for d in diags)
+        assert any("never true" in d.message for d in diags)
+
+    def test_live_branches_are_silent(self):
+        source = """
+        int main(int n) {
+          if (n > 5) { n = 1; }
+          return n;
+        }
+        """
+        assert not findings(source, rules=["dead-code"])
+
+    def test_code_after_proved_loop_bound(self):
+        source = """
+        int main() {
+          int i = 0;
+          while (i < 5) { i = i + 1; }
+          if (i > 5) { i = 99; }
+          return i;
+        }
+        """
+        diags = findings(source, rules=["dead-code"])
+        assert any("never true" in d.message for d in diags)
+
+
+class TestAsserts:
+    def test_always_false_assert(self):
+        source = "int main() { int x = 1; assert(x == 2); return x; }"
+        diags = findings(source, rules=["assert-violated"])
+        assert len(diags) == 1
+        assert diags[0].severity == "error"
+        assert "always fails" in diags[0].message
+
+    def test_provably_true_assert_is_redundant(self):
+        source = "int main() { int x = 1; assert(x == 1); return x; }"
+        diags = findings(source, rules=["assert-redundant"])
+        assert len(diags) == 1
+        assert diags[0].severity == "info"
+
+    def test_unknown_verdict_is_silent_for_both(self):
+        source = "int main(int n) { int x = 1; assert(x == n); return x; }"
+        assert not findings(
+            source, rules=["assert-violated", "assert-redundant"]
+        )
+
+
+class TestUninitRead:
+    def test_branch_assigned_only_on_one_path(self):
+        source = """
+        int main(int n) {
+          int x;
+          if (n > 0) { x = 1; }
+          return x;
+        }
+        """
+        diags = findings(source, rules=["uninit-read"])
+        assert len(diags) == 1
+        assert "uninitialised" in diags[0].message
+
+    def test_zero_iteration_loop_body_does_not_initialise(self):
+        source = """
+        int main(int n) {
+          int s;
+          int i = 0;
+          while (i < n) { s = i; i = i + 1; }
+          return s;
+        }
+        """
+        assert findings(source, rules=["uninit-read"])
+
+    def test_both_branches_initialise(self):
+        source = """
+        int main(int n) {
+          int x;
+          if (n > 0) { x = 1; } else { x = 2; }
+          return x;
+        }
+        """
+        assert not findings(source, rules=["uninit-read"])
+
+    def test_explicit_initialiser_is_silent(self):
+        source = "int main() { int x = 0; return x; }"
+        assert not findings(source, rules=["uninit-read"])
+
+
+class TestEngine:
+    def test_rule_subset_restricts_findings(self):
+        source = """
+        int main(int n) {
+          int x;
+          int z = 0;
+          if (n > 0) { x = 1; }
+          return x / z;
+        }
+        """
+        everything = findings(source)
+        only_div = findings(source, rules=["div-zero"])
+        assert {d.rule for d in only_div} == {"div-zero"}
+        assert len(everything) > len(only_div)
+
+    def test_phased_strategy_is_rejected(self):
+        from repro.strategies import SpecError
+
+        with pytest.raises(SpecError):
+            run_check("int main() { return 0; }", op="twophase")
+
+    def test_report_exit_codes(self):
+        clean = run_check("int main() { return 0; }")
+        assert clean.exit_code() == 0
+        dirty = run_check("int main() { int z = 0; return 1 / z; }")
+        assert dirty.exit_code() == 1
+
+    def test_diagnostics_are_deterministic(self):
+        source = """
+        int main(int n) {
+          int a[4];
+          int z = 0;
+          a[n] = 10 / z;
+          return 0;
+        }
+        """
+        first = run_check(source).document()
+        second = run_check(source).document()
+        assert first == second

@@ -1,0 +1,223 @@
+"""The service's ``check`` operation: normalization, errors, e2e cache."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.batch.jobs import spec_fingerprint
+from repro.service import (
+    AnalysisDaemon,
+    OPERATIONS,
+    ProtocolError,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    check_request_to_jobspec,
+)
+
+BUGGY = """
+int main() {
+  int i = 0;
+  while (i < 10) {
+    i = i + 1;
+  }
+  int x = 100 / (10 - i);
+  return x;
+}
+"""
+CLEAN = "int main() { return 0; }"
+
+
+def request(source=BUGGY, **fields):
+    return {"op": "check", "source": source, **fields}
+
+
+class TestNormalization:
+    def test_check_is_a_known_operation(self):
+        assert "check" in OPERATIONS
+
+    def test_produces_a_check_jobspec(self):
+        job, fresh = check_request_to_jobspec(request())
+        assert job.kind == "check"
+        assert job.rules == ()
+        assert fresh is False
+        assert "/check/" in job.id
+
+    def test_rules_are_canonicalized(self):
+        job, _ = check_request_to_jobspec(
+            request(rules=["dead-code", "div-zero", "dead-code"])
+        )
+        assert job.rules == ("div-zero", "dead-code")
+
+    def test_equal_selections_share_a_cache_key(self):
+        a, _ = check_request_to_jobspec(
+            request(rules=["div-zero", "dead-code"])
+        )
+        b, _ = check_request_to_jobspec(
+            request(rules=["dead-code", "div-zero", "div-zero"])
+        )
+        assert spec_fingerprint(a) == spec_fingerprint(b)
+
+    def test_rule_set_is_part_of_the_cache_key(self):
+        everything, _ = check_request_to_jobspec(request())
+        subset, _ = check_request_to_jobspec(request(rules=["div-zero"]))
+        assert spec_fingerprint(everything) != spec_fingerprint(subset)
+
+    def test_check_and_solve_never_share_a_cache_key(self):
+        from repro.service import solve_request_to_jobspec
+
+        check_job, _ = check_request_to_jobspec(request())
+        solve_job, _ = solve_request_to_jobspec(
+            {"op": "solve", "source": BUGGY}
+        )
+        assert spec_fingerprint(check_job) != spec_fingerprint(solve_job)
+
+    def test_unknown_rule_rejected_with_catalogue(self):
+        with pytest.raises(ProtocolError) as err:
+            check_request_to_jobspec(request(rules=["nope"]))
+        assert "nope" in str(err.value)
+        assert "div-zero" in str(err.value)
+
+    @pytest.mark.parametrize(
+        "rules", ["div-zero", 7, [1, 2], ["div-zero", None], {"a": 1}]
+    )
+    def test_malformed_rules_rejected(self, rules):
+        with pytest.raises(ProtocolError, match="list of rule-name"):
+            check_request_to_jobspec(request(rules=rules))
+
+    def test_verify_rejected(self):
+        with pytest.raises(ProtocolError, match="verify"):
+            check_request_to_jobspec(request(verify=True))
+        with pytest.raises(ProtocolError, match="verify"):
+            # Even an explicit false is rejected: silence would teach
+            # clients the field exists.
+            check_request_to_jobspec(request(verify=False))
+
+    def test_phased_update_op_rejected(self):
+        with pytest.raises(ProtocolError, match="update_op"):
+            check_request_to_jobspec(request(update_op="twophase"))
+
+    def test_solve_strictness_is_inherited(self):
+        with pytest.raises(ProtocolError):
+            check_request_to_jobspec(request(source=""))
+        with pytest.raises(ProtocolError):
+            check_request_to_jobspec(request(solver="no-such-solver"))
+
+
+def run_scenario(config: ServiceConfig, scenario):
+    daemon = AnalysisDaemon(config)
+
+    async def main():
+        await daemon.start()
+        loop = asyncio.get_running_loop()
+        server = asyncio.ensure_future(daemon.serve_until_shutdown())
+        try:
+            await loop.run_in_executor(None, scenario, daemon.address)
+        finally:
+            daemon.request_shutdown()
+            await server
+
+    asyncio.run(main())
+    return daemon
+
+
+def unix_config(tmp_path, **overrides) -> ServiceConfig:
+    fields = dict(socket_path=str(tmp_path / "daemon.sock"), workers=2)
+    fields.update(overrides)
+    return ServiceConfig(**fields)
+
+
+class TestDaemonEndToEnd:
+    def test_cold_check_then_zero_eval_cache_hit(self, tmp_path):
+        replies = {}
+
+        def scenario(address):
+            with ServiceClient(socket_path=address[1]) as client:
+                replies["cold"] = client.check(BUGGY)
+                replies["hit"] = client.check(BUGGY)
+                replies["status"] = client.status()
+
+        daemon = run_scenario(unix_config(tmp_path), scenario)
+
+        cold, hit = replies["cold"], replies["hit"]
+        assert cold["op"] == "check"
+        assert cold["cache"] == "miss"
+        assert cold["result"]["status"] == "findings"
+        assert cold["result"]["findings"] >= 1
+        assert cold["served_evaluations"] > 0
+
+        assert hit["cache"] == "hit"
+        assert hit["served_evaluations"] == 0
+        assert hit["key"] == cold["key"]
+        assert hit["result"]["diagnostics"] == cold["result"]["diagnostics"]
+
+        counters = replies["status"]["requests"]
+        assert counters["check"] == 2
+        assert counters["hit"] == 1
+        assert counters["miss"] == 1
+        assert daemon.counters["check"] == 2
+
+    def test_clean_program_is_cacheable_too(self, tmp_path):
+        replies = {}
+
+        def scenario(address):
+            with ServiceClient(socket_path=address[1]) as client:
+                replies["cold"] = client.check(CLEAN)
+                replies["hit"] = client.check(CLEAN)
+
+        run_scenario(unix_config(tmp_path), scenario)
+        assert replies["cold"]["result"]["status"] == "ok"
+        assert replies["hit"]["cache"] == "hit"
+
+    def test_rule_subsets_do_not_cross_pollinate(self, tmp_path):
+        replies = {}
+
+        def scenario(address):
+            with ServiceClient(socket_path=address[1]) as client:
+                replies["all"] = client.check(BUGGY)
+                replies["subset"] = client.check(BUGGY, rules=["uninit-read"])
+
+        run_scenario(unix_config(tmp_path), scenario)
+        assert replies["subset"]["cache"] == "miss"
+        assert replies["all"]["result"]["findings"] >= 1
+        assert replies["subset"]["result"]["findings"] == 0
+
+    def test_structured_errors_over_the_wire(self, tmp_path):
+        errors = {}
+
+        def scenario(address):
+            with ServiceClient(socket_path=address[1]) as client:
+                for name, message in (
+                    ("rules", request(rules="div-zero")),
+                    ("unknown", request(rules=["nope"])),
+                    ("verify", request(verify=True)),
+                ):
+                    with pytest.raises(ServiceError) as err:
+                        client.request(message)
+                    errors[name] = err.value.response
+
+        daemon = run_scenario(unix_config(tmp_path), scenario)
+        assert errors["rules"]["ok"] is False
+        assert errors["rules"]["op"] == "check"
+        assert "list of rule-name" in errors["rules"]["error"]
+        assert "nope" in errors["unknown"]["error"]
+        assert "verify" in errors["verify"]["error"]
+        assert daemon.counters["errors"] == 3
+
+    def test_batch_and_service_agree_on_diagnostics(self, tmp_path):
+        from repro.batch.jobs import execute_job
+
+        replies = {}
+
+        def scenario(address):
+            with ServiceClient(socket_path=address[1]) as client:
+                replies["service"] = client.check(BUGGY)
+
+        run_scenario(unix_config(tmp_path), scenario)
+        job, _ = check_request_to_jobspec({"op": "check", "source": BUGGY})
+        direct = execute_job(job)
+        served = replies["service"]["result"]
+        assert served["diagnostics"] == list(direct.to_json()["diagnostics"])
+        assert served["findings"] == direct.findings

@@ -12,6 +12,11 @@ from pathlib import Path
 
 import pytest
 
+# The whole module is the examples smoke suite: CI runs it standalone as
+# ``pytest -m examples_smoke`` so a broken example fails a dedicated job,
+# not just somewhere inside the main test sweep.
+pytestmark = pytest.mark.examples_smoke
+
 EXAMPLES = sorted(
     (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
 )

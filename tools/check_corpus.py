@@ -1,0 +1,98 @@
+"""Drive the whole buggy corpus through `repro check` (the `checkers`
+CI job) and bundle the diagnostics as one artifact document.
+
+For every program in ``examples/buggy/*.c``:
+
+1. run the checker pipeline in-process (the exact ``repro check``
+   construction) under the default operator ``warrow:delay=1``;
+2. render its canonical ``repro-diagnostics/1`` JSON and compare it
+   **byte for byte** against the committed golden in
+   ``examples/buggy/expected/<name>.json``;
+3. require that seeded-bug programs report at least one finding and
+   that every ``*_clean`` twin reports none.
+
+Exits non-zero (with a message on stderr) on the first violated check.
+The merged per-program documents are written to the path given as
+``argv[1]`` (default ``check-corpus.json``) so CI can upload them as a
+build artifact.
+
+Usage: PYTHONPATH=src python tools/check_corpus.py [artifact.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.checkers import render_diagnostics_json, run_check, validate_diagnostics
+
+ROOT = Path(__file__).resolve().parent.parent
+BUGGY = ROOT / "examples" / "buggy"
+
+
+def fail(message: str) -> None:
+    print(f"check-corpus: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    artifact = Path(sys.argv[1] if len(sys.argv) > 1 else "check-corpus.json")
+    programs = sorted(BUGGY.glob("*.c"))
+    if len(programs) < 20:
+        fail(f"expected >= 20 corpus programs, found {len(programs)}")
+
+    documents = []
+    findings_total = 0
+    for path in programs:
+        name = path.stem
+        report = run_check(
+            path.read_text(encoding="utf-8"), program=path.name
+        )
+        doc = report.document()
+        problems = validate_diagnostics(doc)
+        if problems:
+            fail(f"{name}: invalid diagnostics document: {problems[0]}")
+
+        golden_path = BUGGY / "expected" / f"{name}.json"
+        if not golden_path.exists():
+            fail(f"{name}: no committed golden at {golden_path}")
+        rendered = render_diagnostics_json(doc)
+        golden = golden_path.read_text(encoding="utf-8")
+        if rendered != golden:
+            fail(
+                f"{name}: diagnostics differ from the committed golden "
+                f"(regenerate via 'repro check examples/buggy/{name}.c "
+                f"--json' if the change is intended)"
+            )
+
+        if name.endswith("_clean"):
+            if report.findings:
+                fail(
+                    f"{name}: clean twin reported {report.findings} "
+                    f"finding(s) -- a false positive"
+                )
+        else:
+            if not report.findings:
+                fail(f"{name}: seeded bug reported no findings")
+        findings_total += report.findings
+        documents.append(doc)
+        print(f"check-corpus: ok {name} ({report.findings} finding(s))")
+
+    artifact.write_text(
+        json.dumps(
+            {"programs": len(documents), "documents": documents},
+            indent=1,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    print(
+        f"check-corpus: PASS ({len(documents)} programs, "
+        f"{findings_total} findings, artifact: {artifact})"
+    )
+
+
+if __name__ == "__main__":
+    main()
