@@ -1,0 +1,5 @@
+int main() {
+  int i; int s; i = 0; s = 0;
+  while (i < 10) { s = s + i; i = i + 1; }
+  return s;
+}

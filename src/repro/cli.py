@@ -680,7 +680,7 @@ def cmd_bench(args) -> int:
 
 def _service_client(args):
     """A connected-on-demand client, or ``None`` (after an error print)."""
-    from repro.service import ServiceClient
+    from repro.service import RetryPolicy, ServiceClient
 
     if args.socket is None and args.port is None:
         print(
@@ -688,11 +688,14 @@ def _service_client(args):
             file=sys.stderr,
         )
         return None
+    retries = getattr(args, "retries", None)
+    retry = None if retries is None else RetryPolicy(attempts=max(1, retries))
     return ServiceClient(
         socket_path=args.socket,
         host=args.host,
         port=args.port,
         timeout=args.timeout,
+        retry=retry,
     )
 
 
@@ -708,6 +711,13 @@ def cmd_serve(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.supervise:
+        from repro.service.supervisor import RestartSupervisor, serve_command
+
+        supervisor = RestartSupervisor(
+            serve_command(args), max_restarts=args.max_restarts
+        )
+        return supervisor.run()
     config = ServiceConfig(
         socket_path=args.socket,
         host=args.host,
@@ -719,6 +729,12 @@ def cmd_serve(args) -> int:
         default_deadline=args.deadline,
         warm_ratio=args.warm_ratio,
         log_path=args.log_file,
+        queue_high=args.queue_high,
+        queue_low=args.queue_low,
+        max_connections=args.max_connections,
+        shed_retry_ms=args.shed_retry_ms,
+        read_timeout=args.read_timeout,
+        journal_path=args.journal_file,
     )
     daemon = AnalysisDaemon(config)
 
@@ -738,6 +754,12 @@ def cmd_serve(args) -> int:
         if daemon.cache_loaded:
             print(
                 f"cache index restored: {daemon.cache_loaded} entries",
+                flush=True,
+            )
+        if daemon.journal.recovered:
+            print(
+                f"journal: recovered {len(daemon.journal.recovered)} "
+                f"interrupted request(s)",
                 flush=True,
             )
         await daemon.serve_until_shutdown()
@@ -768,8 +790,16 @@ def cmd_submit(args) -> int:
         "verify": args.verify,
         "label": args.label or os.path.basename(args.file),
     }
+    if args.deadline is not None and args.deadline_ms is not None:
+        print(
+            "error: pass either --deadline or --deadline-ms, not both",
+            file=sys.stderr,
+        )
+        return 2
     if args.deadline is not None:
         request["deadline"] = args.deadline
+    if args.deadline_ms is not None:
+        request["deadline_ms"] = args.deadline_ms
     if args.fresh:
         request["fresh"] = True
     try:
@@ -836,6 +866,22 @@ def cmd_service_status(args) -> int:
         f"{cache['hits']} hits, {cache['misses']} misses, "
         f"{cache['evictions']} evictions, {cache['expirations']} expired"
     )
+    admission = reply.get("admission")
+    if admission:
+        print(
+            f"admission: queue {admission['queue_depth']}/"
+            f"{admission['queue_high']}"
+            f"{' (shedding)' if admission['shedding'] else ''}, "
+            f"{admission['shed']} shed, connections "
+            f"{admission['connections']}/{admission['max_connections']}, "
+            f"{admission['connections_refused']} refused"
+        )
+    journal = reply.get("journal")
+    if journal and journal.get("enabled"):
+        print(
+            f"journal: {journal['open']} open, {journal['begun']} begun, "
+            f"{journal['recovered']} recovered at start"
+        )
     if reply.get("cache_loaded"):
         print(f"cache index restored at start: {reply['cache_loaded']} entries")
     return 0
@@ -1295,6 +1341,62 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="append one JSON record per request to this file",
     )
+    p_serve.add_argument(
+        "--queue-high",
+        type=int,
+        default=32,
+        metavar="N",
+        help="shed new work once this many requests are pending",
+    )
+    p_serve.add_argument(
+        "--queue-low",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop shedding once pending drops to this (default: half "
+        "of --queue-high)",
+    )
+    p_serve.add_argument(
+        "--max-connections",
+        type=int,
+        default=64,
+        metavar="N",
+        help="refuse connections beyond this many concurrent clients",
+    )
+    p_serve.add_argument(
+        "--shed-retry-ms",
+        type=int,
+        default=250,
+        metavar="MS",
+        help="base retry-after hint attached to overloaded replies",
+    )
+    p_serve.add_argument(
+        "--read-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-connection read deadline (default: wait forever)",
+    )
+    p_serve.add_argument(
+        "--journal-file",
+        default=None,
+        metavar="PATH",
+        help="crash-safe in-flight journal; interrupted requests are "
+        "replayed on restart",
+    )
+    p_serve.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run the daemon as a supervised child process, respawning "
+        "it after crashes with bounded restart backoff",
+    )
+    p_serve.add_argument(
+        "--max-restarts",
+        type=int,
+        default=5,
+        metavar="N",
+        help="consecutive crashes tolerated under --supervise",
+    )
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -1363,6 +1465,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request wall-clock deadline",
     )
     p_submit.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=None,
+        metavar="MS",
+        help="per-request wall-clock deadline in milliseconds "
+        "(alternative to --deadline)",
+    )
+    p_submit.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="client attempts for transient failures (connect refused, "
+        "reset, overloaded; default: 3)",
+    )
+    p_submit.add_argument(
         "--fresh",
         action="store_true",
         help="bypass the result cache and force a fresh solve",
@@ -1388,6 +1506,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=10.0,
         help="client I/O timeout in seconds",
+    )
+    p_status.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="client attempts for transient failures (default: 3)",
     )
     p_status.add_argument(
         "--json",

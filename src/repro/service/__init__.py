@@ -13,9 +13,22 @@ synchronous :class:`.client.ServiceClient` and the ``repro serve`` /
 See ``docs/service.md`` for the protocol and operational story.
 """
 
+from repro.service.admission import AdmissionController
 from repro.service.cache import CacheEntry, ResultCache
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import (
+    NO_RETRY,
+    CircuitOpenError,
+    DaemonUnavailableError,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceTimeout,
+    ServiceTransportError,
+)
 from repro.service.daemon import AnalysisDaemon, ServiceConfig
+from repro.service.journal import InflightJournal
+from repro.service.supervisor import RestartSupervisor
 from repro.service.executor import (
     DEFAULT_WARM_RATIO,
     ServiceExecution,
@@ -23,6 +36,7 @@ from repro.service.executor import (
     should_warm,
 )
 from repro.service.protocol import (
+    ERROR_CODES,
     MAX_LINE_BYTES,
     OPERATIONS,
     PROTOCOL,
@@ -35,19 +49,30 @@ from repro.service.protocol import (
 from repro.service.reqlog import RequestLog
 
 __all__ = [
+    "AdmissionController",
     "AnalysisDaemon",
     "CacheEntry",
+    "CircuitOpenError",
     "DEFAULT_WARM_RATIO",
+    "DaemonUnavailableError",
+    "ERROR_CODES",
+    "InflightJournal",
     "MAX_LINE_BYTES",
+    "NO_RETRY",
     "OPERATIONS",
     "PROTOCOL",
     "ProtocolError",
     "RequestLog",
+    "RestartSupervisor",
     "ResultCache",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
     "ServiceExecution",
+    "ServiceOverloadedError",
+    "ServiceTimeout",
+    "ServiceTransportError",
     "check_request_to_jobspec",
     "decode",
     "encode",

@@ -1,0 +1,158 @@
+"""Admission control for the analysis daemon: shed load, don't queue it.
+
+An unbounded daemon does not fail under overload -- it *lies*: requests
+queue silently, latencies grow without bound, and by the time the client
+notices, the work it asked for is stale.  The admission controller makes
+overload an explicit, structured, *early* answer instead:
+
+* a **bounded pending-request budget** with high/low watermarks -- once
+  ``queue_high`` requests are admitted-but-unanswered the daemon sheds
+  new work with an ``overloaded`` error and a ``retry_after_ms`` hint,
+  and keeps shedding until the backlog falls back to ``queue_low``
+  (hysteresis, so the daemon does not flap at the boundary);
+* a **max-connections cap**, refusing sockets beyond it so a client
+  herd cannot exhaust file descriptors before a single request is read;
+* a **retry-after hint** scaled by how far past the watermark the
+  backlog is, giving well-behaved retrying clients
+  (:class:`~repro.service.client.ServiceClient`) a load-proportional
+  backoff floor.
+
+The controller is plain synchronous state -- the daemon calls it from
+the event loop only -- and every decision is counted, so ``status``
+can report exactly how much load was shed and why.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class AdmissionController:
+    """Bounded admission with watermark hysteresis and a connection cap.
+
+    :param queue_high: pending requests beyond which new work is shed.
+    :param queue_low: backlog at which shedding stops (default: half of
+        ``queue_high``); must be below ``queue_high``.
+    :param max_connections: concurrently open client connections the
+        daemon accepts; further connects are answered with an
+        ``overloaded`` error and closed.
+    :param retry_ms: base retry-after hint in milliseconds; the hint
+        grows with the backlog overage and is capped at ten times this.
+    """
+
+    def __init__(
+        self,
+        queue_high: int = 32,
+        queue_low: Optional[int] = None,
+        max_connections: int = 64,
+        retry_ms: int = 250,
+    ) -> None:
+        if queue_high < 1:
+            raise ValueError("queue_high must be at least 1")
+        if queue_low is None:
+            queue_low = queue_high // 2
+        if not 0 <= queue_low < queue_high:
+            raise ValueError("queue_low must satisfy 0 <= low < high")
+        if max_connections < 1:
+            raise ValueError("max_connections must be at least 1")
+        if retry_ms < 1:
+            raise ValueError("retry_ms must be positive")
+        self.queue_high = queue_high
+        self.queue_low = queue_low
+        self.max_connections = max_connections
+        self.retry_ms = retry_ms
+        #: Requests admitted and not yet answered.
+        self.pending = 0
+        #: Whether the controller is currently shedding (hysteresis).
+        self.shedding = False
+        #: Requests shed since start.
+        self.shed = 0
+        #: Open client connections.
+        self.connections = 0
+        #: Connections refused at the cap since start.
+        self.connections_refused = 0
+        #: High-water marks, for capacity planning.
+        self.peak_pending = 0
+        self.peak_connections = 0
+
+    # ----------------------------------------------------------------- #
+    # Requests.                                                         #
+    # ----------------------------------------------------------------- #
+
+    def try_admit(self) -> bool:
+        """Admit one request, or decide to shed it.
+
+        Sheds when the backlog has reached ``queue_high`` and keeps
+        shedding until it has drained to ``queue_low``.  An admitted
+        request must be paired with exactly one :meth:`release`.
+        """
+        if self.shedding and self.pending > self.queue_low:
+            self.shed += 1
+            return False
+        self.shedding = False
+        if self.pending >= self.queue_high:
+            self.shedding = True
+            self.shed += 1
+            return False
+        self.pending += 1
+        self.peak_pending = max(self.peak_pending, self.pending)
+        return True
+
+    def release(self) -> None:
+        """One admitted request was answered (any outcome)."""
+        if self.pending <= 0:  # pragma: no cover - pairing invariant
+            raise RuntimeError("release() without a matching try_admit()")
+        self.pending -= 1
+        if self.shedding and self.pending <= self.queue_low:
+            self.shedding = False
+
+    def retry_after_ms(self) -> int:
+        """Load-proportional retry hint for a shed request.
+
+        The base hint, scaled linearly by how far the backlog sits past
+        the low watermark relative to the hysteresis band, capped at
+        ten times the base -- enough signal to spread a retrying herd
+        without promising the client false precision.
+        """
+        band = max(1, self.queue_high - self.queue_low)
+        overage = max(0, self.pending - self.queue_low)
+        scaled = int(self.retry_ms * (1 + overage / band))
+        return min(scaled, 10 * self.retry_ms)
+
+    # ----------------------------------------------------------------- #
+    # Connections.                                                      #
+    # ----------------------------------------------------------------- #
+
+    def try_connect(self) -> bool:
+        """Account one new connection, or refuse it at the cap."""
+        if self.connections >= self.max_connections:
+            self.connections_refused += 1
+            return False
+        self.connections += 1
+        self.peak_connections = max(self.peak_connections, self.connections)
+        return True
+
+    def disconnect(self) -> None:
+        """One accepted connection closed."""
+        if self.connections <= 0:  # pragma: no cover - pairing invariant
+            raise RuntimeError("disconnect() without try_connect()")
+        self.connections -= 1
+
+    # ----------------------------------------------------------------- #
+    # Introspection.                                                    #
+    # ----------------------------------------------------------------- #
+
+    def stats(self) -> dict:
+        """Counters and configuration, as served by the ``status`` op."""
+        return {
+            "queue_depth": self.pending,
+            "queue_high": self.queue_high,
+            "queue_low": self.queue_low,
+            "shedding": self.shedding,
+            "shed": self.shed,
+            "connections": self.connections,
+            "max_connections": self.max_connections,
+            "connections_refused": self.connections_refused,
+            "peak_pending": self.peak_pending,
+            "peak_connections": self.peak_connections,
+        }

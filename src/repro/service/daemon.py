@@ -28,6 +28,23 @@ on a bounded worker pool off the event loop, so slow solves never block
 protocol handling.  ``shutdown`` drains in-flight work, persists the
 cache index for a warm restart, and only then stops the loop; every
 request is recorded in the structured JSON request log (:mod:`.reqlog`).
+
+Production hardening (see ``docs/service-reliability.md``):
+
+* **admission control** (:mod:`.admission`) -- a bounded pending budget
+  with high/low watermarks sheds excess ``solve``/``check`` load with a
+  structured ``overloaded`` error and a ``retry_after_ms`` hint instead
+  of queueing unboundedly, and a max-connections cap refuses socket
+  floods before they cost a file descriptor each;
+* **read deadlines** -- a connection that stalls mid-request line is
+  answered with a ``timeout`` error and closed, so slow clients cannot
+  pin protocol handling forever;
+* **crash-safe journaling** (:mod:`.journal`) -- admitted requests are
+  journaled before work starts and settled at response; a restarted
+  daemon reports interrupted requests and re-executes them into the
+  cache, so a SIGKILL loses no admitted request;
+* **honest request logging** -- shed, stalled, disconnected-mid-request
+  and deadline-exceeded requests are logged alongside completions.
 """
 
 from __future__ import annotations
@@ -40,7 +57,9 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.batch.jobs import JobSpec, options_fingerprint, spec_fingerprint
+from repro.service.admission import AdmissionController
 from repro.service.cache import CacheEntry, ResultCache
+from repro.service.journal import InflightJournal
 from repro.service.executor import (
     DEFAULT_WARM_RATIO,
     ServiceExecution,
@@ -90,6 +109,23 @@ class ServiceConfig:
     warm_ratio: float = DEFAULT_WARM_RATIO
     #: Request-log file (NDJSON); ``None`` disables logging.
     log_path: Optional[str] = None
+    #: Admission control: pending ``solve``/``check`` requests beyond
+    #: which new work is shed with an ``overloaded`` error, and the
+    #: backlog at which shedding stops again (``None``: half of high).
+    queue_high: int = 32
+    queue_low: Optional[int] = None
+    #: Concurrently open client connections; further connects are
+    #: answered ``overloaded`` and closed.
+    max_connections: int = 64
+    #: Base retry-after hint (milliseconds) for shed requests.
+    shed_retry_ms: int = 250
+    #: Per-connection read deadline (seconds) waiting for a complete
+    #: request line; ``None`` disables it.
+    read_timeout: Optional[float] = None
+    #: In-flight journal file (NDJSON); ``None`` disables journaling.
+    journal_path: Optional[str] = None
+    #: Re-execute journaled requests a previous process died holding.
+    requeue_recovered: bool = True
 
 
 class AnalysisDaemon:
@@ -121,7 +157,20 @@ class AnalysisDaemon:
             "coalesced": 0,
             "errors": 0,
             "rejected": 0,
+            "shed": 0,
+            "stalled": 0,
+            "disconnected": 0,
+            "deadline": 0,
+            "requeued": 0,
         }
+        self.admission = AdmissionController(
+            queue_high=self.config.queue_high,
+            queue_low=self.config.queue_low,
+            max_connections=self.config.max_connections,
+            retry_ms=self.config.shed_retry_ms,
+        )
+        self.journal = InflightJournal(self.config.journal_path)
+        self._requeue_task: Optional[asyncio.Task] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._pool = ThreadPoolExecutor(
             max_workers=max(1, self.config.workers),
@@ -165,6 +214,51 @@ class AnalysisDaemon:
             self._server = await asyncio.start_server(
                 self._handle_client, host=cfg.host, port=cfg.port
             )
+        if self.journal.recovered and cfg.requeue_recovered:
+            self._requeue_task = asyncio.ensure_future(self._requeue())
+
+    async def _requeue(self) -> None:
+        """Re-execute journaled requests a crashed process died holding.
+
+        Each recovered ``begin`` record carries the original message, so
+        the request replays through the normal pipeline: the result
+        lands in the cache (unless already there) and the journal entry
+        is settled.  Every replay is logged with outcome ``recovered``.
+        """
+        for record in list(self.journal.recovered):
+            if self._draining:
+                break
+            rid = str(record.get("rid", "?"))
+            op = str(record.get("op", "solve"))
+            message = record.get("message")
+            try:
+                if not isinstance(message, dict):
+                    raise ProtocolError("journal record carries no message")
+                normalize = (
+                    check_request_to_jobspec if op == "check"
+                    else solve_request_to_jobspec
+                )
+                spec, _ = normalize(
+                    message, default_deadline=self.config.default_deadline
+                )
+                key = spec_fingerprint(spec)
+                if self.cache.peek(key) is None:
+                    await self._execute(spec, key, False)
+                self.counters["requeued"] += 1
+                self.log.log(
+                    request=rid, op=op, outcome="recovered", key=key
+                )
+            except asyncio.CancelledError:  # pragma: no cover - shutdown
+                raise
+            except Exception as err:
+                self.log.log(
+                    request=rid,
+                    op=op,
+                    outcome="recovered-error",
+                    error=str(err),
+                )
+            finally:
+                self.journal.settle(rid)
 
     async def serve_until_shutdown(self) -> None:
         """Serve until a ``shutdown`` request (or :meth:`request_shutdown`)."""
@@ -185,8 +279,16 @@ class AnalysisDaemon:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._requeue_task is not None and not self._requeue_task.done():
+            # The requeue loop checks _draining between records, so this
+            # finishes promptly once a drain has begun.
+            try:
+                await self._requeue_task
+            except asyncio.CancelledError:  # pragma: no cover - teardown
+                pass
         await self._drain()
         self._persist()
+        self.journal.close()
         self._pool.shutdown(wait=True)
         if (
             self.config.socket_path is not None
@@ -210,14 +312,46 @@ class AnalysisDaemon:
     # Connection handling.                                              #
     # ----------------------------------------------------------------- #
 
+    async def _read_request_line(self, reader: asyncio.StreamReader) -> bytes:
+        """The next request line, bounded by the read deadline."""
+        if self.config.read_timeout is None:
+            return await reader.readline()
+        return await asyncio.wait_for(
+            reader.readline(), timeout=self.config.read_timeout
+        )
+
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         peer = writer.get_extra_info("peername") or "unix"
+        if not self.admission.try_connect():
+            await self._refuse_connection(writer)
+            return
         try:
             while True:
                 try:
-                    line = await reader.readline()
+                    line = await self._read_request_line(reader)
+                except asyncio.TimeoutError:
+                    # A stalled client: no complete request line within
+                    # the read deadline.  Answer, close, free the slot.
+                    self.counters["stalled"] += 1
+                    self.log.log(
+                        request="-", op="?", outcome="stalled",
+                        peer=str(peer),
+                    )
+                    writer.write(
+                        encode(
+                            error_response(
+                                None,
+                                f"no request line within the "
+                                f"{self.config.read_timeout:g}s read "
+                                f"deadline",
+                                code="timeout",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
                 except (asyncio.LimitOverrunError, ValueError):
                     writer.write(
                         encode(error_response(None, "request line too long"))
@@ -226,16 +360,42 @@ class AnalysisDaemon:
                     break
                 if not line:
                     break
+                if not line.endswith(b"\n"):
+                    # EOF mid-line: the client died (or the connection
+                    # was cut) partway through writing a request.  There
+                    # is nothing well-formed to answer.
+                    self.counters["disconnected"] += 1
+                    self.log.log(
+                        request="-",
+                        op="?",
+                        outcome="disconnected",
+                        peer=str(peer),
+                        partial_bytes=len(line),
+                    )
+                    break
                 if not line.strip():
                     continue
                 response, close = await self._dispatch(line, peer)
-                writer.write(encode(response))
-                await writer.drain()
+                try:
+                    writer.write(encode(response))
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError):
+                    # The client vanished between request and response;
+                    # the work is done (and cached) but unclaimed.
+                    self.counters["disconnected"] += 1
+                    self.log.log(
+                        request=response.get("request", "-"),
+                        op=response.get("op", "?"),
+                        outcome="disconnected",
+                        peer=str(peer),
+                    )
+                    break
                 if close:
                     break
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
+            self.admission.disconnect()
             writer.close()
             try:
                 await writer.wait_closed()
@@ -246,6 +406,32 @@ class AnalysisDaemon:
             ):
                 # Peer went away, or the loop is tearing down around us
                 # after a drain -- either way the connection is gone.
+                pass
+
+    async def _refuse_connection(
+        self, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer ``overloaded`` and close a connection past the cap."""
+        try:
+            writer.write(
+                encode(
+                    error_response(
+                        None,
+                        f"connection limit reached "
+                        f"({self.admission.max_connections} active)",
+                        code="overloaded",
+                        retry_after_ms=self.admission.retry_after_ms(),
+                    )
+                )
+            )
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
                 pass
 
     async def _dispatch(self, line: bytes, peer) -> Tuple[dict, bool]:
@@ -279,7 +465,44 @@ class AnalysisDaemon:
             return self._status(rid), False
         if op == "shutdown":
             return await self._shutdown(rid), True
-        return await self._solve(message, rid, peer, op), False
+
+        # solve / check: admission control before any work is queued.
+        self.counters[op] += 1
+        if self._draining:
+            self.counters["rejected"] += 1
+            self.log.log(
+                request=rid, op=op, outcome="shed", reason="draining"
+            )
+            return error_response(
+                op,
+                "daemon is draining; resubmit elsewhere",
+                code="draining",
+                request=rid,
+            ), False
+        if not self.admission.try_admit():
+            self.counters["shed"] += 1
+            hint = self.admission.retry_after_ms()
+            self.log.log(
+                request=rid,
+                op=op,
+                outcome="shed",
+                reason="overloaded",
+                queue_depth=self.admission.pending,
+                retry_after_ms=hint,
+            )
+            return error_response(
+                op,
+                f"daemon overloaded: {self.admission.pending} requests "
+                f"pending (high watermark "
+                f"{self.admission.queue_high}); retry after the hint",
+                code="overloaded",
+                retry_after_ms=hint,
+                request=rid,
+            ), False
+        try:
+            return await self._solve(message, rid, peer, op), False
+        finally:
+            self.admission.release()
 
     # ----------------------------------------------------------------- #
     # Operations.                                                       #
@@ -299,6 +522,8 @@ class AnalysisDaemon:
             "requests": dict(self.counters),
             "cache": self.cache.stats(),
             "cache_loaded": self.cache_loaded,
+            "admission": self.admission.stats(),
+            "journal": self.journal.stats(),
         }
 
     async def _shutdown(self, rid: str) -> dict:
@@ -314,6 +539,7 @@ class AnalysisDaemon:
             "request": rid,
             "drained": True,
             "persisted_entries": persisted,
+            "journal_open": len(self.journal),
         }
 
     async def _solve(self, message: dict, rid: str, peer, op: str) -> dict:
@@ -326,12 +552,6 @@ class AnalysisDaemon:
         so the two can never serve each other's cache entries.
         """
         started = time.perf_counter()
-        self.counters[op] += 1
-        if self._draining:
-            self.counters["rejected"] += 1
-            return error_response(
-                op, "daemon is draining; resubmit elsewhere", request=rid
-            )
         normalize = (
             check_request_to_jobspec if op == "check"
             else solve_request_to_jobspec
@@ -346,42 +566,51 @@ class AnalysisDaemon:
             return error_response(op, str(err), request=rid)
 
         key = spec_fingerprint(spec)
-        if not fresh:
-            entry = self.cache.get(key)
-            if entry is not None:
-                self.counters["hit"] += 1
-                return self._respond(
-                    rid, message, spec, key, "hit", entry.result, 0, started,
-                    op=op,
-                )
-        else:
-            self.counters["bypass"] += 1
+        # Journal at admission, settle at response: the window in
+        # between is exactly what a crash may interrupt, and the journal
+        # record (carrying the original message) is what makes the
+        # request re-executable on restart.
+        self.journal.begin(rid, op, key, message)
+        try:
+            if not fresh:
+                entry = self.cache.get(key)
+                if entry is not None:
+                    self.counters["hit"] += 1
+                    return self._respond(
+                        rid, message, spec, key, "hit", entry.result, 0,
+                        started, op=op,
+                    )
+            else:
+                self.counters["bypass"] += 1
 
-        execution, coalesced = await self._execute(spec, key, fresh)
-        outcome = "warm" if execution.mode == "warm" else "miss"
-        if fresh:
-            outcome = "bypass"
-        if coalesced:
-            self.counters["coalesced"] += 1
-        elif outcome == "warm":
-            self.counters["warm"] += 1
-            self.cache.warm_hits += 1
-        elif outcome == "miss":
-            self.counters["miss"] += 1
-        result = execution.result
-        return self._respond(
-            rid,
-            message,
-            spec,
-            key,
-            outcome,
-            result.to_json(),
-            result.evaluations,
-            started,
-            warm_donor=execution.warm_donor,
-            dirty_nodes=execution.dirty_nodes,
-            op=op,
-        )
+            execution, coalesced = await self._execute(spec, key, fresh)
+            outcome = "warm" if execution.mode == "warm" else "miss"
+            if fresh:
+                outcome = "bypass"
+            if coalesced:
+                self.counters["coalesced"] += 1
+            elif outcome == "warm":
+                self.counters["warm"] += 1
+                self.cache.warm_hits += 1
+            elif outcome == "miss":
+                self.counters["miss"] += 1
+            result = execution.result
+            return self._respond(
+                rid,
+                message,
+                spec,
+                key,
+                outcome,
+                result.to_json(),
+                result.evaluations,
+                started,
+                warm_donor=execution.warm_donor,
+                dirty_nodes=execution.dirty_nodes,
+                op=op,
+                failure_kind=execution.failure_kind,
+            )
+        finally:
+            self.journal.settle(rid)
 
     async def _execute(
         self, spec: JobSpec, key: str, fresh: bool
@@ -445,6 +674,7 @@ class AnalysisDaemon:
         warm_donor: Optional[str] = None,
         dirty_nodes: int = 0,
         op: str = "solve",
+        failure_kind: Optional[str] = None,
     ) -> dict:
         wall_ms = round((time.perf_counter() - started) * 1000.0, 3)
         extra = {}
@@ -453,10 +683,19 @@ class AnalysisDaemon:
                 "rules": list(spec.rules),
                 "findings": result.get("findings", 0),
             }
+        log_outcome = outcome
+        if failure_kind is not None:
+            # Name *why* the request failed, not just that the cache
+            # missed; a server-side deadline kill is an operational
+            # outcome of its own.
+            extra["failure"] = failure_kind
+            if failure_kind == "deadline":
+                log_outcome = "deadline"
+                self.counters["deadline"] += 1
         self.log.log(
             request=rid,
             op=op,
-            outcome=outcome,
+            outcome=log_outcome,
             program=program_sha(spec.source),
             key=key,
             status=result["status"],
@@ -481,6 +720,8 @@ class AnalysisDaemon:
             "result": result,
             "wall_ms": wall_ms,
         }
+        if failure_kind is not None:
+            response["failure"] = failure_kind
         if "id" in message:
             response["id"] = message["id"]
         if warm_donor is not None:

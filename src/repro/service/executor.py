@@ -66,6 +66,29 @@ from repro.strategies import (
 from repro.supervise import supervised_solve
 from repro.supervise.watchdog import DeadlineWatchdog
 
+#: Watchdog exception class names mapped onto failure-kind labels the
+#: request log records (see :attr:`ServiceExecution.failure_kind`).
+_FAILURE_KINDS = {
+    "DeadlineExceeded": "deadline",
+    "BudgetExceeded": "budget",
+    "OscillationDetected": "oscillation",
+}
+
+
+def _classify_failure(report) -> Optional[str]:
+    """The failure kind of a failed supervised run, from its attempts.
+
+    The *first* classified trip names the cause: later attempts are the
+    escalation ladder re-tripping on the same underlying problem (a
+    lapsed deadline trips every subsequent rung immediately).
+    """
+    for attempt in report.attempts:
+        kind = _FAILURE_KINDS.get(attempt.error_type)
+        if kind is not None:
+            return kind
+    return None
+
+
 #: Warm-start a near miss only when at most this fraction of the new
 #: program's nodes have changed equations -- beyond it, the transitive
 #: destabilization closure tends to cover most of the system and a cold
@@ -90,6 +113,10 @@ class ServiceExecution:
     dirty_nodes: int = 0
     #: Whether the independent post-solution verifier passed.
     verified: bool = False
+    #: Classified failure cause for non-ok results (``"deadline"``,
+    #: ``"budget"``, ``"oscillation"``, ``None`` otherwise), so the
+    #: daemon's request log can name *why* a request failed.
+    failure_kind: Optional[str] = None
 
 
 def should_warm(
@@ -235,7 +262,9 @@ def _execute_cold(job: JobSpec, started: float) -> ServiceExecution:
                 "evaluations": report.total_evaluations,
             }
         )
-        return ServiceExecution(result=failure)
+        return ServiceExecution(
+            result=failure, failure_kind=_classify_failure(report)
+        )
 
     solver_result = report.result
     status, code, proved, unproved = _verdicts(
@@ -317,6 +346,7 @@ def _execute_warm(
             mode="warm",
             warm_donor=donor_key,
             dirty_nodes=len(diff.dirty_nodes),
+            failure_kind=_FAILURE_KINDS.get(type(err).__name__),
         )
     except Exception:
         return None  # any warm-path fault: retry cold

@@ -61,6 +61,24 @@ MAX_LINE_BYTES = 8 * 1024 * 1024
 #: The operations a daemon understands.
 OPERATIONS = ("ping", "solve", "check", "status", "solvers", "shutdown")
 
+#: Machine-readable error classes stamped into ``ok: false`` replies.
+#:
+#: ``bad-request``
+#:     The request itself is invalid (malformed JSON, unknown op, bad
+#:     field) -- retrying the same bytes can never succeed.
+#: ``overloaded``
+#:     Admission control shed the request (queue past its high
+#:     watermark, or the connection cap was reached).  Retryable after
+#:     the reply's ``retry_after_ms`` hint.
+#: ``draining``
+#:     The daemon is shutting down gracefully and no longer admits
+#:     work.  Retryable -- against another daemon, or this one after a
+#:     supervised restart.
+#: ``timeout``
+#:     The connection's read deadline lapsed waiting for a complete
+#:     request line; the daemon closes the connection after this reply.
+ERROR_CODES = ("bad-request", "overloaded", "draining", "timeout")
+
 #: ``solve`` request fields that map onto :class:`JobSpec` options, with
 #: their expected types and defaults (= the JobSpec defaults).  The
 #: update operator travels as ``update_op`` on the wire because ``op``
@@ -115,9 +133,24 @@ def decode(line: bytes) -> dict:
     return message
 
 
-def error_response(op: Optional[str], message: str, **extra) -> dict:
-    """A structured failure reply."""
-    reply = {"ok": False, "error": str(message), "protocol": PROTOCOL}
+def error_response(
+    op: Optional[str], message: str, code: str = "bad-request", **extra
+) -> dict:
+    """A structured failure reply.
+
+    ``code`` is the machine-readable error class (one of
+    :data:`ERROR_CODES`) clients key their retry decisions on; the
+    human-readable ``error`` text is advisory and may change freely.
+    Load-shedding replies additionally carry a ``retry_after_ms`` hint.
+    """
+    if code not in ERROR_CODES:  # internal misuse, not client input
+        raise ValueError(f"unknown error code {code!r}")
+    reply = {
+        "ok": False,
+        "error": str(message),
+        "code": code,
+        "protocol": PROTOCOL,
+    }
     if op is not None:
         reply["op"] = op
     reply.update(extra)
@@ -194,7 +227,20 @@ def solve_request_to_jobspec(
         raise ProtocolError(str(err)) from err
     options["solver"] = spec.name
 
-    deadline = message.get("deadline", default_deadline)
+    deadline = message.get("deadline")
+    deadline_ms = message.get("deadline_ms")
+    if deadline is not None and deadline_ms is not None:
+        raise ProtocolError(
+            "pass either 'deadline' (seconds) or 'deadline_ms', not both"
+        )
+    if deadline_ms is not None:
+        if isinstance(deadline_ms, bool) or not isinstance(deadline_ms, int):
+            raise ProtocolError("field 'deadline_ms' must be an integer")
+        if deadline_ms <= 0:
+            raise ProtocolError("field 'deadline_ms' must be positive")
+        deadline = deadline_ms / 1000.0
+    if deadline is None:
+        deadline = default_deadline
     if deadline is not None:
         if isinstance(deadline, bool) or not isinstance(
             deadline, (int, float)

@@ -35,6 +35,10 @@ from typing import Hashable, List, Optional, Sequence
 #: The fault kinds the harness can inject.
 KINDS = ("raise", "delay", "perturb")
 
+#: The transport fault kinds the socket chaos harness can inject
+#: (see :class:`TransportChaosPolicy`).
+TRANSPORT_KINDS = ("drop", "truncate", "stall")
+
 
 class InjectedFault(RuntimeError):
     """The chaos harness made this right-hand-side evaluation fail."""
@@ -197,6 +201,73 @@ class ChaosSystem:
             return self.perturb(inner_rhs(*args, **kwargs))
 
         return chaotic
+
+
+# --------------------------------------------------------------------- #
+# Transport chaos: faults at the socket, not the equation system.       #
+# --------------------------------------------------------------------- #
+
+class TransportChaosPolicy:
+    """Seeded fault decisions for the service transport layer.
+
+    Where :class:`ChaosPolicy` injects faults into right-hand-side
+    evaluations *inside* a solver run, this policy injects them into the
+    NDJSON transport *around* it -- the failure modes a daemon on a real
+    network must shrug off:
+
+    * ``"drop"``     -- the connection is cut partway through writing a
+      request (the daemon sees EOF mid-line);
+    * ``"truncate"`` -- the request line is sent without its trailing
+      newline and the connection closed (a torn NDJSON line);
+    * ``"stall"``    -- the sender pauses ``delay_seconds`` before
+      writing (trips the daemon's per-connection read deadline).
+
+    The decision stream depends only on ``seed``, so a chaos load test
+    is a deterministic regression test.  Unlike :class:`ChaosPolicy`
+    there is no single-failure discipline by default: transport faults
+    are meant to fire throughout a run (``max_faults=None``), and the
+    retrying :class:`~repro.service.client.ServiceClient` must converge
+    anyway.
+    """
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        rate: float = 0.0,
+        kinds: Sequence[str] = TRANSPORT_KINDS,
+        delay_seconds: float = 0.05,
+        max_faults: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+        for kind in kinds:
+            if kind not in TRANSPORT_KINDS:
+                raise ValueError(f"unknown transport fault kind {kind!r}")
+        if max_faults is not None and max_faults < 0:
+            raise ValueError("max_faults must be non-negative")
+        self.rate = rate
+        self.kinds = tuple(kinds)
+        self.delay_seconds = delay_seconds
+        self.max_faults = max_faults
+        self.fired = 0
+        self.decisions = 0
+        #: Kinds that actually fired, in order.
+        self.log: List[str] = []
+        self._rng = random.Random(seed)
+
+    def decide(self) -> Optional[str]:
+        """The fault kind for this transport operation, or ``None``."""
+        self.decisions += 1
+        if self.max_faults is not None and self.fired >= self.max_faults:
+            if self.rate:
+                self._rng.random()
+            return None
+        if self.rate and self._rng.random() < self.rate:
+            kind = self._rng.choice(self.kinds)
+            self.fired += 1
+            self.log.append(kind)
+            return kind
+        return None
 
 
 # --------------------------------------------------------------------- #

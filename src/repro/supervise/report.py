@@ -52,6 +52,10 @@ class Attempt:
     evaluations: int = 0
     #: Whether the attempt resumed warm from a checkpoint.
     warm: bool = False
+    #: Exception class name for non-ok outcomes (``"DeadlineExceeded"``,
+    #: ``"BudgetExceeded"``, ...), so consumers classify trips without
+    #: parsing the message.
+    error_type: str = ""
 
     def __str__(self) -> str:
         mode = "warm" if self.warm else "cold"

@@ -240,7 +240,14 @@ def supervised_solve(
         except DivergenceError as err:
             evals = err.stats.evaluations if err.stats is not None else 0
             report.attempts.append(
-                Attempt(spec.name, "trip", repr(err), evals, warm=warm)
+                Attempt(
+                    spec.name,
+                    "trip",
+                    repr(err),
+                    evals,
+                    warm=warm,
+                    error_type=type(err).__name__,
+                )
             )
             report.salvaged_sigma = dict(err.sigma)
             if checkpointer is not None:
@@ -293,7 +300,14 @@ def supervised_solve(
             engine = probe.engine
             evals = engine.stats.evaluations if engine is not None else 0
             report.attempts.append(
-                Attempt(spec.name, "fault", repr(err), evals, warm=warm)
+                Attempt(
+                    spec.name,
+                    "fault",
+                    repr(err),
+                    evals,
+                    warm=warm,
+                    error_type=type(err).__name__,
+                )
             )
             if engine is not None:
                 report.salvaged_sigma = dict(engine.sigma)

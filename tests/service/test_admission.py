@@ -1,0 +1,124 @@
+"""Unit tests for the admission controller (watermarks, caps, hints)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import AdmissionController
+
+
+class TestValidation:
+    def test_rejects_bad_watermarks(self):
+        with pytest.raises(ValueError):
+            AdmissionController(queue_high=0)
+        with pytest.raises(ValueError):
+            AdmissionController(queue_high=4, queue_low=4)
+        with pytest.raises(ValueError):
+            AdmissionController(queue_high=4, queue_low=-1)
+
+    def test_rejects_bad_caps(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_connections=0)
+        with pytest.raises(ValueError):
+            AdmissionController(retry_ms=0)
+
+    def test_low_watermark_defaults_to_half_of_high(self):
+        assert AdmissionController(queue_high=9).queue_low == 4
+
+
+class TestWatermarkHysteresis:
+    def test_admits_until_the_high_watermark(self):
+        control = AdmissionController(queue_high=3, queue_low=1)
+        assert [control.try_admit() for _ in range(4)] == [
+            True,
+            True,
+            True,
+            False,
+        ]
+        assert control.pending == 3
+        assert control.shed == 1
+        assert control.shedding
+
+    def test_keeps_shedding_until_the_low_watermark(self):
+        control = AdmissionController(queue_high=3, queue_low=1)
+        for _ in range(3):
+            assert control.try_admit()
+        assert not control.try_admit()
+
+        # Draining to 2 is not enough: still above the low watermark.
+        control.release()
+        assert not control.try_admit()
+        assert control.shedding
+
+        # Draining to the low watermark reopens admission.
+        control.release()
+        assert not control.shedding
+        assert control.try_admit()
+
+    def test_every_shed_is_counted(self):
+        control = AdmissionController(queue_high=1, queue_low=0)
+        assert control.try_admit()
+        for _ in range(5):
+            assert not control.try_admit()
+        assert control.shed == 5
+
+    def test_peak_pending_is_tracked(self):
+        control = AdmissionController(queue_high=4)
+        for _ in range(3):
+            control.try_admit()
+        for _ in range(3):
+            control.release()
+        assert control.pending == 0
+        assert control.peak_pending == 3
+
+
+class TestRetryHint:
+    def test_hint_grows_with_the_backlog(self):
+        control = AdmissionController(queue_high=4, queue_low=2, retry_ms=100)
+        for _ in range(4):
+            control.try_admit()
+        full = control.retry_after_ms()
+        control.release()
+        control.release()
+        drained = control.retry_after_ms()
+        assert full > drained >= 100
+
+    def test_hint_is_capped_at_ten_times_base(self):
+        control = AdmissionController(queue_high=2, queue_low=1, retry_ms=50)
+        control.try_admit()
+        control.try_admit()
+        # Fake an absurd backlog; the hint must stay bounded.
+        control.pending = 1000
+        assert control.retry_after_ms() == 500
+
+
+class TestConnectionCap:
+    def test_refuses_beyond_the_cap(self):
+        control = AdmissionController(max_connections=2)
+        assert control.try_connect()
+        assert control.try_connect()
+        assert not control.try_connect()
+        assert control.connections_refused == 1
+        control.disconnect()
+        assert control.try_connect()
+        assert control.peak_connections == 2
+
+
+class TestStats:
+    def test_stats_schema(self):
+        control = AdmissionController(queue_high=8, queue_low=3)
+        control.try_admit()
+        control.try_connect()
+        stats = control.stats()
+        assert stats == {
+            "queue_depth": 1,
+            "queue_high": 8,
+            "queue_low": 3,
+            "shedding": False,
+            "shed": 0,
+            "connections": 1,
+            "max_connections": 64,
+            "connections_refused": 0,
+            "peak_pending": 1,
+            "peak_connections": 1,
+        }

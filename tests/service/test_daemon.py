@@ -156,6 +156,54 @@ class TestProtocolSurface:
         assert replies["status"]["in_flight"] == 0
         assert replies["status"]["requests"]["total"] >= 2
 
+    def test_status_exposes_the_operational_schema(self, tmp_path):
+        """``repro status --json`` consumers depend on these keys: the
+        admission, journal and outcome counters added for production
+        hardening are part of the status reply's schema."""
+        replies = {}
+
+        def scenario(address):
+            with ServiceClient(socket_path=address[1]) as client:
+                replies["status"] = client.status()
+
+        run_scenario(
+            unix_config(
+                tmp_path, journal_path=str(tmp_path / "journal.ndjson")
+            ),
+            scenario,
+        )
+        status = replies["status"]
+        assert status["draining"] is False
+        for counter in (
+            "shed",
+            "rejected",
+            "stalled",
+            "disconnected",
+            "deadline",
+            "requeued",
+        ):
+            assert status["requests"][counter] == 0
+        assert status["admission"] == {
+            "queue_depth": 0,
+            "queue_high": status["admission"]["queue_high"],
+            "queue_low": status["admission"]["queue_low"],
+            "shedding": False,
+            "shed": 0,
+            "connections": 1,
+            "max_connections": status["admission"]["max_connections"],
+            "connections_refused": 0,
+            "peak_pending": 0,
+            "peak_connections": 1,
+        }
+        assert status["journal"] == {
+            "enabled": True,
+            "open": 0,
+            "begun": 0,
+            "settled": 0,
+            "recovered": 0,
+            "compactions": 0,
+        }
+
     def test_malformed_requests_answer_errors_not_disconnects(
         self, tmp_path
     ):

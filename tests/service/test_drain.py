@@ -1,0 +1,159 @@
+"""Graceful drain under load: in-flight work finishes, new work is
+rejected as ``draining``, cache and journal land clean, exit is 0."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    NO_RETRY,
+    ServiceClient,
+    ServiceOverloadedError,
+)
+from repro.service import daemon as daemon_module
+from tests.service.test_daemon import PROGRAM, run_scenario, unix_config
+
+
+class TestDrainUnderLoad:
+    def test_drain_finishes_in_flight_and_rejects_new(
+        self, tmp_path, monkeypatch
+    ):
+        cache_path = tmp_path / "cache.json"
+        journal_path = tmp_path / "journal.ndjson"
+
+        # Gate the executor so one solve is *provably* in flight when
+        # the shutdown arrives -- no timing games.
+        solve_started = threading.Event()
+        release_solve = threading.Event()
+        real_execute = daemon_module.execute_service_job
+
+        def gated_execute(spec, donors=(), **kwargs):
+            solve_started.set()
+            assert release_solve.wait(timeout=60.0)
+            return real_execute(spec, donors, **kwargs)
+
+        monkeypatch.setattr(
+            daemon_module, "execute_service_job", gated_execute
+        )
+
+        replies = {}
+        errors = {}
+
+        def scenario(address):
+            path = address[1]
+
+            def slow_solve():
+                with ServiceClient(socket_path=path, timeout=120.0) as c:
+                    replies["inflight"] = c.solve(PROGRAM)
+
+            def shut_down():
+                with ServiceClient(socket_path=path, timeout=120.0) as c:
+                    replies["bye"] = c.shutdown()
+
+            solver = threading.Thread(target=slow_solve)
+            solver.start()
+            assert solve_started.wait(timeout=60.0)
+
+            # Shutdown while the solve holds a worker: the daemon starts
+            # draining and the reply will only come once in-flight work
+            # is done.
+            stopper = threading.Thread(target=shut_down)
+            stopper.start()
+
+            # New work during the drain is shed with the typed
+            # ``draining`` code, not queued and not dropped silently.
+            # Control ops bypass admission, so ``status`` tells us when
+            # the shutdown has actually been dispatched.
+            with ServiceClient(
+                socket_path=path, timeout=60.0, retry=NO_RETRY
+            ) as late:
+                while not late.status()["draining"]:
+                    time.sleep(0.01)
+                with pytest.raises(ServiceOverloadedError) as excinfo:
+                    late.solve(PROGRAM, label="late")
+                errors["late"] = excinfo.value
+
+            release_solve.set()
+            solver.join(timeout=60.0)
+            stopper.join(timeout=60.0)
+            assert not solver.is_alive() and not stopper.is_alive()
+
+        daemon = run_scenario(
+            unix_config(
+                tmp_path,
+                cache_path=str(cache_path),
+                journal_path=str(journal_path),
+            ),
+            scenario,
+        )
+
+        # The in-flight solve finished normally despite the drain.
+        assert replies["inflight"]["result"]["status"] == "ok"
+        assert replies["inflight"]["cache"] == "miss"
+
+        # The late request got the typed rejection.
+        assert errors["late"].code == "draining"
+        assert daemon.counters["rejected"] >= 1
+
+        # Clean exit: drained, cache persisted, journal empty.
+        assert replies["bye"]["drained"] is True
+        assert replies["bye"]["persisted_entries"] == 1
+        assert replies["bye"]["journal_open"] == 0
+        assert cache_path.exists()
+        assert journal_path.read_text() == ""
+
+    def test_drain_log_records_shed_reason(self, tmp_path, monkeypatch):
+        import json
+
+        log_path = tmp_path / "requests.ndjson"
+        solve_started = threading.Event()
+        release_solve = threading.Event()
+        real_execute = daemon_module.execute_service_job
+
+        def gated_execute(spec, donors=(), **kwargs):
+            solve_started.set()
+            assert release_solve.wait(timeout=60.0)
+            return real_execute(spec, donors, **kwargs)
+
+        monkeypatch.setattr(
+            daemon_module, "execute_service_job", gated_execute
+        )
+
+        def scenario(address):
+            path = address[1]
+            solver = threading.Thread(
+                target=lambda: ServiceClient(
+                    socket_path=path, timeout=120.0
+                ).solve(PROGRAM)
+            )
+            solver.start()
+            assert solve_started.wait(timeout=60.0)
+            stopper = threading.Thread(
+                target=lambda: ServiceClient(
+                    socket_path=path, timeout=120.0
+                ).shutdown()
+            )
+            stopper.start()
+            with ServiceClient(
+                socket_path=path, timeout=60.0, retry=NO_RETRY
+            ) as late:
+                while not late.status()["draining"]:
+                    time.sleep(0.01)
+                with pytest.raises(ServiceOverloadedError):
+                    late.solve(PROGRAM)
+            release_solve.set()
+            solver.join(timeout=60.0)
+            stopper.join(timeout=60.0)
+
+        run_scenario(unix_config(tmp_path, log_path=str(log_path)), scenario)
+        records = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+            if line.strip()
+        ]
+        shed = [r for r in records if r.get("outcome") == "shed"]
+        assert len(shed) == 1
+        assert shed[0]["reason"] == "draining"

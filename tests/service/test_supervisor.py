@@ -1,0 +1,161 @@
+"""Unit tests for :class:`RestartSupervisor` with an injected spawner:
+no real processes, no real sleeps, fully deterministic."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import pytest
+
+from repro.service import RestartSupervisor
+from repro.service.supervisor import serve_command
+
+
+class FakeChild:
+    """Stands in for ``subprocess.Popen``: exits with a scripted code
+    after a scripted uptime (advanced on the fake clock)."""
+
+    def __init__(self, supervisor_test, code, uptime):
+        self._test = supervisor_test
+        self._code = code
+        self._uptime = uptime
+        self.pid = 4242
+        self.signals = []
+
+    def wait(self):
+        self._test.now += self._uptime
+        return self._code
+
+    def send_signal(self, sig):
+        self.signals.append(sig)
+
+
+class SupervisorHarness:
+    """Wires a scripted sequence of child runs into a supervisor."""
+
+    def __init__(self, runs, **kwargs):
+        self.now = 0.0
+        self.sleeps = []
+        self.spawned = []
+        self._runs = list(runs)
+        self.supervisor = RestartSupervisor(
+            ["daemon", "--flag"],
+            spawn=self._spawn,
+            sleep=self.sleeps.append,
+            clock=lambda: self.now,
+            **kwargs,
+        )
+
+    def _spawn(self, command):
+        self.spawned.append(list(command))
+        code, uptime = self._runs.pop(0)
+        return FakeChild(self, code, uptime)
+
+
+class TestBackoffSchedule:
+    def test_exponential_growth_with_a_ceiling(self):
+        sup = RestartSupervisor(
+            ["x"], base_backoff=0.5, max_backoff=4.0, spawn=lambda cmd: None
+        )
+        delays = [sup.backoff_delay(n) for n in range(1, 7)]
+        assert delays == [0.5, 1.0, 2.0, 4.0, 4.0, 4.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_restarts"):
+            RestartSupervisor(["x"], max_restarts=-1)
+        with pytest.raises(ValueError, match="backoff"):
+            RestartSupervisor(["x"], base_backoff=-0.1)
+
+
+class TestRestartLoop:
+    def test_clean_exit_stops_immediately(self):
+        harness = SupervisorHarness([(0, 1.0)])
+        assert harness.supervisor.run() == 0
+        assert len(harness.spawned) == 1
+        assert harness.sleeps == []
+        assert harness.supervisor.history == [(0, 1.0)]
+
+    def test_crashes_respawn_with_growing_backoff(self):
+        harness = SupervisorHarness(
+            [(1, 0.1), (1, 0.1), (0, 5.0)],
+            base_backoff=0.5,
+            max_backoff=10.0,
+            stable_after=30.0,
+        )
+        assert harness.supervisor.run() == 0
+        assert len(harness.spawned) == 3
+        assert harness.sleeps == [0.5, 1.0]
+        assert harness.supervisor.restarts == 2
+
+    def test_gives_up_after_the_restart_budget(self):
+        harness = SupervisorHarness(
+            [(7, 0.1)] * 4, max_restarts=2, stable_after=30.0
+        )
+        assert harness.supervisor.run() == 7
+        # initial run + two respawns, then the third crash gives up.
+        assert len(harness.spawned) == 3
+        assert harness.supervisor.restarts == 2
+
+    def test_stable_run_resets_the_crash_budget(self):
+        # Two crashes, a long stable run, then two more crashes: the
+        # stable run must reset the consecutive count, so the budget of
+        # two is never exceeded and the final clean exit is reached.
+        harness = SupervisorHarness(
+            [(1, 0.1), (1, 0.1), (1, 60.0), (1, 0.1), (0, 1.0)],
+            max_restarts=2,
+            base_backoff=0.5,
+            stable_after=30.0,
+        )
+        assert harness.supervisor.run() == 0
+        assert len(harness.spawned) == 5
+        # Backoff restarts from the base after the stable run: the
+        # crash at 60s uptime counts as consecutive crash #1 again.
+        assert harness.sleeps == [0.5, 1.0, 0.5, 1.0]
+
+    def test_child_command_is_the_configured_argv(self):
+        harness = SupervisorHarness([(0, 1.0)])
+        harness.supervisor.run()
+        assert harness.spawned == [["daemon", "--flag"]]
+
+
+class TestServeCommand:
+    def _args(self, **overrides):
+        defaults = dict(
+            socket="/tmp/d.sock",
+            host="127.0.0.1",
+            port=None,
+            workers=2,
+            cache_entries=256,
+            cache_ttl=None,
+            cache_file=None,
+            deadline=None,
+            warm_ratio=0.25,
+            log_file=None,
+            queue_high=32,
+            queue_low=None,
+            max_connections=64,
+            shed_retry_ms=250,
+            read_timeout=None,
+            journal_file=None,
+            supervise=True,
+            max_restarts=5,
+        )
+        defaults.update(overrides)
+        return argparse.Namespace(**defaults)
+
+    def test_reconstructs_the_serve_argv_without_supervise(self):
+        argv = serve_command(
+            self._args(journal_file="/tmp/j.ndjson", read_timeout=5.0)
+        )
+        assert argv[:4] == [sys.executable, "-m", "repro", "serve"]
+        assert "--supervise" not in argv
+        assert argv[argv.index("--socket") + 1] == "/tmp/d.sock"
+        assert argv[argv.index("--journal-file") + 1] == "/tmp/j.ndjson"
+        assert argv[argv.index("--read-timeout") + 1] == "5.0"
+
+    def test_tcp_flags_round_trip(self):
+        argv = serve_command(self._args(socket=None, port=7777, host="::1"))
+        assert "--socket" not in argv
+        assert argv[argv.index("--host") + 1] == "::1"
+        assert argv[argv.index("--port") + 1] == "7777"

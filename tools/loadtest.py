@@ -1,0 +1,397 @@
+"""Chaos load test for the analysis service (the `service-chaos` CI job).
+
+Boots a real ``repro serve`` daemon (small admission queue, in-flight
+journal, read deadline), then hammers it with many concurrent
+``ServiceClient`` threads over a seeded mix of cold solves, cache hits,
+warm-start edits and checker runs, while a
+:class:`~repro.supervise.chaos.TransportChaosPolicy` injects socket
+faults (dropped connections, truncated request lines, stalled writes)
+into every client.
+
+The invariants asserted, per docs/service-reliability.md:
+
+* **no wrong answers** -- every cold solve's and every check's solution
+  fingerprint equals the locally precomputed expected hash for that
+  request shape; every cache hit replays a fingerprint some solve of
+  the same shape actually produced (warm-started solves may settle on
+  a different -- independently re-verified -- post solution than cold,
+  so they are held to consistency, not bit-equality);
+* **no lost requests** -- every submitted call terminates with either
+  an ``ok`` reply or a *typed* :class:`ServiceError`; anything else
+  (a bare exception, a hung thread) fails the run;
+* **faults actually fired** -- at least ``MIN_FAULT_SHARE`` of client
+  requests hit an injected fault, so a pass is evidence of resilience,
+  not of a quiet network;
+* **bounded tail latency** -- the p99 request latency stays under a
+  (generous, machine-tolerant) bound.
+
+The run is summarised as a ``repro-loadtest/1`` JSON document written
+next to the BENCH artifacts (default ``LOADTEST_<rev>.json``), with the
+seed, the outcome/cache/fault histograms, client retry counters,
+latency quantiles and the daemon's final status embedded.
+
+Usage: PYTHONPATH=src python tools/loadtest.py [--quick] [options]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from collections import Counter
+
+SRC = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, SRC)
+
+from repro.batch.bench import git_revision  # noqa: E402
+from repro.service import (  # noqa: E402
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    solve_request_to_jobspec,
+)
+from repro.service.protocol import check_request_to_jobspec  # noqa: E402
+from repro.supervise.chaos import TransportChaosPolicy  # noqa: E402
+
+FORMAT = "repro-loadtest/1"
+BOOT_TIMEOUT_S = 30.0
+#: A pass must have injected faults into at least this share of calls.
+MIN_FAULT_SHARE = 0.05
+
+BASE = """
+int main() {
+  int i;
+  int s;
+  i = 0;
+  s = 0;
+  while (i < %d) {
+    s = s + 2;
+    i = i + 1;
+  }
+  return s;
+}
+"""
+
+#: Distinct program shapes: four cold bases and one edited variant per
+#: base (the warm-start candidates).  Small on purpose -- the oracle
+#: precomputes the expected solution fingerprint for every shape.
+PROGRAMS = [BASE % bound for bound in (10, 20, 30, 40)]
+VARIANTS = [BASE % bound for bound in (12, 22, 32, 42)]
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"loadtest: FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+
+
+def wait_for_socket(path: str, daemon: subprocess.Popen) -> None:
+    deadline = time.monotonic() + BOOT_TIMEOUT_S
+    while time.monotonic() < deadline:
+        if os.path.exists(path):
+            return
+        if daemon.poll() is not None:
+            check(False, f"daemon exited early with code {daemon.returncode}")
+        time.sleep(0.05)
+    check(False, f"daemon did not create {path} within {BOOT_TIMEOUT_S}s")
+
+
+def build_schedule(rng: random.Random, requests: int) -> list:
+    """A deterministic request mix: cold/hit/warm/check for one client."""
+    schedule = []
+    for _ in range(requests):
+        roll = rng.random()
+        if roll < 0.45:
+            schedule.append(("solve", rng.choice(PROGRAMS)))
+        elif roll < 0.70:
+            schedule.append(("solve", rng.choice(VARIANTS)))
+        else:
+            schedule.append(("check", rng.choice(PROGRAMS)))
+    return schedule
+
+
+def expected_hashes() -> dict:
+    """Locally computed solution fingerprints, per (op, source)."""
+    from repro.batch.jobs import execute_job
+
+    expected = {}
+    for source in PROGRAMS + VARIANTS:
+        spec, _ = solve_request_to_jobspec({"op": "solve", "source": source})
+        expected[("solve", source)] = execute_job(spec).hash
+        spec, _ = check_request_to_jobspec({"op": "check", "source": source})
+        expected[("check", source)] = execute_job(spec).hash
+    return expected
+
+
+class ClientWorker(threading.Thread):
+    """One concurrent client: its own socket, chaos stream and jitter."""
+
+    def __init__(self, index, socket_path, schedule, fault_rate, seed):
+        super().__init__(name=f"client-{index}", daemon=True)
+        self.schedule = schedule
+        self.chaos = TransportChaosPolicy(seed=seed * 1009 + index, rate=fault_rate)
+        self.client = ServiceClient(
+            socket_path=socket_path,
+            timeout=60.0,
+            retry=RetryPolicy(
+                attempts=8,
+                base_delay=0.02,
+                max_delay=0.5,
+                total_timeout=120.0,
+                breaker_threshold=None,
+            ),
+            chaos=self.chaos,
+            rng=random.Random(seed * 2003 + index),
+        )
+        self.outcomes = Counter()
+        self.cache = Counter()
+        self.latencies = []
+        self.replies = []
+        self.crash = None
+
+    def run(self) -> None:
+        try:
+            for op, source in self.schedule:
+                started = time.monotonic()
+                try:
+                    if op == "solve":
+                        reply = self.client.solve(source)
+                    else:
+                        reply = self.client.check(source)
+                except ServiceError as err:
+                    # A typed failure is a legitimate terminal outcome.
+                    self.outcomes[type(err).__name__] += 1
+                    self.client.close()
+                    continue
+                finally:
+                    self.latencies.append(time.monotonic() - started)
+                self.outcomes["ok"] += 1
+                self.cache[reply["cache"]] += 1
+                self.replies.append(
+                    (
+                        op,
+                        source,
+                        reply["cache"],
+                        reply["result"]["hash"],
+                        reply["result"]["status"],
+                    )
+                )
+        except BaseException as err:  # noqa: BLE001 - report, don't hang
+            self.crash = f"{type(err).__name__}: {err}"
+        finally:
+            self.client.close()
+
+
+def quantile(values: list, q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[index]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument("--clients", type=int, default=None)
+    parser.add_argument("--requests", type=int, default=None, help="per client")
+    parser.add_argument("--fault-rate", type=float, default=0.15)
+    parser.add_argument("--seed", type=int, default=20130613)
+    parser.add_argument(
+        "--p99-bound", type=float, default=30.0, metavar="SECONDS"
+    )
+    parser.add_argument("--out", default=None, metavar="PATH")
+    args = parser.parse_args()
+
+    clients = args.clients or (12 if args.quick else 200)
+    requests = args.requests or (5 if args.quick else 10)
+    out = args.out or f"LOADTEST_{git_revision()}.json"
+
+    print(
+        f"loadtest: {clients} clients x {requests} requests, "
+        f"fault rate {args.fault_rate:.0%}, seed {args.seed}",
+        flush=True,
+    )
+    expected = expected_hashes()
+
+    with tempfile.TemporaryDirectory(prefix="repro-loadtest-") as tmp:
+        socket_path = os.path.join(tmp, "daemon.sock")
+        daemon = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--socket",
+                socket_path,
+                "--workers",
+                "2",
+                "--queue-high",
+                "8",
+                "--read-timeout",
+                "5",
+                "--journal-file",
+                os.path.join(tmp, "inflight.ndjson"),
+                "--log-file",
+                os.path.join(tmp, "requests.ndjson"),
+            ],
+            env={
+                **os.environ,
+                "PYTHONPATH": os.pathsep.join(
+                    p for p in (SRC, os.environ.get("PYTHONPATH")) if p
+                ),
+            },
+        )
+        daemon_status = {}
+        try:
+            wait_for_socket(socket_path, daemon)
+
+            rng = random.Random(args.seed)
+            workers = [
+                ClientWorker(
+                    index,
+                    socket_path,
+                    build_schedule(rng, requests),
+                    args.fault_rate,
+                    args.seed,
+                )
+                for index in range(clients)
+            ]
+            started = time.monotonic()
+            for worker in workers:
+                worker.start()
+            join_deadline = time.monotonic() + 600.0
+            for worker in workers:
+                worker.join(timeout=max(0.0, join_deadline - time.monotonic()))
+                check(not worker.is_alive(), f"{worker.name} hung")
+            elapsed = time.monotonic() - started
+
+            with ServiceClient(socket_path=socket_path, timeout=30.0) as c:
+                daemon_status = c.status()
+                c.shutdown()
+            code = daemon.wait(timeout=BOOT_TIMEOUT_S)
+            check(code == 0, f"daemon exited {code} after drain, expected 0")
+        finally:
+            if daemon.poll() is None:
+                daemon.terminate()
+                try:
+                    daemon.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    daemon.kill()
+
+    # -- Invariants. ---------------------------------------------------- #
+    for worker in workers:
+        check(worker.crash is None, f"{worker.name} crashed: {worker.crash}")
+
+    outcomes = Counter()
+    cache = Counter()
+    latencies = []
+    replies = []
+    for worker in workers:
+        outcomes.update(worker.outcomes)
+        cache.update(worker.cache)
+        latencies.extend(worker.latencies)
+        replies.extend(worker.replies)
+    # Fingerprints each request shape legitimately produced: the exact
+    # local expectation plus whatever verified warm/fresh solves settled
+    # on.  Cache hits must replay a member of this set.
+    produced = {key: {digest} for key, digest in expected.items()}
+    for op, source, mode, digest, _status in replies:
+        if mode != "hit":
+            produced[(op, source)].add(digest)
+    wrong = 0
+    for op, source, mode, digest, status in replies:
+        ok_status = ("ok", "findings") if op == "check" else ("ok",)
+        if status not in ok_status:
+            wrong += 1
+        elif mode == "miss" or op == "check":
+            wrong += digest != expected[(op, source)]
+        else:
+            wrong += digest not in produced[(op, source)]
+    total = clients * requests
+    terminated = sum(outcomes.values())
+    check(
+        terminated == total,
+        f"{total - terminated} of {total} requests unaccounted for",
+    )
+    check(wrong == 0, f"{wrong} replies had a wrong solution fingerprint")
+    check(outcomes["ok"] > 0, "no request succeeded at all")
+
+    fired = sum(worker.chaos.fired for worker in workers)
+    decisions = sum(worker.chaos.decisions for worker in workers)
+    if args.fault_rate > 0:
+        check(
+            fired >= MIN_FAULT_SHARE * total,
+            f"only {fired} faults fired across {total} requests "
+            f"(< {MIN_FAULT_SHARE:.0%})",
+        )
+    p99 = quantile(latencies, 0.99)
+    check(
+        p99 <= args.p99_bound,
+        f"p99 latency {p99:.2f}s exceeds the {args.p99_bound:.0f}s bound",
+    )
+
+    kinds = Counter()
+    for worker in workers:
+        kinds.update(worker.chaos.log)
+    client_stats = Counter()
+    for worker in workers:
+        for key, value in worker.client.stats().items():
+            if isinstance(value, int):
+                client_stats[key] += value
+    doc = {
+        "format": FORMAT,
+        "revision": git_revision(),
+        "python": platform.python_version(),
+        "quick": args.quick,
+        "seed": args.seed,
+        "clients": clients,
+        "requests_per_client": requests,
+        "requests": total,
+        "fault_rate": args.fault_rate,
+        "elapsed_s": round(elapsed, 3),
+        "outcomes": dict(sorted(outcomes.items())),
+        "cache": dict(sorted(cache.items())),
+        "faults": {
+            "fired": fired,
+            "decisions": decisions,
+            "kinds": dict(sorted(kinds.items())),
+        },
+        "client": dict(sorted(client_stats.items())),
+        "latency_ms": {
+            "p50": round(quantile(latencies, 0.50) * 1000, 1),
+            "p95": round(quantile(latencies, 0.95) * 1000, 1),
+            "p99": round(p99 * 1000, 1),
+            "max": round(max(latencies) * 1000, 1) if latencies else 0.0,
+        },
+        "wrong_answers": wrong,
+        "lost_requests": total - terminated,
+        "daemon": {
+            "requests": daemon_status.get("requests", {}),
+            "admission": daemon_status.get("admission", {}),
+            "journal": daemon_status.get("journal", {}),
+        },
+        "ok": True,
+    }
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(
+        f"loadtest: OK -- {outcomes['ok']}/{total} ok, "
+        f"{fired} faults fired, "
+        f"{client_stats['retries']} retries, "
+        f"p99 {doc['latency_ms']['p99']:.0f} ms; wrote {out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
