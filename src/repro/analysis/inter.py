@@ -61,7 +61,8 @@ from repro.lang.cfg import (
     RETURN_SLOT,
 )
 from repro.lattices.lifted import Lifted, LiftedBottom
-from repro.lattices.maplat import FrozenMap, MapLattice
+from repro.lattices.envlat import ArrayEnvLattice
+from repro.lattices.maplat import FrozenMap
 from repro.lattices.union import TaggedUnionLattice, UNION_BOT
 from repro.solvers import Combine, NarrowCombine, WarrowCombine, WidenCombine
 from repro.solvers.registry import resolve_solver
@@ -237,7 +238,7 @@ class InterAnalysis:
         self._env_lats: Dict[str, Lifted] = {}
         for name, fn in cfg.functions.items():
             keys = sorted(fn.locals) + sorted(fn.arrays)
-            env_lat = Lifted(MapLattice(keys, domain))
+            env_lat = Lifted(ArrayEnvLattice(keys, domain))
             self._env_lats[name] = env_lat
             branches[_env_tag(name)] = env_lat
         self.lattice = TaggedUnionLattice(branches)
@@ -269,7 +270,7 @@ class InterAnalysis:
         else:
             for p, v in zip(fn.params, args):
                 bindings[p] = v
-        return FrozenMap(bindings)
+        return self._env_lats[fn.name].inner.make(bindings)
 
     def _rhs_of(self, unknown):
         if isinstance(unknown, GV):

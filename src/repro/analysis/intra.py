@@ -27,7 +27,8 @@ from repro.analysis.values import NumericDomain
 from repro.eqs.system import DictSystem
 from repro.lang.cfg import CallInstr, ControlFlowGraph, Node
 from repro.lattices.lifted import Lifted, LiftedBottom
-from repro.lattices.maplat import FrozenMap, MapLattice
+from repro.lattices.envlat import ArrayEnvLattice
+from repro.lattices.maplat import FrozenMap
 from repro.solvers import Combine, SolverResult, WarrowCombine
 from repro.solvers.ordering import dfs_priority_order
 from repro.solvers.registry import resolve_solver
@@ -86,7 +87,7 @@ def build_intra_system(
     scalars = set(fn.locals) | set(cfg.global_scalars)
     arrays = set(fn.arrays) | set(cfg.global_arrays)
     keys = sorted(scalars) + sorted(arrays)
-    env_lat = Lifted(MapLattice(keys, domain))
+    env_lat = Lifted(ArrayEnvLattice(keys, domain))
 
     def fail_global(name: str):
         raise TransferError(f"unexpected global access {name!r}")
@@ -104,7 +105,7 @@ def build_intra_system(
             bindings[g] = domain.from_const(init)
         for p in fn.params:
             bindings[p] = domain.top
-        entry_env = FrozenMap(bindings)
+        entry_env = env_lat.inner.make(bindings)
 
     equations = {}
     for node in fn.nodes:

@@ -83,6 +83,7 @@ _JOB_FIELDS = (
     "widen_updates",
     "narrow_updates",
     "direction_switches",
+    "restarts",
     "proved",
     "unproved",
     "findings",
@@ -100,6 +101,7 @@ _INT_FIELDS = (
     "widen_updates",
     "narrow_updates",
     "direction_switches",
+    "restarts",
     "proved",
     "unproved",
     "findings",

@@ -14,6 +14,10 @@ Five deterministic workload families, mirroring the paper's evaluation
 * ``fig7``     -- the same suite under plain widening: together with
   ``wcet`` this is exactly the precision comparison of Figure 7, and the
   eval-count gap between the two families is tracked by the bench gate;
+* ``restart``  -- the WCET suite again, solved by the restarting and
+  localized solvers (``slr2``, ``slr3``) of the successor paper: the
+  committed baseline pins their evaluation counts and restart counts
+  against the plain ``slr+`` rows of ``wcet``;
 * ``table1``   -- the synthetic SpecCPU-style programs of Table 1 in the
   paper's four configurations ({context-insensitive, context-sensitive}
   x {widening-only, combined}).
@@ -36,7 +40,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.batch.jobs import JobSpec
 
 #: Family enumeration order (also the display order).
-FAMILIES = ("examples", "buggy", "wcet", "fig7", "table1")
+FAMILIES = ("examples", "buggy", "wcet", "fig7", "restart", "table1")
 
 #: WCET benchmarks in the quick subset (the smallest by LoC).
 _QUICK_WCET = 12
@@ -44,6 +48,11 @@ _QUICK_WCET = 12
 _QUICK_FIG7 = 6
 #: Table-1 programs in the quick subset (the smallest rows).
 _QUICK_TABLE1 = 2
+#: WCET benchmarks per restarting solver in the quick subset.
+_QUICK_RESTART = 3
+
+#: The restarting/localized solver family of the successor paper.
+RESTART_SOLVERS = ("slr2", "slr3")
 
 #: Evaluation budget for corpus jobs; generous, the jobs are small.
 _MAX_EVALS = 5_000_000
@@ -162,6 +171,24 @@ def _fig7_jobs(quick: bool) -> List[JobSpec]:
     ]
 
 
+def _restart_jobs(quick: bool) -> List[JobSpec]:
+    programs = _wcet_programs()
+    if quick:
+        programs = programs[:_QUICK_RESTART]
+    return [
+        JobSpec(
+            id=f"restart/{p.name}/{solver}",
+            family="restart",
+            program=p.name,
+            source=p.source,
+            solver=solver,
+            max_evals=_MAX_EVALS,
+        )
+        for p in programs
+        for solver in RESTART_SOLVERS
+    ]
+
+
 def _table1_jobs(quick: bool) -> List[JobSpec]:
     from repro.bench.spec import PROGRAMS
 
@@ -192,6 +219,7 @@ _BUILDERS = {
     "buggy": _buggy_jobs,
     "wcet": _wcet_jobs,
     "fig7": _fig7_jobs,
+    "restart": _restart_jobs,
     "table1": _table1_jobs,
 }
 

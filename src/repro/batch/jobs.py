@@ -238,6 +238,8 @@ class JobResult:
     narrow_updates: int = 0
     #: Per-unknown direction reversals, summed.
     direction_switches: int = 0
+    #: Region restarts performed (restarting solvers only; else 0).
+    restarts: int = 0
     #: Assertion verdict counts, only for ``verify`` jobs.
     proved: int = 0
     unproved: int = 0
@@ -515,6 +517,7 @@ def execute_job(job: JobSpec) -> JobResult:
         widen_updates=stats.widen_updates,
         narrow_updates=stats.narrow_updates,
         direction_switches=stats.direction_switches,
+        restarts=stats.restarts,
         proved=proved,
         unproved=unproved,
         kind=job.kind,

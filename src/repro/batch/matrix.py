@@ -109,17 +109,32 @@ _INT_CELL_FIELDS = (
 )
 
 
-def _run_cell(source: str, spec: str, *, context: str, max_evals: int):
+def split_column(column: str) -> Tuple[str, Optional[str]]:
+    """Split a matrix column into ``(strategy spec, solver name)``.
+
+    Columns are strategy specs, optionally suffixed with ``@solver`` to
+    run the strategy under a non-default solver -- e.g. ``warrow@slr3``
+    solves with ⌴ under the restarting solver.  No suffix leaves the
+    solver at the analysis default (``slr+``).
+    """
+    spec, sep, solver = column.partition("@")
+    return spec, (solver if sep else None)
+
+
+def _run_cell(source: str, column: str, *, context: str, max_evals: int):
     """One (program, strategy) solve; returns (AnalysisResult, seconds).
 
     Phased strategies run the two-pass schedule, combine strategies a
     single generic solve -- both seeded with the CLI's default widening
     delay of 1 so the matrix isolates the *operator*, not the schedule.
+    A ``spec@solver`` column threads the solver name through; precision
+    then measures the operator *and* the evaluation order it induces.
     """
     from repro.analysis import analyze_program, collect_thresholds
     from repro.analysis.inter import analyze_program_twophase
     from repro.strategies import is_phased, resolve_spec, spec_needs_thresholds
 
+    spec, solver = split_column(column)
     cfg = compile_program(source)
     thresholds = collect_thresholds(cfg) if spec_needs_thresholds(spec) else ()
     domain = build_domain("interval", thresholds)
@@ -134,6 +149,7 @@ def _run_cell(source: str, spec: str, *, context: str, max_evals: int):
             max_evals=max_evals,
             widen_delay=resolved.get("delay", 1),
             track_contributions=(resolved.name == "decoupled"),
+            solver=solver if solver is not None else "slr+",
         )
     else:
         result = analyze_program(
@@ -143,6 +159,7 @@ def _run_cell(source: str, spec: str, *, context: str, max_evals: int):
             max_evals=max_evals,
             op_spec=spec,
             widen_delay=1,
+            solver=solver if solver is not None else "slr+",
         )
     return result, time.perf_counter() - started
 
@@ -167,21 +184,46 @@ def _blank_cell(family: str, program: str, strategy: str) -> dict:
     }
 
 
+def _canonical_column(column: str) -> str:
+    """Canonicalize one ``spec`` or ``spec@solver`` column.
+
+    The spec part goes through the strategy registry's canonicalizer;
+    the solver part through the solver registry (resolving aliases like
+    ``slr-restart`` -> ``slr3`` and rejecting solvers that cannot run a
+    combine strategy on a side-effecting system up front, before any
+    solving starts).
+    """
+    from repro.solvers.registry import get_solver
+    from repro.strategies import canonical_spec
+
+    spec, solver = split_column(column)
+    canon = canonical_spec(spec, widen_delay=1)
+    if solver is None:
+        return canon
+    resolved = get_solver(
+        solver, scope="local", side_effecting=True, takes_op=True
+    )
+    return f"{canon}@{resolved.name}"
+
+
 def resolve_matrix_strategies(
     strategies: Sequence[str], baseline: str
 ) -> Tuple[List[str], str]:
     """Canonicalize and dedupe the strategy columns; baseline first.
 
+    Columns are strategy specs, optionally ``spec@solver`` (see
+    :func:`split_column`).
+
     :returns: ``(canonical specs, canonical baseline)``; the baseline
         is prepended when the column list does not already contain it.
     :raises SpecError, UnknownStrategyError: for invalid specs.
+    :raises UnknownSolverError, SolverCapabilityError: for invalid
+        ``@solver`` suffixes.
     """
-    from repro.strategies import canonical_spec
-
-    base = canonical_spec(baseline, widen_delay=1)
+    base = _canonical_column(baseline)
     columns: List[str] = [base]
     for spec in strategies:
-        canon = canonical_spec(spec, widen_delay=1)
+        canon = _canonical_column(spec)
         if canon not in columns:
             columns.append(canon)
     return columns, base

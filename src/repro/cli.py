@@ -313,6 +313,7 @@ def cmd_solve(args) -> int:
         print(f"  widen updates:      {stats.widen_updates}")
         print(f"  narrow updates:     {stats.narrow_updates}")
         print(f"  direction switches: {stats.direction_switches}")
+        print(f"  restarts:           {stats.restarts}")
         print(f"  unknowns:           {stats.unknowns}")
         print(f"  max queue:          {stats.max_queue}")
     if report.ok:
@@ -343,6 +344,8 @@ def cmd_solvers(args) -> int:
             caps.append("non-generic")
         if spec.memoizable:
             caps.append("memoizable")
+        if spec.restarting:
+            caps.append("restarting")
         if spec.takes_order:
             caps.append("takes-order")
         if spec.supports_warm_start:
@@ -373,6 +376,8 @@ def cmd_strategies(args) -> int:
         caps = [info.kind]
         if info.solve_ready:
             caps.append("solve-ready")
+        if info.kind == "combine" and info.solve_ready:
+            caps.append("restart-safe")
         if info.idempotent:
             caps.append("idempotent")
         if info.needs_thresholds:

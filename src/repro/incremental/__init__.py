@@ -42,6 +42,9 @@ from repro.incremental.warmstart import (
     influence_closure,
     warm_solve,
     warm_solve_slr,
+    warm_solve_slr2,
+    warm_solve_slr3,
+    warm_solve_slr_restart,
     warm_solve_slr_side,
     warm_solve_sw,
 )
@@ -68,6 +71,9 @@ __all__ = [
     "value_codec",
     "warm_solve",
     "warm_solve_slr",
+    "warm_solve_slr2",
+    "warm_solve_slr3",
+    "warm_solve_slr_restart",
     "warm_solve_slr_side",
     "warm_solve_sw",
 ]
@@ -79,6 +85,8 @@ def _register_warm_starts() -> None:
     register_warm_start("sw", warm_solve_sw)
     register_warm_start("slr", warm_solve_slr)
     register_warm_start("slr+", warm_solve_slr_side)
+    register_warm_start("slr2", warm_solve_slr2)
+    register_warm_start("slr3", warm_solve_slr3)
 
 
 _register_warm_starts()

@@ -296,7 +296,13 @@ def capture(
         dom=dom,
         stable=set(dom),
         counter=counter,
-        wpoints=set(wpoints),
+        # Restarting solvers carry their dynamically detected widening
+        # points on the result; an explicit argument still wins.
+        wpoints=(
+            set(wpoints)
+            if wpoints
+            else set(getattr(result, "wpoints", ()) or ())
+        ),
         contribs=dict(getattr(result, "contribs", {}) or {}),
         contributors={
             z: set(s)
@@ -341,6 +347,11 @@ def capture_engine(
     aux = getattr(engine, "aux", {})
     stable = set(engine.stable)
     stable.difference_update(getattr(engine, "inflight", ()))
+    # Localized solvers (SLR2/SLR3) register their dynamically detected
+    # widening points in ``aux``; fall back to them when the caller does
+    # not pass a wpoint set of its own.
+    if not wpoints:
+        wpoints = aux.get("wpoints", frozenset())
     return SolverState(
         solver=solver,
         sigma=dict(engine.sigma),

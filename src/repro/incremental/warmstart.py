@@ -426,6 +426,222 @@ def warm_solve_slr_side(
 
 
 # --------------------------------------------------------------------- #
+# SLR2 / SLR3.                                                          #
+# --------------------------------------------------------------------- #
+
+def warm_solve_slr_restart(
+    system,
+    op: Combine,
+    x0: Hashable,
+    state: SolverState,
+    dirty: Iterable[Hashable],
+    max_evals: Optional[int] = None,
+    track_contributions: bool = True,
+    *,
+    observers=(),
+    closure: str = "transitive",
+    reset: str = "none",
+    restart: bool = True,
+):
+    """Warm-started SLR2/SLR3 from a restored snapshot.
+
+    Identical to :func:`warm_solve_slr_side` in its treatment of dirty
+    origins and contributions, except that the localized discipline of
+    the restarting family applies: the combined operator fires only at
+    the widening points restored from ``state.wpoints`` (new points are
+    still detected dynamically during the warm run), and with
+    ``restart=True`` (SLR3) a downward reversal at a point restarts its
+    dependent region afresh -- the restart budget does not carry over
+    from the original run.
+    """
+    from repro.solvers.slr_restart import RestartResult
+
+    _check_reset(reset, closure)
+    eng = SolverEngine(system, op, max_evals=max_evals, observers=observers)
+    op = eng.op  # the engine's per-run fresh instance
+    _restore_engine(eng, state)
+    lat = eng.lattice
+    sigma, keys, dom, stable = eng.sigma, eng.keys, eng.dom, eng.stable
+    infl = eng.infl
+    contribs: Dict[Tuple[Hashable, Hashable], object] = dict(state.contribs)
+    contributors: Dict[Hashable, Set[Hashable]] = {
+        z: set(s) for z, s in state.contributors.items()
+    }
+    accumulated: set = set(state.accumulated)
+    wpoints: Set[Hashable] = set(state.wpoints)
+    restarted: Set[Hashable] = set()
+    evaluating: Set[Hashable] = set()
+    eng.aux.update(
+        contribs=contribs,
+        contributors=contributors,
+        accumulated=accumulated,
+        wpoints=wpoints,
+    )
+    queue = eng.make_queue(lambda x: keys[x])
+
+    dirty_known = {x for x in dirty if x in dom}
+    for pair in [p for p in contribs if p[0] in dirty_known]:
+        del contribs[pair]
+        contributors.get(pair[1], set()).discard(pair[0])
+
+    def init(y) -> None:
+        eng.init_unknown(y)
+        contributors.setdefault(y, set())
+
+    def destabilize_and_queue(y) -> None:
+        stable.discard(y)
+        queue.add(y)
+
+    def solve(x) -> None:
+        if x in stable:
+            return
+        stable.add(x)
+        side = make_side(x)
+        rhs = system.rhs(x)
+        evaluating.add(x)
+        try:
+            own = eng.eval_rhs(x, make_eval(x), lambda get: rhs(get, side))
+        finally:
+            evaluating.discard(x)
+        total = own
+        if track_contributions:
+            for z in contributors.get(x, ()):
+                total = lat.join(total, contribs[(z, x)])
+        elif x in accumulated:
+            total = lat.join(total, sigma[x])
+        old = sigma[x]
+        new = op(x, old, total) if x in wpoints else total
+        grew_before = eng._direction.get(x) is False
+        if eng.commit(x, new):
+            if (
+                restart
+                and x in wpoints
+                and x not in restarted
+                and grew_before
+                and lat.leq(new, old)
+            ):
+                restarted.add(x)
+                eng.restart_region(x, queue)
+            else:
+                eng.destabilize(x, queue)
+        while queue and queue.min_key() <= keys[x]:
+            solve(queue.extract_min())
+
+    def make_eval(x):
+        def eval_(y):
+            if y not in dom:
+                init(y)
+                solve(y)
+            elif y in evaluating or keys[y] >= keys[x]:
+                # In-flight lookup or access against priority order:
+                # ``y`` heads a cycle (see repro.solvers.slr_restart).
+                wpoints.add(y)
+            infl[y].add(x)
+            return sigma[y]
+
+        return eval_
+
+    def _side_accumulate(x, y, d) -> None:
+        fresh = y not in dom
+        if fresh:
+            init(y)
+        else:
+            wpoints.add(y)
+        accumulated.add(y)
+        joined = lat.join(sigma[y], d)
+        new = op(y, sigma[y], joined) if y in wpoints else joined
+        if eng.commit(y, new):
+            if fresh:
+                solve(y)
+            else:
+                eng.destabilize(y, queue)
+
+    def make_side(x):
+        effected: set = set()
+
+        def side(y, d) -> None:
+            if y == x:
+                raise SideEffectError(
+                    f"right-hand side of {x!r} side-effects itself"
+                )
+            if y in effected:
+                raise SideEffectError(
+                    f"right-hand side of {x!r} side-effects {y!r} twice "
+                    f"in one evaluation"
+                )
+            effected.add(y)
+            if not track_contributions:
+                _side_accumulate(x, y, d)
+                return
+            pair = (x, y)
+            old = contribs.get(pair, lat.bottom)
+            changed = not lat.equal(old, d)
+            if changed:
+                contribs[pair] = d
+            if y not in dom:
+                init(y)
+                contributors[y] = {x}
+                solve(y)
+            else:
+                contributors.setdefault(y, set()).add(x)
+                if changed:
+                    wpoints.add(y)
+                    destabilize_and_queue(y)
+
+        return side
+
+    seeds = _seeds(state, dirty, closure, state.contribs)
+    stable.difference_update(seeds)
+    if reset == "destabilized":
+        for x in seeds:
+            sigma[x] = system.init(x)
+        # Same soundness argument as warm_solve_slr_side: the transitive
+        # closure reset every target a dropped contribution fed.
+        for pair in [p for p in contribs if p[0] in seeds]:
+            del contribs[pair]
+            contributors.get(pair[1], set()).discard(pair[0])
+
+    def run() -> None:
+        if x0 not in dom:
+            init(x0)
+        for x in seeds:
+            queue.add(x)
+        solve(x0)
+        while queue:
+            solve(queue.extract_min())
+
+    call_with_deep_stack(run)
+    eng.finish()
+    return RestartResult(
+        sigma=sigma,
+        stats=eng.stats,
+        infl=infl,
+        keys=keys,
+        contribs=contribs,
+        contributors=contributors,
+        accumulated=accumulated,
+        wpoints=wpoints,
+        restarted=restarted,
+    )
+
+
+def warm_solve_slr2(system, op, x0, state, dirty, **kwargs):
+    """Warm-started SLR2 (localized, non-restarting); see
+    :func:`warm_solve_slr_restart`."""
+    return warm_solve_slr_restart(
+        system, op, x0, state, dirty, restart=False, **kwargs
+    )
+
+
+def warm_solve_slr3(system, op, x0, state, dirty, **kwargs):
+    """Warm-started SLR3 (localized, restarting); see
+    :func:`warm_solve_slr_restart`."""
+    return warm_solve_slr_restart(
+        system, op, x0, state, dirty, restart=True, **kwargs
+    )
+
+
+# --------------------------------------------------------------------- #
 # Dispatch.                                                             #
 # --------------------------------------------------------------------- #
 
@@ -445,4 +661,8 @@ def warm_solve(
         return warm_solve_slr(system, op, x0, state, dirty, **kwargs)
     if name in ("slr+", "slr-side", "slrside"):
         return warm_solve_slr_side(system, op, x0, state, dirty, **kwargs)
+    if name in ("slr2", "slr-localized"):
+        return warm_solve_slr2(system, op, x0, state, dirty, **kwargs)
+    if name in ("slr3", "slr-restart"):
+        return warm_solve_slr3(system, op, x0, state, dirty, **kwargs)
     raise ValueError(f"no warm-start strategy for solver {name!r}")

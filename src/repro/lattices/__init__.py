@@ -25,6 +25,7 @@ The domains shipped here cover everything the paper needs:
 from repro.lattices.base import Lattice, LatticeError
 from repro.lattices.boollat import BoolLattice
 from repro.lattices.congruence import CongruenceLattice
+from repro.lattices.envlat import ArrayEnv, ArrayEnvLattice, EnvSchema
 from repro.lattices.flat import Flat, FlatTop, FlatBot
 from repro.lattices.interval import Interval, IntervalLattice, NEG_INF, POS_INF
 from repro.lattices.lifted import Lifted, LiftedBottom
@@ -44,6 +45,9 @@ from repro.lattices.widening import (
 __all__ = [
     "Lattice",
     "LatticeError",
+    "ArrayEnv",
+    "ArrayEnvLattice",
+    "EnvSchema",
     "BoolLattice",
     "CongruenceLattice",
     "Flat",

@@ -98,23 +98,46 @@ class MapLattice(Lattice[FrozenMap]):
     def top(self) -> FrozenMap:
         return FrozenMap({k: self._value.top for k in self._keys})
 
+    # The point-wise operations read through the elements' internal dict
+    # (one method call per *map* instead of one ``__getitem__`` dispatch
+    # per key) and short-circuit on identity -- ``leq``/``equal`` between
+    # an element and itself dominate the engine's commit path.
+
+    @staticmethod
+    def _raw(a: FrozenMap):
+        return a._data if type(a) is FrozenMap else a
+
     def leq(self, a: FrozenMap, b: FrozenMap) -> bool:
-        return all(self._value.leq(a[k], b[k]) for k in self._keys)
+        if a is b:
+            return True
+        ra, rb, vleq = self._raw(a), self._raw(b), self._value.leq
+        return all(vleq(ra[k], rb[k]) for k in self._keys)
 
     def join(self, a: FrozenMap, b: FrozenMap) -> FrozenMap:
-        return FrozenMap({k: self._value.join(a[k], b[k]) for k in self._keys})
+        if a is b:
+            return a
+        ra, rb, vjoin = self._raw(a), self._raw(b), self._value.join
+        return FrozenMap({k: vjoin(ra[k], rb[k]) for k in self._keys})
 
     def meet(self, a: FrozenMap, b: FrozenMap) -> FrozenMap:
-        return FrozenMap({k: self._value.meet(a[k], b[k]) for k in self._keys})
+        if a is b:
+            return a
+        ra, rb, vmeet = self._raw(a), self._raw(b), self._value.meet
+        return FrozenMap({k: vmeet(ra[k], rb[k]) for k in self._keys})
 
     def widen(self, a: FrozenMap, b: FrozenMap) -> FrozenMap:
-        return FrozenMap({k: self._value.widen(a[k], b[k]) for k in self._keys})
+        ra, rb, vwiden = self._raw(a), self._raw(b), self._value.widen
+        return FrozenMap({k: vwiden(ra[k], rb[k]) for k in self._keys})
 
     def narrow(self, a: FrozenMap, b: FrozenMap) -> FrozenMap:
-        return FrozenMap({k: self._value.narrow(a[k], b[k]) for k in self._keys})
+        ra, rb, vnarrow = self._raw(a), self._raw(b), self._value.narrow
+        return FrozenMap({k: vnarrow(ra[k], rb[k]) for k in self._keys})
 
     def equal(self, a: FrozenMap, b: FrozenMap) -> bool:
-        return all(self._value.equal(a[k], b[k]) for k in self._keys)
+        if a is b:
+            return True
+        ra, rb, vequal = self._raw(a), self._raw(b), self._value.equal
+        return all(vequal(ra[k], rb[k]) for k in self._keys)
 
     def validate(self, a: FrozenMap) -> None:
         if not isinstance(a, Mapping):

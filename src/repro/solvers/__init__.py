@@ -16,7 +16,10 @@ Registry    Solver    Paper reference                    Function
 ``rld``     RLD       Fig. 5, Hofmann et al. local       :func:`solve_rld`
 ``slr``     SLR       Fig. 6, structured local rec.      :func:`solve_slr`
 ``slr+``    SLR+      Section 6, side-effecting SLR      :func:`solve_slr_side`
+``slr2``    SLR2      successor paper, localized ⌴       :func:`solve_slr2`
+``slr3``    SLR3      successor paper, restarting        :func:`solve_slr3`
 ``td``      TD        [22], top-down baseline            :func:`solve_td`
+``tdr``     TDR       restarting top-down variant        :func:`solve_tdr`
 ``rr-local``  --      Section 5 local round-robin        :func:`solve_rr_local`
 ``twophase``  --      two-phase widen/narrow baseline    :func:`solve_twophase`
 ``kleene``    --      naive Kleene iteration baseline    :func:`solve_kleene`
@@ -71,6 +74,12 @@ from repro.solvers.rld import solve_rld
 from repro.solvers.rr import solve_rr
 from repro.solvers.rr_local import solve_rr_local
 from repro.solvers.slr import LocalResult, solve_slr
+from repro.solvers.slr_restart import (
+    RestartResult,
+    solve_slr2,
+    solve_slr3,
+    solve_tdr,
+)
 from repro.solvers.slr_side import SideEffectError, SideResult, solve_slr_side
 from repro.solvers.srr import solve_srr
 from repro.solvers.stats import (
@@ -130,6 +139,10 @@ __all__ = [
     "SideEffectError",
     "SideResult",
     "solve_slr_side",
+    "RestartResult",
+    "solve_slr2",
+    "solve_slr3",
+    "solve_tdr",
     "solve_srr",
     "Budget",
     "DivergenceError",

@@ -266,6 +266,62 @@ class SolverEngine:
         self.bus.emit_destabilize(x, work)
         return work
 
+    def restart_region(self, x: Hashable, queue=None) -> set:
+        """Restarting-solver primitive: discard the region over-widened by ``x``.
+
+        On a downward reversal at a widening point ``x``, every unknown
+        that (transitively) read ``x`` was computed against the larger,
+        over-widened value and may hold a finite-but-too-large bound that
+        plain narrowing can never improve.  This primitive computes the
+        dependent region -- the transitive closure of ``x`` under the
+        recorded ``infl`` edges plus any SLR+ contribution edges
+        registered in ``aux``, i.e. exactly the incremental layer's
+        destabilisation closure
+        (:func:`repro.incremental.warmstart.influence_closure`) -- and
+
+        * resets every member except ``x`` itself to its initial value
+          (``x`` keeps the freshly narrowed value that triggered the
+          restart),
+        * bumps the reset members' versions so memoized readers re-read,
+        * clears their direction history (it described discarded values),
+        * drops stale contributions whose origin lies in the region
+          (their reset targets re-join them from scratch; ``x``'s own
+          contributions are current -- they were recorded by the
+          evaluation that produced the reversal -- and are kept),
+        * drops stability and, when ``queue`` is given, enqueues the
+          region.
+
+        Soundness mirrors ``reset='destabilized'`` warm starts: the
+        transitive closure guarantees every reader of a reset unknown is
+        itself reset, so no retained value was computed from a discarded
+        one.
+
+        :returns: the restarted region (including ``x``).
+        """
+        # Deferred import: repro.incremental imports the solver package,
+        # so the engine must not import it at module level.
+        from repro.incremental.warmstart import influence_closure
+
+        contribs = self.aux.get("contribs")
+        region = influence_closure(
+            {x}, self.infl, contribs if contribs is not None else ()
+        )
+        for y in region:
+            if y != x:
+                self.sigma[y] = self.system.init(y)
+                self.versions[y] = self.versions.get(y, 0) + 1
+                self._direction.pop(y, None)
+            if queue is not None:
+                queue.add(y)
+        if contribs is not None:
+            contributors = self.aux.get("contributors", {})
+            for pair in [p for p in contribs if p[0] in region and p[0] != x]:
+                del contribs[pair]
+                contributors.get(pair[1], set()).discard(pair[0])
+        self.stable.difference_update(region)
+        self.bus.emit_restart(x, region)
+        return region
+
     # ----------------------------------------------------------------- #
     # Shared local-solver lookup closures.                              #
     # ----------------------------------------------------------------- #

@@ -4,8 +4,8 @@ Every solver in this package drives its iteration through a
 :class:`~repro.solvers.engine.core.SolverEngine`, and the engine reports
 what it does through an :class:`EventBus`.  Observers subscribe to the
 hooks ``on_start``, ``on_eval``, ``on_update``, ``on_destabilize``,
-``on_queue`` and ``on_done`` (plus ``on_memo`` for the memoization
-cache) -- so tracing, timing, per-phase counters, watchdogs and
+``on_restart``, ``on_queue`` and ``on_done`` (plus ``on_memo`` for the
+memoization cache) -- so tracing, timing, per-phase counters, watchdogs and
 divergence diagnostics are pluggable instead of being hard-coded into
 every solver loop.
 
@@ -47,6 +47,15 @@ class SolverObserver:
     def on_destabilize(self, x: Hashable, work: Iterable[Hashable]) -> None:
         """A change of ``x`` destabilised the unknowns in ``work``."""
 
+    def on_restart(self, x: Hashable, region: Iterable[Hashable]) -> None:
+        """A downward reversal at widening point ``x`` restarted ``region``.
+
+        The restarting solvers (SLR3, TDR) discard the over-widened
+        values of every unknown in ``region`` and destabilise them; the
+        region is the dependent influence closure of ``x``, computed the
+        same way as the incremental layer's destabilisation closures.
+        """
+
     def on_queue(self, size: int) -> None:
         """The pending queue/worklist grew to ``size`` elements."""
 
@@ -73,6 +82,7 @@ class EventBus:
         "on_eval",
         "on_update",
         "on_destabilize",
+        "on_restart",
         "on_queue",
         "on_memo",
         "on_done",
@@ -119,6 +129,10 @@ class EventBus:
         for hook in self._listeners["on_destabilize"]:
             hook(x, work)
 
+    def emit_restart(self, x, region) -> None:
+        for hook in self._listeners["on_restart"]:
+            hook(x, region)
+
     def emit_queue(self, size: int) -> None:
         for hook in self._listeners["on_queue"]:
             hook(size)
@@ -143,6 +157,9 @@ class StatsObserver(SolverObserver):
 
     def on_update(self, x, old, new) -> None:
         self.stats.count_update()
+
+    def on_restart(self, x, region) -> None:
+        self.stats.restarts += 1
 
     def on_queue(self, size: int) -> None:
         self.stats.observe_queue(size)
@@ -183,6 +200,12 @@ class RecordingObserver(SolverObserver):
         if self._wants("destabilize"):
             self.events.append(
                 ("destabilize", x, tuple(sorted(work, key=repr)))
+            )
+
+    def on_restart(self, x, region) -> None:
+        if self._wants("restart"):
+            self.events.append(
+                ("restart", x, tuple(sorted(region, key=repr)))
             )
 
     def on_queue(self, size: int) -> None:

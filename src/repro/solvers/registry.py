@@ -19,6 +19,7 @@ genericity in the paper's sense, or memoization support, and raises
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -58,6 +59,11 @@ class SolverSpec:
     #: Whether the solver supports the engine's RHS memoization cache
     #: (requires atomic evaluations and a side-effect-free system).
     memoizable: bool = False
+    #: Whether the solver *restarts*: on a downward reversal at a
+    #: widening point it discards and destabilizes the dependent
+    #: over-widened region (SLR3, TDR).  Restarting solvers report fired
+    #: restarts in ``stats.restarts``.
+    restarting: bool = False
     #: Whether the solver consumes a linear ``order`` of the unknowns.
     takes_order: bool = False
     #: Whether the solver can run under the supervision layer
@@ -105,6 +111,7 @@ def register_solver(
     takes_op: bool = True,
     generic: bool = True,
     memoizable: bool = False,
+    restarting: bool = False,
     takes_order: bool = False,
     supervisable: bool = True,
     aliases: Tuple[str, ...] = (),
@@ -124,6 +131,7 @@ def register_solver(
             takes_op=takes_op,
             generic=generic,
             memoizable=memoizable,
+            restarting=restarting,
             takes_order=takes_order,
             supervisable=supervisable,
             aliases=tuple(_normalize(a) for a in aliases),
@@ -169,6 +177,30 @@ def register_warm_start(name: str, fn: Callable) -> None:
     _WARM[_normalize(name)] = fn
 
 
+def _suggest(name: str, predicate: Callable[[SolverSpec], bool]) -> str:
+    """A ``"; nearest supported alternative: ..."`` suffix for errors.
+
+    Ranks the solvers satisfying ``predicate`` by name similarity to the
+    requested ``name`` (so ``slr`` without side effects suggests
+    ``slr+`` before ``rld``); empty when nothing qualifies.
+    """
+    candidates = [s.name for s in all_specs() if predicate(s)]
+    if not candidates:
+        return ""
+    ranked = sorted(
+        candidates,
+        key=lambda n: (
+            -difflib.SequenceMatcher(None, _normalize(name), n).ratio(),
+            n,
+        ),
+    )
+    suffix = f"; nearest supported alternative: {ranked[0]!r}"
+    if len(ranked) > 1:
+        others = ", ".join(repr(n) for n in ranked[1:4])
+        suffix += f" (also: {others})"
+    return suffix
+
+
 def get_warm_start(name: str) -> Callable:
     """The warm-start strategy of the named solver.
 
@@ -181,6 +213,7 @@ def get_warm_start(name: str) -> Callable:
     if fn is None:
         raise SolverCapabilityError(
             f"solver {spec.name!r} does not support warm starts"
+            + _suggest(spec.name, lambda s: s.supports_warm_start)
         )
     return fn
 
@@ -222,31 +255,39 @@ def get_solver(
         raise SolverCapabilityError(
             f"solver {spec.name!r} is {spec.scope}, but a {scope} solver "
             f"is required"
+            + _suggest(spec.name, lambda s: s.scope == scope)
         )
     if side_effecting is not None and spec.side_effecting != side_effecting:
         detail = "does not support" if side_effecting else "requires"
         raise SolverCapabilityError(
             f"solver {spec.name!r} {detail} side-effecting systems"
+            + _suggest(
+                spec.name, lambda s: s.side_effecting == side_effecting
+            )
         )
     if generic is not None and spec.generic != generic:
         raise SolverCapabilityError(
             f"solver {spec.name!r} is "
             f"{'not ' if generic else ''}a generic solver"
+            + _suggest(spec.name, lambda s: s.generic == generic)
         )
     if memoize and not spec.memoizable:
         raise SolverCapabilityError(
             f"solver {spec.name!r} does not support RHS memoization "
             f"(it needs atomic, side-effect-free evaluations)"
+            + _suggest(spec.name, lambda s: s.memoizable)
         )
     if supervisable and not spec.supervisable:
         raise SolverCapabilityError(
             f"solver {spec.name!r} cannot run under supervision "
             f"(it must accept observers and evaluate through the engine)"
+            + _suggest(spec.name, lambda s: s.supervisable)
         )
     if takes_op and not spec.takes_op:
         raise SolverCapabilityError(
             f"solver {spec.name!r} fixes its update operator internally "
             f"and cannot run a combine strategy"
+            + _suggest(spec.name, lambda s: s.takes_op)
         )
     return spec
 
@@ -293,6 +334,7 @@ def capability_listing() -> List[dict]:
             "takes_op": spec.takes_op,
             "generic": spec.generic,
             "memoizable": spec.memoizable,
+            "restarting": spec.restarting,
             "takes_order": spec.takes_order,
             "supports_warm_start": spec.supports_warm_start,
             "supervisable": spec.supervisable,

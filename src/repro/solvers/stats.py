@@ -64,6 +64,11 @@ class SolverStats:
     #: counter per job so regressions in solver behaviour show up as
     #: corpus-level drift.
     direction_switches: int = 0
+    #: Region restarts performed by the restarting solvers (SLR3, TDR):
+    #: each counts one downward reversal at a widening point whose
+    #: dependent over-widened region was discarded and destabilised.
+    #: Always 0 for non-restarting solvers.
+    restarts: int = 0
     #: Per-unknown evaluation counts.
     per_unknown: Dict[Hashable, int] = field(default_factory=dict)
     #: Largest size reached by the worklist / queue (where applicable).

@@ -266,6 +266,10 @@ def strategy_listing() -> List[dict]:
             "params": {k: v for k, v in info.params},
             "idempotent": info.idempotent,
             "solve_ready": info.solve_ready,
+            # Safe to iterate under a restarting solver (slr3/tdr): a
+            # restarted region re-enters the operator cold, which only a
+            # solve-ready combine guarantees to terminate from.
+            "restart_safe": info.kind == "combine" and info.solve_ready,
             "needs_thresholds": info.needs_thresholds,
             "needs_cfg": info.needs_cfg,
             "paper_ref": info.paper_ref,

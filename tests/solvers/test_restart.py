@@ -1,0 +1,339 @@
+"""Tests for the restarting/localized solver family: SLR2, SLR3, TDR.
+
+Covers the localization contract (⌴ only at dynamically detected
+widening points), the SLR3 restart rule (golden restart counts on the
+two-loop program), the TDR baseline, the registry capability flags with
+nearest-alternative error messages, warm starts, and the corpus pin:
+the restart family must strictly improve on plain SLR+ somewhere --
+``slr2`` on evaluation count, ``slr3`` on precision.
+
+The property suite asserts, over seeded random monotone systems and
+over every registered numeric domain, that SLR2/SLR3 solutions are
+post-solution-verifier-clean and point-wise ⊑ the plain SLR solution.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.bench.randsys import RandomSystemConfig, random_monotone_system
+from repro.eqs import DictSystem
+from repro.eqs.side import DictSideSystem, plain_as_side
+from repro.incremental import capture, check_post_solution, warm_solve
+from repro.lattices import INF, Interval, IntervalLattice, NatInf
+from repro.lattices.interval import const
+from repro.solvers import (
+    RestartResult,
+    WarrowCombine,
+    solve_slr,
+    solve_slr2,
+    solve_slr3,
+    solve_tdr,
+)
+from repro.solvers.registry import (
+    SolverCapabilityError,
+    capability_listing,
+    get_solver,
+    get_warm_start,
+)
+from repro.solvers.slr_side import solve_slr_side
+
+nat = NatInf()
+iv = IntervalLattice()
+
+
+def example1_side() -> DictSideSystem:
+    """Paper Example 1 (x1 = x2; x2 = x3 + 1; x3 = x1) as a side system."""
+    return DictSideSystem(
+        nat,
+        {
+            "x1": plain_as_side(lambda get: get("x2")),
+            "x2": plain_as_side(
+                lambda get: INF if get("x3") == INF else get("x3") + 1
+            ),
+            "x3": plain_as_side(lambda get: get("x1")),
+        },
+    )
+
+
+#: The two sequential loops whose first fixpoint over-widens the second:
+#: the program the restart goldens below pin.
+TWO_LOOP = """
+int main() {
+    int i = 0;
+    while (i < 10) { i = i + 1; }
+    int j = 0;
+    while (j < i) { j = j + 1; }
+    return j;
+}
+"""
+
+
+def analyze_two_loop(solver: str, domain_name: str = "interval"):
+    from repro.analysis import analyze_program
+    from repro.batch.jobs import build_domain, build_policy
+    from repro.lang import compile_program
+
+    domain = build_domain(domain_name, ())
+    return analyze_program(
+        compile_program(TWO_LOOP),
+        domain,
+        policy=build_policy("insensitive", domain),
+        op_spec="warrow",
+        widen_delay=1,
+        solver=solver,
+        max_evals=1_000_000,
+    )
+
+
+class TestExample1:
+    """Goldens on the paper's Example 1: the cycle head is the only
+    widening point, and skipping ⌴ elsewhere saves one evaluation."""
+
+    def test_slr2_detects_exactly_the_cycle_head(self):
+        result = solve_slr2(example1_side(), WarrowCombine(nat), "x1")
+        assert isinstance(result, RestartResult)
+        assert result.wpoints == {"x1"}
+        assert result.sigma == {"x1": INF, "x2": INF, "x3": INF}
+
+    def test_slr2_is_strictly_cheaper_than_slr_plus(self):
+        plus = solve_slr_side(example1_side(), WarrowCombine(nat), "x1")
+        local = solve_slr2(example1_side(), WarrowCombine(nat), "x1")
+        assert plus.stats.evaluations == 10
+        assert local.stats.evaluations == 9
+        assert local.sigma == plus.sigma
+
+    def test_slr3_matches_slr2_without_a_reversal(self):
+        """Monotone growth to oo never reverses: no restart fires."""
+        result = solve_slr3(example1_side(), WarrowCombine(nat), "x1")
+        assert result.stats.evaluations == 9
+        assert result.stats.restarts == 0
+        assert result.restarted == set()
+
+
+class TestTwoLoopGoldens:
+    """Pinned engine-counter goldens on the two-loop program."""
+
+    def test_slr2_widening_points_and_eval_count(self):
+        result = analyze_two_loop("slr2").solver_result
+        assert len(result.wpoints) == 2  # one head per loop
+        assert result.stats.evaluations == 45
+        assert result.stats.restarts == 0
+
+    def test_slr3_restarts_both_loop_heads_exactly_once(self):
+        result = analyze_two_loop("slr3").solver_result
+        assert result.stats.restarts == 2
+        assert result.restarted == result.wpoints
+        assert result.stats.evaluations == 51
+
+    def test_slr_plus_baseline_eval_count(self):
+        """The comparison anchor: slr2 above must stay strictly below."""
+        result = analyze_two_loop("slr+").solver_result
+        assert result.stats.evaluations == 49
+        assert result.stats.restarts == 0
+
+    def test_all_three_agree_on_the_two_loop_solution(self):
+        from repro.analysis.compare import compare_results
+
+        base = analyze_two_loop("slr+")
+        for solver in ("slr2", "slr3"):
+            cmp_ = compare_results(analyze_two_loop(solver), base)
+            assert cmp_.worse == 0
+            assert cmp_.incomparable == 0
+
+
+class TestTDR:
+    def test_restart_recovers_the_narrowed_bound(self):
+        """y = (y+1) ⊓ [0,10] widens to [0,+oo], reverses to [0,10]; the
+        reader z is computed against the garbage and must be restarted."""
+
+        def step(get):
+            y = get("y")
+            if y == iv.bottom:
+                return const(0)
+            grown = iv.join(const(0), Interval(y.lo, y.hi + 1))
+            return iv.meet(grown, Interval(0, 10))
+
+        system = DictSystem(
+            iv,
+            {
+                "y": (step, ["y"]),
+                "z": ((lambda get: get("y")), ["y"]),
+            },
+        )
+        result = solve_tdr(system, WarrowCombine(iv), "z")
+        assert result.sigma["y"] == Interval(0, 10)
+        assert result.sigma["z"] == Interval(0, 10)
+        assert result.stats.restarts == 1
+        assert result.stats.evaluations == 6
+
+    def test_tdr_is_a_pure_system_solver(self):
+        spec = get_solver("tdr")
+        assert spec.side_effecting is False
+        assert spec.generic is False
+        assert spec.restarting is True
+
+
+class TestRegistry:
+    def test_restarting_flags(self):
+        flags = {row["name"]: row["restarting"] for row in capability_listing()}
+        assert flags["slr3"] is True
+        assert flags["tdr"] is True
+        assert flags["slr2"] is False
+        assert flags["slr+"] is False
+
+    def test_aliases_resolve(self):
+        assert get_solver("slr-localized").name == "slr2"
+        assert get_solver("slr-restart").name == "slr3"
+        assert get_solver("td-restart").name == "tdr"
+
+    def test_capability_error_names_nearest_alternative(self):
+        with pytest.raises(SolverCapabilityError) as err:
+            get_solver("tdr", generic=True)
+        message = str(err.value)
+        assert "nearest supported alternative" in message
+
+    def test_warm_start_error_names_nearest_alternative(self):
+        with pytest.raises(SolverCapabilityError) as err:
+            get_warm_start("tdr")
+        message = str(err.value)
+        assert "does not support warm starts" in message
+        assert "nearest supported alternative" in message
+
+    def test_slr2_and_slr3_register_warm_starts(self):
+        assert callable(get_warm_start("slr2"))
+        assert callable(get_warm_start("slr3"))
+
+    def test_strategy_listing_reports_restart_safety(self):
+        from repro.strategies import strategy_listing
+
+        safety = {row["name"]: row["restart_safe"] for row in strategy_listing()}
+        assert safety["warrow"] is True
+        assert safety["widen"] is True
+        assert safety["twophase"] is False  # phased schedule, not a combine
+        assert safety["override"] is False  # not solve-ready
+
+
+class TestWarmStart:
+    def test_noop_warm_start_reuses_the_cold_solution(self):
+        cold = solve_slr3(example1_side(), WarrowCombine(nat), "x1")
+        state = capture(cold, "slr3")
+        assert state.wpoints == cold.wpoints
+        warm = warm_solve(example1_side(), WarrowCombine(nat), state, [], "x1")
+        assert warm.sigma == cold.sigma
+        assert warm.stats.evaluations < cold.stats.evaluations
+
+    def test_dirty_warm_start_stays_verifier_clean(self):
+        cold = solve_slr2(example1_side(), WarrowCombine(nat), "x1")
+        state = capture(cold, "slr2")
+        warm = warm_solve(
+            example1_side(), WarrowCombine(nat), state, ["x2"], "x1"
+        )
+        assert warm.sigma == cold.sigma
+        assert check_post_solution(example1_side(), warm.sigma) == []
+
+
+configs = st.builds(
+    RandomSystemConfig,
+    size=st.integers(min_value=1, max_value=12),
+    max_deps=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+def as_side(system: DictSystem) -> DictSideSystem:
+    return DictSideSystem(
+        nat, {x: plain_as_side(system.rhs(x)) for x in system.unknowns}
+    )
+
+
+@given(configs, st.sampled_from(["slr2", "slr3"]))
+@settings(max_examples=60, deadline=None)
+def test_localized_solvers_are_clean_and_below_slr(config, solver_name):
+    """SLR2/SLR3 verifier-clean and point-wise ⊑ the plain SLR result."""
+    system = random_monotone_system(config)
+    base = solve_slr(system, WarrowCombine(nat), "x0", max_evals=200_000)
+    solver = solve_slr2 if solver_name == "slr2" else solve_slr3
+    result = solver(as_side(system), WarrowCombine(nat), "x0", max_evals=200_000)
+    assert check_post_solution(as_side(system), result.sigma) == []
+    for x, value in result.sigma.items():
+        if x in base.sigma:
+            assert nat.leq(value, base.sigma[x]), (
+                f"{x}: {value!r} above the SLR value {base.sigma[x]!r}"
+            )
+
+
+@pytest.mark.parametrize(
+    "domain_name", ["interval", "interval-congruence", "sign", "congruence"]
+)
+@pytest.mark.parametrize("solver", ["slr2", "slr3"])
+def test_every_registered_domain_is_clean_and_below_slr(domain_name, solver):
+    """The same contract end-to-end on every registered numeric domain."""
+    from repro.analysis.compare import compare_results
+    from repro.analysis.inter import InterAnalysis
+    from repro.batch.jobs import build_domain, build_policy
+    from repro.lang import compile_program
+
+    base = analyze_two_loop("slr+", domain_name)
+    result = analyze_two_loop(solver, domain_name)
+    cmp_ = compare_results(result, base)
+    assert cmp_.worse == 0, f"{solver} lost precision vs slr+ on {domain_name}"
+    assert cmp_.incomparable == 0
+    domain = build_domain(domain_name, ())
+    analysis = InterAnalysis(
+        compile_program(TWO_LOOP), domain, build_policy("insensitive", domain)
+    )
+    assert check_post_solution(
+        analysis.system(), result.solver_result.sigma
+    ) == []
+
+
+class TestCorpusPin:
+    """The acceptance pin: the ``restart`` corpus family strictly
+    improves over plain SLR+ -- slr2 on evaluations, slr3 on precision
+    (the over-widened ``fac`` accumulator only restarting repairs)."""
+
+    @pytest.fixture(scope="class")
+    def fac_source(self):
+        from repro.batch.corpus import corpus_jobs
+
+        jobs = [
+            job
+            for job in corpus_jobs(["restart"], quick=True)
+            if job.program == "fac"
+        ]
+        assert jobs, "the quick restart family must include fac"
+        assert {job.solver for job in jobs} == {"slr2", "slr3"}
+        return jobs[0].source
+
+    def run(self, source: str, solver: str):
+        from repro.analysis import analyze_program
+        from repro.batch.jobs import build_domain, build_policy
+        from repro.lang import compile_program
+
+        domain = build_domain("interval", ())
+        return analyze_program(
+            compile_program(source),
+            domain,
+            policy=build_policy("insensitive", domain),
+            op_spec="warrow",
+            widen_delay=1,
+            solver=solver,
+            max_evals=5_000_000,
+        )
+
+    def test_slr2_strictly_fewer_evaluations_than_slr_plus(self, fac_source):
+        plus = self.run(fac_source, "slr+").solver_result
+        local = self.run(fac_source, "slr2").solver_result
+        assert local.stats.evaluations < plus.stats.evaluations
+
+    def test_slr3_strictly_more_precise_than_slr_plus(self, fac_source):
+        from repro.analysis.compare import compare_results
+
+        base = self.run(fac_source, "slr+")
+        restarting = self.run(fac_source, "slr3")
+        cmp_ = compare_results(restarting, base)
+        assert cmp_.better > 0
+        assert cmp_.worse == 0

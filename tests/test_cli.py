@@ -176,7 +176,7 @@ class TestSolvers:
             if ":" not in line or line.startswith(" "):
                 continue
             name = line.split(":", 1)[0].split(" ")[0]
-            if name in ("sw", "slr", "slr+"):
+            if name in ("sw", "slr", "slr+", "slr2", "slr3"):
                 assert "supports-warm-start" in line, line
             else:
                 assert "supports-warm-start" not in line, line
