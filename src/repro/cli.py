@@ -716,6 +716,39 @@ def cmd_serve(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.shards:
+        if args.socket is None:
+            print(
+                "error: --shards needs --socket PATH (the router's front "
+                "socket; shards get sockets under the fleet directory)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.supervise:
+            print(
+                "error: --shards already supervises every shard; drop "
+                "--supervise",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.fleet import FleetConfig, serve_fleet
+
+        return serve_fleet(
+            FleetConfig(
+                socket_path=args.socket,
+                shards=args.shards,
+                workers=args.workers,
+                run_dir=args.fleet_dir,
+                shared_dir=args.shared_dir,
+                health_interval=args.health_interval,
+                max_restarts=args.max_restarts,
+                default_deadline=args.deadline,
+                cache_entries=args.cache_entries,
+                queue_high=args.queue_high,
+                read_timeout=args.read_timeout,
+                log_path=args.log_file,
+            )
+        )
     if args.supervise:
         from repro.service.supervisor import RestartSupervisor, serve_command
 
@@ -740,6 +773,7 @@ def cmd_serve(args) -> int:
         shed_retry_ms=args.shed_retry_ms,
         read_timeout=args.read_timeout,
         journal_path=args.journal_file,
+        shared_dir=args.shared_dir,
     )
     daemon = AnalysisDaemon(config)
 
@@ -754,6 +788,11 @@ def cmd_serve(args) -> int:
         address = daemon.address
         if address[0] == "unix":
             print(f"listening on unix socket {address[1]}", flush=True)
+            if daemon.stale_socket_removed:
+                print(
+                    "removed a stale socket left by a crashed predecessor",
+                    flush=True,
+                )
         else:
             print(f"listening on {address[1]}:{address[2]}", flush=True)
         if daemon.cache_loaded:
@@ -853,6 +892,9 @@ def cmd_service_status(args) -> int:
     if args.json:
         print(json.dumps(reply, indent=2, sort_keys=True))
         return 0
+    if reply.get("role") == "router" or "fleet" in reply:
+        _print_fleet_status(reply)
+        return 0
     requests = reply["requests"]
     cache = reply["cache"]
     print(
@@ -866,6 +908,14 @@ def cmd_service_status(args) -> int:
         f"{requests['bypass']} bypass, {requests['coalesced']} coalesced, "
         f"{requests['errors']} errors"
     )
+    shared = reply.get("shared")
+    if shared:
+        print(
+            f"shared index: {shared['entries']} entries at {shared['root']}"
+            f" -- {shared['hits']} hits, {shared['stores']} stores, "
+            f"{requests.get('shared_hit', 0)} served, "
+            f"{requests.get('shared_warm', 0)} cross-shard warm"
+        )
     print(
         f"cache: {cache['entries']}/{cache['max_entries']} entries, "
         f"{cache['hits']} hits, {cache['misses']} misses, "
@@ -892,6 +942,56 @@ def cmd_service_status(args) -> int:
     return 0
 
 
+def _print_fleet_status(reply: dict) -> None:
+    """Human rendering of a router's aggregated fleet status."""
+    fleet = reply.get("fleet", {})
+    ring = fleet.get("ring", {})
+    shared = fleet.get("shared", {})
+    requests = reply.get("requests", {})
+    router = reply.get("router", {})
+    print(
+        f"router pid {reply['pid']}, up {reply['uptime_s']:.1f}s, "
+        f"{fleet.get('healthy', 0)}/{fleet.get('shards', 0)} shards "
+        f"healthy, ring v{ring.get('version', 0)} "
+        f"({ring.get('replicas', 0)} replicas/shard)"
+        f"{', draining' if reply.get('draining') else ''}"
+    )
+    print(
+        f"requests: {requests.get('total', 0)} total -- "
+        f"{requests.get('hit', 0)} hit, {requests.get('warm', 0)} warm, "
+        f"{requests.get('miss', 0)} miss, "
+        f"{requests.get('errors', 0)} errors; router forwarded "
+        f"{router.get('forwarded', 0)}, {router.get('failovers', 0)} "
+        f"failovers, {router.get('unavailable', 0)} unavailable"
+    )
+    print(
+        f"shared index: {shared.get('hits', 0)} hits, "
+        f"{shared.get('stores', 0)} stores, "
+        f"{requests.get('shared_hit', 0)} served, "
+        f"{requests.get('shared_warm', 0)} cross-shard warm starts"
+    )
+    for row in fleet.get("per_shard", []):
+        health = "healthy" if row.get("healthy") else "DOWN"
+        counts = row.get("requests", {})
+        line = (
+            f"  {row['id']} [{health}]"
+        )
+        if row.get("pid") is not None:
+            line += (
+                f" pid {row['pid']} up {row['uptime_s']:.1f}s:"
+                f" {counts.get('total', 0)} requests,"
+                f" {counts.get('hit', 0)} hit"
+                f" ({counts.get('shared_hit', 0)} shared),"
+                f" {counts.get('warm', 0)} warm"
+                f" ({counts.get('shared_warm', 0)} shared),"
+                f" {counts.get('miss', 0)} miss,"
+                f" {row.get('in_flight', 0)} in flight"
+            )
+        else:
+            line += f" unreachable at {row.get('socket')}"
+        print(line)
+
+
 def cmd_service_shutdown(args) -> int:
     from repro.service import ServiceError
 
@@ -904,10 +1004,13 @@ def cmd_service_shutdown(args) -> int:
     except ServiceError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
-    print(
-        f"daemon drained; {reply['persisted_entries']} cache entries "
-        "persisted"
-    )
+    if reply.get("role") == "router":
+        print("fleet router drained; shard daemons drain behind it")
+    else:
+        print(
+            f"daemon drained; {reply['persisted_entries']} cache entries "
+            "persisted"
+        )
     return 0
 
 
@@ -1400,7 +1503,38 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=5,
         metavar="N",
-        help="consecutive crashes tolerated under --supervise",
+        help="consecutive crashes tolerated under --supervise (and per "
+        "shard under --shards)",
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run a sharded fleet: N supervised daemon processes behind "
+        "a consistent-hash router on --socket (0: one plain daemon)",
+    )
+    p_serve.add_argument(
+        "--shared-dir",
+        default=None,
+        metavar="DIR",
+        help="fleet shared result + warm-donor index directory (single "
+        "daemon: publish/consume it too; --shards default: "
+        "<run-dir>/shared)",
+    )
+    p_serve.add_argument(
+        "--fleet-dir",
+        default=None,
+        metavar="DIR",
+        help="fleet runtime directory for shard sockets, journals and "
+        "logs (default: <socket>.fleet)",
+    )
+    p_serve.add_argument(
+        "--health-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="router health-probe cadence against the shards",
     )
     p_serve.set_defaults(func=cmd_serve)
 

@@ -1,0 +1,49 @@
+"""Sharded analysis fleet: router, shard supervision, shared warm index.
+
+This package scales the single-process analysis service
+(:mod:`repro.service`) horizontally without changing its protocol:
+
+* :mod:`.ring` -- a consistent-hash ring placing every request's
+  content fingerprint on a shard, with bounded key movement when the
+  fleet grows or shrinks and a deterministic fallback order;
+* :mod:`.router` -- a front daemon speaking ``repro-service/1`` that
+  validates, places and forwards requests, health-checks the shards,
+  fails over around dead ones, and aggregates fleet-wide status;
+* :mod:`.manager` -- process lifecycle: spawn N ``repro serve`` shards
+  under per-shard restart supervision (each with its own crash-safe
+  journal), wait for readiness, drain gracefully;
+* :mod:`.store` -- the shared on-disk result + warm-donor index every
+  shard reads and writes, so a solve done anywhere warms edits
+  arriving anywhere else, across fleet restarts included.
+
+``repro serve --shards N`` is the front door; ``repro submit`` and
+``repro status`` work unchanged against the router.  See
+``docs/fleet.md``.
+"""
+
+from repro.fleet.manager import (
+    FleetConfig,
+    ShardManager,
+    ShardPlan,
+    build_router,
+    serve_fleet,
+    shard_plans,
+)
+from repro.fleet.ring import DEFAULT_REPLICAS, HashRing
+from repro.fleet.router import RouterConfig, RouterDaemon, ShardLink
+from repro.fleet.store import SharedStore
+
+__all__ = [
+    "DEFAULT_REPLICAS",
+    "FleetConfig",
+    "HashRing",
+    "RouterConfig",
+    "RouterDaemon",
+    "SharedStore",
+    "ShardLink",
+    "ShardManager",
+    "ShardPlan",
+    "build_router",
+    "serve_fleet",
+    "shard_plans",
+]

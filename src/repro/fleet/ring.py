@@ -1,0 +1,173 @@
+"""Consistent-hash ring: which shard owns a content key.
+
+The router places every request on a shard by hashing its
+:func:`~repro.batch.jobs.spec_fingerprint` onto a ring of virtual
+nodes.  Consistent hashing is what makes a *fleet* operable rather than
+merely parallel:
+
+* **determinism** -- the same key always lands on the same shard (for a
+  fixed membership), so single-flight coalescing, the local result
+  cache and the warm-donor locality of each shard keep working exactly
+  as they do for one daemon;
+* **bounded movement** -- adding or removing one shard of *N* remaps
+  only the keys that fall into the new (or orphaned) arcs, an expected
+  ``K/N`` of *K* keys, instead of reshuffling everything the way
+  ``hash(key) % N`` would.  Keys that move when a shard joins move
+  *onto the new shard only* -- never between surviving shards -- which
+  is the property the test suite pins;
+* **fallback order** -- walking the ring clockwise past the owner
+  yields a deterministic preference list of distinct shards, which is
+  what the router retries against when the owner is down.
+
+Virtual nodes (``replicas`` points per shard, default 64) smooth the
+arc sizes so load and movement stay near their expectations; the point
+hashes are SHA-256 based, so placement is stable across processes,
+Python versions and restarts (no ``PYTHONHASHSEED`` dependence).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, List, Sequence, Tuple
+
+#: Default virtual nodes per shard.  64 keeps the per-shard load's
+#: coefficient of variation around ``1/sqrt(64) ~= 12%`` while the ring
+#: stays tiny (a few hundred points for any realistic local fleet).
+DEFAULT_REPLICAS = 64
+
+
+def _point(label: str) -> int:
+    """A stable 64-bit ring position for a virtual-node label."""
+    return int.from_bytes(
+        hashlib.sha256(label.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """A consistent-hash ring over named shards.
+
+    :param nodes: initial shard names (order-insensitive: the ring is
+        fully determined by the membership *set* and ``replicas``).
+    :param replicas: virtual nodes per shard (at least 1).
+    """
+
+    def __init__(
+        self, nodes: Iterable[str] = (), replicas: int = DEFAULT_REPLICAS
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        self.replicas = replicas
+        #: Monotonic membership version; bumped by :meth:`add` and
+        #: :meth:`remove` so status readers can tell rings apart.
+        self.version = 0
+        self._nodes: List[str] = []
+        #: Sorted ring positions and their owning node, aligned lists.
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """Current membership, sorted (presentation order only)."""
+        return tuple(sorted(self._nodes))
+
+    # ----------------------------------------------------------------- #
+    # Membership.                                                       #
+    # ----------------------------------------------------------------- #
+
+    def add(self, node: str) -> None:
+        """Join a shard; its arcs are carved out of existing ones.
+
+        :raises ValueError: for empty names or duplicate membership.
+        """
+        if not node:
+            raise ValueError("shard name must be non-empty")
+        if node in self._nodes:
+            raise ValueError(f"shard {node!r} is already on the ring")
+        for i in range(self.replicas):
+            point = _point(f"{node}#{i}")
+            index = bisect.bisect_left(self._points, point)
+            # SHA-256 collisions between distinct labels are not a
+            # realistic concern; ties (same point, different node) would
+            # break determinism, so resolve them by owner name.
+            while (
+                index < len(self._points)
+                and self._points[index] == point
+                and self._owners[index] < node
+            ):  # pragma: no cover - astronomically unlikely
+                index += 1
+            self._points.insert(index, point)
+            self._owners.insert(index, node)
+        self._nodes.append(node)
+        self.version += 1
+
+    def remove(self, node: str) -> None:
+        """Leave the ring; the shard's arcs fall to their successors.
+
+        :raises KeyError: when the shard is not a member.
+        """
+        if node not in self._nodes:
+            raise KeyError(f"shard {node!r} is not on the ring")
+        keep = [
+            (p, o)
+            for p, o in zip(self._points, self._owners)
+            if o != node
+        ]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+        self._nodes.remove(node)
+        self.version += 1
+
+    # ----------------------------------------------------------------- #
+    # Placement.                                                        #
+    # ----------------------------------------------------------------- #
+
+    def lookup(self, key: str) -> str:
+        """The shard owning ``key`` (its clockwise successor point).
+
+        :raises LookupError: on an empty ring.
+        """
+        return self.preference(key)[0]
+
+    def preference(self, key: str) -> Tuple[str, ...]:
+        """All shards in fallback order for ``key``, owner first.
+
+        Walks the ring clockwise from the key's position and collects
+        each *distinct* shard at first encounter -- the deterministic
+        retry order for a request whose owner shard is down.
+
+        :raises LookupError: on an empty ring.
+        """
+        if not self._points:
+            raise LookupError("the ring has no shards")
+        start = bisect.bisect_right(self._points, _point(key))
+        seen = []
+        count = len(self._points)
+        for offset in range(count):
+            owner = self._owners[(start + offset) % count]
+            if owner not in seen:
+                seen.append(owner)
+                if len(seen) == len(self._nodes):
+                    break
+        return tuple(seen)
+
+    # ----------------------------------------------------------------- #
+    # Introspection.                                                    #
+    # ----------------------------------------------------------------- #
+
+    def stats(self) -> dict:
+        """Ring shape, as served by the router's ``status`` op."""
+        return {
+            "shards": len(self._nodes),
+            "replicas": self.replicas,
+            "version": self.version,
+            "points": len(self._points),
+        }

@@ -1,0 +1,577 @@
+"""The fleet's front door: a consistent-hash routing daemon.
+
+:class:`RouterDaemon` listens on one UNIX socket speaking the exact
+``repro-service/1`` NDJSON protocol and fans ``solve``/``check``
+requests out to N shard daemons -- each a stock
+:class:`~repro.service.daemon.AnalysisDaemon` on its own socket.  From
+a client's point of view the router *is* a daemon: ``ServiceClient``,
+``repro submit`` and ``repro status`` work unchanged against it.
+
+Routing and resilience:
+
+* **placement** -- the request is normalized through the same
+  validators the shards use (so malformed requests are rejected at the
+  front, before costing a forward) and its
+  :func:`~repro.batch.jobs.spec_fingerprint` is looked up on the
+  :class:`~repro.fleet.ring.HashRing`.  Identical requests always land
+  on the same shard, preserving single-flight coalescing and local
+  cache locality; distinct requests spread across the fleet;
+* **health** -- a background probe pings every shard on an interval;
+  forwarding failures mark a shard unhealthy immediately, a successful
+  probe restores it.  Unhealthy shards are skipped in preference order;
+* **failover** -- a transport failure against one shard retries the
+  next shard on the ring's preference walk (bounded by fleet size).
+  Shard *replies* are never second-guessed: ``overloaded``,
+  ``draining``, ``bad-request`` and result payloads pass through
+  verbatim, so the admission/deadline taxonomy of
+  ``docs/service-reliability.md`` survives the extra hop.  Only when
+  every shard is unreachable does the router answer an ``unavailable``
+  error of its own;
+* **status** -- ``status`` aggregates every shard's counters into a
+  fleet-wide view plus a stable ``fleet`` section (shard count,
+  per-shard health, ring version, shared-index counters); ``shutdown``
+  drains the router (shard lifecycle belongs to the
+  :class:`~repro.fleet.manager.ShardManager`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.fleet.ring import DEFAULT_REPLICAS, HashRing
+from repro.batch.jobs import spec_fingerprint
+from repro.service.protocol import (
+    PROTOCOL,
+    ProtocolError,
+    check_request_to_jobspec,
+    decode,
+    encode,
+    error_response,
+    request_operation,
+    solve_request_to_jobspec,
+)
+from repro.service.reqlog import RequestLog
+from repro.service.sockets import prepare_socket_path
+
+
+@dataclass
+class ShardLink:
+    """The router's view of one shard daemon."""
+
+    #: Stable shard name -- the ring node and the status id.
+    shard_id: str
+    #: The shard daemon's UNIX socket path.
+    socket_path: str
+    #: Health as of the last probe or forward.
+    healthy: bool = True
+    #: Requests forwarded to (and answered by) this shard.
+    forwarded: int = 0
+    #: Transport failures observed against this shard.
+    failures: int = 0
+    #: Monotonic timestamp of the last successful probe/forward.
+    last_ok: float = field(default_factory=time.monotonic)
+
+    def to_json(self) -> dict:
+        return {
+            "id": self.shard_id,
+            "socket": self.socket_path,
+            "healthy": self.healthy,
+            "forwarded": self.forwarded,
+            "failures": self.failures,
+        }
+
+
+@dataclass
+class RouterConfig:
+    """Tunables of one router instance."""
+
+    #: The front UNIX socket clients connect to.
+    socket_path: str
+    #: ``(shard_id, socket_path)`` pairs, one per shard daemon.
+    shards: Tuple[Tuple[str, str], ...] = ()
+    #: Virtual nodes per shard on the ring.
+    replicas: int = DEFAULT_REPLICAS
+    #: Per-forward connect/read deadline against a shard, seconds.
+    shard_timeout: float = 600.0
+    #: Health-probe cadence, seconds (``None`` disables the prober --
+    #: forwards still mark failures, but recovery needs traffic).
+    health_interval: Optional[float] = 2.0
+    #: Per-connection read deadline for client request lines.
+    read_timeout: Optional[float] = None
+    #: Request-log file (NDJSON); ``None`` disables logging.
+    log_path: Optional[str] = None
+
+
+class RouterDaemon:
+    """One fleet front-end over N shard daemons."""
+
+    def __init__(
+        self,
+        config: RouterConfig,
+        *,
+        log: Optional[RequestLog] = None,
+    ) -> None:
+        if not config.shards:
+            raise ValueError("a router needs at least one shard")
+        self.config = config
+        self.log = log or RequestLog(path=config.log_path)
+        self.started_at = time.time()
+        self.shards: Dict[str, ShardLink] = {
+            shard_id: ShardLink(shard_id, socket_path)
+            for shard_id, socket_path in config.shards
+        }
+        if len(self.shards) != len(config.shards):
+            raise ValueError("shard ids must be unique")
+        self.ring = HashRing(self.shards, replicas=config.replicas)
+        self.counters: Dict[str, int] = {
+            "total": 0,
+            "forwarded": 0,
+            "failovers": 0,
+            "unavailable": 0,
+            "errors": 0,
+            "health_probes": 0,
+            "stalled": 0,
+            "disconnected": 0,
+        }
+        self.stale_socket_removed = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._health_task: Optional[asyncio.Task] = None
+        self._seq = 0
+        self._draining = False
+        self._done = asyncio.Event()
+
+    # ----------------------------------------------------------------- #
+    # Lifecycle.                                                        #
+    # ----------------------------------------------------------------- #
+
+    @property
+    def address(self) -> Tuple[str, str]:
+        return ("unix", self.config.socket_path)
+
+    async def start(self) -> None:
+        self.stale_socket_removed = prepare_socket_path(
+            self.config.socket_path
+        )
+        self._server = await asyncio.start_unix_server(
+            self._handle_client, path=self.config.socket_path
+        )
+        if self.config.health_interval is not None:
+            self._health_task = asyncio.ensure_future(self._health_loop())
+
+    async def serve_until_shutdown(self) -> None:
+        await self._done.wait()
+        await self._close()
+
+    async def run(self) -> None:
+        await self.start()
+        await self.serve_until_shutdown()
+
+    def request_shutdown(self) -> None:
+        self._draining = True
+        self._done.set()
+
+    async def _close(self) -> None:
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if os.path.exists(self.config.socket_path):
+            os.unlink(self.config.socket_path)
+        self.log.close()
+
+    # ----------------------------------------------------------------- #
+    # Health.                                                           #
+    # ----------------------------------------------------------------- #
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.health_interval)
+            await self.probe_shards()
+
+    async def probe_shards(self) -> int:
+        """Ping every shard once; returns how many answered healthy."""
+        results = await asyncio.gather(
+            *(self._probe(link) for link in self.shards.values())
+        )
+        return sum(results)
+
+    async def _probe(self, link: ShardLink) -> bool:
+        self.counters["health_probes"] += 1
+        try:
+            reply = await self._roundtrip(
+                link, encode({"op": "ping"}), timeout=PROBE_TIMEOUT
+            )
+            ok = bool(decode(reply).get("ok"))
+        except (OSError, asyncio.TimeoutError, ProtocolError):
+            ok = False
+        was = link.healthy
+        link.healthy = ok
+        if ok:
+            link.last_ok = time.monotonic()
+        if was != ok:
+            self.log.log(
+                request="-",
+                op="health",
+                outcome="up" if ok else "down",
+                shard=link.shard_id,
+            )
+        return ok
+
+    # ----------------------------------------------------------------- #
+    # Connection handling (client side).                                #
+    # ----------------------------------------------------------------- #
+
+    async def _read_request_line(self, reader: asyncio.StreamReader) -> bytes:
+        if self.config.read_timeout is None:
+            return await reader.readline()
+        return await asyncio.wait_for(
+            reader.readline(), timeout=self.config.read_timeout
+        )
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await self._read_request_line(reader)
+                except asyncio.TimeoutError:
+                    self.counters["stalled"] += 1
+                    writer.write(
+                        encode(
+                            error_response(
+                                None,
+                                f"no request line within the "
+                                f"{self.config.read_timeout:g}s read "
+                                f"deadline",
+                                code="timeout",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(
+                        encode(error_response(None, "request line too long"))
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.endswith(b"\n"):
+                    self.counters["disconnected"] += 1
+                    break
+                if not line.strip():
+                    continue
+                response, close = await self._dispatch(line)
+                try:
+                    writer.write(response)
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError):
+                    self.counters["disconnected"] += 1
+                    break
+                if close:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):
+                pass
+
+    # ----------------------------------------------------------------- #
+    # Dispatch.                                                         #
+    # ----------------------------------------------------------------- #
+
+    async def _dispatch(self, line: bytes) -> Tuple[bytes, bool]:
+        """Route one request line; returns (response bytes, close?)."""
+        self._seq += 1
+        rid = f"f{self._seq:06d}"
+        self.counters["total"] += 1
+        try:
+            message = decode(line)
+            op = request_operation(message)
+        except ProtocolError as err:
+            self.counters["errors"] += 1
+            self.log.log(request=rid, op="?", outcome="error", error=str(err))
+            return encode(error_response(None, str(err), request=rid)), False
+
+        if op == "ping":
+            return encode(
+                {
+                    "ok": True,
+                    "op": "ping",
+                    "protocol": PROTOCOL,
+                    "request": rid,
+                    "role": "router",
+                    "shards": len(self.shards),
+                }
+            ), False
+        if op == "status":
+            return encode(await self._status(rid)), False
+        if op == "shutdown":
+            self._draining = True
+            self.log.log(request=rid, op="shutdown", outcome="drained")
+            self._done.set()
+            return encode(
+                {
+                    "ok": True,
+                    "op": "shutdown",
+                    "request": rid,
+                    "role": "router",
+                    "drained": True,
+                }
+            ), True
+        if op == "solvers":
+            # Any shard's catalogue is every shard's catalogue.
+            return await self._forward_any(message, rid, op)
+
+        # solve / check: place on the ring, forward, fail over.
+        if self._draining:
+            self.counters["errors"] += 1
+            return encode(
+                error_response(
+                    op,
+                    "router is draining; resubmit elsewhere",
+                    code="draining",
+                    request=rid,
+                )
+            ), False
+        try:
+            normalize = (
+                check_request_to_jobspec
+                if op == "check"
+                else solve_request_to_jobspec
+            )
+            spec, _ = normalize(message)
+            key = spec_fingerprint(spec)
+        except ProtocolError as err:
+            self.counters["errors"] += 1
+            self.log.log(request=rid, op=op, outcome="error", error=str(err))
+            return encode(error_response(op, str(err), request=rid)), False
+        return await self._forward(message, rid, op, key), False
+
+    # ----------------------------------------------------------------- #
+    # Forwarding (shard side).                                          #
+    # ----------------------------------------------------------------- #
+
+    async def _roundtrip(
+        self, link: ShardLink, payload: bytes, timeout: float
+    ) -> bytes:
+        """One request/response line against a shard, bounded."""
+
+        async def exchange() -> bytes:
+            reader, writer = await asyncio.open_unix_connection(
+                link.socket_path
+            )
+            try:
+                writer.write(payload)
+                await writer.drain()
+                reply = await reader.readline()
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+            if not reply.endswith(b"\n"):
+                raise ConnectionResetError("shard closed mid-response")
+            return reply
+
+        return await asyncio.wait_for(exchange(), timeout=timeout)
+
+    def _ranked(self, key: Optional[str]) -> List[ShardLink]:
+        """Shards to try for ``key``: healthy in preference order, then
+        unhealthy ones as a last resort (a probe may be stale)."""
+        order = (
+            self.ring.preference(key)
+            if key is not None
+            else tuple(self.shards)
+        )
+        links = [self.shards[s] for s in order]
+        return [x for x in links if x.healthy] + [
+            x for x in links if not x.healthy
+        ]
+
+    async def _forward(
+        self, message: dict, rid: str, op: str, key: str
+    ) -> bytes:
+        payload = encode(message)
+        owner = self.ring.lookup(key)
+        attempts = 0
+        for link in self._ranked(key):
+            attempts += 1
+            try:
+                reply = await self._roundtrip(
+                    link, payload, timeout=self.config.shard_timeout
+                )
+            except (OSError, asyncio.TimeoutError) as err:
+                link.failures += 1
+                link.healthy = False
+                self.counters["failovers"] += 1
+                self.log.log(
+                    request=rid,
+                    op=op,
+                    outcome="failover",
+                    shard=link.shard_id,
+                    error=f"{type(err).__name__}: {err}",
+                )
+                continue
+            link.forwarded += 1
+            link.healthy = True
+            link.last_ok = time.monotonic()
+            self.counters["forwarded"] += 1
+            self.log.log(
+                request=rid,
+                op=op,
+                outcome="forwarded",
+                shard=link.shard_id,
+                owner=owner,
+                key=key,
+                attempts=attempts,
+            )
+            return reply
+        self.counters["unavailable"] += 1
+        self.log.log(
+            request=rid, op=op, outcome="unavailable", key=key,
+            attempts=attempts,
+        )
+        return encode(
+            error_response(
+                op,
+                f"no shard reachable for this request "
+                f"({len(self.shards)} tried); retry once the fleet "
+                f"recovers",
+                code="unavailable",
+                retry_after_ms=500,
+                request=rid,
+            )
+        )
+
+    async def _forward_any(
+        self, message: dict, rid: str, op: str
+    ) -> Tuple[bytes, bool]:
+        payload = encode(message)
+        for link in self._ranked(None):
+            try:
+                reply = await self._roundtrip(
+                    link, payload, timeout=self.config.shard_timeout
+                )
+            except (OSError, asyncio.TimeoutError):
+                link.failures += 1
+                link.healthy = False
+                continue
+            link.forwarded += 1
+            self.counters["forwarded"] += 1
+            return reply, False
+        self.counters["unavailable"] += 1
+        return encode(
+            error_response(
+                op,
+                "no shard reachable",
+                code="unavailable",
+                retry_after_ms=500,
+                request=rid,
+            )
+        ), False
+
+    # ----------------------------------------------------------------- #
+    # Status aggregation.                                               #
+    # ----------------------------------------------------------------- #
+
+    async def _shard_status(self, link: ShardLink) -> Optional[dict]:
+        try:
+            reply = decode(
+                await self._roundtrip(
+                    link, encode({"op": "status"}), timeout=STATUS_TIMEOUT
+                )
+            )
+        except (OSError, asyncio.TimeoutError, ProtocolError):
+            return None
+        if not reply.get("ok"):
+            return None
+        return reply
+
+    async def _status(self, rid: str) -> dict:
+        """The aggregated fleet status document.
+
+        The ``fleet`` section is a stable schema (see ``docs/fleet.md``):
+        shard count, per-shard health + counters, ring version, and the
+        summed shared-index counters.  Top-level ``requests`` sums the
+        shards' counters so existing status consumers keep working
+        against a router unmodified.
+        """
+        statuses = await asyncio.gather(
+            *(self._shard_status(link) for link in self.shards.values())
+        )
+        requests_total: Dict[str, int] = {}
+        shared_total: Dict[str, int] = {}
+        per_shard = []
+        in_flight = 0
+        for link, status in zip(self.shards.values(), statuses):
+            row = link.to_json()
+            if status is not None:
+                for name, value in status.get("requests", {}).items():
+                    if isinstance(value, int):
+                        requests_total[name] = (
+                            requests_total.get(name, 0) + value
+                        )
+                shared = status.get("shared") or {}
+                for name, value in shared.items():
+                    if isinstance(value, int):
+                        shared_total[name] = shared_total.get(name, 0) + value
+                in_flight += int(status.get("in_flight", 0))
+                row.update(
+                    pid=status.get("pid"),
+                    uptime_s=status.get("uptime_s"),
+                    in_flight=status.get("in_flight", 0),
+                    requests=status.get("requests", {}),
+                    cache=status.get("cache", {}),
+                    shared=shared,
+                )
+            else:
+                row.update(pid=None, uptime_s=None, in_flight=0)
+                row["healthy"] = False
+            per_shard.append(row)
+        healthy = sum(1 for row in per_shard if row["healthy"])
+        return {
+            "ok": True,
+            "op": "status",
+            "request": rid,
+            "protocol": PROTOCOL,
+            "role": "router",
+            "pid": os.getpid(),
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "draining": self._draining,
+            "in_flight": in_flight,
+            "requests": requests_total,
+            "router": dict(self.counters),
+            "fleet": {
+                "shards": len(self.shards),
+                "healthy": healthy,
+                "ring": self.ring.stats(),
+                "shared": shared_total,
+                "per_shard": per_shard,
+            },
+        }
+
+
+#: Deadline for a liveness ping against one shard, seconds.
+PROBE_TIMEOUT = 2.0
+#: Deadline for one shard's status reply during aggregation, seconds.
+STATUS_TIMEOUT = 5.0

@@ -47,6 +47,11 @@ from repro.service.protocol import (
     solve_request_to_jobspec,
 )
 from repro.service.reqlog import RequestLog
+from repro.service.sockets import (
+    SocketInUseError,
+    prepare_socket_path,
+    socket_is_live,
+)
 
 __all__ = [
     "AdmissionController",
@@ -73,10 +78,13 @@ __all__ = [
     "ServiceOverloadedError",
     "ServiceTimeout",
     "ServiceTransportError",
+    "SocketInUseError",
     "check_request_to_jobspec",
     "decode",
     "encode",
     "execute_service_job",
+    "prepare_socket_path",
     "should_warm",
+    "socket_is_live",
     "solve_request_to_jobspec",
 ]

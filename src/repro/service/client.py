@@ -95,7 +95,9 @@ class ServiceTimeout(ServiceTransportError):
 
 
 class ServiceOverloadedError(ServiceError):
-    """The daemon shed the request (``overloaded`` or ``draining``)."""
+    """The request was shed (``overloaded``/``draining``) or, against a
+    fleet router, no shard was reachable (``unavailable``) -- all
+    retryable after the reply's ``retry_after_ms`` hint."""
 
     retryable = True
 
@@ -352,7 +354,7 @@ class ServiceClient:
         reply = decode(self._read_line())
         if not reply.get("ok"):
             error = reply.get("error", "daemon reported an error")
-            if reply.get("code") in ("overloaded", "draining"):
+            if reply.get("code") in ("overloaded", "draining", "unavailable"):
                 raise ServiceOverloadedError(error, reply)
             raise ServiceError(error, reply)
         return reply

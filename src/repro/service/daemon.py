@@ -77,6 +77,7 @@ from repro.service.protocol import (
     solve_request_to_jobspec,
 )
 from repro.service.reqlog import RequestLog
+from repro.service.sockets import prepare_socket_path
 from repro.solvers.registry import capability_listing
 
 #: Result statuses worth caching: complete, independently verified
@@ -126,6 +127,14 @@ class ServiceConfig:
     journal_path: Optional[str] = None
     #: Re-execute journaled requests a previous process died holding.
     requeue_recovered: bool = True
+    #: Fleet shared-store directory (:class:`repro.fleet.store.
+    #: SharedStore`); ``None`` keeps the daemon standalone.  When set,
+    #: verified results (and their warm snapshots) are published
+    #: fleet-wide, exact repeats missed locally are answered from the
+    #: store, and sibling shards' snapshots serve as warm donors.
+    shared_dir: Optional[str] = None
+    #: Shared-store entry bound (pruned oldest-first beyond it).
+    shared_max_entries: int = 4096
 
 
 class AnalysisDaemon:
@@ -162,7 +171,19 @@ class AnalysisDaemon:
             "disconnected": 0,
             "deadline": 0,
             "requeued": 0,
+            "shared_hit": 0,
+            "shared_warm": 0,
         }
+        self.shared = None
+        if self.config.shared_dir is not None:
+            # Deferred import: repro.fleet depends on repro.service, so
+            # the service package must not import it at module time.
+            from repro.fleet.store import SharedStore
+
+            self.shared = SharedStore(
+                self.config.shared_dir,
+                max_entries=self.config.shared_max_entries,
+            )
         self.admission = AdmissionController(
             queue_high=self.config.queue_high,
             queue_low=self.config.queue_low,
@@ -185,6 +206,8 @@ class AnalysisDaemon:
         #: spec fingerprint -> in-flight execution (single-flight).
         self._singleflight: Dict[str, asyncio.Future] = {}
         self.cache_loaded = 0
+        #: Whether :meth:`start` removed a stale predecessor's socket.
+        self.stale_socket_removed = False
 
     # ----------------------------------------------------------------- #
     # Lifecycle.                                                        #
@@ -205,8 +228,10 @@ class AnalysisDaemon:
         if cfg.cache_path and os.path.exists(cfg.cache_path):
             self.cache_loaded = self.cache.load(cfg.cache_path)
         if cfg.socket_path is not None:
-            if os.path.exists(cfg.socket_path):
-                os.unlink(cfg.socket_path)
+            # Probe before binding: unlink only a *stale* socket (a
+            # crashed predecessor's corpse); a live listener raises
+            # SocketInUseError instead of being hijacked.
+            self.stale_socket_removed = prepare_socket_path(cfg.socket_path)
             self._server = await asyncio.start_unix_server(
                 self._handle_client, path=cfg.socket_path
             )
@@ -453,6 +478,7 @@ class AnalysisDaemon:
                 "op": "ping",
                 "protocol": PROTOCOL,
                 "request": rid,
+                "role": "daemon",
             }, False
         if op == "solvers":
             return {
@@ -514,6 +540,10 @@ class AnalysisDaemon:
             "op": "status",
             "request": rid,
             "protocol": PROTOCOL,
+            "role": "daemon",
+            "shared": (
+                self.shared.stats() if self.shared is not None else None
+            ),
             "pid": os.getpid(),
             "uptime_s": round(time.time() - self.started_at, 3),
             "workers": self.config.workers,
@@ -574,6 +604,14 @@ class AnalysisDaemon:
         try:
             if not fresh:
                 entry = self.cache.get(key)
+                if entry is None and self.shared is not None:
+                    # A sibling shard (or a previous fleet lifetime) may
+                    # have solved this exact request; promote its entry
+                    # into the local LRU so repeats stay local.
+                    entry = self.shared.get(key)
+                    if entry is not None:
+                        self.counters["shared_hit"] += 1
+                        self.cache.put(entry)
                 if entry is not None:
                     self.counters["hit"] += 1
                     return self._respond(
@@ -625,31 +663,44 @@ class AnalysisDaemon:
         self._singleflight[key] = future
         self._inflight += 1
         try:
+            options = options_fingerprint(spec)
             donors = [
                 (e.key, e.source, e.state)
-                for e in self.cache.warm_candidates(
-                    options_fingerprint(spec), exclude=key
-                )
+                for e in self.cache.warm_candidates(options, exclude=key)
             ]
+            shared_keys = set()
+            if self.shared is not None:
+                local = {donor_key for donor_key, _, _ in donors}
+                for e in self.shared.warm_candidates(options, exclude=key):
+                    if e.key not in local:
+                        donors.append((e.key, e.source, e.state))
+                        shared_keys.add(e.key)
             execution = await loop.run_in_executor(
                 self._pool,
                 lambda: execute_service_job(
                     spec, donors, max_dirty_ratio=self.config.warm_ratio
                 ),
             )
+            if execution.warm_donor in shared_keys:
+                # The winning donor came off the shared index: a warm
+                # start this shard could never have served alone.
+                self.counters["shared_warm"] += 1
             if (
                 execution.result.status in _CACHEABLE
                 and execution.verified
             ):
-                self.cache.put(
-                    CacheEntry(
-                        key=key,
-                        options=options_fingerprint(spec),
-                        source=spec.source,
-                        result=execution.result.to_json(),
-                        state=execution.state,
-                    )
+                entry = CacheEntry(
+                    key=key,
+                    options=options,
+                    source=spec.source,
+                    result=execution.result.to_json(),
+                    state=execution.state,
                 )
+                self.cache.put(entry)
+                if self.shared is not None:
+                    self.shared.put(entry)
+                    if self.shared.stores % 64 == 0:
+                        self.shared.prune()
             future.set_result(execution)
             return execution, False
         except BaseException as err:  # pragma: no cover - defensive

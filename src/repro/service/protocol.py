@@ -77,7 +77,13 @@ OPERATIONS = ("ping", "solve", "check", "status", "solvers", "shutdown")
 #: ``timeout``
 #:     The connection's read deadline lapsed waiting for a complete
 #:     request line; the daemon closes the connection after this reply.
-ERROR_CODES = ("bad-request", "overloaded", "draining", "timeout")
+#: ``unavailable``
+#:     The fleet router could not reach any shard for this request
+#:     (every candidate failed at the transport level).  Retryable
+#:     after the reply's ``retry_after_ms`` hint -- shard supervisors
+#:     respawn crashed shards with backoff.
+ERROR_CODES = ("bad-request", "overloaded", "draining", "timeout",
+               "unavailable")
 
 #: ``solve`` request fields that map onto :class:`JobSpec` options, with
 #: their expected types and defaults (= the JobSpec defaults).  The

@@ -91,6 +91,21 @@ class RestartSupervisor:
             except (ProcessLookupError, OSError):
                 pass
 
+    def stop(self, sig: int = signal.SIGTERM) -> None:
+        """Stop supervising: signal the child and exit after it dies.
+
+        The fleet's :class:`~repro.fleet.manager.ShardManager` uses this
+        to tear down shards whose graceful drain failed; it is also the
+        programmatic equivalent of the relayed ``SIGTERM``.
+        """
+        self._stopping = True
+        child = self._child
+        if child is not None:
+            try:
+                child.send_signal(sig)
+            except (ProcessLookupError, OSError):
+                pass
+
     def backoff_delay(self, consecutive: int) -> float:
         """The delay before restart number ``consecutive`` (1-based)."""
         return min(
@@ -176,4 +191,6 @@ def serve_command(args) -> List[str]:
         argv += ["--read-timeout", str(args.read_timeout)]
     if args.journal_file is not None:
         argv += ["--journal-file", args.journal_file]
+    if getattr(args, "shared_dir", None) is not None:
+        argv += ["--shared-dir", args.shared_dir]
     return argv

@@ -1,0 +1,103 @@
+"""Shard lifecycle: spawn plans, supervision wiring, real drains."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+from repro.fleet import (
+    FleetConfig,
+    ShardManager,
+    build_router,
+    shard_plans,
+)
+from repro.service import NO_RETRY, ServiceClient
+
+
+def config(tmp_path, **overrides) -> FleetConfig:
+    fields = dict(socket_path=str(tmp_path / "front.sock"), shards=2)
+    fields.update(overrides)
+    return FleetConfig(**fields)
+
+
+class TestPlans:
+    def test_stable_ids_and_one_run_dir(self, tmp_path):
+        cfg = config(tmp_path, shards=3)
+        plans = shard_plans(cfg)
+        assert [p.shard_id for p in plans] == ["shard0", "shard1", "shard2"]
+        run_dir = cfg.resolved_run_dir()
+        assert run_dir == str(tmp_path / "front.sock.fleet")
+        for plan in plans:
+            assert plan.socket_path.startswith(run_dir)
+            argv = list(plan.argv)
+            assert argv[0] == sys.executable
+            assert argv[1:4] == ["-m", "repro", "serve"]
+            # Every shard shares one store and owns its own journal.
+            shared = argv[argv.index("--shared-dir") + 1]
+            assert shared == os.path.join(run_dir, "shared")
+            journal = argv[argv.index("--journal-file") + 1]
+            assert plan.shard_id in journal
+
+    def test_optional_flags_propagate(self, tmp_path):
+        cfg = config(
+            tmp_path,
+            default_deadline=5.0,
+            read_timeout=30.0,
+            extra_shard_args=("--warm-ratio", "0.5"),
+            shared_dir=str(tmp_path / "elsewhere"),
+        )
+        argv = list(shard_plans(cfg)[0].argv)
+        assert argv[argv.index("--deadline") + 1] == "5.0"
+        assert argv[argv.index("--read-timeout") + 1] == "30.0"
+        assert argv[argv.index("--shared-dir") + 1] == str(
+            tmp_path / "elsewhere"
+        )
+        assert argv[-2:] == ["--warm-ratio", "0.5"]
+
+    def test_rejects_an_empty_fleet(self, tmp_path):
+        with pytest.raises(ValueError):
+            shard_plans(config(tmp_path, shards=0))
+        with pytest.raises(ValueError):
+            ShardManager([])
+
+    def test_build_router_mirrors_the_plans(self, tmp_path):
+        cfg = config(tmp_path, shards=3)
+        router = build_router(cfg)
+        assert set(router.shards) == {"shard0", "shard1", "shard2"}
+        assert router.config.socket_path == cfg.socket_path
+        assert router.ring.stats()["shards"] == 3
+
+
+class TestRealShards:
+    def test_boot_ping_and_graceful_drain(self, tmp_path):
+        cfg = config(tmp_path, shards=2, cache_entries=16)
+        os.makedirs(cfg.resolved_run_dir(), exist_ok=True)
+        os.makedirs(cfg.resolved_shared_dir(), exist_ok=True)
+        plans = shard_plans(cfg)
+        manager = ShardManager(plans, max_restarts=1)
+        manager.start()
+        try:
+            manager.wait_ready(timeout=45.0)
+            for plan in plans:
+                with ServiceClient(
+                    socket_path=plan.socket_path, retry=NO_RETRY
+                ) as client:
+                    reply = client.ping()
+                    assert reply["ok"] and reply.get("role") == "daemon"
+        finally:
+            drained = manager.drain(timeout=30.0)
+        assert drained == 2
+        assert manager.restarts() == {"shard0": 0, "shard1": 0}
+        # Graceful exits: every supervised run ended with code 0.
+        for supervisor in manager.supervisors.values():
+            assert [code for code, _ in supervisor.history] == [0]
+
+    def test_wait_ready_times_out_on_a_fleet_that_never_starts(
+        self, tmp_path
+    ):
+        plans = shard_plans(config(tmp_path))
+        manager = ShardManager(plans)  # never started
+        with pytest.raises(TimeoutError, match="shard0"):
+            manager.wait_ready(timeout=0.2)

@@ -1,0 +1,360 @@
+"""Router end-to-end: an in-process fleet over real UNIX sockets.
+
+Each test boots N :class:`AnalysisDaemon` shards plus a
+:class:`RouterDaemon` front inside one ``asyncio.run``, then drives a
+stock synchronous :class:`ServiceClient` at the *router* socket from a
+worker thread -- the router must be indistinguishable from a daemon to
+every existing client.  Downed shards are simulated by configuring a
+shard on the ring without starting its daemon.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.batch.jobs import spec_fingerprint
+from repro.fleet import RouterConfig, RouterDaemon
+from repro.service import (
+    NO_RETRY,
+    AnalysisDaemon,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.service.protocol import solve_request_to_jobspec
+
+PROGRAM = """
+int main() {
+  int i;
+  int s;
+  i = 0;
+  s = 0;
+  while (i < 10) {
+    s = s + 2;
+    i = i + 1;
+  }
+  return s;
+}
+"""
+EDITED = PROGRAM.replace("i < 10", "i < 12")
+
+
+def build_fleet(tmp_path, shards=3):
+    shared = str(tmp_path / "shared")
+    daemons = {}
+    for i in range(shards):
+        shard_id = f"shard{i}"
+        daemons[shard_id] = AnalysisDaemon(
+            ServiceConfig(
+                socket_path=str(tmp_path / f"{shard_id}.sock"),
+                workers=1,
+                shared_dir=shared,
+            )
+        )
+    router = RouterDaemon(
+        RouterConfig(
+            socket_path=str(tmp_path / "front.sock"),
+            shards=tuple(
+                (sid, d.config.socket_path) for sid, d in daemons.items()
+            ),
+            health_interval=None,  # probes on demand in tests
+            shard_timeout=60.0,
+        )
+    )
+    return router, daemons
+
+
+def run_fleet(tmp_path, scenario, shards=3, start=None):
+    """Boot a fleet, run ``scenario(front_socket)`` on a thread.
+
+    ``start`` names the shards actually started; the rest stay
+    configured-but-dead (the router sees connection refusals).
+    """
+    router, daemons = build_fleet(tmp_path, shards=shards)
+    live = [
+        d for sid, d in daemons.items() if start is None or sid in start
+    ]
+
+    async def main():
+        for daemon in live:
+            await daemon.start()
+        await router.start()
+        shard_tasks = [
+            asyncio.ensure_future(d.serve_until_shutdown()) for d in live
+        ]
+        front = asyncio.ensure_future(router.serve_until_shutdown())
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(
+                None, scenario, router.config.socket_path
+            )
+        finally:
+            router.request_shutdown()
+            await front
+            for daemon in live:
+                daemon.request_shutdown()
+            await asyncio.gather(*shard_tasks)
+
+    asyncio.run(main())
+    return router, daemons
+
+
+def owner_of(router: RouterDaemon, program: str) -> str:
+    """The shard the router will pick for ``program`` (same math)."""
+    spec, _ = solve_request_to_jobspec({"op": "solve", "source": program})
+    return router.ring.lookup(spec_fingerprint(spec))
+
+
+def program_owned_by(router: RouterDaemon, shard_id: str, invert=False):
+    """A program variant whose ring owner is (or is not) ``shard_id``."""
+    for bound in range(10, 200):
+        candidate = PROGRAM.replace("i < 10", f"i < {bound}")
+        owned = owner_of(router, candidate) == shard_id
+        if owned != invert:
+            return candidate
+    raise AssertionError("no variant found -- ring badly skewed?")
+
+
+class TestRouting:
+    def test_miss_hit_warm_through_the_router(self, tmp_path):
+        replies = {}
+
+        def scenario(front):
+            with ServiceClient(socket_path=front) as client:
+                assert client.ping()["role"] == "router"
+                replies["cold"] = client.solve(PROGRAM)
+                replies["hit"] = client.solve(PROGRAM)
+                replies["warm"] = client.solve(EDITED)
+
+        router, _ = run_fleet(tmp_path, scenario)
+        cold, hit, warm = replies["cold"], replies["hit"], replies["warm"]
+        assert cold["cache"] == "miss" and cold["served_evaluations"] > 0
+        # Deterministic placement: the resubmission lands on the same
+        # shard and is a zero-work cache hit.
+        assert hit["cache"] == "hit" and hit["served_evaluations"] == 0
+        assert hit["result"]["hash"] == cold["result"]["hash"]
+        # The edit warm-starts -- via the shard's local cache when both
+        # landed together, via the shared store when they split.
+        assert warm["cache"] == "warm"
+        assert warm["warm_donor"] == cold["key"]
+        assert 0 < warm["served_evaluations"] < cold["served_evaluations"]
+        assert router.counters["forwarded"] == 3
+        assert router.counters["unavailable"] == 0
+
+    def test_requests_spread_across_shards(self, tmp_path):
+        programs = [
+            PROGRAM.replace("i < 10", f"i < {bound}")
+            for bound in range(10, 26)
+        ]
+
+        def scenario(front):
+            with ServiceClient(socket_path=front) as client:
+                for program in programs:
+                    assert client.solve(program)["result"]["status"] == "ok"
+
+        router, _ = run_fleet(tmp_path, scenario)
+        used = {
+            link.shard_id
+            for link in router.shards.values()
+            if link.forwarded > 0
+        }
+        assert len(used) >= 2, "16 distinct programs all on one shard"
+
+    def test_bad_requests_are_rejected_at_the_front(self, tmp_path):
+        def scenario(front):
+            with ServiceClient(socket_path=front, retry=NO_RETRY) as client:
+                with pytest.raises(ServiceError, match="solver"):
+                    client.solve(PROGRAM, solver="no-such-solver")
+
+        router, daemons = run_fleet(tmp_path, scenario)
+        # Normalization failed before placement: nothing was forwarded.
+        assert router.counters["forwarded"] == 0
+        assert router.counters["errors"] == 1
+
+    def test_solvers_catalogue_is_forwarded(self, tmp_path):
+        names = {}
+
+        def scenario(front):
+            with ServiceClient(socket_path=front) as client:
+                names["solvers"] = client.solvers()
+
+        run_fleet(tmp_path, scenario)
+        assert any(s.get("name") for s in names["solvers"])
+
+
+class TestFailover:
+    def test_dead_owner_fails_over_to_the_ring_successor(self, tmp_path):
+        router_probe, _ = build_fleet(tmp_path / "probe")
+        victim = "shard2"
+        program = program_owned_by(router_probe, victim)
+        replies = {}
+
+        def scenario(front):
+            with ServiceClient(socket_path=front) as client:
+                replies["r"] = client.solve(program)
+
+        live = {"shard0", "shard1"}
+        router, _ = run_fleet(tmp_path, scenario, start=live)
+        assert replies["r"]["result"]["status"] == "ok"
+        assert router.counters["failovers"] >= 1
+        assert router.counters["forwarded"] == 1
+        assert not router.shards[victim].healthy
+        assert router.shards[victim].failures >= 1
+
+    def test_all_shards_down_is_unavailable(self, tmp_path):
+        caught = {}
+
+        def scenario(front):
+            with ServiceClient(
+                socket_path=front, retry=NO_RETRY, timeout=10.0
+            ) as client:
+                with pytest.raises(ServiceOverloadedError) as info:
+                    client.solve(PROGRAM)
+                caught["error"] = info.value
+
+        router, _ = run_fleet(tmp_path, scenario, start=set())
+        assert router.counters["unavailable"] == 1
+        assert "no shard reachable" in str(caught["error"])
+
+    def test_probe_marks_dead_and_recovered_shards(self, tmp_path):
+        router, daemons = build_fleet(tmp_path, shards=2)
+
+        async def main():
+            d0 = daemons["shard0"]
+            await d0.start()
+            task = asyncio.ensure_future(d0.serve_until_shutdown())
+            assert await router.probe_shards() == 1
+            assert router.shards["shard0"].healthy
+            assert not router.shards["shard1"].healthy
+            # shard1 comes up: the next probe restores it.
+            d1 = daemons["shard1"]
+            await d1.start()
+            task1 = asyncio.ensure_future(d1.serve_until_shutdown())
+            assert await router.probe_shards() == 2
+            assert router.shards["shard1"].healthy
+            for daemon, t in ((d0, task), (d1, task1)):
+                daemon.request_shutdown()
+                await t
+
+        asyncio.run(main())
+
+
+class TestFleetStatus:
+    def test_status_aggregates_and_exposes_the_fleet_section(self, tmp_path):
+        replies = {}
+
+        def scenario(front):
+            with ServiceClient(socket_path=front) as client:
+                client.solve(PROGRAM)
+                client.solve(PROGRAM)
+                replies["status"] = client.status()
+
+        run_fleet(tmp_path, scenario, shards=3, start={"shard0", "shard1"})
+        status = replies["status"]
+        assert status["role"] == "router"
+        # Summed shard counters keep the existing schema alive.
+        assert status["requests"]["miss"] == 1
+        assert status["requests"]["hit"] == 1
+        fleet = status["fleet"]
+        assert fleet["shards"] == 3
+        assert fleet["healthy"] == 2
+        assert fleet["ring"]["version"] == 3
+        assert fleet["ring"]["shards"] == 3
+        assert isinstance(fleet["shared"], dict)
+        rows = {row["id"]: row for row in fleet["per_shard"]}
+        assert set(rows) == {"shard0", "shard1", "shard2"}
+        assert rows["shard2"]["healthy"] is False
+        assert rows["shard2"]["pid"] is None
+        live_rows = [rows["shard0"], rows["shard1"]]
+        assert all(isinstance(r["pid"], int) for r in live_rows)
+        assert sum(r["forwarded"] for r in live_rows) == 2
+
+    def test_router_rejects_an_empty_fleet(self, tmp_path):
+        with pytest.raises(ValueError):
+            RouterDaemon(
+                RouterConfig(socket_path=str(tmp_path / "front.sock"))
+            )
+        with pytest.raises(ValueError):
+            RouterDaemon(
+                RouterConfig(
+                    socket_path=str(tmp_path / "front.sock"),
+                    shards=(("a", "x.sock"), ("a", "y.sock")),
+                )
+            )
+
+
+class TestSharedAcrossShards:
+    """Cross-shard reuse through the shared store, no router involved:
+    two sequential daemons over one shared directory stand in for two
+    shards (or one fleet before and after a restart)."""
+
+    def run_daemon(self, tmp_path, name, scenario):
+        daemon = AnalysisDaemon(
+            ServiceConfig(
+                socket_path=str(tmp_path / f"{name}.sock"),
+                workers=1,
+                shared_dir=str(tmp_path / "shared"),
+            )
+        )
+
+        async def main():
+            await daemon.start()
+            task = asyncio.ensure_future(daemon.serve_until_shutdown())
+            loop = asyncio.get_running_loop()
+            try:
+                await loop.run_in_executor(
+                    None, scenario, daemon.config.socket_path
+                )
+            finally:
+                daemon.request_shutdown()
+                await task
+
+        asyncio.run(main())
+        return daemon
+
+    def test_exact_hit_from_a_siblings_result(self, tmp_path):
+        replies = {}
+
+        def first(sock):
+            with ServiceClient(socket_path=sock) as client:
+                replies["cold"] = client.solve(PROGRAM)
+
+        def second(sock):
+            with ServiceClient(socket_path=sock) as client:
+                replies["hot"] = client.solve(PROGRAM)
+
+        self.run_daemon(tmp_path, "a", first)
+        other = self.run_daemon(tmp_path, "b", second)
+        # Daemon B never solved this program, yet serves it as a hit
+        # promoted from the shared index -- zero solver work.
+        assert replies["hot"]["cache"] == "hit"
+        assert replies["hot"]["served_evaluations"] == 0
+        assert replies["hot"]["result"]["hash"] == (
+            replies["cold"]["result"]["hash"]
+        )
+        assert other.counters["shared_hit"] == 1
+
+    def test_warm_start_from_a_siblings_donor(self, tmp_path):
+        replies = {}
+
+        def first(sock):
+            with ServiceClient(socket_path=sock) as client:
+                replies["cold"] = client.solve(PROGRAM)
+
+        def second(sock):
+            with ServiceClient(socket_path=sock) as client:
+                replies["warm"] = client.solve(EDITED)
+
+        self.run_daemon(tmp_path, "a", first)
+        other = self.run_daemon(tmp_path, "b", second)
+        warm = replies["warm"]
+        assert warm["cache"] == "warm"
+        assert warm["warm_donor"] == replies["cold"]["key"]
+        assert warm["served_evaluations"] < (
+            replies["cold"]["served_evaluations"]
+        )
+        assert other.counters["shared_warm"] == 1
+        assert other.counters["shared_hit"] == 0

@@ -1,0 +1,164 @@
+"""Shared warm-donor + result index: atomicity, discovery, pruning.
+
+Two independently-constructed :class:`SharedStore` instances over one
+directory stand in for two shard processes -- the store has no
+in-memory state beyond telemetry, so this exercises exactly the
+cross-process contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.fleet import SharedStore
+from repro.fleet.store import FORMAT
+from repro.service import CacheEntry
+
+
+def entry(key: str, options: str = "opts", state="snapshot",
+          created: float = 1000.0) -> CacheEntry:
+    return CacheEntry(
+        key=key,
+        options=options,
+        source=f"source of {key}",
+        result={"status": "ok", "hash": f"h-{key}"},
+        state=state,
+        created=created,
+    )
+
+
+class TestRoundtrip:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = SharedStore(str(tmp_path))
+        store.put(entry("k1"))
+        got = store.get("k1")
+        assert got is not None
+        assert got.key == "k1"
+        assert got.source == "source of k1"
+        assert got.result["hash"] == "h-k1"
+        assert got.state == "snapshot"
+        assert store.hits == 1 and store.stores == 1
+
+    def test_miss_counts(self, tmp_path):
+        store = SharedStore(str(tmp_path))
+        assert store.get("absent") is None
+        assert store.misses == 1
+        assert store.get("absent", count=False) is None
+        assert store.misses == 1
+
+    def test_visible_to_a_sibling_process(self, tmp_path):
+        writer = SharedStore(str(tmp_path))
+        writer.put(entry("k1"))
+        reader = SharedStore(str(tmp_path))  # fresh instance = sibling
+        assert reader.get("k1") is not None
+        assert len(reader) == 1 and "k1" in reader
+        # Telemetry is per-process: the writer saw no hit.
+        assert writer.hits == 0 and reader.hits == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = SharedStore(str(tmp_path))
+        path = os.path.join(str(tmp_path), "entries", "bad.json")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write("{ not json")
+        assert store.get("bad") is None
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump({"format": "something-else/9", "entry": {}}, f)
+        assert store.get("bad") is None
+
+    def test_entry_file_is_stamped(self, tmp_path):
+        store = SharedStore(str(tmp_path))
+        store.put(entry("k1"))
+        with open(
+            os.path.join(str(tmp_path), "entries", "k1.json"),
+            encoding="utf-8",
+        ) as f:
+            doc = json.load(f)
+        assert doc["format"] == FORMAT
+        assert doc["entry"]["key"] == "k1"
+
+
+class TestWarmCandidates:
+    def test_newest_first_and_excluded_self(self, tmp_path):
+        store = SharedStore(str(tmp_path))
+        store.put(entry("old"))
+        store.put(entry("new"))
+        os.utime(
+            os.path.join(str(tmp_path), "entries", "old.json"), (1, 1)
+        )
+        found = store.warm_candidates("opts", exclude="new")
+        assert [e.key for e in found] == ["old"]
+        found = store.warm_candidates("opts")
+        assert [e.key for e in found] == ["new", "old"]
+
+    def test_options_partition_donors(self, tmp_path):
+        store = SharedStore(str(tmp_path))
+        store.put(entry("a", options="optA"))
+        store.put(entry("b", options="optB"))
+        assert [e.key for e in store.warm_candidates("optA")] == ["a"]
+        assert store.warm_candidates("optC") == []
+
+    def test_snapshotless_entries_cannot_donate(self, tmp_path):
+        store = SharedStore(str(tmp_path))
+        store.put(entry("plain", state=None))
+        assert store.get("plain") is not None  # exact hits still work
+        assert store.warm_candidates("opts") == []
+
+    def test_orphan_markers_are_reaped(self, tmp_path):
+        store = SharedStore(str(tmp_path))
+        store.put(entry("gone"))
+        os.unlink(os.path.join(str(tmp_path), "entries", "gone.json"))
+        assert store.warm_candidates("opts") == []
+        marker = os.path.join(str(tmp_path), "options", "opts", "gone")
+        assert not os.path.exists(marker)
+
+    def test_limit_bounds_the_donor_list(self, tmp_path):
+        store = SharedStore(str(tmp_path))
+        for i in range(6):
+            store.put(entry(f"k{i}"))
+        assert len(store.warm_candidates("opts", limit=2)) == 2
+
+
+class TestPrune:
+    def test_oldest_beyond_bound_are_dropped(self, tmp_path):
+        store = SharedStore(str(tmp_path), max_entries=2)
+        for i, key in enumerate(["k0", "k1", "k2", "k3"]):
+            store.put(entry(key))
+            os.utime(
+                os.path.join(str(tmp_path), "entries", f"{key}.json"),
+                (i + 1, i + 1),
+            )
+        assert store.prune() == 2
+        assert store.pruned == 2
+        assert store.get("k0") is None and store.get("k1") is None
+        assert store.get("k2") is not None and store.get("k3") is not None
+
+    def test_expired_entries_go_first(self, tmp_path):
+        store = SharedStore(str(tmp_path), max_entries=100, ttl=10.0)
+        store.put(entry("stale"))
+        path = os.path.join(str(tmp_path), "entries", "stale.json")
+        os.utime(path, (1, 1))
+        assert store.prune() == 1
+        assert not os.path.exists(path)
+
+    def test_ttl_expires_reads_too(self, tmp_path):
+        store = SharedStore(str(tmp_path), ttl=10.0)
+        store.put(entry("old", created=1.0))
+        assert store.get("old") is None
+
+    def test_rejects_bad_parameters(self, tmp_path):
+        with pytest.raises(ValueError):
+            SharedStore(str(tmp_path), max_entries=0)
+        with pytest.raises(ValueError):
+            SharedStore(str(tmp_path), ttl=0)
+
+    def test_stats_shape(self, tmp_path):
+        store = SharedStore(str(tmp_path), max_entries=7)
+        store.put(entry("k"))
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["max_entries"] == 7
+        assert stats["stores"] == 1
+        assert set(stats) >= {"root", "hits", "misses", "pruned", "ttl"}

@@ -1,0 +1,121 @@
+"""Stale-socket hygiene: probe before bind, never steal a live address.
+
+A crashed daemon leaves a socket file nothing listens on; a restart
+must clear it and bind (the historical ``Address already in use``
+failure).  A *live* daemon's socket must never be unlinked, and a
+non-socket file at the path is somebody else's data -- refuse.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import errno
+import os
+import socket
+import stat
+
+import pytest
+
+from repro.service import (
+    AnalysisDaemon,
+    ServiceClient,
+    ServiceConfig,
+    SocketInUseError,
+    prepare_socket_path,
+    socket_is_live,
+)
+
+
+def make_stale_socket(path: str) -> None:
+    """Leave behind exactly what a SIGKILL'd daemon leaves: the file."""
+    corpse = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    corpse.bind(path)
+    corpse.close()  # closed without unlink: nobody accepts here
+    assert stat.S_ISSOCK(os.stat(path).st_mode)
+
+
+class TestPrepareSocketPath:
+    def test_missing_path_is_a_noop(self, tmp_path):
+        path = str(tmp_path / "never-existed.sock")
+        assert prepare_socket_path(path) is False
+        assert not os.path.exists(path)
+
+    def test_stale_socket_is_removed(self, tmp_path):
+        path = str(tmp_path / "stale.sock")
+        make_stale_socket(path)
+        assert not socket_is_live(path)
+        assert prepare_socket_path(path) is True
+        assert not os.path.exists(path)
+
+    def test_live_listener_is_refused(self, tmp_path):
+        path = str(tmp_path / "live.sock")
+        server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        server.bind(path)
+        server.listen(1)
+        try:
+            assert socket_is_live(path)
+            with pytest.raises(SocketInUseError) as info:
+                prepare_socket_path(path)
+            assert info.value.errno == errno.EADDRINUSE
+            assert info.value.path == path
+            # The live daemon's address was not stolen.
+            assert os.path.exists(path)
+        finally:
+            server.close()
+
+    def test_non_socket_file_is_never_deleted(self, tmp_path):
+        path = str(tmp_path / "precious.txt")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write("not yours")
+        with pytest.raises(OSError) as info:
+            prepare_socket_path(path)
+        assert not isinstance(info.value, SocketInUseError)
+        assert os.path.exists(path)
+        with open(path, encoding="utf-8") as f:
+            assert f.read() == "not yours"
+
+
+class TestDaemonRestartAfterCrash:
+    def test_daemon_binds_over_a_crashed_predecessors_socket(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "daemon.sock")
+        make_stale_socket(path)
+        daemon = AnalysisDaemon(ServiceConfig(socket_path=path, workers=1))
+        replies = {}
+
+        def scenario(address):
+            with ServiceClient(socket_path=address[1]) as client:
+                replies["ping"] = client.ping()
+
+        async def main():
+            await daemon.start()
+            task = asyncio.ensure_future(daemon.serve_until_shutdown())
+            loop = asyncio.get_running_loop()
+            try:
+                await loop.run_in_executor(None, scenario, daemon.address)
+            finally:
+                daemon.request_shutdown()
+                await task
+
+        asyncio.run(main())
+        assert daemon.stale_socket_removed is True
+        assert replies["ping"]["ok"] is True
+
+    def test_daemon_refuses_a_live_siblings_socket(self, tmp_path):
+        path = str(tmp_path / "daemon.sock")
+        first = AnalysisDaemon(ServiceConfig(socket_path=path, workers=1))
+        second = AnalysisDaemon(ServiceConfig(socket_path=path, workers=1))
+
+        async def main():
+            await first.start()
+            task = asyncio.ensure_future(first.serve_until_shutdown())
+            try:
+                with pytest.raises(SocketInUseError):
+                    await second.start()
+            finally:
+                first.request_shutdown()
+                await task
+
+        asyncio.run(main())
+        assert first.stale_socket_removed is False
